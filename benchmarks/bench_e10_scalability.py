@@ -1,0 +1,18 @@
+"""E10: runtime scaling of the two headline algorithms."""
+
+from repro.analysis import run_e10_scalability
+
+from .conftest import emit
+
+
+def test_e10_scalability(benchmark):
+    result = benchmark.pedantic(
+        run_e10_scalability,
+        kwargs=dict(
+            approx_sizes=(50, 100, 200),
+            tree_sizes=(100, 300, 1000),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)

@@ -1,0 +1,21 @@
+"""E11: event-level simulation agrees with the closed-form cost model."""
+
+from repro.analysis import run_e11_simulation_agreement
+
+from .conftest import emit
+
+
+def test_e11_simulation_agreement(benchmark):
+    result = benchmark.pedantic(
+        run_e11_simulation_agreement,
+        kwargs=dict(
+            families=("tree", "transit_stub", "geometric"),
+            n=14,
+            seeds=tuple(range(5)),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+    for row in result.rows:
+        assert row[3] < 1e-9  # simulated bill == analytic cost

@@ -1,0 +1,22 @@
+"""E12: online dynamic strategy vs the clairvoyant static optimum."""
+
+from repro.analysis import run_e12_online_vs_static
+
+from .conftest import emit
+
+
+def test_e12_online_vs_static(benchmark):
+    result = benchmark.pedantic(
+        run_e12_online_vs_static,
+        kwargs=dict(
+            sizes=(10, 14),
+            seeds=tuple(range(5)),
+            write_fractions=(0.0, 0.1, 0.4),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+    # the online heuristic should stay within an order of magnitude
+    for row in result.rows:
+        assert row[4] < 20.0

@@ -1,0 +1,20 @@
+"""E13: the price of memory capacity constraints (related-work extension)."""
+
+from repro.analysis import run_e13_capacity_price
+
+from .conftest import emit
+
+
+def test_e13_capacity_price(benchmark):
+    result = benchmark.pedantic(
+        run_e13_capacity_price,
+        kwargs=dict(
+            family="geometric", n=14, num_objects=6,
+            seeds=tuple(range(4)), caps=(6, 3, 2, 1),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+    for row in result.rows:
+        assert row[-1]  # repair always reaches feasibility

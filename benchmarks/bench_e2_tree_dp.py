@@ -1,0 +1,22 @@
+"""E2: tree DP exactness and runtime scaling (Theorem 13)."""
+
+from repro.analysis import run_e2_tree_dp
+
+from .conftest import emit
+
+
+def test_e2_tree_dp(benchmark):
+    result = benchmark.pedantic(
+        run_e2_tree_dp,
+        kwargs=dict(
+            check_sizes=(4, 6, 8, 10),
+            timing_sizes=(50, 100, 200),
+            seeds=tuple(range(5)),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+    for row in result.rows:
+        if row[0] == "exactness":
+            assert abs(row[4] - 1.0) < 1e-6  # DP is exactly optimal

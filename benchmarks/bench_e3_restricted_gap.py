@@ -1,0 +1,22 @@
+"""E3: restricted vs true optimum (Lemma 1: factor <= 4)."""
+
+from repro.analysis import run_e3_restricted_gap
+
+from .conftest import emit
+
+
+def test_e3_restricted_gap(benchmark):
+    result = benchmark.pedantic(
+        run_e3_restricted_gap,
+        kwargs=dict(
+            families=("tree", "er", "geometric"),
+            n=9,
+            seeds=tuple(range(6)),
+            write_fraction=0.4,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+    for row in result.rows:
+        assert row[-1]  # the 4x bound holds on every instance

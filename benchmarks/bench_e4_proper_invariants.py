@@ -1,0 +1,21 @@
+"""E4: proper-placement invariants of computed placements (Lemma 8)."""
+
+from repro.analysis import run_e4_proper_invariants
+
+from .conftest import emit
+
+
+def test_e4_proper_invariants(benchmark):
+    result = benchmark.pedantic(
+        run_e4_proper_invariants,
+        kwargs=dict(
+            families=("tree", "er", "geometric", "grid"),
+            n=16,
+            seeds=tuple(range(8)),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+    for row in result.rows:
+        assert row[-1]  # every placement satisfies k1=29 / k2=2

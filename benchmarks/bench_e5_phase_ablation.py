@@ -1,0 +1,20 @@
+"""E5: ablation of phases 2 and 3 across the read/write mix."""
+
+from repro.analysis import run_e5_phase_ablation
+
+from .conftest import emit
+
+
+def test_e5_phase_ablation(benchmark):
+    result = benchmark.pedantic(
+        run_e5_phase_ablation,
+        kwargs=dict(
+            family="geometric",
+            n=11,
+            seeds=tuple(range(6)),
+            write_fractions=(0.0, 0.1, 0.3, 0.6),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)

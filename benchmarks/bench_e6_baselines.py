@@ -1,0 +1,24 @@
+"""E6: strategy comparison across the read/write mix (crossover figure)."""
+
+from repro.analysis import run_e6_baselines
+
+from .conftest import emit
+
+
+def test_e6_baselines(benchmark):
+    result = benchmark.pedantic(
+        run_e6_baselines,
+        kwargs=dict(
+            family="transit_stub",
+            n=18,
+            seeds=tuple(range(5)),
+            write_fractions=(0.0, 0.05, 0.2, 0.5, 0.9),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+    # crossover shape: replication only competitive while writes are rare
+    first, last = result.rows[0], result.rows[-1]
+    assert first[3] <= 2.0 * first[1]   # replication ok with no writes
+    assert last[3] >= last[1]           # replication loses when write-heavy

@@ -1,0 +1,22 @@
+"""E7: storage-price sweep -> replication degree (figure)."""
+
+from repro.analysis import run_e7_storage_sweep
+
+from .conftest import emit
+
+
+def test_e7_storage_sweep(benchmark):
+    result = benchmark.pedantic(
+        run_e7_storage_sweep,
+        kwargs=dict(
+            family="geometric",
+            n=20,
+            seeds=tuple(range(5)),
+            prices=(0.1, 0.5, 2.0, 8.0, 32.0),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+    degrees = [row[1] for row in result.rows]
+    assert degrees[0] >= degrees[-1]  # dearer storage -> fewer copies

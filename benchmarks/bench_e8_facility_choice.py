@@ -1,0 +1,17 @@
+"""E8: phase-1 facility-location solver choice (Lemma 9 carry-through)."""
+
+from repro.analysis import run_e8_facility_choice
+
+from .conftest import emit
+
+
+def test_e8_facility_choice(benchmark):
+    result = benchmark.pedantic(
+        run_e8_facility_choice,
+        kwargs=dict(family="geometric", n=12, seeds=tuple(range(5))),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+    for row in result.rows:
+        assert row[2] <= 5.0 + 1e-6  # every solver within its proven factor

@@ -1,0 +1,17 @@
+"""E9: total-communication-load specialization on trees (Section 1)."""
+
+from repro.analysis import run_e9_load_model
+
+from .conftest import emit
+
+
+def test_e9_load_model(benchmark):
+    result = benchmark.pedantic(
+        run_e9_load_model,
+        kwargs=dict(sizes=(12, 20, 30), seeds=tuple(range(4))),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+    for row in result.rows:
+        assert row[-1]  # tree DP never beaten in the load model

@@ -1,0 +1,16 @@
+"""Benchmark harness configuration.
+
+Each ``bench_e*.py`` regenerates one experiment from DESIGN.md section 3:
+the benchmark times the core computation while the rendered result table
+is printed to stdout (run with ``-s`` to see it; EXPERIMENTS.md records
+the reference output).
+"""
+
+from __future__ import annotations
+
+
+def emit(result) -> None:
+    """Print an ExperimentResult table under the benchmark output."""
+    print()
+    print(result.render())
+    print()

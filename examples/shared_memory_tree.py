@@ -1,0 +1,72 @@
+"""Virtual shared memory on a fat-tree: the exact Section 3 optimum.
+
+Models cache lines shared by processors at the leaves of a fat-tree (the
+interconnect of many parallel machines; trees are where the paper gives
+an *optimal* polynomial algorithm).  Sweeps the write intensity of a
+cache line from read-only to write-dominated and shows how the optimal
+replication contracts from "a copy in every subtree" down to a single
+home node -- computed exactly by the tree DP, with the constant-factor
+approximation shown for comparison.
+
+Run:  python examples/shared_memory_tree.py
+"""
+
+import numpy as np
+
+from repro import DataManagementInstance, approximate_object_placement, object_cost
+from repro.core import optimal_tree_placement
+from repro.graphs import Metric, balanced_tree
+
+
+def main() -> None:
+    # fat-tree: binary tree of height 4 -> 16 leaf processors; links get
+    # cheaper towards the leaves (classic fat-tree fee structure)
+    g = balanced_tree(2, 4, seed=3, low=1.0, high=1.0)
+    for u, v in g.edges():
+        depth = _depth(g, u, v)
+        g[u][v]["weight"] = 8.0 / (2**depth)  # root links 8x leaf links
+    n = g.number_of_nodes()
+    metric = Metric.from_graph(g)
+    leaves = [v for v in g.nodes if g.degree(v) == 1]
+    print(f"fat-tree: {n} nodes, {len(leaves)} leaf processors\n")
+
+    total_requests = 64
+    cs = np.full(n, 2.0)  # uniform memory rent
+    rng = np.random.default_rng(9)
+
+    print(f"{'write %':>8}  {'optimal copies':>14}  {'opt cost':>9}  "
+          f"{'KRW cost':>9}  {'KRW/opt':>8}")
+    for write_pct in (0, 5, 20, 50, 80, 100):
+        # leaves issue all traffic; writes drawn per leaf
+        demand = np.zeros(n)
+        demand[leaves] = rng.multinomial(total_requests,
+                                         np.full(len(leaves), 1 / len(leaves)))
+        fw = np.floor(demand * write_pct / 100.0)
+        fr = demand - fw
+
+        placement, opt_cost = optimal_tree_placement(
+            g, cs, fr.reshape(1, -1), fw.reshape(1, -1)
+        )
+        inst = DataManagementInstance.single_object(metric, cs, fr, fw)
+        krw = approximate_object_placement(inst, 0)
+        krw_cost = object_cost(inst, 0, krw, policy="steiner_mst").total
+
+        copies = placement.copies(0)
+        print(f"{write_pct:>7}%  {len(copies):>14}  {opt_cost:>9.1f}  "
+              f"{krw_cost:>9.1f}  {krw_cost / opt_cost:>8.3f}")
+
+    print("\nshape: replication degree collapses as the write share grows;")
+    print("the tree DP is exact (Theorem 13), KRW stays within its constant.")
+
+
+def _depth(g, u, v) -> int:
+    """Edge depth = distance of the deeper endpoint from the root (node 0)."""
+    import networkx as nx
+
+    return max(
+        nx.shortest_path_length(g, 0, u), nx.shortest_path_length(g, 0, v)
+    )
+
+
+if __name__ == "__main__":
+    main()

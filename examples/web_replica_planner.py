@@ -1,0 +1,73 @@
+"""Replica budgeting: how storage prices shape a replication strategy.
+
+A planning study on a random geographic network: sweep the per-object
+storage rent across three orders of magnitude and watch the optimal
+trade-off move from "replicate aggressively" to "one central copy" --
+with the total bill decomposed into storage / read-traffic / update-
+traffic so the crossover economics are visible.  Also reports the
+marginal value of each successive replica at one chosen price point
+(useful for answering "is a 4th replica worth it?").
+
+Run:  python examples/web_replica_planner.py
+"""
+
+import numpy as np
+
+from repro import DataManagementInstance, approximate_object_placement, object_cost
+from repro.baselines import greedy_add_placement
+from repro.graphs import Metric, random_geometric_graph
+from repro.workloads import split_read_write, uniform_requests
+
+
+def main() -> None:
+    g = random_geometric_graph(24, 0.4, seed=21, scale=10.0)
+    metric = Metric.from_graph(g)
+    n = metric.n
+    demand = uniform_requests(n, 1, seed=22, mean=5.0)
+    fr, fw = split_read_write(demand, write_fraction=0.1, seed=23)
+    print(f"network: {n} nodes; workload: {fr.sum():.0f} reads, "
+          f"{fw.sum():.0f} writes\n")
+
+    print("--- price sweep ------------------------------------------------")
+    print(f"{'rent':>7}  {'replicas':>8}  {'storage':>8}  {'reads':>8}  "
+          f"{'updates':>8}  {'total':>8}")
+    for rent in (0.2, 1.0, 5.0, 25.0, 125.0):
+        inst = DataManagementInstance.single_object(
+            metric, np.full(n, rent), fr[0], fw[0]
+        )
+        copies = approximate_object_placement(inst, 0)
+        c = object_cost(inst, 0, copies, policy="mst")
+        print(f"{rent:>7.1f}  {len(copies):>8}  {c.storage:>8.1f}  "
+              f"{c.read:>8.1f}  {c.update:>8.1f}  {c.total:>8.1f}")
+
+    print("\n--- marginal value of each replica at rent 5.0 ------------------")
+    inst = DataManagementInstance.single_object(metric, np.full(n, 5.0), fr[0], fw[0])
+    # grow the placement greedily and report each replica's net saving
+    from repro.baselines import best_single_node
+
+    current = set(best_single_node(inst, 0))
+    cost = object_cost(inst, 0, current, policy="mst").total
+    print(f"{'replicas':>8}  {'total cost':>10}  {'marginal saving':>15}")
+    print(f"{1:>8}  {cost:>10.1f}  {'-':>15}")
+    for k in range(2, 7):
+        best_gain, best_v = 0.0, None
+        for v in range(n):
+            if v in current:
+                continue
+            cand = object_cost(inst, 0, current | {v}, policy="mst").total
+            if cost - cand > best_gain:
+                best_gain, best_v = cost - cand, v
+        if best_v is None:
+            print(f"{k:>8}  {'(no replica pays for itself)':>26}")
+            break
+        current.add(best_v)
+        cost -= best_gain
+        print(f"{k:>8}  {cost:>10.1f}  {best_gain:>15.2f}")
+
+    final = greedy_add_placement(inst, 0)
+    print(f"\ngreedy stopping point: {len(final)} replicas "
+          "(diminishing returns set in)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""repro: Approximation Algorithms for Data Management in Networks.
+
+A faithful, tested reproduction of Krick, Räcke and Westermann (SPAA 2001):
+constant-factor approximate placement of replicated shared objects under
+commercial storage + transmission costs on arbitrary networks, and the
+exact polynomial-time optimum on trees.
+
+Quickstart
+----------
+>>> from repro import graphs, workloads, approximate_placement, placement_cost
+>>> g = graphs.transit_stub_graph(3, 2, 3, seed=1)
+>>> metric = graphs.Metric.from_graph(g)
+>>> inst = workloads.make_instance(metric, seed=2, num_objects=4)
+>>> placement = approximate_placement(inst)
+>>> placement_cost(inst, placement).total  # doctest: +SKIP
+123.4
+
+Package layout
+--------------
+``repro.core``
+    problem model, cost accounting, the Section 2 approximation, the
+    Section 3 tree optimum.
+``repro.graphs``
+    metric closures, MST/Steiner substrate, topology generators.
+``repro.facility``
+    facility-location solvers (phase 1 of the approximation).
+``repro.baselines``
+    exhaustive optima and heuristic comparison strategies.
+``repro.workloads``
+    request/price generators and named scenarios.
+``repro.simulate``
+    event-level replay of request logs on the real network, plus an
+    online dynamic strategy.
+``repro.analysis``
+    experiment runners, ratio statistics, table formatting.
+"""
+
+from . import analysis, baselines, core, facility, graphs, simulate, workloads
+from .core import (
+    DataManagementInstance,
+    Placement,
+    approximate_object_placement,
+    approximate_placement,
+    object_cost,
+    optimal_tree_placement,
+    placement_cost,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "core",
+    "graphs",
+    "facility",
+    "baselines",
+    "workloads",
+    "simulate",
+    "analysis",
+    "DataManagementInstance",
+    "Placement",
+    "approximate_placement",
+    "approximate_object_placement",
+    "optimal_tree_placement",
+    "object_cost",
+    "placement_cost",
+    "__version__",
+]

@@ -1,0 +1,44 @@
+"""Analysis: experiment runners, ratio statistics, table formatting."""
+
+from .experiments import (
+    GRAPH_FAMILIES,
+    ExperimentResult,
+    run_e1_approx_ratio,
+    run_e2_tree_dp,
+    run_e3_restricted_gap,
+    run_e4_proper_invariants,
+    run_e5_phase_ablation,
+    run_e6_baselines,
+    run_e7_storage_sweep,
+    run_e8_facility_choice,
+    run_e9_load_model,
+    run_e10_scalability,
+    run_e11_simulation_agreement,
+    run_e12_online_vs_static,
+    run_e13_capacity_price,
+)
+from .ratios import RatioStats, ratio, summarize_ratios
+from .tables import format_series, format_table
+
+__all__ = [
+    "ExperimentResult",
+    "GRAPH_FAMILIES",
+    "run_e1_approx_ratio",
+    "run_e2_tree_dp",
+    "run_e3_restricted_gap",
+    "run_e4_proper_invariants",
+    "run_e5_phase_ablation",
+    "run_e6_baselines",
+    "run_e7_storage_sweep",
+    "run_e8_facility_choice",
+    "run_e9_load_model",
+    "run_e10_scalability",
+    "run_e11_simulation_agreement",
+    "run_e12_online_vs_static",
+    "run_e13_capacity_price",
+    "RatioStats",
+    "ratio",
+    "summarize_ratios",
+    "format_table",
+    "format_series",
+]

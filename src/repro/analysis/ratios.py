@@ -1,0 +1,60 @@
+"""Approximation-ratio statistics.
+
+Small, well-tested helpers for the quantity every experiment reports:
+``cost(algorithm) / cost(optimum)``, aggregated over instance collections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["RatioStats", "ratio", "summarize_ratios"]
+
+
+def ratio(cost: float, optimum: float) -> float:
+    """``cost / optimum`` with the 0/0 convention = 1 (both free)."""
+    if optimum < 0 or cost < 0:
+        raise ValueError("costs must be non-negative")
+    if optimum == 0:
+        return 1.0 if cost == 0 else float("inf")
+    return cost / optimum
+
+
+@dataclass(frozen=True)
+class RatioStats:
+    """Aggregate of a collection of approximation ratios."""
+
+    count: int
+    mean: float
+    geo_mean: float
+    p50: float
+    p95: float
+    max: float
+
+    def as_row(self) -> list[float]:
+        return [self.count, self.mean, self.geo_mean, self.p50, self.p95, self.max]
+
+    HEADERS = ("runs", "mean", "geomean", "median", "p95", "max")
+
+
+def summarize_ratios(values: Iterable[float]) -> RatioStats:
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("no ratios to summarize")
+    if np.any(arr < 1.0 - 1e-9):
+        raise ValueError(
+            "a ratio below 1 means the 'optimum' was not optimal -- "
+            f"min ratio {arr.min():.6f}"
+        )
+    arr = np.maximum(arr, 1.0)  # clamp float slack
+    return RatioStats(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        geo_mean=float(np.exp(np.log(arr).mean())),
+        p50=float(np.percentile(arr, 50)),
+        p95=float(np.percentile(arr, 95)),
+        max=float(arr.max()),
+    )

@@ -1,0 +1,58 @@
+"""ASCII table rendering for the experiment harness.
+
+The paper has no numeric tables of its own; the evaluation suite prints
+its validation tables in a stable, diff-friendly format recorded in
+EXPERIMENTS.md.  Values render with 4 significant digits; strings pass
+through; ``None`` renders as ``-``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value in (float("inf"), float("-inf")):
+            return "inf" if value > 0 else "-inf"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[Any]], *, title: str | None = None
+) -> str:
+    """Render a fixed-width table with a header rule."""
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError("row length does not match headers")
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+
+    def line(values: Sequence[str]) -> str:
+        return "  ".join(v.rjust(w) for v, w in zip(values, widths))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(list(headers)))
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(row) for row in cells)
+    return "\n".join(out)
+
+
+def format_series(
+    x_name: str, y_names: Sequence[str], points: Sequence[Sequence[Any]], *, title: str | None = None
+) -> str:
+    """Render a figure-as-table: one x column, several y series."""
+    return format_table([x_name, *y_names], points, title=title)

@@ -1,0 +1,36 @@
+"""Baselines: exhaustive optima, heuristic strategies, read-only ILP."""
+
+from .exhaustive import (
+    MAX_BRUTE_FORCE_NODES,
+    MAX_STEINER_ORACLE_NODES,
+    SteinerOracle,
+    brute_force_object,
+    brute_force_placement,
+    object_cost_steiner_oracle,
+)
+from .heuristics import (
+    best_single_node,
+    full_replication,
+    greedy_add_placement,
+    local_search_placement,
+    random_placement,
+    write_blind_placement,
+)
+from .ilp import exact_read_only_object, exact_read_only_placement
+
+__all__ = [
+    "SteinerOracle",
+    "brute_force_object",
+    "brute_force_placement",
+    "object_cost_steiner_oracle",
+    "MAX_BRUTE_FORCE_NODES",
+    "MAX_STEINER_ORACLE_NODES",
+    "best_single_node",
+    "full_replication",
+    "greedy_add_placement",
+    "local_search_placement",
+    "random_placement",
+    "write_blind_placement",
+    "exact_read_only_object",
+    "exact_read_only_placement",
+]

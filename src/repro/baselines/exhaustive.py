@@ -1,0 +1,212 @@
+"""Exhaustive optimal placements for small instances.
+
+The static data management problem is NP-hard on arbitrary networks (Milo
+and Wolfson, cited in Section 1.2), so ground truth for the approximation
+experiments comes from explicit subset enumeration:
+
+* given the copy set ``S``, reads are optimally served by the nearest copy
+  and writes by a minimum Steiner tree over ``{h} ∪ S`` -- so the global
+  optimum is ``min`` over the ``2^n - 1`` non-empty subsets of an exactly
+  evaluable expression;
+* the restricted optimum of Section 2 replaces the per-write Steiner tree
+  with (path to nearest copy) + (copy MST).
+
+For the true (Steiner-policy) optimum, evaluating Dreyfus--Wagner per
+(subset, writer) pair would be astronomically slow; instead
+:class:`SteinerOracle` runs *one* Dreyfus--Wagner pass whose DP table
+covers **all** terminal subsets simultaneously (``O(3^n n + 2^n n^2)``),
+after which any ``steiner({h} ∪ S)`` is a table lookup.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.costs import CostBreakdown
+from ..core.instance import DataManagementInstance
+from ..core.placement import Placement
+from ..core.restricted import is_restricted
+from ..graphs.metric import Metric
+from ..graphs.mst import mst_cost
+
+__all__ = [
+    "SteinerOracle",
+    "brute_force_object",
+    "brute_force_placement",
+    "MAX_BRUTE_FORCE_NODES",
+    "MAX_STEINER_ORACLE_NODES",
+]
+
+MAX_BRUTE_FORCE_NODES = 18
+MAX_STEINER_ORACLE_NODES = 14
+
+
+class SteinerOracle:
+    """Exact Steiner-tree costs for *every* node subset of a small metric.
+
+    One Dreyfus--Wagner sweep fills ``dp[mask][v]`` = cost of a minimum
+    tree spanning ``set(mask) ∪ {v}``; then
+    ``steiner(S) = dp[mask(S \\ {t})][t]`` for any ``t in S``.
+    """
+
+    def __init__(self, metric: Metric) -> None:
+        n = metric.n
+        if n > MAX_STEINER_ORACLE_NODES:
+            raise ValueError(
+                f"SteinerOracle is exponential; n={n} exceeds "
+                f"{MAX_STEINER_ORACLE_NODES}"
+            )
+        self.metric = metric
+        d = metric.dist
+        full = 1 << n
+        dp = np.full((full, n), np.inf)
+        dp[0] = 0.0  # spanning {} ∪ {v} is the single node v
+        for i in range(n):
+            dp[1 << i] = d[i]
+        for mask in range(1, full):
+            if mask & (mask - 1) == 0:
+                continue
+            row = dp[mask]
+            sub = (mask - 1) & mask
+            while sub:
+                comp = mask ^ sub
+                if sub <= comp:
+                    np.minimum(row, dp[sub] + dp[comp], out=row)
+                sub = (sub - 1) & mask
+            np.minimum(row, (row[:, None] + d).min(axis=0), out=row)
+        self._dp = dp
+
+    def steiner_cost(self, nodes) -> float:
+        """Minimum Steiner tree cost spanning ``nodes`` (>= 1 node)."""
+        idx = sorted(set(int(v) for v in nodes))
+        if not idx:
+            raise ValueError("need at least one terminal")
+        t = idx[-1]
+        mask = 0
+        for v in idx[:-1]:
+            mask |= 1 << v
+        return float(self._dp[mask][t])
+
+
+def object_cost_steiner_oracle(
+    instance: DataManagementInstance,
+    obj: int,
+    copies,
+    oracle: SteinerOracle,
+) -> CostBreakdown:
+    """Exact Steiner-policy cost of one copy set via the subset oracle.
+
+    Equivalent to ``object_cost(..., policy="steiner")`` but amortizes the
+    Dreyfus--Wagner work across many evaluations on the same metric.
+    """
+    nodes = instance.validate_copies(copies)
+    metric = instance.metric
+    fr = instance.read_freq[obj]
+    fw = instance.write_freq[obj]
+    storage = float(instance.storage_costs[np.asarray(nodes)].sum())
+    read = float(fr @ metric.dist_to_set(nodes))
+    update = 0.0
+    base_mask = 0
+    for v in nodes:
+        base_mask |= 1 << v
+    t = nodes[-1]
+    for h in np.flatnonzero(fw > 0):
+        h = int(h)
+        qmask = (base_mask | (1 << h)) & ~(1 << t)
+        update += float(fw[h]) * float(oracle._dp[qmask][t])
+    return CostBreakdown(storage, read, update)
+
+
+def brute_force_object(
+    instance: DataManagementInstance,
+    obj: int,
+    *,
+    policy: str = "mst",
+    require_restricted: bool = False,
+    oracle: SteinerOracle | None = None,
+) -> tuple[tuple[int, ...], float]:
+    """Optimal copy set for one object by subset enumeration.
+
+    Parameters
+    ----------
+    policy:
+        ``"mst"`` -- the Section 2 restricted update policy (per write:
+        distance to nearest copy + copy-MST cost); optimum over subsets of
+        this objective is the *restricted optimum* when combined with
+        ``require_restricted=True``.
+        ``"steiner"`` -- the true model optimum (per write: exact minimum
+        Steiner tree over writer + copies).
+    require_restricted:
+        Additionally require every copy to serve at least ``W`` requests
+        (constraint 2 of a restricted placement).
+    oracle:
+        Reuse a prebuilt :class:`SteinerOracle` across calls.
+
+    Returns ``(copies, cost)``.
+    """
+    n = instance.num_nodes
+    if n > MAX_BRUTE_FORCE_NODES:
+        raise ValueError(f"brute force over 2^{n} subsets refused (n > {MAX_BRUTE_FORCE_NODES})")
+    metric = instance.metric
+    fr = instance.read_freq[obj]
+    fw = instance.write_freq[obj]
+    demand = fr + fw
+    w_total = instance.total_writes(obj)
+    cs = instance.storage_costs
+    dist = metric.dist
+
+    if policy == "steiner":
+        if oracle is None:
+            oracle = SteinerOracle(metric)
+    elif policy != "mst":
+        raise ValueError(f"unsupported brute-force policy {policy!r}")
+
+    writers = np.flatnonzero(fw > 0)
+    best_cost = np.inf
+    best: tuple[int, ...] | None = None
+    for mask in range(1, 1 << n):
+        nodes = [v for v in range(n) if mask >> v & 1]
+        idx = np.asarray(nodes)
+        dts = dist[:, idx].min(axis=1)
+        storage = float(cs[idx].sum())
+        if policy == "mst":
+            cost = storage + float(demand @ dts) + w_total * mst_cost(metric, nodes)
+        else:
+            cost = storage + float(fr @ dts)
+            base_mask = mask
+            t = nodes[-1]
+            for h in writers:
+                h = int(h)
+                qmask = (base_mask | (1 << h)) & ~(1 << t)
+                cost += float(fw[h]) * float(oracle._dp[qmask][t])
+        if cost < best_cost - 1e-12:
+            if require_restricted and not is_restricted(instance, obj, nodes):
+                continue
+            best_cost = cost
+            best = tuple(nodes)
+    if best is None:
+        raise RuntimeError("no feasible placement found (restricted filter too strict?)")
+    return best, float(best_cost)
+
+
+def brute_force_placement(
+    instance: DataManagementInstance,
+    *,
+    policy: str = "mst",
+    require_restricted: bool = False,
+) -> tuple[Placement, float]:
+    """Optimal placement across all objects (objects are independent)."""
+    oracle = SteinerOracle(instance.metric) if policy == "steiner" else None
+    sets = []
+    total = 0.0
+    for obj in range(instance.num_objects):
+        copies, cost = brute_force_object(
+            instance,
+            obj,
+            policy=policy,
+            require_restricted=require_restricted,
+            oracle=oracle,
+        )
+        sets.append(copies)
+        total += cost
+    return Placement(tuple(sets)), total

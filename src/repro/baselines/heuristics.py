@@ -1,0 +1,156 @@
+"""Baseline placement strategies for the comparison experiments.
+
+The paper motivates its algorithm against simpler policies a content
+provider might reach for first; Experiment E6 sweeps the read/write mix to
+show where each baseline breaks down:
+
+* :func:`best_single_node` -- one copy at the 1-median (no update traffic,
+  maximal read traffic): the optimal *no-replication* strategy.
+* :func:`full_replication` -- a copy everywhere (zero read traffic,
+  maximal update and storage cost).
+* :func:`write_blind_placement` -- the phase-1 facility-location solution
+  used as-is (what a read-only model such as Baev--Rajaraman's would
+  output when writes exist): the ablation that motivates phases 2-3.
+* :func:`greedy_add_placement` -- start from the 1-median and greedily add
+  the copy with the best *true-objective* improvement.
+* :func:`local_search_placement` -- add/drop/swap local search on the true
+  objective (a strong but guarantee-free heuristic).
+* :func:`random_placement` -- seeded random copy sets (sanity floor).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.costs import object_cost
+from ..core.instance import DataManagementInstance
+from ..facility import FL_SOLVERS, related_facility_problem
+
+__all__ = [
+    "best_single_node",
+    "full_replication",
+    "write_blind_placement",
+    "greedy_add_placement",
+    "local_search_placement",
+    "random_placement",
+]
+
+
+def best_single_node(instance: DataManagementInstance, obj: int) -> tuple[int, ...]:
+    """The cost-weighted 1-median: optimal single-copy placement.
+
+    With a single copy the update multicast tree is empty, so the cost is
+    ``cs(v) + sum_u (fr+fw)(u) * d(u, v)`` under every policy.
+    """
+    demand = instance.demand(obj)
+    score = instance.storage_costs + instance.metric.dist @ demand
+    return (int(np.argmin(score)),)
+
+
+def full_replication(instance: DataManagementInstance, obj: int) -> tuple[int, ...]:
+    """A copy on every node."""
+    del obj
+    return tuple(range(instance.num_nodes))
+
+
+def write_blind_placement(
+    instance: DataManagementInstance, obj: int, *, fl_solver: str = "local_search"
+) -> tuple[int, ...]:
+    """Phase 1 only: solve the related FL problem and stop.
+
+    This is the placement a read-only cost model would produce; it ignores
+    that every copy multiplies update traffic.
+    """
+    if instance.total_requests(obj) == 0:
+        return (int(np.argmin(instance.storage_costs)),)
+    fl = related_facility_problem(instance, obj)
+    return tuple(sorted(set(FL_SOLVERS[fl_solver](fl))))
+
+
+def greedy_add_placement(
+    instance: DataManagementInstance, obj: int, *, policy: str = "mst"
+) -> tuple[int, ...]:
+    """Greedy copy addition on the true objective (update cost included)."""
+    current = set(best_single_node(instance, obj))
+    cost = object_cost(instance, obj, current, policy=policy).total
+    improved = True
+    while improved:
+        improved = False
+        best_gain, best_v = 1e-12, None
+        for v in range(instance.num_nodes):
+            if v in current:
+                continue
+            cand = object_cost(instance, obj, current | {v}, policy=policy).total
+            if cost - cand > best_gain:
+                best_gain, best_v = cost - cand, v
+        if best_v is not None:
+            current.add(best_v)
+            cost -= best_gain
+            improved = True
+    return tuple(sorted(current))
+
+
+def local_search_placement(
+    instance: DataManagementInstance,
+    obj: int,
+    *,
+    policy: str = "mst",
+    max_rounds: int = 10_000,
+) -> tuple[int, ...]:
+    """Add/drop/swap local search directly on the data-management objective.
+
+    Unlike :func:`repro.facility.local_search_ufl`, every candidate move is
+    scored with the full cost including update traffic, so this baseline
+    has no proven factor -- Experiment E6 measures how it fares in practice.
+    """
+    n = instance.num_nodes
+    current = set(best_single_node(instance, obj))
+    cost = object_cost(instance, obj, current, policy=policy).total
+
+    def try_cost(nodes: set[int]) -> float:
+        if not nodes:
+            return np.inf
+        return object_cost(instance, obj, nodes, policy=policy).total
+
+    for _ in range(max_rounds):
+        best_gain, best_set = 1e-12, None
+        for v in range(n):
+            if v not in current:
+                cand = current | {v}
+                gain = cost - try_cost(cand)
+                if gain > best_gain:
+                    best_gain, best_set = gain, cand
+        if len(current) >= 2:
+            for v in list(current):
+                cand = current - {v}
+                gain = cost - try_cost(cand)
+                if gain > best_gain:
+                    best_gain, best_set = gain, cand
+        for out in list(current):
+            base = current - {out}
+            for inn in range(n):
+                if inn in current:
+                    continue
+                cand = base | {inn}
+                gain = cost - try_cost(cand)
+                if gain > best_gain:
+                    best_gain, best_set = gain, cand
+        if best_set is None:
+            break
+        current = best_set
+        cost = try_cost(current)
+    return tuple(sorted(current))
+
+
+def random_placement(
+    instance: DataManagementInstance, obj: int, *, seed: int, k: int | None = None
+) -> tuple[int, ...]:
+    """Uniformly random copy set of size ``k`` (default: random size)."""
+    del obj
+    rng = np.random.default_rng(seed)
+    n = instance.num_nodes
+    if k is None:
+        k = int(rng.integers(1, n + 1))
+    if not 1 <= k <= n:
+        raise ValueError("k must be in [1, n]")
+    return tuple(sorted(int(v) for v in rng.choice(n, size=k, replace=False)))

@@ -1,0 +1,57 @@
+"""Exact read-only data placement (the Baev--Rajaraman setting).
+
+Section 1.2 discusses Baev and Rajaraman (SODA'01), who treat the same
+cost-based placement problem restricted to *read requests only*.  Without
+writes the update cost vanishes and the data management problem for one
+object is exactly uncapacitated facility location: facilities = nodes with
+opening cost ``cs``, clients weighted by ``fr``, connections priced by the
+metric.  This module wraps the MILP solver from :mod:`repro.facility.mip`
+as a polynomial-free exact baseline for the read-only experiments (and as
+the certified optimum that Experiment E9's load-model checks build on).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.instance import DataManagementInstance
+from ..core.placement import Placement
+from ..facility.mip import exact_ufl
+from ..facility.problem import FacilityLocationProblem
+
+__all__ = ["exact_read_only_object", "exact_read_only_placement"]
+
+
+def _read_only_problem(
+    instance: DataManagementInstance, obj: int
+) -> FacilityLocationProblem:
+    return FacilityLocationProblem(
+        open_costs=instance.storage_costs,
+        demands=instance.read_freq[obj],
+        dist=instance.metric.dist,
+    )
+
+
+def exact_read_only_object(
+    instance: DataManagementInstance, obj: int
+) -> tuple[int, ...]:
+    """Optimal copy set for one object, *ignoring its writes entirely*.
+
+    Raises if the object actually has writes -- use the exhaustive or
+    approximation solvers for the general problem; silently dropping write
+    cost would be a trap.
+    """
+    if not instance.is_read_only(obj):
+        raise ValueError(
+            f"object {obj} has writes; the read-only ILP would understate cost"
+        )
+    return tuple(exact_ufl(_read_only_problem(instance, obj)))
+
+
+def exact_read_only_placement(instance: DataManagementInstance) -> Placement:
+    """Optimal placement for a fully read-only instance."""
+    if not instance.is_read_only():
+        raise ValueError("instance has writes; read-only ILP is inapplicable")
+    return Placement(
+        tuple(exact_read_only_object(instance, obj) for obj in range(instance.num_objects))
+    )

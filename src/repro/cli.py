@@ -1,0 +1,140 @@
+"""Command-line interface: run experiments and scenarios from the shell.
+
+Usage::
+
+    python -m repro experiment E1 [E3 ...]   # regenerate experiment tables
+    python -m repro experiment all
+    python -m repro scenario www             # run a named scenario bake-off
+    python -m repro list                     # what is available
+
+Experiments are the DESIGN.md E1--E13 validations; scenarios place a full
+object catalogue with every strategy and print the bill comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from . import analysis
+from .baselines import best_single_node, full_replication, write_blind_placement
+from .core.approx import approximate_placement
+from .core.costs import placement_cost
+from .core.placement import Placement
+from .workloads import (
+    distributed_file_system,
+    tree_network,
+    virtual_shared_memory,
+    www_content_provider,
+)
+
+__all__ = ["main", "EXPERIMENTS", "SCENARIOS"]
+
+EXPERIMENTS: dict[str, Callable[[], "analysis.ExperimentResult"]] = {
+    "E1": analysis.run_e1_approx_ratio,
+    "E2": analysis.run_e2_tree_dp,
+    "E3": analysis.run_e3_restricted_gap,
+    "E4": analysis.run_e4_proper_invariants,
+    "E5": analysis.run_e5_phase_ablation,
+    "E6": analysis.run_e6_baselines,
+    "E7": analysis.run_e7_storage_sweep,
+    "E8": analysis.run_e8_facility_choice,
+    "E9": analysis.run_e9_load_model,
+    "E10": analysis.run_e10_scalability,
+    "E11": analysis.run_e11_simulation_agreement,
+    "E12": analysis.run_e12_online_vs_static,
+    "E13": analysis.run_e13_capacity_price,
+}
+
+SCENARIOS = {
+    "www": www_content_provider,
+    "dfs": distributed_file_system,
+    "vsm": virtual_shared_memory,
+    "tree": tree_network,
+}
+
+
+def _run_experiments(names: Sequence[str], out=sys.stdout) -> int:
+    if any(n.lower() == "all" for n in names):
+        names = list(EXPERIMENTS)
+    for name in names:
+        key = name.upper()
+        if key not in EXPERIMENTS:
+            print(f"unknown experiment {name!r}; choose from "
+                  f"{', '.join(EXPERIMENTS)} or 'all'", file=sys.stderr)
+            return 2
+        result = EXPERIMENTS[key]()
+        print(result.render(), file=out)
+        print(file=out)
+    return 0
+
+
+def _run_scenario(name: str, out=sys.stdout) -> int:
+    if name not in SCENARIOS:
+        print(f"unknown scenario {name!r}; choose from {', '.join(SCENARIOS)}",
+              file=sys.stderr)
+        return 2
+    sc = SCENARIOS[name]()
+    inst = sc.instance
+    print(f"scenario {sc.name}: {inst.num_nodes} nodes, "
+          f"{inst.num_objects} objects", file=out)
+
+    strategies = {
+        "krw-approximation": approximate_placement(inst),
+        "single-median": Placement(
+            tuple(best_single_node(inst, o) for o in range(inst.num_objects))
+        ),
+        "full-replication": Placement(
+            tuple(full_replication(inst, o) for o in range(inst.num_objects))
+        ),
+        "write-blind-fl": Placement(
+            tuple(write_blind_placement(inst, o) for o in range(inst.num_objects))
+        ),
+    }
+    rows = []
+    for label, placement in strategies.items():
+        cost = placement_cost(inst, placement, policy="mst")
+        rows.append([label, placement.replication_degree(), cost.storage,
+                     cost.read, cost.update, cost.total])
+    print(
+        analysis.format_table(
+            ("strategy", "mean copies", "storage", "read", "update", "total"),
+            rows,
+        ),
+        file=out,
+    )
+    return 0
+
+
+def main(argv: Sequence[str] | None = None, out=sys.stdout) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Approximation Algorithms for Data "
+        "Management in Networks' (SPAA 2001)",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    p_exp = sub.add_parser("experiment", help="run evaluation experiments")
+    p_exp.add_argument("names", nargs="+", help="E1..E13 or 'all'")
+
+    p_sc = sub.add_parser("scenario", help="run a named scenario bake-off")
+    p_sc.add_argument("name", choices=sorted(SCENARIOS))
+
+    sub.add_parser("list", help="list experiments and scenarios")
+
+    args = parser.parse_args(argv)
+    if args.command == "experiment":
+        return _run_experiments(args.names, out=out)
+    if args.command == "scenario":
+        return _run_scenario(args.name, out=out)
+    if args.command == "list":
+        print("experiments:", ", ".join(EXPERIMENTS), file=out)
+        print("scenarios:  ", ", ".join(SCENARIOS), file=out)
+        return 0
+    parser.print_help(out)
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,70 @@
+"""Core: the paper's algorithms and cost model.
+
+* :mod:`instance`, :mod:`placement`, :mod:`costs` -- the static data
+  management problem and its exact cost accounting;
+* :mod:`radii` -- write/storage radii (Section 2.1);
+* :mod:`approx` -- the constant-factor approximation for arbitrary
+  networks (Section 2.2, Theorem 7);
+* :mod:`restricted` -- restricted placements and the Lemma 1 transform;
+* :mod:`capacity` -- memory-capacity repair (the related-work extension);
+* :mod:`envelope`, :mod:`tree_binarize`, :mod:`tree_dp` -- the optimal
+  tree algorithm (Section 3, Theorem 13);
+* :mod:`tree_dp_readonly` -- an independent, paper-literal implementation
+  of the Section 3.1 read-only tuple algorithm (cross-validation).
+"""
+
+from .approx import (
+    K1,
+    K2,
+    ApproxDiagnostics,
+    approximate_object_placement,
+    approximate_placement,
+    proper_placement_margins,
+)
+from .capacity import capacity_violations, enforce_capacities
+from .costs import UPDATE_POLICIES, CostBreakdown, object_cost, placement_cost
+from .envelope import Line, LowerEnvelope
+from .instance import DataManagementInstance
+from .placement import Placement, serving_nodes, update_tree_edges
+from .radii import RequestProfile, radii_for_object
+from .restricted import is_restricted, requests_served_per_copy, restrict_placement
+from .tree_binarize import BinaryNode, BinaryTreeInstance, binarize_tree
+from .tree_dp import TreeOptimum, optimal_tree_object_placement, optimal_tree_placement
+from .tree_dp_readonly import (
+    optimal_tree_object_placement_readonly,
+    optimal_tree_placement_readonly,
+)
+
+__all__ = [
+    "DataManagementInstance",
+    "Placement",
+    "serving_nodes",
+    "update_tree_edges",
+    "CostBreakdown",
+    "object_cost",
+    "placement_cost",
+    "UPDATE_POLICIES",
+    "capacity_violations",
+    "enforce_capacities",
+    "RequestProfile",
+    "radii_for_object",
+    "approximate_placement",
+    "approximate_object_placement",
+    "ApproxDiagnostics",
+    "proper_placement_margins",
+    "K1",
+    "K2",
+    "is_restricted",
+    "requests_served_per_copy",
+    "restrict_placement",
+    "Line",
+    "LowerEnvelope",
+    "BinaryNode",
+    "BinaryTreeInstance",
+    "binarize_tree",
+    "TreeOptimum",
+    "optimal_tree_object_placement",
+    "optimal_tree_placement",
+    "optimal_tree_object_placement_readonly",
+    "optimal_tree_placement_readonly",
+]

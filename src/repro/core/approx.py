@@ -1,0 +1,204 @@
+"""The combinatorial constant-factor approximation (Section 2.2).
+
+The headline result of the paper (Theorem 7): a polynomial-time constant
+factor approximation for the static data management problem on arbitrary
+networks.  Objects are placed independently; for one object the pipeline is
+
+1. **Facility location phase.**  Solve the *related facility location
+   problem* -- the same instance with every write recast as a read and the
+   update cost ignored -- with any constant-factor UFL algorithm (Lemma 9
+   carries its factor ``f`` through to the storage bound).
+2. **Copy addition phase.**  While some node ``v`` has its nearest copy
+   farther than ``5 * rs(v)`` (storage radius), store a new copy on ``v``.
+   Claim 10 shows read + storage cost never increases in this phase.
+3. **Copy deletion phase.**  Scan copy holders in ascending write radius
+   ``rw``; the currently scanned holder ``v`` deletes any other copy ``u``
+   with ``ct(u, v) <= 4 * rw(u)``.
+
+Lemma 8: the result is a *proper placement* with constants ``k1 = 29``
+(every node has a copy within ``29 * max(rw, rs)``) and ``k2 = 2`` (copies
+are pairwise farther than ``4 * max(rw(u), rw(v))``), which by Theorem 3 +
+Lemma 1 yields a constant total-cost approximation factor.
+
+Implementation notes:
+
+* Phase 2 needs only a single pass in fixed node order: adding a copy only
+  *shrinks* nearest-copy distances, so previously satisfied nodes remain
+  satisfied.  The nearest-copy vector is maintained incrementally with one
+  ``np.minimum`` per addition.
+* Phase 3 follows the paper literally: holders scanned by ascending
+  ``rw`` (node index breaking ties); holders already deleted are skipped;
+  the scanned holder itself is never deleted (hence the copy set stays
+  non-empty -- the minimum-``rw`` holder provably survives).
+* Zero-demand objects are stored once on the cheapest node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..facility import FL_SOLVERS, related_facility_problem
+from .instance import DataManagementInstance
+from .placement import Placement
+from .radii import radii_for_object
+
+__all__ = [
+    "approximate_placement",
+    "approximate_object_placement",
+    "ApproxDiagnostics",
+    "proper_placement_margins",
+    "K1",
+    "K2",
+]
+
+#: Constants proven by Lemma 8 for the phase thresholds 5*rs and 4*rw.
+K1 = 29.0
+K2 = 2.0
+
+
+@dataclass(frozen=True)
+class ApproxDiagnostics:
+    """Intermediate state of the three phases, for ablation/introspection.
+
+    Attributes record the copy set after each phase plus the radii used.
+    """
+
+    after_phase1: tuple[int, ...]
+    after_phase2: tuple[int, ...]
+    after_phase3: tuple[int, ...]
+    write_radii: np.ndarray
+    storage_radii: np.ndarray
+    storage_numbers: np.ndarray
+
+
+def approximate_object_placement(
+    instance: DataManagementInstance,
+    obj: int,
+    *,
+    fl_solver: str = "local_search",
+    phase2: bool = True,
+    phase3: bool = True,
+    return_diagnostics: bool = False,
+):
+    """Place a single object; returns the sorted copy tuple.
+
+    Parameters
+    ----------
+    fl_solver:
+        Phase-1 algorithm name from :data:`repro.facility.FL_SOLVERS`
+        (``local_search``, ``greedy``, ``lp_rounding`` or ``exact``).
+    phase2 / phase3:
+        Ablation switches (Experiment E5); the theorem requires both.
+    return_diagnostics:
+        Also return an :class:`ApproxDiagnostics` with per-phase states.
+    """
+    if fl_solver not in FL_SOLVERS:
+        raise ValueError(f"unknown fl_solver {fl_solver!r}; choose from {sorted(FL_SOLVERS)}")
+    metric = instance.metric
+
+    if instance.total_requests(obj) == 0:
+        copies = (int(np.argmin(instance.storage_costs)),)
+        if return_diagnostics:
+            n = metric.n
+            zero = np.zeros(n)
+            diag = ApproxDiagnostics(copies, copies, copies, zero, np.full(n, np.inf), np.ones(n, dtype=int))
+            return copies, diag
+        return copies
+
+    # ------------------------------------------------------ phase 1: UFL
+    fl = related_facility_problem(instance, obj)
+    copies = sorted(set(FL_SOLVERS[fl_solver](fl)))
+    after1 = tuple(copies)
+
+    rw, rs, zs = radii_for_object(
+        metric, instance.storage_costs, instance.read_freq[obj], instance.write_freq[obj]
+    )
+
+    # ----------------------------------------------- phase 2: add copies
+    if phase2:
+        dts = metric.dist_to_set(copies)
+        copy_set = set(copies)
+        for v in range(metric.n):
+            if dts[v] > 5.0 * rs[v]:
+                copy_set.add(v)
+                np.minimum(dts, metric.dist[v], out=dts)
+        copies = sorted(copy_set)
+    after2 = tuple(copies)
+
+    # -------------------------------------------- phase 3: delete copies
+    if phase3:
+        alive = set(copies)
+        scan = sorted(copies, key=lambda v: (rw[v], v))
+        for v in scan:
+            if v not in alive:
+                continue
+            doomed = [
+                u for u in alive if u != v and metric.d(u, v) <= 4.0 * rw[u]
+            ]
+            alive.difference_update(doomed)
+        copies = sorted(alive)
+    after3 = tuple(copies)
+
+    if return_diagnostics:
+        return after3, ApproxDiagnostics(after1, after2, after3, rw, rs, zs)
+    return after3
+
+
+def approximate_placement(
+    instance: DataManagementInstance,
+    *,
+    fl_solver: str = "local_search",
+    phase2: bool = True,
+    phase3: bool = True,
+) -> Placement:
+    """Place every object independently (the paper's per-object scheme)."""
+    return Placement(
+        tuple(
+            approximate_object_placement(
+                instance, obj, fl_solver=fl_solver, phase2=phase2, phase3=phase3
+            )
+            for obj in range(instance.num_objects)
+        )
+    )
+
+
+def proper_placement_margins(
+    instance: DataManagementInstance,
+    obj: int,
+    copies,
+    *,
+    k1: float = K1,
+    k2: float = K2,
+) -> dict[str, float]:
+    """Executable form of the Lemma 8 invariants.
+
+    Returns the two *margins* (positive = invariant satisfied):
+
+    ``coverage``
+        ``min_v ( k1 * max(rw(v), rs(v)) - d(v, S) )`` -- property 1 of a
+        proper placement.  ``+inf`` when every node has an infinite
+        storage radius term.
+    ``separation``
+        ``min_{u != v in S} ( d(u, v) - 2 k2 * max(rw(u), rw(v)) )`` --
+        property 2.  ``+inf`` for single-copy placements.
+    """
+    nodes = instance.validate_copies(copies)
+    metric = instance.metric
+    rw, rs, _ = radii_for_object(
+        metric, instance.storage_costs, instance.read_freq[obj], instance.write_freq[obj]
+    )
+    dts = metric.dist_to_set(nodes)
+    bound = k1 * np.maximum(rw, rs)
+    with np.errstate(invalid="ignore"):
+        coverage = float(np.min(np.where(np.isinf(bound), np.inf, bound - dts)))
+
+    separation = np.inf
+    for a_pos, u in enumerate(nodes):
+        for v in nodes[a_pos + 1 :]:
+            separation = min(
+                separation,
+                metric.d(u, v) - 2.0 * k2 * max(rw[u], rw[v]),
+            )
+    return {"coverage": coverage, "separation": float(separation)}

@@ -1,0 +1,132 @@
+"""Memory capacity constraints: the related-work extension, executable.
+
+The paper's model lets every node store arbitrarily many objects; its
+related work (Baev--Rajaraman SODA'01; Meyer auf der Heide et al.
+ESA'99/SODA'00, all cited in Section 1.2) studies the *capacitated*
+variant where node ``v`` can hold at most ``cap(v)`` objects.  Capacities
+couple the otherwise independent per-object placements, so this module
+adds a deterministic cross-object repair pass on top of any uncapacitated
+placement:
+
+1. place each object ignoring capacities (any algorithm);
+2. while some node overflows, evict one copy from an overflowing node --
+   choosing, among all (object, overflowing node) pairs, the repair with
+   the smallest total-cost increase between
+   * **deleting** the copy (legal while the object keeps >= 1 copy), and
+   * **relocating** it to the cheapest node with slack;
+3. repeat until feasible.
+
+This is a heuristic (the capacitated problem is NP-hard even for reads
+only); Experiment E13 measures the price of tightening capacities.
+Feasibility requires ``sum(cap) >= num_objects`` -- every object needs a
+copy somewhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .costs import object_cost
+from .instance import DataManagementInstance
+from .placement import Placement
+
+__all__ = ["capacity_violations", "enforce_capacities"]
+
+
+def capacity_violations(
+    placement: Placement, capacities: np.ndarray
+) -> dict[int, int]:
+    """Nodes whose copy count exceeds capacity: ``{node: overflow}``."""
+    caps = np.asarray(capacities)
+    counts: dict[int, int] = {}
+    for copies in placement:
+        for v in copies:
+            counts[v] = counts.get(v, 0) + 1
+    return {
+        v: count - int(caps[v])
+        for v, count in sorted(counts.items())
+        if count > caps[v]
+    }
+
+
+def enforce_capacities(
+    instance: DataManagementInstance,
+    placement: Placement,
+    capacities,
+    *,
+    policy: str = "mst",
+    max_steps: int | None = None,
+) -> Placement:
+    """Repair a placement until no node holds more than its capacity.
+
+    Deterministic greedy (smallest cost increase first; ties by object
+    then node index).  Raises when capacities are infeasible or when no
+    repair move exists (every node full and nothing deletable).
+    """
+    caps = np.asarray(capacities, dtype=int)
+    if caps.shape != (instance.num_nodes,):
+        raise ValueError(f"capacities must have shape ({instance.num_nodes},)")
+    if np.any(caps < 0):
+        raise ValueError("capacities must be non-negative")
+    if caps.sum() < instance.num_objects:
+        raise ValueError(
+            f"infeasible: total capacity {int(caps.sum())} cannot hold "
+            f"{instance.num_objects} objects"
+        )
+    placement.validate(instance)
+
+    sets = [set(copies) for copies in placement]
+    counts = np.zeros(instance.num_nodes, dtype=int)
+    for copies in sets:
+        for v in copies:
+            counts[v] += 1
+
+    def cost_of(obj: int, copies: set[int]) -> float:
+        return object_cost(instance, obj, copies, policy=policy).total
+
+    steps = 0
+    limit = max_steps if max_steps is not None else 4 * sum(len(s) for s in sets) + 16
+    while True:
+        overflowing = np.flatnonzero(counts > caps)
+        if overflowing.size == 0:
+            break
+        steps += 1
+        if steps > limit:  # pragma: no cover - defensive
+            raise RuntimeError("capacity repair did not converge")
+
+        slack_nodes = np.flatnonzero(counts < caps)
+        best: tuple[float, int, int, int | None] | None = None  # (delta, obj, from, to)
+        for v in overflowing:
+            v = int(v)
+            for obj in range(instance.num_objects):
+                if v not in sets[obj]:
+                    continue
+                base = cost_of(obj, sets[obj])
+                # option 1: delete (object must keep a copy)
+                if len(sets[obj]) >= 2:
+                    delta = cost_of(obj, sets[obj] - {v}) - base
+                    cand = (delta, obj, v, None)
+                    if best is None or cand < best:
+                        best = cand
+                # option 2: relocate to a node with slack
+                for u in slack_nodes:
+                    u = int(u)
+                    if u in sets[obj]:
+                        continue
+                    delta = cost_of(obj, (sets[obj] - {v}) | {u}) - base
+                    cand = (delta, obj, v, u)
+                    if best is None or cand < best:
+                        best = cand
+        if best is None:
+            raise RuntimeError(
+                "no legal repair move: overflowing nodes hold only "
+                "last copies and no node has slack"
+            )
+        _, obj, v_from, v_to = best
+        sets[obj].discard(v_from)
+        counts[v_from] -= 1
+        if v_to is not None:
+            sets[obj].add(v_to)
+            counts[v_to] += 1
+
+    return Placement(tuple(tuple(sorted(s)) for s in sets))

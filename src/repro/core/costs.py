@@ -1,0 +1,145 @@
+"""Cost accounting for the static data management problem.
+
+The total cost of a placement (Section 1.1) is the sum of
+
+* **storage cost** -- ``cs(v)`` for every node ``v`` holding a copy,
+* **read cost** -- ``ct(h(r), s(r))`` for every read request ``r``, and
+* **write cost** -- ``sum_{e in E_Ur} E_Ur(e) * ct(e)`` for every write,
+  where the update multiset ``E_Ur`` must connect the writer with all
+  copies.
+
+The write cost depends on the *update policy*:
+
+``"mst"`` (the Section 2 / restricted policy)
+    A write at ``h`` first sends a message to the nearest copy ``s(r)``
+    (cost ``d(h, S)``, booked as read cost per the paper's restricted-cost
+    split), then updates all copies along a minimum spanning tree over the
+    copy set in the metric closure (cost ``mst_cost(S)`` per write, booked
+    as update cost).  Path edges may be double-counted -- the multiset
+    semantics of ``E_Ur``.
+
+``"steiner"`` (the exact policy of Section 3 and of the true optimum)
+    A write at ``h`` pays exactly the minimum Steiner tree over
+    ``{h} ∪ S``; Dreyfus--Wagner exact, so only usable when
+    ``|S| + 1 <= MAX_EXACT_TERMINALS``.
+
+``"steiner_mst"``
+    Like ``"steiner"`` but with the factor-2 MST surrogate over
+    ``{h} ∪ S`` -- polynomial for any size, an upper bound on the exact
+    policy within factor 2 (Claim 2).
+
+All kernels are numpy-vectorized over nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graphs.metric import Metric
+from ..graphs.mst import mst_cost
+from ..graphs.steiner import steiner_exact_cost, steiner_mst_cost
+from .instance import DataManagementInstance
+from .placement import Placement
+
+__all__ = ["CostBreakdown", "object_cost", "placement_cost", "UPDATE_POLICIES"]
+
+UPDATE_POLICIES = ("mst", "steiner", "steiner_mst")
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Storage / read / update decomposition of a placement's cost.
+
+    Under the ``"mst"`` policy the fields follow the paper's restricted
+    split (Section 2): ``read`` covers *all* requests' ``h(r) -> s(r)``
+    distances (reads and the write attach messages) and ``update`` is
+    ``W * mst_cost(S)``.  Under the Steiner policies ``read`` covers reads
+    only and ``update`` is the summed per-write Steiner cost.
+    """
+
+    storage: float
+    read: float
+    update: float
+
+    @property
+    def total(self) -> float:
+        return self.storage + self.read + self.update
+
+    def scaled(self, factor: float) -> "CostBreakdown":
+        """Uniformly scaled breakdown (non-uniform object sizes)."""
+        return CostBreakdown(
+            self.storage * factor, self.read * factor, self.update * factor
+        )
+
+    def __add__(self, other: "CostBreakdown") -> "CostBreakdown":
+        return CostBreakdown(
+            self.storage + other.storage,
+            self.read + other.read,
+            self.update + other.update,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CostBreakdown(storage={self.storage:.4f}, read={self.read:.4f}, "
+            f"update={self.update:.4f}, total={self.total:.4f})"
+        )
+
+
+ZERO_COST = CostBreakdown(0.0, 0.0, 0.0)
+
+
+def object_cost(
+    instance: DataManagementInstance,
+    obj: int,
+    copies,
+    *,
+    policy: str = "mst",
+) -> CostBreakdown:
+    """Cost of holding ``copies`` of object ``obj`` under a policy.
+
+    The object's size multiplies the whole breakdown (fees are per byte;
+    see :class:`~repro.core.instance.DataManagementInstance`).
+    """
+    nodes = instance.validate_copies(copies)
+    metric = instance.metric
+    fr = instance.read_freq[obj]
+    fw = instance.write_freq[obj]
+    size = instance.object_size(obj)
+    storage = float(instance.storage_costs[np.asarray(nodes)].sum())
+    d_to_set = metric.dist_to_set(nodes)
+
+    if policy == "mst":
+        # restricted split: all requests pay h -> s(r); updates pay the MST
+        read = float((fr + fw) @ d_to_set)
+        update = instance.total_writes(obj) * mst_cost(metric, nodes)
+        return CostBreakdown(storage, read, update).scaled(size)
+
+    if policy in ("steiner", "steiner_mst"):
+        read = float(fr @ d_to_set)
+        cost_fn = steiner_exact_cost if policy == "steiner" else steiner_mst_cost
+        update = 0.0
+        copy_set = set(nodes)
+        for v in np.flatnonzero(fw > 0):
+            v = int(v)
+            terminals = nodes if v in copy_set else nodes + [v]
+            update += float(fw[v]) * cost_fn(metric, terminals)
+        return CostBreakdown(storage, read, update).scaled(size)
+
+    raise ValueError(f"unknown update policy {policy!r}; use one of {UPDATE_POLICIES}")
+
+
+def placement_cost(
+    instance: DataManagementInstance,
+    placement: Placement,
+    *,
+    policy: str = "mst",
+) -> CostBreakdown:
+    """Total cost of a placement across all objects (objects are
+    independent in the model, so costs simply add)."""
+    placement.validate(instance)
+    total = ZERO_COST
+    for obj in range(instance.num_objects):
+        total = total + object_cost(instance, obj, placement.copies(obj), policy=policy)
+    return total

@@ -1,0 +1,208 @@
+"""Lower envelopes of lines: the export-placement data structure.
+
+Section 3 encodes, for every subtree ``Tv``, the optimal *export
+placement* cost as a function of the distance ``D`` from ``v`` to the
+nearest outside copy:
+
+    E(D) = min over placements P of  ( cost(P) + |R_out(P)| * D ).
+
+Each concrete placement contributes one *line* ``C + m * D`` (intercept =
+its internal cost, slope = its number of outgoing requests), so ``E`` is a
+lower envelope of lines: concave, piecewise linear, with slopes decreasing
+in ``D``.  The paper maintains these envelopes as sorted tuple sequences
+with optimality intervals (Claims 15/16); we package the same object as a
+small algebra -- build, query, shift, pointwise min, pointwise sum -- which
+keeps the DP readable and independently property-testable against brute
+force minimisation over lines.
+
+Every line carries an opaque ``payload`` so the DP can reconstruct the
+actual placement from the winning line.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+import math
+
+__all__ = ["Line", "LowerEnvelope"]
+
+
+@dataclass(frozen=True)
+class Line:
+    """A line ``y = intercept + slope * x`` with a reconstruction payload."""
+
+    intercept: float
+    slope: float
+    payload: Any = None
+
+    def at(self, x: float) -> float:
+        return self.intercept + self.slope * x
+
+
+class LowerEnvelope:
+    """Lower envelope of lines over the domain ``x >= 0``.
+
+    Invariants: hull lines have strictly decreasing slopes and strictly
+    increasing intercepts; ``starts[i]`` is the beginning of the interval
+    on which ``lines[i]`` is minimal (``starts[0] == 0``).  An empty
+    envelope represents "no feasible placement" and queries return
+    ``(inf, None)``.
+    """
+
+    __slots__ = ("lines", "starts")
+
+    def __init__(self, lines: Sequence[Line], starts: Sequence[float]):
+        self.lines = list(lines)
+        self.starts = list(starts)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_lines(cls, lines: Iterable[Line]) -> "LowerEnvelope":
+        """Build the envelope; infinite-intercept lines are discarded."""
+        cand = [l for l in lines if math.isfinite(l.intercept)]
+        if not cand:
+            return cls([], [])
+        # slope descending, then intercept ascending; drop duplicates of a
+        # slope (only the smallest intercept can ever win)
+        cand.sort(key=lambda l: (-l.slope, l.intercept))
+        filtered: list[Line] = []
+        for l in cand:
+            if filtered and filtered[-1].slope == l.slope:
+                continue  # same slope, larger-or-equal intercept: useless
+            filtered.append(l)
+
+        hull: list[Line] = []
+        for c in filtered:
+            while hull:
+                if hull[-1].intercept >= c.intercept:
+                    # steeper but not cheaper anywhere on x >= 0: dominated
+                    hull.pop()
+                elif len(hull) >= 2 and cls._bad(hull[-2], hull[-1], c):
+                    hull.pop()
+                else:
+                    break
+            hull.append(c)
+
+        # Hull lines now have strictly decreasing slopes and strictly
+        # increasing intercepts, so consecutive intersections are positive
+        # and increasing; clamp defensively against float slack.
+        starts = [0.0]
+        for prev, c in zip(hull[:-1], hull[1:]):
+            x = (c.intercept - prev.intercept) / (prev.slope - c.slope)
+            starts.append(max(x, starts[-1]))
+        return cls(hull, starts)
+
+    @staticmethod
+    def _bad(a: Line, b: Line, c: Line) -> bool:
+        """Is ``b`` everywhere dominated by ``a`` or ``c``?
+
+        Slopes satisfy ``a.slope > b.slope > c.slope``; ``b`` is useless
+        iff ``a``/``c`` intersect left of ``a``/``b``.
+        """
+        return (c.intercept - a.intercept) * (a.slope - b.slope) <= (
+            b.intercept - a.intercept
+        ) * (a.slope - c.slope)
+
+    @classmethod
+    def constant(cls, value: float, payload: Any = None) -> "LowerEnvelope":
+        """Envelope of the single horizontal line ``y = value``."""
+        return cls.from_lines([Line(value, 0.0, payload)])
+
+    @classmethod
+    def empty(cls) -> "LowerEnvelope":
+        return cls([], [])
+
+    # ------------------------------------------------------------------
+    @property
+    def is_empty(self) -> bool:
+        return not self.lines
+
+    def query(self, x: float) -> tuple[float, Line | None]:
+        """Minimum value and winning line at ``x >= 0``."""
+        if x < 0:
+            raise ValueError("envelope domain is x >= 0")
+        if not self.lines:
+            return math.inf, None
+        i = bisect_right(self.starts, x) - 1
+        line = self.lines[i]
+        return line.at(x), line
+
+    def value(self, x: float) -> float:
+        return self.query(x)[0]
+
+    def min_at_infinity(self) -> tuple[float, Line | None]:
+        """The eventually-optimal line (smallest slope).  For export
+        envelopes this is the all-internal ``J^0`` placement."""
+        if not self.lines:
+            return math.inf, None
+        return self.lines[-1].intercept, self.lines[-1]
+
+    # ------------------------------------------------------------------
+    # algebra
+    # ------------------------------------------------------------------
+    def shifted(self, delta: float, *, extra_intercept: float = 0.0) -> "LowerEnvelope":
+        """Envelope of ``x -> self(x + delta) + extra_intercept``.
+
+        Used when a child's export distance is the parent's distance plus
+        the connecting edge weight: each line ``C + m*x`` becomes
+        ``(C + m*delta + extra) + m*x`` with the payload preserved.
+        """
+        if delta < 0:
+            raise ValueError("shift must be non-negative")
+        return LowerEnvelope.from_lines(
+            Line(l.intercept + l.slope * delta + extra_intercept, l.slope, l.payload)
+            for l in self.lines
+        )
+
+    def with_added_slope(self, extra_slope: float) -> "LowerEnvelope":
+        """Add ``extra_slope`` to every line (e.g. the scanned node's own
+        outgoing requests).  Relative order of lines is preserved, so the
+        hull structure survives intact."""
+        lines = [Line(l.intercept, l.slope + extra_slope, l.payload) for l in self.lines]
+        return LowerEnvelope(lines, list(self.starts))
+
+    def minimum(self, other: "LowerEnvelope") -> "LowerEnvelope":
+        """Pointwise minimum.  Correct because every line of either
+        envelope is a globally valid placement (infimum over the union of
+        the two line families)."""
+        return LowerEnvelope.from_lines([*self.lines, *other.lines])
+
+    def sum(
+        self, other: "LowerEnvelope", combine_payload=lambda a, b: (a, b)
+    ) -> "LowerEnvelope":
+        """Pointwise sum.
+
+        The sum of two concave piecewise-linear envelopes is concave with
+        breakpoints at the union of the inputs' breakpoints; each result
+        piece pairs one line from each input and its payload is
+        ``combine_payload(payload_a, payload_b)``.
+        """
+        if self.is_empty or other.is_empty:
+            return LowerEnvelope.empty()
+        xs = sorted(set(self.starts) | set(other.starts))
+        out: list[Line] = []
+        for x in xs:
+            ia = bisect_right(self.starts, x) - 1
+            ib = bisect_right(other.starts, x) - 1
+            a, b = self.lines[ia], other.lines[ib]
+            out.append(
+                Line(
+                    a.intercept + b.intercept,
+                    a.slope + b.slope,
+                    combine_payload(a.payload, b.payload),
+                )
+            )
+        return LowerEnvelope.from_lines(out)
+
+    def __len__(self) -> int:
+        return len(self.lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(
+            f"[{s:.3g}:] {l.intercept:.4g}+{l.slope:.4g}x"
+            for s, l in zip(self.starts, self.lines)
+        )
+        return f"LowerEnvelope({parts})"

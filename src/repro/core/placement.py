@@ -1,0 +1,116 @@
+"""Placements: which nodes hold copies of which objects.
+
+A placement assigns every object a non-empty copy set.  Given the copy set,
+the model determines the rest (Section 1.1): reads go to the nearest copy
+(optimal by definition), and writes ship an update set connecting the
+writer with all copies -- whose cost depends on the update policy (see
+:mod:`repro.core.costs`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from ..graphs.metric import Metric
+from ..graphs.mst import mst_edges
+from .instance import DataManagementInstance
+
+__all__ = ["Placement", "serving_nodes", "update_tree_edges"]
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Copy sets for every object of an instance.
+
+    ``copy_sets[i]`` is the frozen, sorted tuple of nodes that hold copies
+    of object ``i``.  Placements are immutable value objects: algorithms
+    return fresh placements rather than mutating.
+    """
+
+    copy_sets: tuple[tuple[int, ...], ...]
+
+    def __post_init__(self) -> None:
+        normalized = []
+        for copies in self.copy_sets:
+            nodes = tuple(sorted(set(int(v) for v in copies)))
+            if not nodes:
+                raise ValueError("every object needs at least one copy")
+            normalized.append(nodes)
+        object.__setattr__(self, "copy_sets", tuple(normalized))
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def single(cls, copies: Iterable[int]) -> "Placement":
+        """Placement for a single-object instance."""
+        return cls((tuple(copies),))
+
+    @classmethod
+    def from_sets(cls, sets: Sequence[Iterable[int]]) -> "Placement":
+        return cls(tuple(tuple(s) for s in sets))
+
+    @classmethod
+    def full_replication(cls, num_nodes: int, num_objects: int) -> "Placement":
+        everywhere = tuple(range(num_nodes))
+        return cls(tuple(everywhere for _ in range(num_objects)))
+
+    # ------------------------------------------------------------------
+    @property
+    def num_objects(self) -> int:
+        return len(self.copy_sets)
+
+    def copies(self, obj: int) -> tuple[int, ...]:
+        return self.copy_sets[obj]
+
+    def replication_degree(self, obj: int | None = None) -> float:
+        """Number of copies of one object, or the mean across objects."""
+        if obj is not None:
+            return float(len(self.copy_sets[obj]))
+        return float(np.mean([len(s) for s in self.copy_sets]))
+
+    def total_copies(self) -> int:
+        return sum(len(s) for s in self.copy_sets)
+
+    def validate(self, instance: DataManagementInstance) -> None:
+        if self.num_objects != instance.num_objects:
+            raise ValueError(
+                f"placement covers {self.num_objects} objects, instance has "
+                f"{instance.num_objects}"
+            )
+        for copies in self.copy_sets:
+            if copies[0] < 0 or copies[-1] >= instance.num_nodes:
+                raise ValueError("copy node index out of range")
+
+    def __iter__(self) -> Iterator[tuple[int, ...]]:
+        return iter(self.copy_sets)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"x{i}->{list(s)}" for i, s in enumerate(self.copy_sets))
+        return f"Placement({inner})"
+
+
+def serving_nodes(metric: Metric, copies: Iterable[int]) -> np.ndarray:
+    """``s(r)`` for every potential request home: the nearest copy.
+
+    Returns an array ``serve`` with ``serve[v]`` the copy node serving a
+    request issued at ``v`` (ties broken towards the smallest node index).
+    For a read this is the node actually read from; for a write it is the
+    node the initial ``h(r) -> s(r)`` message targets.
+    """
+    nearest, _ = metric.nearest_in_set(copies)
+    return nearest
+
+
+def update_tree_edges(
+    metric: Metric, copies: Iterable[int]
+) -> list[tuple[int, int, float]]:
+    """The multicast tree the Section 2 strategy uses to update copies.
+
+    A minimum spanning tree over the copy set in the metric closure; each
+    metric edge ``(u, v, w)`` stands for a cheapest ``u``-``v`` path in the
+    underlying network.  Every write request is charged ``w`` for each of
+    these edges on top of its ``h(r) -> s(r)`` message.
+    """
+    return mst_edges(metric, sorted(set(int(v) for v in copies)))

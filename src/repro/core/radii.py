@@ -1,0 +1,166 @@
+"""Write and storage radii (Section 2.1 of the paper).
+
+For a node ``v`` let ``R^z_v`` be the ``z`` requests (reads *and* writes,
+counted with multiplicity ``fr + fw``) closest to ``v`` and
+
+    d(v, z) = (1/z) * sum_{r in R^z_v} ct(h(r), v)
+
+their average distance.  Two radii steer the approximation algorithm:
+
+* the **write radius** ``rw(v) = d(v, W)`` with ``W`` the total write
+  count -- the scale at which a copy at ``v`` could plausibly amortize the
+  update traffic it attracts;
+* the **storage radius** ``rs(v)`` and **storage number** ``zs(v)``,
+  chosen such that
+
+      (zs(v) - 1) * rs(v) <= cs(v) < zs(v) * rs(v)       and
+      d(v, zs(v) - 1)     <= rs(v) < d(v, zs(v)),
+
+  the scale at which a copy at ``v`` amortizes its storage price.
+
+The key computational observation is that ``z * d(v, z)`` equals the
+*prefix sum* ``P_v(z)`` of the ``z`` smallest request distances, a
+non-decreasing piecewise-linear function with at most ``n`` breakpoints, so
+
+    zs(v) = min { integer z >= 1 : P_v(z) > cs(v) }
+
+is found by binary search and the feasible interval for ``rs(v)`` is the
+non-empty set ``(cs/zs, cs/(zs-1)] ∩ [d(v, zs-1), d(v, zs))`` (we take its
+midpoint; any member satisfies the defining inequalities, and only the
+``5 * rs(v)`` phase-2 threshold consumes the value).
+
+Degenerate cases, all unit-tested:
+
+* ``W = 0`` (read-only): ``rw(v) = d(v, 0) = 0``.
+* ``cs(v) >= P_v(N)`` (storage dearer than serving every request
+  remotely): ``zs(v) = N`` and ``rs(v) = +inf`` -- the node never demands
+  a nearby copy and phase 2 never fires for it.
+* no requests at all: both radii follow the rules above (``rw = 0``,
+  ``rs = +inf``); callers special-case zero-demand objects anyway.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..graphs.metric import Metric
+
+__all__ = ["RequestProfile", "radii_for_object"]
+
+
+class RequestProfile:
+    """Per-node prefix-sum oracle over a weighted request multiset.
+
+    Parameters
+    ----------
+    metric:
+        Distance oracle.
+    weights:
+        Array of shape ``(n,)``: the request multiplicity at each node
+        (``fr + fw`` for the Section 2 radii).
+    """
+
+    def __init__(self, metric: Metric, weights: np.ndarray) -> None:
+        weights = np.asarray(weights, dtype=float)
+        if weights.shape != (metric.n,):
+            raise ValueError(f"weights must have shape ({metric.n},)")
+        if np.any(weights < 0):
+            raise ValueError("request weights must be non-negative")
+        self.metric = metric
+        self.weights = weights
+        self.total = float(weights.sum())
+
+        order = np.argsort(metric.dist, axis=1, kind="stable")
+        self._sorted_dist = np.take_along_axis(metric.dist, order, axis=1)
+        sorted_w = weights[order]
+        self._cum_w = np.cumsum(sorted_w, axis=1)
+        self._cum_wd = np.cumsum(sorted_w * self._sorted_dist, axis=1)
+
+    # ------------------------------------------------------------------
+    def prefix(self, v: int, z: float) -> float:
+        """``P_v(z)``: summed distance of the ``z`` closest requests.
+
+        ``z`` may be fractional (a request is split linearly); ``z`` is
+        clamped to ``[0, total]``.
+        """
+        if z <= 0:
+            return 0.0
+        z = min(z, self.total)
+        cw = self._cum_w[v]
+        # first segment whose cumulative weight reaches z
+        i = int(np.searchsorted(cw, z, side="left"))
+        prev_w = cw[i - 1] if i > 0 else 0.0
+        prev_wd = self._cum_wd[v][i - 1] if i > 0 else 0.0
+        return float(prev_wd + (z - prev_w) * self._sorted_dist[v, i])
+
+    def avg_dist(self, v: int, z: float) -> float:
+        """``d(v, z)``, with the convention ``d(v, 0) = 0``."""
+        if z <= 0:
+            return 0.0
+        z = min(z, self.total)
+        return self.prefix(v, z) / z
+
+    # ------------------------------------------------------------------
+    def write_radius(self, v: int, total_writes: float) -> float:
+        """``rw(v) = d(v, W)``."""
+        return self.avg_dist(v, total_writes)
+
+    def storage_radius(self, v: int, storage_cost: float) -> tuple[float, int]:
+        """``(rs(v), zs(v))`` for the given storage price ``cs(v)``.
+
+        Returns ``(inf, ceil(total))`` when storage never amortizes (see
+        module docstring).
+        """
+        if storage_cost < 0:
+            raise ValueError("storage cost must be non-negative")
+        n_req = int(math.ceil(self.total))
+        if n_req == 0 or self.prefix(v, self.total) <= storage_cost:
+            return math.inf, max(n_req, 1)
+
+        # binary search the smallest integer z >= 1 with P_v(z) > cs
+        lo, hi = 1, n_req
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.prefix(v, mid) > storage_cost:
+                hi = mid
+            else:
+                lo = mid + 1
+        zs = lo
+
+        d_lo = self.avg_dist(v, zs - 1)
+        d_hi = self.avg_dist(v, zs)
+        lower = max(d_lo, storage_cost / zs)
+        upper = min(d_hi, storage_cost / (zs - 1)) if zs > 1 else d_hi
+        # The intersection is provably non-empty; guard against float slack.
+        if upper < lower:
+            upper = lower
+        rs = 0.5 * (lower + upper) if upper > lower else lower
+        return float(rs), int(zs)
+
+
+def radii_for_object(
+    metric: Metric,
+    storage_costs: np.ndarray,
+    read_freq: np.ndarray,
+    write_freq: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """All radii for one object: ``(rw, rs, zs)`` arrays over nodes.
+
+    The request multiset weighs each node by ``fr + fw`` (writes count as
+    requests both for the write radius and the storage radius -- the
+    restricted-cost view folds the write attach message into read cost).
+    """
+    weights = np.asarray(read_freq, dtype=float) + np.asarray(write_freq, dtype=float)
+    profile = RequestProfile(metric, weights)
+    total_writes = float(np.asarray(write_freq, dtype=float).sum())
+
+    n = metric.n
+    rw = np.empty(n)
+    rs = np.empty(n)
+    zs = np.empty(n, dtype=int)
+    for v in range(n):
+        rw[v] = profile.write_radius(v, total_writes)
+        rs[v], zs[v] = profile.storage_radius(v, float(storage_costs[v]))
+    return rw, rs, zs

@@ -1,0 +1,91 @@
+"""Restricted placements and the Lemma 1 transformation.
+
+Section 2 compares the algorithm against an *optimal restricted* placement
+``OPT_W``, where
+
+1. every write first messages the nearest copy ``s(r)`` and then updates
+   all copies along one shared multicast tree ``T_x`` (our accounting uses
+   the metric-closure MST, exactly as the algorithm itself does), and
+2. every copy serves at least ``W`` requests (``W`` = total writes).
+
+Lemma 1 proves ``C^{OPT_W} <= 4 * C^{OPT}`` via a two-step constructive
+transformation, which this module implements:
+
+* **Claim 2 step** -- re-route every update set through (path to nearest
+  copy) + (copy MST); in cost terms this is just switching a placement's
+  accounting to the ``"mst"`` policy, at most doubling write cost.
+* **Deletion step** -- while some copy serves fewer than ``W`` requests,
+  delete the under-used copy with maximum *tree distance* from the MST
+  root (MST built once, on the initial copy set) and reassign its
+  requests to their now-nearest copies.
+
+Experiment E3 measures the resulting empirical gap against the true
+(Steiner-policy) optimum and checks the factor-4 guarantee end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs.mst import tree_distances_from_root
+from .instance import DataManagementInstance
+
+__all__ = ["requests_served_per_copy", "is_restricted", "restrict_placement"]
+
+
+def requests_served_per_copy(
+    instance: DataManagementInstance, obj: int, copies
+) -> dict[int, float]:
+    """Request mass (reads + writes) served by each copy under
+    nearest-copy assignment with smallest-index tie-breaking."""
+    nodes = instance.validate_copies(copies)
+    nearest, _ = instance.metric.nearest_in_set(nodes)
+    demand = instance.demand(obj)
+    served = {v: 0.0 for v in nodes}
+    for v in range(instance.num_nodes):
+        served[int(nearest[v])] += float(demand[v])
+    return served
+
+
+def is_restricted(instance: DataManagementInstance, obj: int, copies) -> bool:
+    """Does every copy serve at least ``W`` requests? (Constraint 2 of a
+    restricted placement; constraint 1 is an accounting convention.)"""
+    w_total = instance.total_writes(obj)
+    served = requests_served_per_copy(instance, obj, copies)
+    return all(count >= w_total - 1e-9 for count in served.values())
+
+
+def restrict_placement(
+    instance: DataManagementInstance, obj: int, copies
+) -> tuple[int, ...]:
+    """Apply the Lemma 1 deletion step to a copy set.
+
+    Deletes under-used copies (serving ``< W`` requests) in order of
+    decreasing tree distance from the MST root until every remaining copy
+    serves at least ``W``.  Terminates because the total request count is
+    at least ``W`` (the writes themselves), so the last copy never
+    qualifies for deletion.
+
+    Read-only objects (``W = 0``) are already restricted and returned
+    unchanged.
+    """
+    nodes = list(instance.validate_copies(copies))
+    w_total = instance.total_writes(obj)
+    if w_total == 0 or len(nodes) == 1:
+        return tuple(nodes)
+
+    # Tree distances on the *initial* MST (the lemma's proof relies on
+    # children being deleted before their MST fathers, which a fixed tree
+    # guarantees for max-tree-distance-first deletion).
+    tree_dist = tree_distances_from_root(instance.metric, nodes)
+
+    alive = list(nodes)
+    while len(alive) > 1:
+        served = requests_served_per_copy(instance, obj, alive)
+        under = [v for v in alive if served[v] < w_total - 1e-9]
+        if not under:
+            break
+        # max tree distance; larger node index breaks ties deterministically
+        victim = max(under, key=lambda v: (tree_dist[v], v))
+        alive.remove(victim)
+    return tuple(sorted(alive))

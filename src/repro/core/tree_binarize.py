@@ -1,0 +1,168 @@
+"""Binarization of arbitrary trees for the Section 3 dynamic program.
+
+The paper's DP is stated for binary trees; "it is easy to see that an
+arbitrary tree T can be simulated on a binary tree with O(|T|) nodes and
+diameter O(diam(T) * log(deg(T)))" (proof of Theorem 13).  The simulation:
+a node with ``k > 2`` children hangs them off a *balanced* binary combiner
+of virtual nodes connected by zero-weight edges.  Virtual nodes carry no
+requests and infinite storage cost, so they can never hold copies and
+distances between real nodes are unchanged -- any placement on the binary
+tree maps cost-preservingly back to the original tree and vice versa.
+
+The resulting :class:`BinaryTreeInstance` is the direct input format of
+:mod:`repro.core.tree_dp`; nodes have at most two children (exactly 0, 1
+or 2), each annotated with ``cs``, ``fr``, ``fw`` and the parent edge
+weight.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import networkx as nx
+import numpy as np
+
+__all__ = ["BinaryNode", "BinaryTreeInstance", "binarize_tree"]
+
+
+@dataclass
+class BinaryNode:
+    """One node of the binarized rooted tree.
+
+    ``original`` is the node id in the source tree, or ``None`` for a
+    virtual combiner node.  ``children`` holds ``(child_index, edge_weight)``
+    pairs, at most two.
+    """
+
+    original: int | None
+    cs: float
+    fr: float
+    fw: float
+    children: list[tuple[int, float]] = field(default_factory=list)
+
+
+@dataclass
+class BinaryTreeInstance:
+    """A rooted binary tree with per-node data, ready for the DP.
+
+    ``nodes[0]`` is the root.  ``postorder`` lists node indices children
+    before parents (computed iteratively; no recursion-depth limits).
+    """
+
+    nodes: list[BinaryNode]
+    root: int = 0
+
+    def __post_init__(self) -> None:
+        for node in self.nodes:
+            if len(node.children) > 2:
+                raise ValueError("binary tree nodes may have at most two children")
+
+    @property
+    def postorder(self) -> list[int]:
+        order: list[int] = []
+        stack: list[tuple[int, bool]] = [(self.root, False)]
+        while stack:
+            v, expanded = stack.pop()
+            if expanded:
+                order.append(v)
+            else:
+                stack.append((v, True))
+                for child, _ in self.nodes[v].children:
+                    stack.append((child, False))
+        return order
+
+    def total_writes(self) -> float:
+        return float(sum(node.fw for node in self.nodes))
+
+    def total_reads(self) -> float:
+        return float(sum(node.fr for node in self.nodes))
+
+    def num_real_nodes(self) -> int:
+        return sum(1 for node in self.nodes if node.original is not None)
+
+
+def binarize_tree(
+    tree: nx.Graph,
+    storage_costs,
+    read_freq,
+    write_freq,
+    *,
+    root: int = 0,
+    weight: str = "weight",
+) -> BinaryTreeInstance:
+    """Binarize a weighted tree with per-node data.
+
+    Parameters
+    ----------
+    tree:
+        A connected acyclic ``networkx`` graph with nodes ``0..n-1``.
+    storage_costs, read_freq, write_freq:
+        Arrays of shape ``(n,)`` (one object; the caller loops objects).
+    root:
+        Node to root the DP at (any choice yields the same optimum).
+    """
+    n = tree.number_of_nodes()
+    if n == 0:
+        raise ValueError("tree has no nodes")
+    if tree.number_of_edges() != n - 1 or not nx.is_connected(tree):
+        raise ValueError("input graph is not a tree")
+    if set(tree.nodes()) != set(range(n)):
+        raise ValueError("tree nodes must be 0..n-1")
+
+    cs = np.asarray(storage_costs, dtype=float)
+    fr = np.asarray(read_freq, dtype=float)
+    fw = np.asarray(write_freq, dtype=float)
+    for arr, name in ((cs, "storage_costs"), (fr, "read_freq"), (fw, "write_freq")):
+        if arr.shape != (n,):
+            raise ValueError(f"{name} must have shape ({n},)")
+
+    nodes: list[BinaryNode] = []
+
+    def new_real(v: int) -> int:
+        nodes.append(BinaryNode(v, float(cs[v]), float(fr[v]), float(fw[v])))
+        return len(nodes) - 1
+
+    def new_virtual() -> int:
+        nodes.append(BinaryNode(None, math.inf, 0.0, 0.0))
+        return len(nodes) - 1
+
+    root_idx = new_real(root)
+    # (binary-tree node owning the combiner slot, original children, parent)
+    stack: list[tuple[int, int, int | None]] = [(root_idx, root, None)]
+    while stack:
+        bt_idx, orig, parent = stack.pop()
+        children = sorted(c for c in tree.neighbors(orig) if c != parent)
+
+        def attach(slot: int, kids: list[int]) -> None:
+            """Hang ``kids`` (original ids) below binary node ``slot``
+            through a balanced combiner of zero-weight virtual nodes."""
+            if not kids:
+                return
+            if len(kids) == 1:
+                c = kids[0]
+                ci = new_real(c)
+                w = float(tree[orig][c].get(weight, 1.0))
+                nodes[slot].children.append((ci, w))
+                stack.append((ci, c, orig))
+                return
+            if len(nodes[slot].children) < 1 and len(kids) == 2:
+                attach(slot, kids[:1])
+                attach(slot, kids[1:])
+                return
+            # more children than direct slots: balanced virtual split
+            mid = len(kids) // 2
+            left = new_virtual()
+            right = new_virtual()
+            nodes[slot].children.append((left, 0.0))
+            nodes[slot].children.append((right, 0.0))
+            attach(left, kids[:mid])
+            attach(right, kids[mid:])
+
+        if len(children) <= 2:
+            for c in children:
+                attach(bt_idx, [c])
+        else:
+            attach(bt_idx, children)
+
+    return BinaryTreeInstance(nodes, root_idx)

@@ -1,0 +1,319 @@
+"""Optimal static data management on trees (Section 3 of the paper).
+
+Computes an *optimal* placement of one object on a tree in polynomial time
+via the paper's bottom-up sufficient-set DP, generalized -- as in Section
+3.2 -- to arbitrary read **and** write frequencies.  Combined with
+:mod:`repro.core.tree_binarize` this realizes Theorem 13's
+``O(|X| * |V| * diam(T) * log(deg(T)))`` algorithm (our envelopes add a
+log factor from binary-searched queries; irrelevant in practice and
+absorbed by the hull's automatic interval maintenance).
+
+Cost model on trees.  A write issued at ``h`` costs the total weight of
+the minimal subtree of ``T`` spanning ``{h} ∪ S`` (the tree Steiner tree);
+reads pay the tree distance to the nearest copy; storage pays ``cs``.
+Edge-wise, an edge ``e`` (separating the subtree below it from the rest)
+is crossed by a write from ``h`` iff *both* sides of ``e`` contain a node
+of ``{h} ∪ S`` -- the bookkeeping identity all recurrences below rest on:
+
+* copies on both sides of ``e``           -> all ``W`` writes cross;
+* copies only below ``e``                 -> the ``W - W_below(e)`` writes
+  issued elsewhere cross;
+* copies only above ``e``                 -> the ``W_below(e)`` writes
+  issued below cross.
+
+Sufficient families per subtree ``Tv`` (mirroring the paper's
+``E^D, E_v, I^R, J^R``; each entry stores a reconstruction payload):
+
+``EV``
+    the placement with **no copy** in ``Tv``: a single (cost, outgoing
+    reads) pair.
+``IMP0`` (the paper's ``I^R``)
+    import placements assuming **no copy outside** ``Tv``: a
+    dominance-pruned list of (copy distance, cost) tuples, cost including
+    ``cost^0_W`` write accounting.
+``IMP1`` (the paper's ``J^R``)
+    import placements assuming **at least one copy outside**: same shape,
+    with ``cost^1_W`` accounting.
+``EXP1`` (the paper's ``E^D`` family)
+    copy-carrying export placements as a
+    :class:`~repro.core.envelope.LowerEnvelope` over the outside-copy
+    distance ``D``; its slope-0 line is the all-internal ``J^0``.
+
+The recurrences and their write-accounting terms are derived in
+DESIGN.md; each candidate corresponds to an *achievable* placement
+(pessimistic tuples are dominated, never selected below true optimum), and
+every naturally-assigned optimal placement maps onto some candidate, so
+the root minimum over ``IMP0`` is exactly the optimum.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any
+
+import networkx as nx
+import numpy as np
+
+from .envelope import Line, LowerEnvelope
+from .placement import Placement
+from .tree_binarize import BinaryTreeInstance, binarize_tree
+
+__all__ = ["TreeOptimum", "optimal_tree_object_placement", "optimal_tree_placement"]
+
+_EV = ("ev",)
+
+
+@dataclass(frozen=True)
+class _ImpTuple:
+    """An import placement: nearest-copy distance, cost, reconstruction."""
+
+    dist: float
+    cost: float
+    payload: Any
+
+
+@dataclass
+class _SubtreeState:
+    ev_cost: float
+    ev_nout: float
+    imp0: list[_ImpTuple]
+    imp1: list[_ImpTuple]
+    exp1: LowerEnvelope
+    writes: float  # total writes issued within the subtree
+
+
+@dataclass(frozen=True)
+class TreeOptimum:
+    """Result of the tree DP: copy set (original node ids) and its cost
+    under the exact (tree-Steiner) update policy."""
+
+    copies: tuple[int, ...]
+    cost: float
+
+
+def _prune(tuples: list[_ImpTuple]) -> list[_ImpTuple]:
+    """Dominance pruning: sort by distance and keep strictly improving
+    costs.  Keeps at most one tuple per distinct nearest-copy distance,
+    bounding list sizes by the subtree size (Lemma 12's counting)."""
+    tuples.sort(key=lambda t: (t.dist, t.cost))
+    out: list[_ImpTuple] = []
+    best = math.inf
+    for t in tuples:
+        if not math.isfinite(t.cost):
+            continue
+        if t.cost < best - 1e-15:
+            out.append(t)
+            best = t.cost
+    return out
+
+
+def _combo(pa: Any, pb: Any) -> tuple:
+    return ("combo", pa, pb)
+
+
+def optimal_tree_object_placement(bt: BinaryTreeInstance) -> TreeOptimum:
+    """Run the DP on a binarized tree; returns the optimal copy set."""
+    nodes = bt.nodes
+    w_total = bt.total_writes()
+    states: dict[int, _SubtreeState] = {}
+
+    for v in bt.postorder:
+        node = nodes[v]
+        kids = node.children  # [(child_idx, edge_weight)], len 0..2
+
+        # ---------------------------------------------------------- EV
+        ev_cost = 0.0
+        ev_nout = node.fr
+        writes = node.fw
+        for c, w in kids:
+            st = states[c]
+            ev_cost += st.ev_cost + st.ev_nout * w + st.writes * w
+            ev_nout += st.ev_nout
+            writes += st.writes
+
+        # ------------------------------------------- child choice helpers
+        def ev_choice(c: int, w: float, dist: float) -> tuple[float, Any]:
+            """Child keeps no copy; its reads travel ``dist`` from the
+            child root to the serving copy; its writes cross the edge."""
+            st = states[c]
+            return st.ev_cost + st.ev_nout * dist + st.writes * w, _EV
+
+        def copy_choice(c: int, w: float, dist: float) -> tuple[float, Any]:
+            """Child keeps >= 1 copy (so every write crosses the edge);
+            unserved child reads travel ``dist`` beyond the child root."""
+            st = states[c]
+            val, line = st.exp1.query(dist)
+            if line is None:
+                return math.inf, None
+            return val + w_total * w, line.payload
+
+        def best_choice(c: int, w: float, dist: float) -> tuple[float, Any]:
+            a = ev_choice(c, w, dist)
+            b = copy_choice(c, w, dist)
+            return a if a[0] <= b[0] else b
+
+        # -------------------------------------------------- import lists
+        imp0: list[_ImpTuple] = []
+        imp1: list[_ImpTuple] = []
+
+        # copy at v itself (both families; identical accounting because no
+        # edge of Tv lies above all copies once v holds one)
+        if math.isfinite(node.cs):
+            cost = node.cs
+            chosen = []
+            for c, w in kids:
+                val, pay = best_choice(c, w, w)
+                cost += val
+                chosen.append(pay)
+            if math.isfinite(cost):
+                t = _ImpTuple(0.0, cost, ("copy_at", node.original, tuple(chosen)))
+                imp0.append(t)
+                imp1.append(t)
+
+        # nearest copy inside a child's subtree
+        for a in range(len(kids)):
+            ca, wa = kids[a]
+            sta = states[ca]
+            other = kids[1 - a] if len(kids) == 2 else None
+
+            # IMP1 candidates: copy outside Tv exists; child a supplies the
+            # nearest copy via its own J family; the other child is free.
+            for t in sta.imp1:
+                d = wa + t.dist
+                cost = t.cost + w_total * wa + node.fr * d
+                opay: Any = None
+                if other is not None:
+                    co, wo = other
+                    val, opay = best_choice(co, wo, wo + d)
+                    cost += val
+                if math.isfinite(cost):
+                    imp1.append(_ImpTuple(d, cost, ("imp", t.payload, opay)))
+
+            # IMP0-A: *all* copies of the whole tree live in T_a.
+            for t in sta.imp0:
+                d = wa + t.dist
+                cost = t.cost + (w_total - sta.writes) * wa + node.fr * d
+                opay = None
+                if other is not None:
+                    co, wo = other
+                    val, opay = ev_choice(co, wo, wo + d)
+                    cost += val
+                if math.isfinite(cost):
+                    imp0.append(_ImpTuple(d, cost, ("imp", t.payload, opay)))
+
+            # IMP0-B: copies in both children (child a nearest).
+            if other is not None:
+                co, wo = other
+                for t in sta.imp1:
+                    d = wa + t.dist
+                    val, opay = copy_choice(co, wo, wo + d)
+                    cost = t.cost + w_total * wa + node.fr * d + val + 0.0
+                    if math.isfinite(cost):
+                        imp0.append(_ImpTuple(d, cost, ("imp", t.payload, opay)))
+
+        imp0 = _prune(imp0)
+        imp1 = _prune(imp1)
+
+        # ------------------------------------------------ export envelope
+        def child_copy_env(c: int, w: float) -> LowerEnvelope:
+            return states[c].exp1.shifted(w, extra_intercept=w_total * w)
+
+        def child_ev_env(c: int, w: float) -> LowerEnvelope:
+            st = states[c]
+            return LowerEnvelope.from_lines(
+                [Line(st.ev_cost + st.ev_nout * w + st.writes * w, st.ev_nout, _EV)]
+            )
+
+        if not kids:
+            combos = LowerEnvelope.empty()
+        elif len(kids) == 1:
+            c, w = kids[0]
+            combos = child_copy_env(c, w)
+        else:
+            (c1, w1), (c2, w2) = kids
+            copy1, copy2 = child_copy_env(c1, w1), child_copy_env(c2, w2)
+            ev1, ev2 = child_ev_env(c1, w1), child_ev_env(c2, w2)
+            combos = (
+                copy1.sum(copy2, _combo)
+                .minimum(copy1.sum(ev2, _combo))
+                .minimum(ev1.sum(copy2, _combo))
+            )
+        combos = combos.with_added_slope(node.fr)
+
+        if imp1:
+            best = min(imp1, key=lambda t: t.cost)
+            j0 = LowerEnvelope.from_lines([Line(best.cost, 0.0, best.payload)])
+            exp1 = combos.minimum(j0)
+        else:
+            exp1 = combos
+
+        states[v] = _SubtreeState(ev_cost, ev_nout, imp0, imp1, exp1, writes)
+
+    root_state = states[bt.root]
+    if not root_state.imp0:
+        raise RuntimeError("no feasible placement: every node has infinite storage cost")
+    best = min(root_state.imp0, key=lambda t: t.cost)
+
+    copies: set[int] = set()
+    stack: list[Any] = [best.payload]
+    while stack:
+        p = stack.pop()
+        if p is None:
+            continue
+        tag = p[0]
+        if tag == "copy_at":
+            copies.add(p[1])
+            stack.extend(p[2])
+        elif tag == "imp":
+            stack.append(p[1])
+            stack.append(p[2])
+        elif tag == "combo":
+            stack.append(p[1])
+            stack.append(p[2])
+        elif tag == "ev":
+            pass
+        else:  # pragma: no cover - defensive
+            raise RuntimeError(f"unknown payload tag {tag!r}")
+
+    return TreeOptimum(tuple(sorted(copies)), float(best.cost))
+
+
+def optimal_tree_placement(
+    tree: nx.Graph,
+    storage_costs,
+    read_freq,
+    write_freq,
+    *,
+    root: int = 0,
+    weight: str = "weight",
+) -> tuple[Placement, float]:
+    """Optimal placement of all objects on a tree (Theorem 13).
+
+    Parameters
+    ----------
+    tree:
+        Weighted tree with nodes ``0..n-1``.
+    storage_costs:
+        Shape ``(n,)``.
+    read_freq / write_freq:
+        Shape ``(m, n)``: per-object frequencies.
+
+    Returns ``(placement, total_cost)``; the cost is exact under the
+    tree-Steiner update policy (each write pays the minimal subtree
+    spanning writer + copies).
+    """
+    cs = np.asarray(storage_costs, dtype=float)
+    fr = np.atleast_2d(np.asarray(read_freq, dtype=float))
+    fw = np.atleast_2d(np.asarray(write_freq, dtype=float))
+    if fr.shape != fw.shape:
+        raise ValueError("read_freq and write_freq must have equal shapes")
+
+    sets: list[tuple[int, ...]] = []
+    total = 0.0
+    for obj in range(fr.shape[0]):
+        bt = binarize_tree(tree, cs, fr[obj], fw[obj], root=root, weight=weight)
+        result = optimal_tree_object_placement(bt)
+        sets.append(result.copies)
+        total += result.cost
+    return Placement(tuple(sets)), total

@@ -1,0 +1,311 @@
+"""The read-only tree algorithm, implemented literally (Section 3.1).
+
+:mod:`repro.core.tree_dp` implements the general (read + write) DP using
+a lower-envelope abstraction and covers the read-only case as its
+``fw = 0`` specialization.  This module is an *independent second
+implementation* that follows the paper's Section 3.1 text line by line --
+explicit import/export **tuple sequences** with optimality intervals,
+Claim 15's linear merge for imports and Claim 16's shift/intersect/
+crossover construction for exports:
+
+* an **import tuple** ``(C_P, d_P, payload)`` describes an optimal
+  placement in which the copy nearest to the subtree root sits at
+  distance ``d_P``; sequences are sorted by ``d_P``;
+* an **export tuple** ``(C_P, |R_P|, [lo, hi), payload)`` describes the
+  optimal export placement for outside-copy distances ``D`` in its
+  optimality interval; sequences partition ``[0, inf)``;
+* a leaf has one import tuple ``(cs(v), 0)`` and the two export tuples
+  of the paper (no copy while ``D < cs/fr``, a copy afterwards);
+* an inner node builds imports from (copy at ``v``) + (each child import
+  tuple paired with the other child's export queried at the implied
+  distance, walked with a moving pointer), and exports by shifting both
+  children's interval sequences by the edge weights, intersecting them
+  in one linear walk, and finally truncating against ``E^infinity =
+  I^0`` at the cost crossover.
+
+Having two structurally different implementations agree with each other
+(and with brute force / an exact UFL MILP) on thousands of random trees
+is the strongest correctness evidence this repository offers for
+Theorem 13.  Only binary trees with 0/1/2 children are handled here --
+use :func:`repro.core.tree_binarize.binarize_tree` first, exactly as the
+paper prescribes.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Any
+
+import networkx as nx
+import numpy as np
+
+from .placement import Placement
+from .tree_binarize import BinaryTreeInstance, binarize_tree
+
+__all__ = [
+    "optimal_tree_object_placement_readonly",
+    "optimal_tree_placement_readonly",
+]
+
+
+@dataclass(frozen=True)
+class _Imp:
+    """Import tuple: (cost, copy distance, reconstruction payload)."""
+
+    cost: float
+    dist: float
+    payload: Any
+
+
+@dataclass(frozen=True)
+class _Exp:
+    """Export tuple: (cost, outgoing requests, [lo, hi), payload)."""
+
+    cost: float
+    nout: float
+    lo: float
+    hi: float
+    payload: Any
+
+    def value(self, d: float) -> float:
+        return self.cost + self.nout * d
+
+
+def _query_export(seq: list[_Exp], d: float) -> _Exp:
+    """The export tuple optimal at distance ``d`` (sequence partitions
+    [0, inf) by construction)."""
+    lows = [t.lo for t in seq]
+    i = bisect_right(lows, d) - 1
+    return seq[max(i, 0)]
+
+
+def _shift_exports(seq: list[_Exp], w: float, extra: str) -> list[_Exp]:
+    """Shift a child's export sequence to the parent's distance variable:
+    ``D_child = D + w`` means cost += nout * w and intervals drop by w."""
+    out = []
+    for t in seq:
+        lo, hi = t.lo - w, t.hi - w
+        if hi <= 0:
+            continue
+        out.append(_Exp(t.cost + t.nout * w, t.nout, max(lo, 0.0), hi, (extra, t)))
+    return out
+
+
+def _dedupe_imports(tuples: list[_Imp]) -> list[_Imp]:
+    """Sort by copy distance, keep the cheapest tuple per distance (the
+    paper keeps one optimal placement per distinct ``d_P``)."""
+    tuples.sort(key=lambda t: (t.dist, t.cost))
+    out: list[_Imp] = []
+    for t in tuples:
+        if not math.isfinite(t.cost):
+            continue
+        if out and abs(out[-1].dist - t.dist) <= 1e-15:
+            continue
+        out.append(t)
+    return out
+
+
+def optimal_tree_object_placement_readonly(
+    bt: BinaryTreeInstance,
+) -> tuple[tuple[int, ...], float]:
+    """Run the Section 3.1 algorithm on a binarized read-only instance.
+
+    Returns ``(copies, cost)`` with copies as original node ids.  Raises
+    if any node carries writes -- this module is the read-only algorithm;
+    the general case lives in :mod:`repro.core.tree_dp`.
+    """
+    if bt.total_writes() != 0:
+        raise ValueError("read-only algorithm: instance has writes")
+
+    imports: dict[int, list[_Imp]] = {}
+    exports: dict[int, list[_Exp]] = {}
+
+    for v in bt.postorder:
+        node = bt.nodes[v]
+        kids = node.children
+
+        if not kids:  # ---------------------------------------- leaf
+            imp = (
+                [_Imp(node.cs, 0.0, ("copy", node.original, ()))]
+                if math.isfinite(node.cs)
+                else []
+            )
+            exp: list[_Exp] = []
+            if node.fr > 0 and math.isfinite(node.cs):
+                threshold = node.cs / node.fr
+                exp.append(_Exp(0.0, node.fr, 0.0, threshold, ("nocopy",)))
+                exp.append(
+                    _Exp(node.cs, 0.0, threshold, math.inf, ("copy", node.original, ()))
+                )
+            elif node.fr > 0:  # cannot store here: always export
+                exp.append(_Exp(0.0, node.fr, 0.0, math.inf, ("nocopy",)))
+            else:  # no demand: never store at a leaf
+                exp.append(_Exp(0.0, 0.0, 0.0, math.inf, ("nocopy",)))
+            imports[v] = imp
+            exports[v] = exp
+            continue
+
+        # ------------------------------------------- inner node imports
+        imp_tuples: list[_Imp] = []
+        # copy on v itself: children export towards v at distance w_i
+        if math.isfinite(node.cs):
+            cost = node.cs
+            chosen = []
+            for c, w in kids:
+                t = _query_export(exports[c], w)
+                cost += t.value(w)
+                chosen.append(("exp", t))
+            imp_tuples.append(_Imp(cost, 0.0, ("copy", node.original, tuple(chosen))))
+
+        # nearest copy inside child a; the other child exports to it.
+        for a in range(len(kids)):
+            ca, wa = kids[a]
+            other = kids[1 - a] if len(kids) == 2 else None
+            # Claim 15's moving pointer: child-a imports are distance
+            # sorted, so the other child's export queries are monotone.
+            ptr = 0
+            oseq = exports[other[0]] if other is not None else None
+            for t in imports[ca]:
+                d = wa + t.dist
+                cost = t.cost + node.fr * d
+                opay: Any = None
+                if other is not None:
+                    co, wo = other
+                    d2 = wo + d
+                    while ptr + 1 < len(oseq) and oseq[ptr + 1].lo <= d2:
+                        ptr += 1
+                    ot = oseq[ptr]
+                    cost += ot.value(d2)
+                    opay = ("exp", ot)
+                imp_tuples.append(_Imp(cost, d, ("imp", t.payload, opay)))
+        imp_tuples = _dedupe_imports(imp_tuples)
+
+        # ------------------------------------------- inner node exports
+        if len(kids) == 1:
+            c, w = kids[0]
+            combined = [
+                _Exp(t.cost, t.nout + node.fr, t.lo, t.hi, ("exp1", t.payload))
+                for t in _shift_exports(exports[c], w, "s")
+            ]
+        else:
+            (c1, w1), (c2, w2) = kids
+            s1 = _shift_exports(exports[c1], w1, "s1")
+            s2 = _shift_exports(exports[c2], w2, "s2")
+            combined = []
+            i = j = 0
+            while i < len(s1) and j < len(s2):
+                a, b = s1[i], s2[j]
+                lo = max(a.lo, b.lo)
+                hi = min(a.hi, b.hi)
+                if hi > lo:
+                    combined.append(
+                        _Exp(
+                            a.cost + b.cost,
+                            a.nout + b.nout + node.fr,
+                            lo,
+                            hi,
+                            ("exp2", a.payload, b.payload),
+                        )
+                    )
+                if a.hi <= b.hi:
+                    i += 1
+                else:
+                    j += 1
+
+        # Claim 16 finale: truncate against the eventually-optimal flat
+        # placement.  The paper takes E^infinity = I^0 (all requests served
+        # internally); with zero-demand subtrees a *no-copy* combined tuple
+        # can also be flat (nout = 0) and cheaper than any import -- a
+        # corner the paper's prose skips -- so the terminal is the cheaper
+        # of the two (a flat tuple is a valid placement for every D).
+        terminal_cost = math.inf
+        terminal_payload: Any = None
+        if imp_tuples:
+            best_imp = min(imp_tuples, key=lambda t: t.cost)
+            terminal_cost = best_imp.cost
+            terminal_payload = ("imp_ref", best_imp.payload)
+        for t in combined:
+            if t.nout == 0 and t.cost < terminal_cost:
+                terminal_cost = t.cost
+                terminal_payload = t.payload
+        if math.isfinite(terminal_cost):
+            final: list[_Exp] = []
+            crossover = 0.0
+            for t in combined:
+                if t.nout <= 0 or t.value(t.lo) >= terminal_cost - 1e-12:
+                    # never strictly better than the flat terminal
+                    crossover = t.lo
+                    break
+                if t.value(t.hi) > terminal_cost:
+                    d_cross = (terminal_cost - t.cost) / t.nout
+                    if d_cross < t.hi:
+                        final.append(_Exp(t.cost, t.nout, t.lo, d_cross, t.payload))
+                        crossover = d_cross
+                        break
+                final.append(t)
+                crossover = t.hi
+            final.append(
+                _Exp(terminal_cost, 0.0, crossover, math.inf, terminal_payload)
+            )
+            combined = final
+        imports[v] = imp_tuples
+        exports[v] = combined
+
+    root_imps = imports[bt.root]
+    if not root_imps:
+        raise RuntimeError("no feasible placement: every node has infinite storage cost")
+    best = min(root_imps, key=lambda t: t.cost)
+
+    copies: set[int] = set()
+    stack: list[Any] = [best.payload]
+    while stack:
+        p = stack.pop()
+        if p is None:
+            continue
+        tag = p[0]
+        if tag == "copy":
+            copies.add(p[1])
+            stack.extend(p[2])
+        elif tag == "imp":
+            stack.append(p[1])
+            stack.append(p[2])
+        elif tag == "exp":
+            stack.append(p[1].payload)
+        elif tag in ("s", "s1", "s2"):
+            stack.append(p[1].payload)
+        elif tag == "exp1":
+            stack.append(p[1])
+        elif tag == "exp2":
+            stack.append(p[1])
+            stack.append(p[2])
+        elif tag == "imp_ref":
+            stack.append(p[1])
+        elif tag == "nocopy":
+            pass
+        else:  # pragma: no cover - defensive
+            raise RuntimeError(f"unknown payload tag {tag!r}")
+    return tuple(sorted(copies)), float(best.cost)
+
+
+def optimal_tree_placement_readonly(
+    tree: nx.Graph,
+    storage_costs,
+    read_freq,
+    *,
+    root: int = 0,
+    weight: str = "weight",
+) -> tuple[Placement, float]:
+    """Optimal read-only placement on a tree via the Section 3.1 tuples."""
+    cs = np.asarray(storage_costs, dtype=float)
+    fr = np.atleast_2d(np.asarray(read_freq, dtype=float))
+    zeros = np.zeros_like(fr[0])
+    sets: list[tuple[int, ...]] = []
+    total = 0.0
+    for obj in range(fr.shape[0]):
+        bt = binarize_tree(tree, cs, fr[obj], zeros, root=root, weight=weight)
+        copies, cost = optimal_tree_object_placement_readonly(bt)
+        sets.append(copies)
+        total += cost
+    return Placement(tuple(sets)), total

@@ -1,0 +1,38 @@
+"""Facility location substrate: problem container and four solvers.
+
+The paper's phase 1 plugs in "an approximation algorithm for the facility
+location problem"; we provide
+
+* :func:`local_search_ufl` -- add/drop/swap local search (Korupolu et al.,
+  factor ``5 + eps``); the default, keeping the pipeline combinatorial;
+* :func:`greedy_ufl` -- Hochbaum-style ratio greedy (``O(log n)``);
+* :func:`lp_rounding_ufl` -- Shmoys--Tardos--Aardal LP filtering/rounding
+  (deterministic factor 4);
+* :func:`exact_ufl` -- HiGHS MILP ground truth;
+* :func:`solve_ufl_lp` -- the LP relaxation value (certified lower bound).
+"""
+
+from .greedy import greedy_ufl
+from .local_search import local_search_ufl
+from .lp_rounding import lp_rounding_ufl, solve_ufl_lp
+from .mip import exact_ufl
+from .problem import FacilityLocationProblem, related_facility_problem
+
+__all__ = [
+    "FacilityLocationProblem",
+    "related_facility_problem",
+    "local_search_ufl",
+    "greedy_ufl",
+    "lp_rounding_ufl",
+    "solve_ufl_lp",
+    "exact_ufl",
+]
+
+#: Registry used by the approximation algorithm's ``fl_solver`` parameter
+#: and by Experiment E8.
+FL_SOLVERS = {
+    "local_search": local_search_ufl,
+    "greedy": greedy_ufl,
+    "lp_rounding": lp_rounding_ufl,
+    "exact": exact_ufl,
+}

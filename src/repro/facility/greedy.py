@@ -1,0 +1,68 @@
+"""Greedy UFL (Hochbaum-style ratio greedy).
+
+Repeatedly pick the (facility, client-prefix) pair minimizing
+
+    (remaining opening cost + summed connection cost) / served demand
+
+and open it, until every positive-demand client is served.  This is the
+classic set-cover-flavoured greedy: an ``O(log n)`` approximation in
+general, but typically near-optimal on metric instances and extremely
+fast.  Used in Experiment E8 as a phase-1 alternative to local search.
+
+Already-open facilities may be picked again with zero opening cost, which
+lets later rounds re-serve clients more cheaply -- the standard refinement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .problem import FacilityLocationProblem
+
+__all__ = ["greedy_ufl"]
+
+
+def greedy_ufl(problem: FacilityLocationProblem) -> list[int]:
+    """Run the ratio greedy; returns the sorted open set (never empty)."""
+    f = problem.open_costs.copy()
+    w = problem.demands
+    dist = problem.dist
+    nf, nc = dist.shape
+
+    active = w > 0
+    open_set: set[int] = set()
+    if not active.any():
+        return [problem.cheapest_facility()]
+
+    # Pre-sort each facility's client distances once; prefixes are then
+    # contiguous slices of these orders restricted to still-active clients.
+    order = np.argsort(dist, axis=1, kind="stable")
+
+    for _ in range(nf * max(nc, 1) + 1):  # safety bound; loop exits earlier
+        if not active.any():
+            break
+        best_ratio = np.inf
+        best: tuple[int, np.ndarray] | None = None
+        for i in range(nf):
+            cols = order[i][active[order[i]]]
+            if cols.size == 0:
+                continue
+            dd = dist[i, cols]
+            ww = w[cols]
+            cum_wd = np.cumsum(ww * dd)
+            cum_w = np.cumsum(ww)
+            ratios = (f[i] + cum_wd) / cum_w
+            k = int(np.argmin(ratios))
+            if ratios[k] < best_ratio - 1e-15:
+                best_ratio = float(ratios[k])
+                best = (i, cols[: k + 1])
+        if best is None:  # pragma: no cover - defensive
+            break
+        i, served = best
+        open_set.add(i)
+        f[i] = 0.0  # reopening is free from now on
+        active[served] = False
+
+    if not open_set:  # pragma: no cover - defensive
+        open_set.add(problem.cheapest_facility())
+    return sorted(open_set)

@@ -1,0 +1,138 @@
+"""Local search for UFL: add / drop / swap moves.
+
+Korupolu, Plaxton and Rajaraman (SODA'98, cited by the paper) showed this
+classic heuristic is a ``(5 + eps)``-approximation for metric UFL: any
+solution that cannot be improved by opening one facility, closing one
+facility, or swapping one open facility for a closed one is within a
+constant of optimal.  The paper's phase 1 defaults to this solver because
+it keeps the overall algorithm *combinatorial* (the headline claim).
+
+Implementation notes (HPC guide style -- measure, then vectorize the hot
+loop):
+
+* all candidate *add* gains are evaluated in one numpy expression over the
+  full ``(nf, nc)`` distance matrix;
+* *drop* gains use the nearest/second-nearest open facility per client
+  (one ``bincount``);
+* *swap* gains are evaluated per open facility with one vectorized pass
+  over all in-candidates, ``O(k * nf * nc)`` per round for ``k`` open;
+* steepest descent with an ``eps``-scaled acceptance threshold, which is
+  the standard device that makes the iteration count polynomial while
+  degrading the factor only to ``5 + eps``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .problem import FacilityLocationProblem
+
+__all__ = ["local_search_ufl"]
+
+
+def local_search_ufl(
+    problem: FacilityLocationProblem,
+    *,
+    initial: list[int] | None = None,
+    eps: float = 1e-9,
+    max_rounds: int = 100_000,
+) -> list[int]:
+    """Run add/drop/swap local search; returns the sorted open set.
+
+    Parameters
+    ----------
+    initial:
+        Starting open set; defaults to the single facility minimizing the
+        one-facility objective (deterministic).
+    eps:
+        A move is accepted only if it improves the objective by more than
+        ``eps * current_cost / nf`` -- guarantees termination in
+        polynomially many rounds.
+    max_rounds:
+        Hard safety cap on the number of accepted moves.
+    """
+    f = problem.open_costs
+    w = problem.demands
+    dist = problem.dist
+    nf, nc = dist.shape
+
+    if initial is None:
+        # best single facility: f_i + sum_j w_j d_ij
+        single = f + dist @ w
+        open_set = {int(np.argmin(single))}
+    else:
+        open_set = set(int(i) for i in initial)
+        if not open_set:
+            raise ValueError("initial open set must be non-empty")
+
+    for _ in range(max_rounds):
+        idx = np.asarray(sorted(open_set), dtype=int)
+        sub = dist[idx]  # (k, nc)
+        order = np.argsort(sub, axis=0, kind="stable")
+        d1 = sub[order[0], np.arange(nc)]
+        assign = idx[order[0]]
+        if idx.size >= 2:
+            d2 = sub[order[1], np.arange(nc)]
+        else:
+            d2 = np.full(nc, np.inf)
+
+        current = float(f[idx].sum() + w @ d1)
+        threshold = eps * max(current, 1.0) / max(nf, 1)
+
+        best_gain = threshold
+        best_move: tuple[str, int, int] | None = None
+
+        # --- add moves -------------------------------------------------
+        save = np.maximum(d1[None, :] - dist, 0.0) @ w  # (nf,)
+        add_gain = save - f
+        add_gain[idx] = -np.inf
+        i_add = int(np.argmax(add_gain))
+        if add_gain[i_add] > best_gain:
+            best_gain = float(add_gain[i_add])
+            best_move = ("add", i_add, -1)
+
+        # --- drop moves ------------------------------------------------
+        if idx.size >= 2:
+            # cost increase when clients of i fall back to their 2nd choice
+            extra = np.bincount(
+                np.searchsorted(idx, assign),
+                weights=w * (d2 - d1),
+                minlength=idx.size,
+            )
+            drop_gain = f[idx] - extra
+            j = int(np.argmax(drop_gain))
+            if drop_gain[j] > best_gain:
+                best_gain = float(drop_gain[j])
+                best_move = ("drop", int(idx[j]), -1)
+
+        # --- swap moves (out in open, in anywhere closed) ---------------
+        closed_mask = np.ones(nf, dtype=bool)
+        closed_mask[idx] = False
+        if closed_mask.any():
+            for out in idx:
+                # nearest open distance once `out` is gone
+                alt = np.where(assign == out, d2, d1)  # (nc,)
+                if not np.all(np.isfinite(alt)):
+                    # dropping the only facility: swap target must cover all
+                    new_cost_rows = dist @ w
+                else:
+                    new_cost_rows = np.minimum(dist, alt[None, :]) @ w
+                gain = (w @ d1 - new_cost_rows) + f[out] - f
+                gain[~closed_mask] = -np.inf
+                i_in = int(np.argmax(gain))
+                if gain[i_in] > best_gain:
+                    best_gain = float(gain[i_in])
+                    best_move = ("swap", int(out), i_in)
+
+        if best_move is None:
+            break
+        kind, a, b = best_move
+        if kind == "add":
+            open_set.add(a)
+        elif kind == "drop":
+            open_set.discard(a)
+        else:
+            open_set.discard(a)
+            open_set.add(b)
+
+    return sorted(open_set)

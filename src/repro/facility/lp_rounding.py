@@ -1,0 +1,151 @@
+"""LP relaxation + deterministic filtering/rounding for UFL.
+
+The Shmoys--Tardos--Aardal (STOC'97) pipeline the paper cites as the first
+constant-factor FL algorithm:
+
+1. solve the LP relaxation
+
+       min  sum_i f_i y_i + sum_ij w_j c_ij x_ij
+       s.t. sum_i x_ij = 1          (every positive-demand client)
+            x_ij <= y_i,  x, y >= 0
+
+   (scipy's HiGHS solver);
+2. *filtering*: for each client ``j`` compute the ``alpha``-point radius
+   ``R_j`` -- the smallest radius around ``j`` containing at least
+   ``alpha`` fractional assignment mass; Markov gives
+   ``R_j <= C_j / (1 - alpha)`` with ``C_j`` the fractional connection
+   cost;
+3. *greedy clustering*: process clients by increasing ``R_j``; an
+   unclustered client opens the cheapest facility in its radius ball and
+   absorbs every client whose ball intersects it.  Triangle inequality
+   bounds each absorbed client's connection cost by ``3 R_j``.
+
+With ``alpha = 1/4`` this yields a deterministic 4-approximation; the LP
+optimum also serves as a certified lower bound (used in tests to sandwich
+the other heuristics).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import linprog
+from scipy.sparse import coo_matrix
+
+from .problem import FacilityLocationProblem
+
+__all__ = ["solve_ufl_lp", "lp_rounding_ufl"]
+
+
+def solve_ufl_lp(
+    problem: FacilityLocationProblem,
+) -> tuple[float, np.ndarray, np.ndarray]:
+    """Solve the UFL LP relaxation.
+
+    Returns ``(lp_value, y, x)`` with ``y`` of shape ``(nf,)`` and ``x`` of
+    shape ``(nf, nc)``.  ``lp_value`` is a lower bound on the optimal UFL
+    cost.  Zero-demand clients are dropped from the constraints (their
+    ``x`` columns are returned as zero).
+    """
+    f = problem.open_costs
+    w = problem.demands
+    dist = problem.dist
+    nf, nc = dist.shape
+    clients = np.flatnonzero(w > 0)
+    m = clients.size
+    if m == 0:
+        return 0.0, np.zeros(nf), np.zeros((nf, nc))
+
+    # variable layout: [y_0..y_{nf-1}, x_{i,j} for i in 0..nf-1, j in clients]
+    nx = nf * m
+    c_obj = np.concatenate([f, (dist[:, clients] * w[clients][None, :]).ravel()])
+
+    # equality: sum_i x_ij = 1 per client
+    rows = np.repeat(np.arange(m), nf)
+    cols = nf + (np.tile(np.arange(nf), m) * m + np.repeat(np.arange(m), nf))
+    a_eq = coo_matrix(
+        (np.ones(nf * m), (rows, cols)), shape=(m, nf + nx)
+    ).tocsr()
+    b_eq = np.ones(m)
+
+    # inequality: x_ij - y_i <= 0
+    r = np.arange(nf * m)
+    x_cols = nf + r
+    y_cols = np.repeat(np.arange(nf), m)
+    a_ub = coo_matrix(
+        (
+            np.concatenate([np.ones(nf * m), -np.ones(nf * m)]),
+            (np.concatenate([r, r]), np.concatenate([x_cols, y_cols])),
+        ),
+        shape=(nf * m, nf + nx),
+    ).tocsr()
+    b_ub = np.zeros(nf * m)
+
+    res = linprog(
+        c_obj,
+        A_ub=a_ub,
+        b_ub=b_ub,
+        A_eq=a_eq,
+        b_eq=b_eq,
+        bounds=(0, None),
+        method="highs",
+    )
+    if not res.success:  # pragma: no cover - HiGHS is robust on these LPs
+        raise RuntimeError(f"UFL LP failed: {res.message}")
+
+    y = res.x[:nf]
+    x = np.zeros((nf, nc))
+    x[:, clients] = res.x[nf:].reshape(nf, m)
+    return float(res.fun), y, x
+
+
+def lp_rounding_ufl(
+    problem: FacilityLocationProblem, *, alpha: float = 0.25
+) -> list[int]:
+    """Deterministic STA filtering + rounding; returns the open set."""
+    if not 0.0 < alpha < 1.0:
+        raise ValueError("alpha must lie in (0, 1)")
+    f = problem.open_costs
+    w = problem.demands
+    dist = problem.dist
+    clients = np.flatnonzero(w > 0)
+    if clients.size == 0:
+        return [problem.cheapest_facility()]
+
+    _, _, x = solve_ufl_lp(problem)
+
+    # alpha-point radius per client
+    radii = {}
+    for j in clients:
+        j = int(j)
+        col = x[:, j]
+        order = np.argsort(dist[:, j], kind="stable")
+        mass = np.cumsum(col[order])
+        k = int(np.searchsorted(mass, alpha - 1e-12, side="left"))
+        k = min(k, order.size - 1)
+        radii[j] = float(dist[order[k], j])
+
+    open_set: set[int] = set()
+    unclustered = sorted(radii, key=lambda j: (radii[j], j))
+    absorbed: set[int] = set()
+    for j in unclustered:
+        if j in absorbed:
+            continue
+        ball = np.flatnonzero(dist[:, j] <= radii[j] + 1e-12)
+        if ball.size == 0:  # degenerate; fall back to nearest facility
+            ball = np.array([int(np.argmin(dist[:, j]))])
+        centre = int(ball[np.argmin(f[ball])])
+        open_set.add(centre)
+        absorbed.add(j)
+        # absorb every client whose ball intersects j's ball
+        for k in unclustered:
+            if k in absorbed:
+                continue
+            inter = (dist[:, j] <= radii[j] + 1e-12) & (
+                dist[:, k] <= radii[k] + 1e-12
+            )
+            if inter.any():
+                absorbed.add(k)
+
+    if not open_set:  # pragma: no cover - defensive
+        open_set.add(problem.cheapest_facility())
+    return sorted(open_set)

@@ -1,0 +1,105 @@
+"""Uncapacitated facility location (UFL): the phase-1 substrate.
+
+Phase 1 of the paper's approximation algorithm (Section 2.2) solves *the
+related facility location problem*: the data management instance with every
+write recast as a read, i.e. facilities = nodes with opening cost ``cs``,
+clients = nodes with demand ``fr + fw``, connection prices = the metric
+``ct``.  Lemma 9 shows the approximation factor ``f`` of whatever UFL
+algorithm is plugged in carries through to the storage-cost bound
+``f * (C^OPTW_s + C^OPTW_r)``.
+
+The problem container is deliberately more general than the phase-1 use
+(facility and client sets may differ), so the module doubles as a
+standalone UFL library; solvers live in sibling modules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.instance import DataManagementInstance
+
+__all__ = ["FacilityLocationProblem", "related_facility_problem"]
+
+
+@dataclass(frozen=True)
+class FacilityLocationProblem:
+    """Metric UFL with weighted clients.
+
+    Attributes
+    ----------
+    open_costs:
+        Shape ``(nf,)``: cost of opening each facility.
+    demands:
+        Shape ``(nc,)``: client weights (zero-demand clients impose no
+        serving requirement but are legal).
+    dist:
+        Shape ``(nf, nc)``: connection price facility x client.
+    """
+
+    open_costs: np.ndarray
+    demands: np.ndarray
+    dist: np.ndarray
+
+    def __post_init__(self) -> None:
+        f = np.asarray(self.open_costs, dtype=float)
+        d = np.asarray(self.demands, dtype=float)
+        c = np.asarray(self.dist, dtype=float)
+        object.__setattr__(self, "open_costs", f)
+        object.__setattr__(self, "demands", d)
+        object.__setattr__(self, "dist", c)
+        if c.shape != (f.shape[0], d.shape[0]):
+            raise ValueError(
+                f"dist must have shape ({f.shape[0]}, {d.shape[0]}), got {c.shape}"
+            )
+        if np.any(f < 0) or np.any(d < 0) or np.any(c < 0):
+            raise ValueError("costs, demands and distances must be non-negative")
+
+    # ------------------------------------------------------------------
+    @property
+    def num_facilities(self) -> int:
+        return self.open_costs.shape[0]
+
+    @property
+    def num_clients(self) -> int:
+        return self.demands.shape[0]
+
+    def connection_cost(self, open_set) -> float:
+        """Demand-weighted nearest-open-facility cost."""
+        idx = np.asarray(sorted(set(int(i) for i in open_set)), dtype=int)
+        if idx.size == 0:
+            raise ValueError("open set must be non-empty")
+        return float(self.demands @ self.dist[idx].min(axis=0))
+
+    def facility_cost(self, open_set) -> float:
+        idx = np.asarray(sorted(set(int(i) for i in open_set)), dtype=int)
+        return float(self.open_costs[idx].sum())
+
+    def cost(self, open_set) -> float:
+        """Total UFL objective for a set of open facilities."""
+        return self.facility_cost(open_set) + self.connection_cost(open_set)
+
+    def assignments(self, open_set) -> np.ndarray:
+        """Nearest open facility per client (smallest-index tie-break)."""
+        idx = np.asarray(sorted(set(int(i) for i in open_set)), dtype=int)
+        if idx.size == 0:
+            raise ValueError("open set must be non-empty")
+        sub = self.dist[idx]
+        return idx[sub.argmin(axis=0)]
+
+    def cheapest_facility(self) -> int:
+        """Deterministic fallback for degenerate (zero-demand) inputs."""
+        return int(np.argmin(self.open_costs))
+
+
+def related_facility_problem(
+    instance: DataManagementInstance, obj: int
+) -> FacilityLocationProblem:
+    """The phase-1 UFL instance: writes recast as reads, updates ignored."""
+    return FacilityLocationProblem(
+        open_costs=instance.storage_costs,
+        demands=instance.demand(obj),
+        dist=instance.metric.dist,
+    )

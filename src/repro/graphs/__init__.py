@@ -1,0 +1,51 @@
+"""Graph substrate: metric closures, spanning/Steiner trees, generators."""
+
+from .generators import (
+    assign_random_weights,
+    balanced_tree,
+    caterpillar_tree,
+    complete_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    path_graph,
+    random_geometric_graph,
+    random_tree,
+    ring_graph,
+    star_graph,
+    torus_graph,
+    transit_stub_graph,
+)
+from .metric import Metric, metric_from_graph
+from .mst import mst_cost, mst_edges, mst_parent_array, tree_distances_from_root
+from .steiner import (
+    MAX_EXACT_TERMINALS,
+    steiner_exact_cost,
+    steiner_kmb,
+    steiner_mst_cost,
+)
+
+__all__ = [
+    "Metric",
+    "metric_from_graph",
+    "mst_cost",
+    "mst_edges",
+    "mst_parent_array",
+    "tree_distances_from_root",
+    "steiner_mst_cost",
+    "steiner_exact_cost",
+    "steiner_kmb",
+    "MAX_EXACT_TERMINALS",
+    "assign_random_weights",
+    "random_tree",
+    "balanced_tree",
+    "path_graph",
+    "star_graph",
+    "caterpillar_tree",
+    "grid_graph",
+    "torus_graph",
+    "ring_graph",
+    "complete_graph",
+    "erdos_renyi_graph",
+    "random_geometric_graph",
+    "transit_stub_graph",
+]

@@ -1,0 +1,288 @@
+"""Weighted network generators for the evaluation suite.
+
+The paper targets "computer systems connected by networks": distributed
+file systems on LANs, virtual shared memory machines (meshes/tori), and
+WWW-scale commercial networks (Internet-like clustered topologies).  This
+module generates deterministic, connected, positively-weighted instances of
+each family, plus the standard graph-theory stock (rings, complete graphs,
+Erdős–Rényi, random geometric) used by the experiments.
+
+All generators:
+
+* take an explicit ``seed`` and are fully deterministic,
+* return a ``networkx.Graph`` whose nodes are ``0..n-1`` with edge
+  attribute ``weight`` holding the transmission price ``ct(e) > 0``,
+* guarantee connectivity (resampling or augmenting if necessary).
+
+Storage prices ``cs`` are workload-level, not topology-level; see
+:mod:`repro.workloads.request_models`.
+"""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+import numpy as np
+
+__all__ = [
+    "random_tree",
+    "balanced_tree",
+    "path_graph",
+    "star_graph",
+    "caterpillar_tree",
+    "grid_graph",
+    "torus_graph",
+    "ring_graph",
+    "complete_graph",
+    "erdos_renyi_graph",
+    "random_geometric_graph",
+    "transit_stub_graph",
+    "assign_random_weights",
+]
+
+
+# ----------------------------------------------------------------------
+# weight helpers
+# ----------------------------------------------------------------------
+def assign_random_weights(
+    graph: nx.Graph,
+    *,
+    seed: int,
+    low: float = 0.5,
+    high: float = 2.0,
+) -> nx.Graph:
+    """Assign i.i.d. uniform transmission prices in ``[low, high)``.
+
+    Weights are strictly positive whenever ``low > 0``; zero-cost links are
+    legal in the model (``ct : E -> R+_0``) but the evaluation suite avoids
+    them so that read/update costs discriminate between placements.
+    """
+    if low < 0 or high < low:
+        raise ValueError("need 0 <= low <= high")
+    rng = np.random.default_rng(seed)
+    for u, v in sorted(graph.edges()):
+        graph[u][v]["weight"] = float(rng.uniform(low, high))
+    return graph
+
+
+def _relabel_sorted(graph: nx.Graph) -> nx.Graph:
+    """Relabel nodes to 0..n-1 preserving sorted order of the old labels."""
+    mapping = {u: i for i, u in enumerate(sorted(graph.nodes()))}
+    return nx.relabel_nodes(graph, mapping)
+
+
+# ----------------------------------------------------------------------
+# trees (Section 3 workloads)
+# ----------------------------------------------------------------------
+def random_tree(n: int, *, seed: int, low: float = 0.5, high: float = 2.0) -> nx.Graph:
+    """Uniform random labelled tree (random Prüfer sequence) with weights."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    rng = np.random.default_rng(seed)
+    g = nx.Graph()
+    g.add_nodes_from(range(n))
+    if n >= 2:
+        if n == 2:
+            g.add_edge(0, 1)
+        else:
+            prufer = [int(x) for x in rng.integers(0, n, size=n - 2)]
+            g = nx.from_prufer_sequence(prufer)
+    return assign_random_weights(g, seed=seed + 1, low=low, high=high)
+
+
+def balanced_tree(
+    branching: int, height: int, *, seed: int, low: float = 0.5, high: float = 2.0
+) -> nx.Graph:
+    """Complete ``branching``-ary tree of the given height."""
+    g = _relabel_sorted(nx.balanced_tree(branching, height))
+    return assign_random_weights(g, seed=seed, low=low, high=high)
+
+
+def path_graph(n: int, *, seed: int, low: float = 0.5, high: float = 2.0) -> nx.Graph:
+    """Path: the maximum-diameter tree (stress case for the tree DP)."""
+    g = nx.path_graph(n)
+    return assign_random_weights(g, seed=seed, low=low, high=high)
+
+
+def star_graph(n: int, *, seed: int, low: float = 0.5, high: float = 2.0) -> nx.Graph:
+    """Star with ``n`` nodes: maximum-degree tree (stress for binarization)."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    g = nx.star_graph(n - 1)
+    return assign_random_weights(g, seed=seed, low=low, high=high)
+
+
+def caterpillar_tree(
+    spine: int, legs: int, *, seed: int, low: float = 0.5, high: float = 2.0
+) -> nx.Graph:
+    """Caterpillar: a spine path with ``legs`` leaves per spine node."""
+    if spine < 1 or legs < 0:
+        raise ValueError("need spine >= 1 and legs >= 0")
+    g = nx.Graph()
+    g.add_nodes_from(range(spine * (1 + legs)))
+    for i in range(spine - 1):
+        g.add_edge(i, i + 1)
+    nxt = spine
+    for i in range(spine):
+        for _ in range(legs):
+            g.add_edge(i, nxt)
+            nxt += 1
+    return assign_random_weights(g, seed=seed, low=low, high=high)
+
+
+# ----------------------------------------------------------------------
+# meshes / tori (virtual shared memory machines)
+# ----------------------------------------------------------------------
+def grid_graph(
+    rows: int, cols: int, *, seed: int, low: float = 0.5, high: float = 2.0
+) -> nx.Graph:
+    """2-D mesh (the paper notes static placement is NP-hard on 3x3 meshes)."""
+    g = nx.grid_2d_graph(rows, cols)
+    g = _relabel_sorted(g)
+    return assign_random_weights(g, seed=seed, low=low, high=high)
+
+
+def torus_graph(
+    rows: int, cols: int, *, seed: int, low: float = 0.5, high: float = 2.0
+) -> nx.Graph:
+    """2-D torus (wrap-around mesh)."""
+    g = nx.grid_2d_graph(rows, cols, periodic=True)
+    g = _relabel_sorted(g)
+    return assign_random_weights(g, seed=seed, low=low, high=high)
+
+
+# ----------------------------------------------------------------------
+# rings / complete graphs (Milo--Wolfson exact classes)
+# ----------------------------------------------------------------------
+def ring_graph(n: int, *, seed: int, low: float = 0.5, high: float = 2.0) -> nx.Graph:
+    """Cycle of ``n >= 3`` nodes."""
+    if n < 3:
+        raise ValueError("a ring needs n >= 3")
+    g = nx.cycle_graph(n)
+    return assign_random_weights(g, seed=seed, low=low, high=high)
+
+
+def complete_graph(n: int, *, seed: int, low: float = 0.5, high: float = 2.0) -> nx.Graph:
+    """Complete graph; note uniform-weight complete graphs are the
+    degenerate metric where every placement problem decomposes node-wise."""
+    g = nx.complete_graph(n)
+    return assign_random_weights(g, seed=seed, low=low, high=high)
+
+
+# ----------------------------------------------------------------------
+# random graphs
+# ----------------------------------------------------------------------
+def erdos_renyi_graph(
+    n: int, p: float, *, seed: int, low: float = 0.5, high: float = 2.0
+) -> nx.Graph:
+    """Connected G(n, p): resample up to 100 times, then augment.
+
+    Augmentation joins leftover components with cheap random edges so the
+    generator is total; the seed fully determines the result.
+    """
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("p must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    g = None
+    for attempt in range(100):
+        cand = nx.erdos_renyi_graph(n, p, seed=int(rng.integers(0, 2**31)))
+        if n == 0 or nx.is_connected(cand):
+            g = cand
+            break
+    if g is None:
+        g = cand  # last attempt; stitch the components together
+        comps = [sorted(c) for c in nx.connected_components(g)]
+        for a, b in zip(comps[:-1], comps[1:]):
+            g.add_edge(a[0], b[0])
+    return assign_random_weights(g, seed=seed + 1, low=low, high=high)
+
+
+def random_geometric_graph(
+    n: int, radius: float, *, seed: int, scale: float = 1.0
+) -> nx.Graph:
+    """Random geometric graph; weights are Euclidean distances * ``scale``.
+
+    Geometric instances make the metric structure visible (copies repel
+    each other spatially), which is where facility-location-style placement
+    is most interpretable.  Connectivity is restored by linking each
+    component to its nearest neighbour component.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    rng = np.random.default_rng(seed)
+    pts = rng.random((n, 2))
+    g = nx.Graph()
+    g.add_nodes_from(range(n))
+    diff = pts[:, None, :] - pts[None, :, :]
+    d = np.sqrt((diff**2).sum(axis=2))
+    for i in range(n):
+        for j in range(i + 1, n):
+            if d[i, j] <= radius:
+                g.add_edge(i, j, weight=float(d[i, j] * scale))
+    # ensure connectivity: repeatedly link the two closest components
+    while not nx.is_connected(g) and n > 1:
+        comps = [sorted(c) for c in nx.connected_components(g)]
+        best = None
+        for a in comps[0]:
+            for comp in comps[1:]:
+                for b in comp:
+                    if best is None or d[a, b] < best[2]:
+                        best = (a, b, d[a, b])
+        g.add_edge(best[0], best[1], weight=float(best[2] * scale))
+    return g
+
+
+# ----------------------------------------------------------------------
+# Internet-like clustered networks (the paper's WWW motivation)
+# ----------------------------------------------------------------------
+def transit_stub_graph(
+    transit: int,
+    stubs_per_transit: int,
+    stub_size: int,
+    *,
+    seed: int,
+    transit_weight: float = 10.0,
+    stub_weight: float = 1.0,
+    jitter: float = 0.25,
+) -> nx.Graph:
+    """Two-level transit-stub topology (Internet-like clustered network).
+
+    A ring of ``transit`` backbone routers; each backbone router attaches
+    ``stubs_per_transit`` stub clusters of ``stub_size`` nodes.  Backbone
+    links are expensive (``transit_weight``), intra-stub links cheap
+    (``stub_weight``); multiplicative jitter keeps ties rare.  This mirrors
+    the "Internet-like clustered networks" of Maggs et al. that the paper
+    cites as the WWW-facing network class.
+    """
+    if transit < 1 or stubs_per_transit < 0 or stub_size < 1:
+        raise ValueError("invalid transit-stub shape")
+    rng = np.random.default_rng(seed)
+
+    def w(base: float) -> float:
+        return float(base * (1.0 + jitter * (rng.random() - 0.5)))
+
+    g = nx.Graph()
+    backbone = list(range(transit))
+    g.add_nodes_from(backbone)
+    if transit >= 2:
+        for i in range(transit):
+            j = (i + 1) % transit
+            if transit == 2 and i == 1:
+                break  # avoid a duplicate edge in the 2-ring
+            g.add_edge(i, j, weight=w(transit_weight))
+
+    nxt = transit
+    for t in backbone:
+        for _ in range(stubs_per_transit):
+            members = list(range(nxt, nxt + stub_size))
+            nxt += stub_size
+            g.add_nodes_from(members)
+            gateway = members[0]
+            g.add_edge(t, gateway, weight=w(transit_weight / 2))
+            # cheap intra-stub star + a chord for redundancy
+            for m in members[1:]:
+                g.add_edge(gateway, m, weight=w(stub_weight))
+            if stub_size >= 3:
+                g.add_edge(members[1], members[2], weight=w(stub_weight))
+    return g

@@ -1,0 +1,160 @@
+"""Minimum spanning trees over node subsets in a metric closure.
+
+Section 2 of the paper uses minimum spanning trees in two roles:
+
+* the *update multicast tree*: a write first travels to the nearest copy
+  ``s(r)`` and then an update is propagated along an MST connecting all
+  copies (in the metric closure), so the per-write update cost is
+  ``mst_cost(S)``;
+* the Lemma 1 transformation deletes under-used copies in order of
+  *tree distance* from an (arbitrary) MST root.
+
+The subset sizes are small-to-moderate (copies of one object), so a dense
+``O(k^2)`` Prim on the induced distance submatrix -- fully vectorized over
+numpy rows -- is the right tool (per the HPC guides: simple, measurable,
+vectorized inner loop).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .metric import Metric
+
+__all__ = ["mst_cost", "mst_edges", "mst_parent_array", "tree_distances_from_root"]
+
+
+def _as_index_array(nodes: Sequence[int]) -> np.ndarray:
+    idx = np.asarray(list(nodes), dtype=int)
+    if idx.size == 0:
+        raise ValueError("node subset must be non-empty")
+    if len(set(idx.tolist())) != idx.size:
+        raise ValueError("node subset contains duplicates")
+    return idx
+
+
+def mst_edges(metric: Metric, nodes: Sequence[int]) -> list[tuple[int, int, float]]:
+    """MST of the induced complete graph on ``nodes`` in the metric closure.
+
+    Returns a list of ``(u, v, weight)`` edges using the *original* node
+    indices.  Deterministic: Prim from the smallest node index with
+    smallest-index tie-breaking.
+    """
+    idx = _as_index_array(nodes)
+    k = idx.size
+    if k == 1:
+        return []
+    sub = metric.dist[np.ix_(idx, idx)]
+
+    in_tree = np.zeros(k, dtype=bool)
+    best = np.full(k, np.inf)
+    best_from = np.zeros(k, dtype=int)
+
+    order = np.argsort(idx)  # start from the smallest original index
+    start = int(order[0])
+    in_tree[start] = True
+    best = sub[start].copy()
+    best_from[:] = start
+    best[start] = np.inf
+
+    edges: list[tuple[int, int, float]] = []
+    for _ in range(k - 1):
+        j = int(np.argmin(best))  # first minimiser -> deterministic
+        w = float(best[j])
+        edges.append((int(idx[best_from[j]]), int(idx[j]), w))
+        in_tree[j] = True
+        improved = sub[j] < best
+        improved &= ~in_tree
+        best_from[improved] = j
+        best[improved] = sub[j][improved]
+        best[j] = np.inf
+    return edges
+
+
+def mst_cost(metric: Metric, nodes: Sequence[int]) -> float:
+    """Total weight of the metric-closure MST over ``nodes``.
+
+    For a single node the cost is 0 (no update propagation needed beyond
+    the copy itself).
+    """
+    idx = _as_index_array(nodes)
+    k = idx.size
+    if k == 1:
+        return 0.0
+    sub = metric.dist[np.ix_(idx, idx)]
+    in_tree = np.zeros(k, dtype=bool)
+    in_tree[0] = True
+    best = sub[0].copy()
+    best[0] = np.inf
+    total = 0.0
+    for _ in range(k - 1):
+        j = int(np.argmin(best))
+        total += float(best[j])
+        in_tree[j] = True
+        improved = sub[j] < best
+        improved &= ~in_tree
+        best[improved] = sub[j][improved]
+        best[j] = np.inf
+    return total
+
+
+def mst_parent_array(
+    metric: Metric, nodes: Sequence[int], root: int | None = None
+) -> dict[int, int | None]:
+    """Parent map of the metric MST over ``nodes``, rooted at ``root``.
+
+    ``root`` defaults to the smallest node index (the paper roots the MST
+    "at an arbitrary node"; we fix the choice for determinism).  The root
+    maps to ``None``.
+    """
+    idx = _as_index_array(nodes)
+    if root is None:
+        root = int(idx.min())
+    if root not in set(idx.tolist()):
+        raise ValueError("root must belong to the node subset")
+
+    adjacency: dict[int, list[tuple[int, float]]] = {int(u): [] for u in idx}
+    for u, v, w in mst_edges(metric, nodes):
+        adjacency[u].append((v, w))
+        adjacency[v].append((u, w))
+
+    parent: dict[int, int | None] = {root: None}
+    stack = [root]
+    while stack:
+        u = stack.pop()
+        for v, _ in sorted(adjacency[u]):
+            if v not in parent:
+                parent[v] = u
+                stack.append(v)
+    return parent
+
+
+def tree_distances_from_root(
+    metric: Metric, nodes: Sequence[int], root: int | None = None
+) -> dict[int, float]:
+    """Tree distance from ``root`` to every node *along MST edges*.
+
+    The Lemma 1 transformation deletes the under-used copy with the
+    *maximum tree distance* from the MST root; this helper supplies those
+    distances (length of the unique MST path, not the metric distance).
+    """
+    idx = _as_index_array(nodes)
+    if root is None:
+        root = int(idx.min())
+
+    adjacency: dict[int, list[tuple[int, float]]] = {int(u): [] for u in idx}
+    for u, v, w in mst_edges(metric, nodes):
+        adjacency[u].append((v, w))
+        adjacency[v].append((u, w))
+
+    dist: dict[int, float] = {root: 0.0}
+    stack = [root]
+    while stack:
+        u = stack.pop()
+        for v, w in sorted(adjacency[u]):
+            if v not in dist:
+                dist[v] = dist[u] + w
+                stack.append(v)
+    return dist

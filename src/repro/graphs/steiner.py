@@ -1,0 +1,146 @@
+"""Steiner trees: the exact optimum and the MST 2-approximation.
+
+The paper's cost model charges a write request issued at ``h`` the cost of
+an update set connecting ``h`` with *all* copies.  The cheapest such set is
+a minimum Steiner tree over ``{h} ∪ S`` (used by the true optimum and the
+tree algorithm of Section 3), while the approximation algorithm of
+Section 2 settles for the classic factor-2 surrogate: a minimum spanning
+tree over the terminals in the metric closure (Claim 2 is exactly the
+``MST <= 2 * Steiner`` argument).
+
+Provided here:
+
+* :func:`steiner_mst_cost` -- the 2-approximation (terminal MST in the
+  metric closure); this *is* the update tree the Section 2 algorithm ships.
+* :func:`steiner_exact_cost` -- exact minimum Steiner tree cost via the
+  Dreyfus--Wagner dynamic program, ``O(3^t * n + 2^t * n^2)`` for ``t``
+  terminals.  Used by the brute-force true-optimum baseline on small
+  instances (Experiment E3) and as the ground truth in property tests.
+* :func:`steiner_kmb` -- Kou--Markowsky--Berman tree construction on an
+  explicit graph (returns edges, not just cost), for callers that want an
+  embeddable multicast tree.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, Sequence
+
+import networkx as nx
+import numpy as np
+
+from .metric import Metric
+from .mst import mst_cost
+
+__all__ = [
+    "steiner_mst_cost",
+    "steiner_exact_cost",
+    "steiner_kmb",
+    "MAX_EXACT_TERMINALS",
+]
+
+#: Guard rail for the exponential exact solver.
+MAX_EXACT_TERMINALS = 12
+
+
+def steiner_mst_cost(metric: Metric, terminals: Sequence[int]) -> float:
+    """Cost of the MST-over-terminals Steiner approximation (factor 2)."""
+    return mst_cost(metric, _dedupe(terminals))
+
+
+def steiner_exact_cost(metric: Metric, terminals: Sequence[int]) -> float:
+    """Exact minimum Steiner tree cost (Dreyfus--Wagner DP).
+
+    Steiner (branching) nodes may be any of the metric's nodes.  Raises
+    for more than :data:`MAX_EXACT_TERMINALS` terminals -- the DP is
+    exponential in the terminal count by design (the problem is NP-hard);
+    larger instances should use :func:`steiner_mst_cost`.
+    """
+    terms = _dedupe(terminals)
+    t = len(terms)
+    if t == 0:
+        raise ValueError("need at least one terminal")
+    if t <= 2:
+        # One terminal: empty tree.  Two: the shortest path between them.
+        return 0.0 if t == 1 else metric.d(terms[0], terms[1])
+    if t > MAX_EXACT_TERMINALS:
+        raise ValueError(
+            f"{t} terminals exceeds MAX_EXACT_TERMINALS={MAX_EXACT_TERMINALS}; "
+            "use steiner_mst_cost for large instances"
+        )
+
+    d = metric.dist
+    n = metric.n
+    root = terms[-1]
+    others = terms[:-1]
+    m = len(others)
+    full = (1 << m) - 1
+
+    # dp[mask] : length-n vector; dp[mask][v] = min cost of a tree spanning
+    # {others[i] : bit i set} ∪ {v}.
+    dp = np.full((full + 1, n), np.inf)
+    for i, term in enumerate(others):
+        dp[1 << i] = d[term]  # base: shortest path term -> v
+
+    for mask in range(1, full + 1):
+        if mask & (mask - 1) == 0:  # singleton handled in the base case
+            continue
+        row = dp[mask]
+        # Merge step: two subtrees joined at v.  Enumerate proper submasks.
+        sub = (mask - 1) & mask
+        while sub:
+            comp = mask ^ sub
+            if sub < comp:  # each unordered split once
+                np.minimum(row, dp[sub] + dp[comp], out=row)
+            sub = (sub - 1) & mask
+        # Grow step: attach v via the cheapest path from any u
+        # (a Dijkstra over the metric closure collapses to one min-plus
+        # product row because the closure is already transitively closed).
+        np.minimum(row, (row[:, None] + d).min(axis=0), out=row)
+
+    return float(dp[full][root])
+
+
+def steiner_kmb(
+    graph: nx.Graph, terminals: Iterable[int], *, weight: str = "weight"
+) -> tuple[list[tuple[int, int]], float]:
+    """Kou--Markowsky--Berman 2-approximate Steiner tree on a graph.
+
+    Returns ``(edges, cost)`` where ``edges`` are graph edges forming a
+    tree that spans all terminals.  Useful when the caller needs an actual
+    embedded multicast tree rather than the metric-closure cost.
+    """
+    terms = _dedupe(terminals)
+    if not terms:
+        raise ValueError("need at least one terminal")
+    if len(terms) == 1:
+        return [], 0.0
+
+    # 1. complete graph over terminals weighted by shortest-path distances
+    paths: dict[tuple[int, int], list] = {}
+    closure = nx.Graph()
+    for u, v in combinations(terms, 2):
+        length, path = nx.single_source_dijkstra(graph, u, v, weight=weight)
+        closure.add_edge(u, v, weight=length)
+        paths[(u, v)] = path
+    # 2. MST of the closure, 3. expand to shortest paths
+    expanded = nx.Graph()
+    for u, v in nx.minimum_spanning_edges(closure, data=False):
+        key = (u, v) if (u, v) in paths else (v, u)
+        path = paths[key]
+        for a, b in zip(path[:-1], path[1:]):
+            expanded.add_edge(a, b, weight=graph[a][b].get(weight, 1.0))
+    # 4. MST of the expanded subgraph, 5. prune non-terminal leaves
+    tree = nx.minimum_spanning_tree(expanded, weight="weight")
+    term_set = set(terms)
+    while True:
+        leaves = [v for v in tree.nodes if tree.degree(v) == 1 and v not in term_set]
+        if not leaves:
+            break
+        tree.remove_nodes_from(leaves)
+    cost = sum(data["weight"] for _, _, data in tree.edges(data=True))
+    return [(u, v) for u, v in tree.edges()], float(cost)
+
+
+def _dedupe(nodes: Iterable[int]) -> list[int]:
+    return sorted(set(int(v) for v in nodes))

@@ -1,0 +1,23 @@
+"""Event-level simulation: executable cost model and online strategies.
+
+* :mod:`events` -- expand frequencies into explicit request logs;
+* :mod:`simulator` -- replay a log against a static placement on the real
+  graph, accruing per-link fees (validates the closed-form accounting and
+  exposes per-link load);
+* :mod:`online` -- a count-based dynamic strategy for the online-vs-static
+  comparison (Experiment E12).
+"""
+
+from .events import READ, WRITE, Request, request_log_from_instance
+from .online import OnlineCountingStrategy
+from .simulator import NetworkSimulator, SimulationReport
+
+__all__ = [
+    "Request",
+    "READ",
+    "WRITE",
+    "request_log_from_instance",
+    "NetworkSimulator",
+    "SimulationReport",
+    "OnlineCountingStrategy",
+]

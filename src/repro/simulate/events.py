@@ -1,0 +1,71 @@
+"""Request logs: explicit event streams realizing an instance's frequencies.
+
+The static model summarizes a billing period by request *frequencies*;
+the simulator (and the dynamic strategies) need the actual event stream.
+This module expands an instance's integer-valued ``fr``/``fw`` matrices
+into a deterministic log of :class:`Request` events, optionally shuffled
+with a seed (frequencies are counts, so any interleaving realizes the
+same static cost; the order only matters to *online* strategies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from ..core.instance import DataManagementInstance
+
+__all__ = ["Request", "READ", "WRITE", "request_log_from_instance"]
+
+READ = "read"
+WRITE = "write"
+
+
+@dataclass(frozen=True)
+class Request:
+    """One request event: ``kind`` is ``"read"`` or ``"write"``, issued at
+    ``node`` for object ``obj``."""
+
+    kind: str
+    node: int
+    obj: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in (READ, WRITE):
+            raise ValueError(f"kind must be 'read' or 'write', got {self.kind!r}")
+
+
+def request_log_from_instance(
+    instance: DataManagementInstance,
+    *,
+    seed: int | None = None,
+) -> list[Request]:
+    """Expand frequencies into an explicit event log.
+
+    Frequencies must be integer-valued (the model's semantics; raises
+    otherwise).  With ``seed=None`` the log is in canonical order (object,
+    node, reads before writes); with a seed it is deterministically
+    shuffled -- use this for online-strategy experiments where order
+    matters.
+    """
+    fr = instance.read_freq
+    fw = instance.write_freq
+    if not np.allclose(fr, np.round(fr)) or not np.allclose(fw, np.round(fw)):
+        raise ValueError(
+            "request frequencies must be integer counts to expand into a log"
+        )
+
+    log: list[Request] = []
+    for obj in range(instance.num_objects):
+        for node in range(instance.num_nodes):
+            log.extend(Request(READ, node, obj) for _ in range(int(round(fr[obj, node]))))
+            log.extend(
+                Request(WRITE, node, obj) for _ in range(int(round(fw[obj, node])))
+            )
+    if seed is not None:
+        rng = np.random.default_rng(seed)
+        perm = rng.permutation(len(log))
+        log = [log[i] for i in perm]
+    return log

@@ -1,0 +1,133 @@
+"""A dynamic (online) data management strategy, for contrast with the
+static optimum.
+
+The paper's related work (Awerbuch/Bartal/Fiat; Maggs et al.) studies the
+*dynamic* setting: requests arrive online and the strategy migrates and
+replicates copies as it goes.  This module implements a classic
+count-based online strategy so the evaluation suite can measure how much
+an adaptive policy recovers (or loses) against the clairvoyant static
+optimum on the same request stream (Experiment E12):
+
+* each node counts reads per object since the last write;
+* once a node's count reaches ``replication_threshold``, it buys a local
+  copy (paying the transfer from the nearest existing copy plus the
+  storage price -- the ski-rental move);
+* a write updates all copies through the current copy MST and then
+  *invalidates* down to the single copy nearest the writer (the
+  "update-or-invalidate-all" discipline the paper's model mandates;
+  invalidation itself is free, like dropping rented storage).
+
+Accounting matches the static simulator: per-link fees per traversal,
+``cs(v)`` paid every time a copy is (re)materialized on ``v``.  Online
+strategies can beat the best *static* placement in hindsight (they adapt
+between phases), and they can lose badly when writes thrash replicas --
+both regimes show up in E12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+import numpy as np
+
+from ..core.instance import DataManagementInstance
+from ..graphs.mst import mst_edges
+from .events import READ, WRITE, Request
+from .simulator import SimulationReport
+
+__all__ = ["OnlineCountingStrategy"]
+
+
+@dataclass
+class _ObjectState:
+    copies: set[int]
+    read_counts: dict[int, int] = field(default_factory=dict)
+
+
+class OnlineCountingStrategy:
+    """Count-based online replication with write-back invalidation.
+
+    Parameters
+    ----------
+    graph:
+        Network with per-object link fees in ``weight``.
+    instance:
+        Storage prices + metric (closure of ``graph``).
+    replication_threshold:
+        Reads from a node (since the last write) before it buys a copy.
+        The ski-rental flavour: with threshold ``k``, wasted transfer cost
+        is bounded by ``k`` reads' worth.
+    """
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        instance: DataManagementInstance,
+        *,
+        replication_threshold: int = 3,
+    ) -> None:
+        if replication_threshold < 1:
+            raise ValueError("replication_threshold must be >= 1")
+        self.graph = graph
+        self.instance = instance
+        self.threshold = replication_threshold
+        self._paths = dict(nx.all_pairs_dijkstra_path(graph, weight="weight"))
+
+    # ------------------------------------------------------------------
+    def _send(self, path: list[int], report: SimulationReport, *, write: bool) -> None:
+        cost = 0.0
+        for a, b in zip(path[:-1], path[1:]):
+            w = self.graph[a][b]["weight"]
+            cost += w
+            key = (a, b) if a < b else (b, a)
+            report.edge_load[key] = report.edge_load.get(key, 0.0) + w
+        if write:
+            report.write_traffic_cost += cost
+        else:
+            report.read_traffic_cost += cost
+        report.messages += 1
+
+    def _nearest(self, copies: set[int], node: int) -> int:
+        metric = self.instance.metric
+        return min(copies, key=lambda c: (metric.d(node, c), c))
+
+    # ------------------------------------------------------------------
+    def run(self, log: list[Request]) -> tuple[SimulationReport, list[set[int]]]:
+        """Process the log; returns (bill, final copy sets per object).
+
+        Every object starts with one copy on its cheapest storage node
+        (the zero-knowledge initial placement).
+        """
+        inst = self.instance
+        report = SimulationReport()
+        start = int(np.argmin(inst.storage_costs))
+        states = []
+        for obj in range(inst.num_objects):
+            states.append(_ObjectState(copies={start}))
+            report.storage_cost += float(inst.storage_costs[start])
+
+        for req in log:
+            state = states[req.obj]
+            serving = self._nearest(state.copies, req.node)
+            if req.kind == READ:
+                self._send(self._paths[req.node][serving], report, write=False)
+                if req.node not in state.copies:
+                    count = state.read_counts.get(req.node, 0) + 1
+                    state.read_counts[req.node] = count
+                    if count >= self.threshold:
+                        # buy a copy: transfer from the nearest replica,
+                        # then pay the storage price
+                        self._send(self._paths[serving][req.node], report, write=False)
+                        report.storage_cost += float(inst.storage_costs[req.node])
+                        state.copies.add(req.node)
+                        state.read_counts[req.node] = 0
+            elif req.kind == WRITE:
+                # attach + multicast over the current copy MST
+                self._send(self._paths[req.node][serving], report, write=True)
+                for u, v, _ in mst_edges(inst.metric, sorted(state.copies)):
+                    self._send(self._paths[u][v], report, write=True)
+                # invalidate down to the copy nearest the writer
+                state.copies = {serving}
+                state.read_counts.clear()
+        return report, [s.copies for s in states]

@@ -1,0 +1,33 @@
+"""Workload generators and named scenarios."""
+
+from .request_models import (
+    heterogeneous_storage_costs,
+    hotspot_requests,
+    make_instance,
+    split_read_write,
+    uniform_requests,
+    uniform_storage_costs,
+    zipf_object_popularity,
+)
+from .scenarios import (
+    Scenario,
+    distributed_file_system,
+    tree_network,
+    virtual_shared_memory,
+    www_content_provider,
+)
+
+__all__ = [
+    "uniform_storage_costs",
+    "heterogeneous_storage_costs",
+    "uniform_requests",
+    "zipf_object_popularity",
+    "hotspot_requests",
+    "split_read_write",
+    "make_instance",
+    "Scenario",
+    "www_content_provider",
+    "distributed_file_system",
+    "virtual_shared_memory",
+    "tree_network",
+]

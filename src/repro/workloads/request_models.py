@@ -1,0 +1,152 @@
+"""Workload generators: request frequencies and storage prices.
+
+The paper's motivation spans three request regimes -- WWW content (many
+readers, few writers, Zipf popularity), distributed file systems (mixed
+read/write with locality) and virtual shared memory (fine-grained,
+write-heavy).  These generators produce the ``fr``/``fw`` matrices and
+``cs`` vectors that, combined with a topology from
+:mod:`repro.graphs.generators`, make a
+:class:`~repro.core.instance.DataManagementInstance`.
+
+All functions are seeded and return integer-valued float arrays (the model
+treats frequencies as request counts).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.instance import DataManagementInstance
+from ..graphs.metric import Metric
+
+__all__ = [
+    "uniform_storage_costs",
+    "heterogeneous_storage_costs",
+    "uniform_requests",
+    "zipf_object_popularity",
+    "hotspot_requests",
+    "split_read_write",
+    "make_instance",
+]
+
+
+def uniform_storage_costs(n: int, price: float) -> np.ndarray:
+    """Every memory module rents at the same per-object price."""
+    if price < 0:
+        raise ValueError("price must be non-negative")
+    return np.full(n, float(price))
+
+
+def heterogeneous_storage_costs(
+    n: int, *, seed: int, low: float = 0.5, high: float = 4.0
+) -> np.ndarray:
+    """Per-node prices uniform in ``[low, high)`` -- a market of providers."""
+    rng = np.random.default_rng(seed)
+    return rng.uniform(low, high, size=n)
+
+
+def uniform_requests(
+    n: int, m: int, *, seed: int, mean: float = 4.0
+) -> np.ndarray:
+    """Independent Poisson request counts per (object, node)."""
+    rng = np.random.default_rng(seed)
+    return rng.poisson(mean, size=(m, n)).astype(float)
+
+
+def zipf_object_popularity(
+    n: int, m: int, *, seed: int, total_per_object: float = 100.0, exponent: float = 0.8
+) -> np.ndarray:
+    """Zipf-popular objects, uniform-random request homes.
+
+    Object ``i`` receives ``total * (i+1)^-exponent / H`` requests (the
+    classic WWW popularity curve), multinomially scattered over nodes.
+    """
+    rng = np.random.default_rng(seed)
+    ranks = np.arange(1, m + 1, dtype=float) ** (-exponent)
+    ranks /= ranks.sum()
+    out = np.zeros((m, n))
+    for i in range(m):
+        total = int(round(total_per_object * m * ranks[i]))
+        if total > 0:
+            out[i] = rng.multinomial(total, np.full(n, 1.0 / n))
+    return out
+
+
+def hotspot_requests(
+    n: int,
+    m: int,
+    *,
+    seed: int,
+    hot_fraction: float = 0.2,
+    hot_share: float = 0.8,
+    total_per_object: float = 100.0,
+) -> np.ndarray:
+    """A small set of hot nodes issues most requests (locality skew)."""
+    if not 0 < hot_fraction <= 1 or not 0 <= hot_share <= 1:
+        raise ValueError("fractions must lie in (0,1] and [0,1]")
+    rng = np.random.default_rng(seed)
+    k = max(1, int(round(hot_fraction * n)))
+    out = np.zeros((m, n))
+    for i in range(m):
+        hot = rng.choice(n, size=k, replace=False)
+        probs = np.full(n, (1.0 - hot_share) / max(n - k, 1))
+        if n == k:
+            probs[:] = 0.0
+        probs[hot] = hot_share / k
+        probs /= probs.sum()
+        out[i] = rng.multinomial(int(total_per_object), probs)
+    return out
+
+
+def split_read_write(
+    demand: np.ndarray, *, write_fraction: float, seed: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Split a demand matrix into integer read/write counts.
+
+    Each request independently becomes a write with probability
+    ``write_fraction`` (binomial per cell), so the realized mix fluctuates
+    realistically around the target.
+    """
+    if not 0.0 <= write_fraction <= 1.0:
+        raise ValueError("write_fraction must lie in [0, 1]")
+    rng = np.random.default_rng(seed)
+    demand = np.asarray(demand, dtype=float)
+    writes = rng.binomial(demand.astype(int), write_fraction).astype(float)
+    reads = demand - writes
+    return reads, writes
+
+
+def make_instance(
+    metric: Metric,
+    *,
+    seed: int,
+    num_objects: int = 1,
+    demand_model: str = "uniform",
+    write_fraction: float = 0.2,
+    storage_price: float | None = None,
+    mean_demand: float = 4.0,
+) -> DataManagementInstance:
+    """One-stop instance factory used by tests and benchmarks.
+
+    ``demand_model`` is ``"uniform"``, ``"zipf"`` or ``"hotspot"``;
+    ``storage_price=None`` draws heterogeneous prices.
+    """
+    n = metric.n
+    if demand_model == "uniform":
+        demand = uniform_requests(n, num_objects, seed=seed, mean=mean_demand)
+    elif demand_model == "zipf":
+        demand = zipf_object_popularity(
+            n, num_objects, seed=seed, total_per_object=mean_demand * n
+        )
+    elif demand_model == "hotspot":
+        demand = hotspot_requests(
+            n, num_objects, seed=seed, total_per_object=mean_demand * n
+        )
+    else:
+        raise ValueError(f"unknown demand model {demand_model!r}")
+    reads, writes = split_read_write(demand, write_fraction=write_fraction, seed=seed + 1)
+    if storage_price is None:
+        cs = heterogeneous_storage_costs(n, seed=seed + 2)
+    else:
+        cs = uniform_storage_costs(n, storage_price)
+    return DataManagementInstance(metric, cs, reads, writes)

@@ -1,0 +1,138 @@
+"""Named end-to-end scenarios mirroring the paper's motivating systems.
+
+Each scenario bundles a topology, a workload and storage prices into a
+ready :class:`~repro.core.instance.DataManagementInstance`:
+
+* :func:`www_content_provider` -- a transit-stub Internet with Zipf page
+  popularity and a low write rate (page updates): the paper's commercial
+  content-provider story.
+* :func:`distributed_file_system` -- a LAN-like cluster (cheap local
+  links) with hotspot file access and a moderate write share.
+* :func:`virtual_shared_memory` -- a mesh machine with near-uniform,
+  write-heavy cache-line traffic.
+* :func:`tree_network` -- a random tree instance for the Section 3
+  optimum (also the shape used in E2/E9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from ..core.instance import DataManagementInstance
+from ..graphs.generators import grid_graph, random_tree, transit_stub_graph
+from ..graphs.metric import Metric
+from .request_models import make_instance
+
+__all__ = [
+    "Scenario",
+    "www_content_provider",
+    "distributed_file_system",
+    "virtual_shared_memory",
+    "tree_network",
+]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named instance plus the graph it was built from."""
+
+    name: str
+    graph: nx.Graph
+    instance: DataManagementInstance
+
+
+def www_content_provider(
+    *,
+    seed: int = 7,
+    transit: int = 4,
+    stubs_per_transit: int = 2,
+    stub_size: int = 4,
+    num_objects: int = 8,
+    write_fraction: float = 0.05,
+    storage_price: float = 6.0,
+) -> Scenario:
+    """Content provider renting bandwidth/storage on an Internet-like net."""
+    g = transit_stub_graph(
+        transit, stubs_per_transit, stub_size, seed=seed
+    )
+    metric = Metric.from_graph(g)
+    inst = make_instance(
+        metric,
+        seed=seed + 1,
+        num_objects=num_objects,
+        demand_model="zipf",
+        write_fraction=write_fraction,
+        storage_price=storage_price,
+        mean_demand=6.0,
+    )
+    return Scenario("www_content_provider", g, inst)
+
+
+def distributed_file_system(
+    *,
+    seed: int = 11,
+    n: int = 24,
+    num_objects: int = 6,
+    write_fraction: float = 0.3,
+) -> Scenario:
+    """Ethernet-connected workstations sharing files (hotspot access)."""
+    g = transit_stub_graph(2, 2, max(n // 4 - 1, 1), seed=seed, transit_weight=4.0)
+    metric = Metric.from_graph(g)
+    inst = make_instance(
+        metric,
+        seed=seed + 1,
+        num_objects=num_objects,
+        demand_model="hotspot",
+        write_fraction=write_fraction,
+        storage_price=None,
+        mean_demand=5.0,
+    )
+    return Scenario("distributed_file_system", g, inst)
+
+
+def virtual_shared_memory(
+    *,
+    seed: int = 13,
+    rows: int = 5,
+    cols: int = 5,
+    num_objects: int = 4,
+    write_fraction: float = 0.5,
+    storage_price: float = 2.0,
+) -> Scenario:
+    """Cache lines on a mesh multiprocessor: write-heavy, uniform access."""
+    g = grid_graph(rows, cols, seed=seed)
+    metric = Metric.from_graph(g)
+    inst = make_instance(
+        metric,
+        seed=seed + 1,
+        num_objects=num_objects,
+        demand_model="uniform",
+        write_fraction=write_fraction,
+        storage_price=storage_price,
+        mean_demand=3.0,
+    )
+    return Scenario("virtual_shared_memory", g, inst)
+
+
+def tree_network(
+    *,
+    seed: int = 17,
+    n: int = 30,
+    num_objects: int = 4,
+    write_fraction: float = 0.2,
+) -> Scenario:
+    """Random tree instance for the optimal Section 3 algorithm."""
+    g = random_tree(n, seed=seed)
+    metric = Metric.from_graph(g)
+    inst = make_instance(
+        metric,
+        seed=seed + 1,
+        num_objects=num_objects,
+        demand_model="uniform",
+        write_fraction=write_fraction,
+        storage_price=None,
+        mean_demand=4.0,
+    )
+    return Scenario("tree_network", g, inst)

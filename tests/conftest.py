@@ -1,0 +1,80 @@
+"""Shared fixtures and instance builders for the test suite."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core.instance import DataManagementInstance
+from repro.graphs.metric import Metric
+
+
+def make_random_instance(
+    seed: int,
+    *,
+    n: int | None = None,
+    kind: str = "mixed",
+    max_read: int = 6,
+    max_write: int = 3,
+    cs_high: float = 6.0,
+) -> DataManagementInstance:
+    """Small random single-object instance over a random connected graph.
+
+    ``kind``: ``"tree"``, ``"graph"`` or ``"mixed"`` (seed-dependent).
+    Deterministic in ``seed``.
+    """
+    from repro.graphs.generators import erdos_renyi_graph, random_tree
+
+    rng = np.random.default_rng(seed)
+    if n is None:
+        n = int(rng.integers(3, 11))
+    if kind == "tree" or (kind == "mixed" and seed % 2 == 0):
+        g = random_tree(n, seed=seed)
+    else:
+        g = erdos_renyi_graph(n, 0.4, seed=seed)
+    metric = Metric.from_graph(g)
+    fr = rng.integers(0, max_read + 1, size=n).astype(float)
+    fw = rng.integers(0, max_write + 1, size=n).astype(float)
+    if fr.sum() + fw.sum() == 0:
+        fr[int(rng.integers(0, n))] = 1.0
+    cs = rng.uniform(0.1, cs_high, size=n)
+    return DataManagementInstance.single_object(metric, cs, fr, fw)
+
+
+def make_random_tree_instance(
+    seed: int, *, n: int | None = None, **kwargs
+) -> tuple[nx.Graph, DataManagementInstance]:
+    """Random tree plus matching instance (graph needed for the tree DP)."""
+    from repro.graphs.generators import random_tree
+
+    rng = np.random.default_rng(seed)
+    if n is None:
+        n = int(rng.integers(2, 10))
+    g = random_tree(n, seed=seed)
+    metric = Metric.from_graph(g)
+    fr = rng.integers(0, kwargs.get("max_read", 6) + 1, size=n).astype(float)
+    fw = rng.integers(0, kwargs.get("max_write", 3) + 1, size=n).astype(float)
+    cs = rng.uniform(0.1, kwargs.get("cs_high", 6.0), size=n)
+    return g, DataManagementInstance.single_object(metric, cs, fr, fw)
+
+
+@pytest.fixture
+def line_metric() -> Metric:
+    """Five nodes on a line with unit spacing: distances are |i - j|."""
+    n = 5
+    dist = np.abs(np.subtract.outer(np.arange(n, dtype=float), np.arange(n, dtype=float)))
+    return Metric(dist)
+
+
+@pytest.fixture
+def triangle_metric() -> Metric:
+    """Three nodes, pairwise distances 3-4-5."""
+    dist = np.array(
+        [
+            [0.0, 3.0, 4.0],
+            [3.0, 0.0, 5.0],
+            [4.0, 5.0, 0.0],
+        ]
+    )
+    return Metric(dist)

@@ -1,0 +1,194 @@
+"""Tests for repro.analysis: tables, ratios and (tiny) experiment runs."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ExperimentResult,
+    format_series,
+    format_table,
+    ratio,
+    run_e1_approx_ratio,
+    run_e3_restricted_gap,
+    run_e4_proper_invariants,
+    run_e5_phase_ablation,
+    run_e6_baselines,
+    run_e7_storage_sweep,
+    run_e9_load_model,
+    summarize_ratios,
+)
+
+
+class TestTables:
+    def test_basic_render(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [3, None]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert "-" in lines[1]
+        assert "2.5" in lines[2]
+        assert lines[3].endswith("-")
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[1234.5678], [float("inf")], [float("nan")], [True]])
+        assert "1235" in text
+        assert "inf" in text
+        assert "nan" in text
+        assert "yes" in text
+
+    def test_series_alias(self):
+        text = format_series("x", ["y"], [[1, 2]])
+        assert "x" in text and "y" in text
+
+
+class TestRatios:
+    def test_ratio_basic(self):
+        assert ratio(2.0, 1.0) == 2.0
+
+    def test_ratio_zero_optimum(self):
+        assert ratio(0.0, 0.0) == 1.0
+        assert math.isinf(ratio(1.0, 0.0))
+
+    def test_ratio_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ratio(-1.0, 1.0)
+
+    def test_summarize(self):
+        stats = summarize_ratios([1.0, 1.5, 2.0])
+        assert stats.count == 3
+        assert stats.mean == pytest.approx(1.5)
+        assert stats.max == 2.0
+        assert stats.p50 == pytest.approx(1.5)
+
+    def test_summarize_rejects_sub_one(self):
+        with pytest.raises(ValueError, match="not optimal"):
+            summarize_ratios([0.5])
+
+    def test_summarize_clamps_float_slack(self):
+        stats = summarize_ratios([1.0 - 1e-12])
+        assert stats.min if hasattr(stats, "min") else stats.mean >= 1.0
+
+    def test_summarize_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_ratios([])
+
+
+class TestExperimentRunners:
+    """Tiny-scale versions of the benchmark experiments; shapes plus the
+    headline assertions each experiment exists to check."""
+
+    def test_e1_ratios_reasonable(self):
+        res = run_e1_approx_ratio(families=("tree",), n=7, seeds=(0, 1, 2))
+        assert isinstance(res, ExperimentResult)
+        assert len(res.rows) == 1
+        row = res.rows[0]
+        # mean ratio vs restricted optimum stays within the proven regime
+        assert 1.0 <= row[3] <= 5.0
+        assert res.render().startswith("[E1]")
+
+    def test_e3_gap_bound_holds(self):
+        res = run_e3_restricted_gap(families=("tree",), n=6, seeds=(0, 1, 2))
+        for row in res.rows:
+            assert row[-1] is True or row[-1] == True  # noqa: E712
+            assert row[4] <= 4.0 + 1e-9
+
+    def test_e4_all_proper(self):
+        res = run_e4_proper_invariants(families=("er",), n=8, seeds=(0, 1, 2))
+        for row in res.rows:
+            assert row[-1]
+
+    def test_e5_full_no_worse_than_phase1_on_average(self):
+        res = run_e5_phase_ablation(
+            family="tree", n=8, seeds=(0, 1, 2), write_fractions=(0.5,)
+        )
+        (row,) = res.rows
+        full, fl_only = row[1], row[4]
+        assert full <= fl_only + 0.5  # ablation should not dramatically help
+
+    def test_e6_krw_tracks_best_baseline(self):
+        res = run_e6_baselines(
+            family="tree", n=8, seeds=(0, 1), write_fractions=(0.0, 0.8)
+        )
+        for row in res.rows:
+            krw = row[1]
+            best = min(row[2], row[3])
+            assert krw <= 3.0 * best + 1e-9
+
+    def test_e7_replication_degree_monotone(self):
+        res = run_e7_storage_sweep(
+            family="tree", n=10, seeds=(0, 1), prices=(0.1, 5.0, 50.0)
+        )
+        degrees = [row[1] for row in res.rows]
+        assert degrees[0] >= degrees[-1]
+
+    def test_e9_dp_never_beaten(self):
+        res = run_e9_load_model(sizes=(8,), seeds=(0, 1))
+        for row in res.rows:
+            assert row[-1]  # DP never beaten
+            assert row[2] >= 1.0  # KRW / DP ratio
+
+
+class TestRemainingRunnersSmoke:
+    """Tiny-scale smoke runs of the runners not covered above, with their
+    headline invariants asserted."""
+
+    def test_e2_exactness_rows(self):
+        from repro.analysis import run_e2_tree_dp
+
+        res = run_e2_tree_dp(check_sizes=(5,), timing_sizes=(20,), seeds=(0, 1))
+        exact_rows = [r for r in res.rows if r[0] == "exactness"]
+        assert exact_rows and all(abs(r[4] - 1.0) < 1e-9 for r in exact_rows)
+        timing_rows = [r for r in res.rows if r[0] == "timing"]
+        assert all(r[5] > 0 for r in timing_rows)
+
+    def test_e8_all_solvers_within_factors(self):
+        from repro.analysis import run_e8_facility_choice
+
+        res = run_e8_facility_choice(family="tree", n=8, seeds=(0, 1))
+        names = {row[0] for row in res.rows}
+        assert names == {"local_search", "greedy", "lp_rounding", "exact"}
+        for row in res.rows:
+            assert row[1] >= 1.0 - 1e-9  # UFL cost at least the LP bound
+
+    def test_e10_rows_cover_both_algorithms(self):
+        from repro.analysis import run_e10_scalability
+
+        res = run_e10_scalability(approx_sizes=(30,), tree_sizes=(40,))
+        algos = {row[0] for row in res.rows}
+        assert algos == {"KRW approx", "tree DP"}
+        assert all(row[3] > 0 for row in res.rows)
+
+    def test_e11_simulation_matches_model(self):
+        from repro.analysis import run_e11_simulation_agreement
+
+        res = run_e11_simulation_agreement(families=("tree",), n=9, seeds=(0, 1))
+        for row in res.rows:
+            assert row[3] < 1e-9
+            assert 0.0 < row[5] <= 1.0  # load share is a share
+
+    def test_e12_ratios_positive(self):
+        from repro.analysis import run_e12_online_vs_static
+
+        res = run_e12_online_vs_static(sizes=(8,), seeds=(0, 1), write_fractions=(0.2,))
+        for row in res.rows:
+            assert row[3] > 0
+
+    def test_e13_feasible_and_costlier_when_tight(self):
+        from repro.analysis import run_e13_capacity_price
+
+        res = run_e13_capacity_price(
+            family="tree", n=9, num_objects=3, seeds=(0, 1), caps=(3, 1)
+        )
+        assert all(row[-1] for row in res.rows)
+        loose, tight = res.rows[0], res.rows[-1]
+        assert tight[4] >= loose[4]  # tighter caps move at least as many copies

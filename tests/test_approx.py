@@ -1,0 +1,187 @@
+"""Tests for repro.core.approx: the Section 2.2 three-phase algorithm."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.exhaustive import brute_force_object
+from repro.core.approx import (
+    approximate_object_placement,
+    approximate_placement,
+    proper_placement_margins,
+)
+from repro.core.costs import object_cost
+from repro.core.instance import DataManagementInstance
+from repro.core.radii import radii_for_object
+from repro.facility import related_facility_problem
+from tests.conftest import make_random_instance
+
+
+class TestBasics:
+    def test_returns_nonempty_sorted(self):
+        inst = make_random_instance(1, n=8)
+        copies = approximate_object_placement(inst, 0)
+        assert copies == tuple(sorted(set(copies)))
+        assert len(copies) >= 1
+
+    def test_deterministic(self):
+        inst = make_random_instance(2, n=9)
+        assert approximate_object_placement(inst, 0) == approximate_object_placement(
+            inst, 0
+        )
+
+    def test_zero_demand_stores_on_cheapest_node(self, line_metric):
+        cs = np.array([3.0, 1.0, 2.0, 4.0, 5.0])
+        inst = DataManagementInstance.single_object(
+            line_metric, cs, np.zeros(5), np.zeros(5)
+        )
+        assert approximate_object_placement(inst, 0) == (1,)
+
+    def test_unknown_solver_rejected(self):
+        inst = make_random_instance(3, n=6)
+        with pytest.raises(ValueError, match="fl_solver"):
+            approximate_object_placement(inst, 0, fl_solver="nope")
+
+    def test_multi_object_placement(self, line_metric):
+        inst = DataManagementInstance(
+            line_metric,
+            np.ones(5),
+            np.array([[4.0, 0, 0, 0, 0], [0, 0, 0, 0, 4.0]]),
+            np.zeros((2, 5)),
+        )
+        p = approximate_placement(inst)
+        assert p.num_objects == 2
+        # each object's demand is concentrated at one end
+        assert 0 in p.copies(0)
+        assert 4 in p.copies(1)
+
+    def test_all_fl_solvers_work(self):
+        inst = make_random_instance(4, n=7)
+        for solver in ("local_search", "greedy", "lp_rounding", "exact"):
+            copies = approximate_object_placement(inst, 0, fl_solver=solver)
+            assert len(copies) >= 1
+
+
+class TestDiagnostics:
+    def test_phase_progression(self):
+        inst = make_random_instance(5, n=9)
+        copies, diag = approximate_object_placement(inst, 0, return_diagnostics=True)
+        assert copies == diag.after_phase3
+        # phase 2 only adds; phase 3 only deletes
+        assert set(diag.after_phase1) <= set(diag.after_phase2)
+        assert set(diag.after_phase3) <= set(diag.after_phase2)
+
+    def test_ablation_switches(self):
+        inst = make_random_instance(6, n=9)
+        _, diag = approximate_object_placement(inst, 0, return_diagnostics=True)
+        no23 = approximate_object_placement(inst, 0, phase2=False, phase3=False)
+        assert no23 == diag.after_phase1
+
+    def test_radii_recorded(self):
+        inst = make_random_instance(7, n=6)
+        _, diag = approximate_object_placement(inst, 0, return_diagnostics=True)
+        rw, rs, zs = radii_for_object(
+            inst.metric, inst.storage_costs, inst.read_freq[0], inst.write_freq[0]
+        )
+        assert np.allclose(diag.write_radii, rw)
+        assert np.allclose(diag.storage_radii, rs)
+
+
+class TestPhaseSemantics:
+    @given(st.integers(min_value=0, max_value=250))
+    @settings(max_examples=40, deadline=None)
+    def test_phase2_adds_only_violations(self, seed):
+        """After phase 2 every node is within 5 rs(v) of a copy (only nodes
+        with finite rs can demand one)."""
+        inst = make_random_instance(seed)
+        _, diag = approximate_object_placement(inst, 0, return_diagnostics=True)
+        dts = inst.metric.dist_to_set(diag.after_phase2)
+        bound = 5.0 * diag.storage_radii
+        assert np.all((dts <= bound + 1e-9) | np.isinf(bound))
+
+    @given(st.integers(min_value=0, max_value=250))
+    @settings(max_examples=40, deadline=None)
+    def test_claim10_read_plus_storage_does_not_increase(self, seed):
+        """Claim 10: phase 2 never increases read + storage cost."""
+        inst = make_random_instance(seed)
+        _, diag = approximate_object_placement(inst, 0, return_diagnostics=True)
+
+        def read_storage(copies):
+            c = object_cost(inst, 0, copies, policy="mst")
+            return c.read + c.storage
+
+        assert read_storage(diag.after_phase2) <= read_storage(diag.after_phase1) + 1e-9
+
+    @given(st.integers(min_value=0, max_value=250))
+    @settings(max_examples=40, deadline=None)
+    def test_phase3_separation(self, seed):
+        """After phase 3, surviving copies violate no deletion rule: for the
+        scan to be stable, no copy pair may sit within 4 rw of *both* scan
+        orders -- the Lemma 8 separation property covers this."""
+        inst = make_random_instance(seed)
+        copies = approximate_object_placement(inst, 0)
+        margins = proper_placement_margins(inst, 0, copies)
+        assert margins["separation"] >= -1e-9
+
+    @given(st.integers(min_value=0, max_value=250))
+    @settings(max_examples=40, deadline=None)
+    def test_lemma8_coverage(self, seed):
+        inst = make_random_instance(seed)
+        copies = approximate_object_placement(inst, 0)
+        margins = proper_placement_margins(inst, 0, copies)
+        assert margins["coverage"] >= -1e-9
+
+    def test_read_only_instances_skip_deletions(self):
+        """With no writes all write radii vanish, so phase 3 can only merge
+        coincident copies (distance 0)."""
+        inst = make_random_instance(11, n=8, max_write=0)
+        _, diag = approximate_object_placement(inst, 0, return_diagnostics=True)
+        survivors = set(diag.after_phase3)
+        for u in diag.after_phase2:
+            if u in survivors:
+                continue
+            # deleted: must be at metric distance 0 from some survivor
+            assert min(inst.metric.d(u, v) for v in survivors) <= 1e-12
+
+
+class TestApproximationQuality:
+    @given(st.integers(min_value=0, max_value=150))
+    @settings(max_examples=25, deadline=None)
+    def test_within_small_constant_of_restricted_optimum(self, seed):
+        """Theorem 7 proves a (large) constant; empirically the ratio stays
+        tiny.  We assert a generous 4x against the MST-policy optimum."""
+        inst = make_random_instance(seed, n=8)
+        copies = approximate_object_placement(inst, 0)
+        cost = object_cost(inst, 0, copies, policy="mst").total
+        _, opt = brute_force_object(inst, 0, policy="mst")
+        assert cost <= 4.0 * opt + 1e-9
+
+    def test_beats_or_matches_phase1_when_writes_dominate(self):
+        """With heavy writes the FL placement over-replicates; phases 2+3
+        must not be worse."""
+        worse = 0
+        for seed in range(25):
+            inst = make_random_instance(seed, n=9, max_read=1, max_write=6)
+            full = approximate_object_placement(inst, 0)
+            fl_only = approximate_object_placement(inst, 0, phase2=False, phase3=False)
+            c_full = object_cost(inst, 0, full, policy="mst").total
+            c_fl = object_cost(inst, 0, fl_only, policy="mst").total
+            if c_full > c_fl + 1e-9:
+                worse += 1
+        # the deletion phase should help on average for write-heavy loads
+        assert worse <= 12
+
+    def test_storage_price_zero_replicates_widely(self, line_metric):
+        inst = DataManagementInstance.single_object(
+            line_metric, np.zeros(5), np.full(5, 5.0), np.zeros(5)
+        )
+        copies = approximate_object_placement(inst, 0)
+        assert len(copies) == 5  # free storage, read-only: copy everywhere
+
+    def test_huge_storage_price_single_copy(self, line_metric):
+        inst = DataManagementInstance.single_object(
+            line_metric, np.full(5, 1e6), np.full(5, 1.0), np.zeros(5)
+        )
+        copies = approximate_object_placement(inst, 0)
+        assert len(copies) == 1

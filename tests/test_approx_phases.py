@@ -1,0 +1,149 @@
+"""Deeper mechanics tests for the three phases of the Section 2 algorithm.
+
+These pin down the *procedural* claims the proofs rely on (beyond the
+outcome invariants in test_approx.py): single-pass sufficiency of phase 2,
+survival of the minimum-write-radius holder in phase 3, and the scan-order
+discipline of the deletion rule.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.approx import approximate_object_placement
+from repro.core.instance import DataManagementInstance
+from repro.core.radii import radii_for_object
+from tests.conftest import make_random_instance
+
+seeds = st.integers(min_value=0, max_value=300)
+
+
+class TestPhase2Mechanics:
+    @given(seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_single_pass_is_a_fixed_point(self, seed):
+        """After phase 2, no node violates the 5*rs rule -- i.e. a second
+        pass would add nothing (adding copies only shrinks distances, so
+        one fixed-order pass suffices)."""
+        inst = make_random_instance(seed)
+        _, diag = approximate_object_placement(inst, 0, return_diagnostics=True)
+        dts = inst.metric.dist_to_set(diag.after_phase2)
+        violations = [
+            v
+            for v in range(inst.num_nodes)
+            if np.isfinite(diag.storage_radii[v])
+            and dts[v] > 5.0 * diag.storage_radii[v] + 1e-9
+        ]
+        assert violations == []
+
+    @given(seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_added_nodes_were_violating(self, seed):
+        """Every phase-2 addition must have been a genuine violation
+        against the copies present at its scan moment; at minimum it must
+        violate the rule against the phase-1 set."""
+        inst = make_random_instance(seed)
+        _, diag = approximate_object_placement(inst, 0, return_diagnostics=True)
+        added = set(diag.after_phase2) - set(diag.after_phase1)
+        dts1 = inst.metric.dist_to_set(diag.after_phase1)
+        for v in sorted(added):
+            # the scan processes nodes in index order; copies added before
+            # v can only have shrunk its distance, so violating against
+            # the *final pre-v* set implies violating against phase 1 would
+            # be too strong -- instead check the recorded rs justifies it:
+            # v joined because d(v, current) > 5 rs(v) held at its turn,
+            # and current ⊆ after_phase2 \ {later additions}; we verify the
+            # weaker monotone certificate d(v, phase1 ∪ earlier) > 5 rs(v).
+            earlier = set(diag.after_phase1) | {u for u in added if u < v}
+            d_v = inst.metric.dist_to_set(sorted(earlier))[v]
+            assert d_v > 5.0 * diag.storage_radii[v] - 1e-9
+
+    def test_no_additions_when_rs_infinite_everywhere(self, line_metric):
+        """Storage dearer than total request mass: phase 2 never fires."""
+        inst = DataManagementInstance.single_object(
+            line_metric, np.full(5, 1e9), np.ones(5), np.zeros(5)
+        )
+        _, diag = approximate_object_placement(inst, 0, return_diagnostics=True)
+        assert diag.after_phase2 == diag.after_phase1
+
+
+class TestPhase3Mechanics:
+    @given(seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_min_write_radius_holder_survives(self, seed):
+        """The first-scanned (minimum rw) phase-2 holder is never deleted
+        -- the argument that keeps the copy set non-empty."""
+        inst = make_random_instance(seed)
+        _, diag = approximate_object_placement(inst, 0, return_diagnostics=True)
+        first = min(diag.after_phase2, key=lambda v: (diag.write_radii[v], v))
+        assert first in diag.after_phase3
+
+    @given(seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_survivors_do_not_trigger_deletion_rule(self, seed):
+        """No surviving pair (u, v) with rw(v) >= rw(u) may satisfy
+        d(u, v) <= 4 rw(u): v's scan would have deleted u (or u's scan v)."""
+        inst = make_random_instance(seed)
+        copies = approximate_object_placement(inst, 0)
+        rw, _, _ = radii_for_object(
+            inst.metric, inst.storage_costs, inst.read_freq[0], inst.write_freq[0]
+        )
+        for u in copies:
+            for v in copies:
+                if u == v:
+                    continue
+                # the later-scanned node of the pair deletes the other
+                if (rw[v], v) >= (rw[u], u):
+                    assert inst.metric.d(u, v) > 4.0 * rw[u] - 1e-9
+
+    @given(seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_deleted_nodes_have_a_justifying_survivor_or_chain(self, seed):
+        """Every phase-3 deletion is justified by some holder within
+        4 rw(victim) that was alive at scan time; in particular each victim
+        has *some* phase-2 holder within that radius."""
+        inst = make_random_instance(seed)
+        _, diag = approximate_object_placement(inst, 0, return_diagnostics=True)
+        deleted = set(diag.after_phase2) - set(diag.after_phase3)
+        for u in deleted:
+            near = [
+                v
+                for v in diag.after_phase2
+                if v != u and inst.metric.d(u, v) <= 4.0 * diag.write_radii[u] + 1e-9
+            ]
+            assert near, f"deleted node {u} has no justifying neighbour"
+
+    def test_write_free_instance_keeps_phase2_set_modulo_coincidence(self):
+        inst = make_random_instance(44, max_write=0)
+        _, diag = approximate_object_placement(inst, 0, return_diagnostics=True)
+        # rw == 0 everywhere: only distance-0 deletions are legal
+        removed = set(diag.after_phase2) - set(diag.after_phase3)
+        for u in removed:
+            assert any(
+                inst.metric.d(u, v) <= 1e-12 for v in diag.after_phase3
+            )
+
+
+class TestEndToEndPhaseInterplay:
+    @given(seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_result_contained_in_phase2_superset(self, seed):
+        inst = make_random_instance(seed)
+        _, diag = approximate_object_placement(inst, 0, return_diagnostics=True)
+        assert set(diag.after_phase3) <= set(diag.after_phase2)
+        assert set(diag.after_phase1) <= set(diag.after_phase2)
+        assert len(diag.after_phase3) >= 1
+
+    @given(seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_phase_switches_compose(self, seed):
+        """phase2=False, phase3=True must equal running phase 3 directly on
+        the phase-1 output -- the phases have no hidden coupling."""
+        inst = make_random_instance(seed)
+        via_flag = approximate_object_placement(inst, 0, phase2=False, phase3=True)
+        _, diag = approximate_object_placement(
+            inst, 0, phase2=False, phase3=True, return_diagnostics=True
+        )
+        assert via_flag == diag.after_phase3
+        assert diag.after_phase1 == diag.after_phase2  # phase 2 skipped

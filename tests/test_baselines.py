@@ -1,0 +1,207 @@
+"""Tests for repro.baselines: exhaustive optima and heuristics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.exhaustive import (
+    SteinerOracle,
+    brute_force_object,
+    brute_force_placement,
+    object_cost_steiner_oracle,
+)
+from repro.baselines.heuristics import (
+    best_single_node,
+    full_replication,
+    greedy_add_placement,
+    local_search_placement,
+    random_placement,
+    write_blind_placement,
+)
+from repro.baselines.ilp import exact_read_only_object, exact_read_only_placement
+from repro.core.costs import object_cost
+from repro.core.instance import DataManagementInstance
+from repro.graphs.metric import Metric
+from repro.graphs.steiner import steiner_exact_cost
+from tests.conftest import make_random_instance
+
+
+class TestSteinerOracle:
+    @given(st.integers(min_value=0, max_value=120))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_direct_dreyfus_wagner(self, seed):
+        inst = make_random_instance(seed, n=7)
+        oracle = SteinerOracle(inst.metric)
+        rng = np.random.default_rng(seed)
+        for _ in range(5):
+            k = int(rng.integers(1, 7))
+            terms = sorted(rng.choice(7, size=k, replace=False).tolist())
+            assert oracle.steiner_cost(terms) == pytest.approx(
+                steiner_exact_cost(inst.metric, terms), rel=1e-9, abs=1e-9
+            )
+
+    def test_size_guard(self):
+        m = Metric(np.zeros((15, 15)))
+        with pytest.raises(ValueError, match="exponential"):
+            SteinerOracle(m)
+
+    def test_oracle_cost_matches_policy_cost(self):
+        inst = make_random_instance(8, n=7)
+        oracle = SteinerOracle(inst.metric)
+        copies = [0, 3, 5]
+        a = object_cost_steiner_oracle(inst, 0, copies, oracle)
+        b = object_cost(inst, 0, copies, policy="steiner")
+        assert a.total == pytest.approx(b.total, rel=1e-9)
+        assert a.update == pytest.approx(b.update, rel=1e-9)
+
+
+class TestBruteForce:
+    @given(st.integers(min_value=0, max_value=150))
+    @settings(max_examples=20, deadline=None)
+    def test_optimum_no_worse_than_any_candidate(self, seed):
+        inst = make_random_instance(seed, n=6)
+        _, opt = brute_force_object(inst, 0, policy="mst")
+        rng = np.random.default_rng(seed)
+        for _ in range(8):
+            k = int(rng.integers(1, 7))
+            copies = sorted(rng.choice(6, size=k, replace=False).tolist())
+            assert opt <= object_cost(inst, 0, copies, policy="mst").total + 1e-9
+
+    def test_returned_set_achieves_returned_cost(self):
+        for seed in range(10):
+            inst = make_random_instance(seed, n=7)
+            copies, opt = brute_force_object(inst, 0, policy="mst")
+            assert object_cost(inst, 0, copies, policy="mst").total == pytest.approx(opt)
+            copies, opt = brute_force_object(inst, 0, policy="steiner")
+            assert object_cost(inst, 0, copies, policy="steiner").total == pytest.approx(
+                opt
+            )
+
+    def test_restricted_filter_is_superset_cost(self):
+        inst = make_random_instance(21, n=7)
+        _, unconstrained = brute_force_object(inst, 0, policy="mst")
+        _, restricted = brute_force_object(inst, 0, policy="mst", require_restricted=True)
+        assert restricted >= unconstrained - 1e-9
+
+    def test_size_guard(self):
+        m = Metric(np.zeros((19, 19)))
+        inst = DataManagementInstance.single_object(
+            m, np.ones(19), np.ones(19), np.zeros(19)
+        )
+        with pytest.raises(ValueError, match="refused"):
+            brute_force_object(inst, 0)
+
+    def test_unknown_policy(self):
+        inst = make_random_instance(1, n=5)
+        with pytest.raises(ValueError, match="policy"):
+            brute_force_object(inst, 0, policy="bogus")
+
+    def test_placement_level_sums_objects(self, line_metric):
+        inst = DataManagementInstance(
+            line_metric,
+            np.ones(5),
+            np.array([[2.0, 0, 0, 0, 0], [0, 0, 0, 0, 2.0]]),
+            np.zeros((2, 5)),
+        )
+        placement, total = brute_force_placement(inst, policy="mst")
+        a = brute_force_object(inst, 0, policy="mst")[1]
+        b = brute_force_object(inst, 1, policy="mst")[1]
+        assert total == pytest.approx(a + b)
+        assert placement.num_objects == 2
+
+
+class TestHeuristics:
+    def test_best_single_node_is_optimal_single(self):
+        for seed in range(10):
+            inst = make_random_instance(seed, n=7)
+            (v,) = best_single_node(inst, 0)
+            cost_v = object_cost(inst, 0, [v], policy="mst").total
+            for u in range(7):
+                assert cost_v <= object_cost(inst, 0, [u], policy="mst").total + 1e-9
+
+    def test_full_replication(self):
+        inst = make_random_instance(3, n=6)
+        assert full_replication(inst, 0) == tuple(range(6))
+
+    def test_write_blind_nonempty(self):
+        inst = make_random_instance(4, n=8)
+        copies = write_blind_placement(inst, 0)
+        assert len(copies) >= 1
+
+    def test_write_blind_zero_demand(self, line_metric):
+        inst = DataManagementInstance.single_object(
+            line_metric, np.array([2.0, 1.0, 3.0, 4.0, 5.0]), np.zeros(5), np.zeros(5)
+        )
+        assert write_blind_placement(inst, 0) == (1,)
+
+    @given(st.integers(min_value=0, max_value=150))
+    @settings(max_examples=20, deadline=None)
+    def test_greedy_add_no_worse_than_single(self, seed):
+        inst = make_random_instance(seed, n=7)
+        single = object_cost(inst, 0, best_single_node(inst, 0), policy="mst").total
+        greedy = object_cost(inst, 0, greedy_add_placement(inst, 0), policy="mst").total
+        assert greedy <= single + 1e-9
+
+    @given(st.integers(min_value=0, max_value=100))
+    @settings(max_examples=12, deadline=None)
+    def test_local_search_no_worse_than_greedy_start(self, seed):
+        inst = make_random_instance(seed, n=7)
+        single = object_cost(inst, 0, best_single_node(inst, 0), policy="mst").total
+        local = object_cost(
+            inst, 0, local_search_placement(inst, 0), policy="mst"
+        ).total
+        assert local <= single + 1e-9
+
+    def test_local_search_is_local_optimum(self):
+        inst = make_random_instance(17, n=6)
+        copies = set(local_search_placement(inst, 0))
+        cost = object_cost(inst, 0, copies, policy="mst").total
+        for v in range(6):
+            if v not in copies:
+                assert (
+                    object_cost(inst, 0, copies | {v}, policy="mst").total
+                    >= cost - 1e-9
+                )
+
+    def test_random_placement_contract(self):
+        inst = make_random_instance(5, n=8)
+        copies = random_placement(inst, 0, seed=3, k=4)
+        assert len(copies) == 4
+        assert all(0 <= v < 8 for v in copies)
+        assert random_placement(inst, 0, seed=3, k=4) == copies
+
+    def test_random_placement_k_validated(self):
+        inst = make_random_instance(5, n=8)
+        with pytest.raises(ValueError):
+            random_placement(inst, 0, seed=1, k=0)
+        with pytest.raises(ValueError):
+            random_placement(inst, 0, seed=1, k=9)
+
+
+class TestReadOnlyILP:
+    def test_matches_brute_force_read_only(self):
+        for seed in range(8):
+            inst = make_random_instance(seed, n=7, max_write=0)
+            copies = exact_read_only_object(inst, 0)
+            cost = object_cost(inst, 0, copies, policy="mst").total
+            _, opt = brute_force_object(inst, 0, policy="mst")
+            assert cost == pytest.approx(opt, rel=1e-9)
+
+    def test_rejects_instances_with_writes(self):
+        inst = make_random_instance(9, n=6, max_write=3)
+        if inst.total_writes(0) > 0:
+            with pytest.raises(ValueError, match="writes"):
+                exact_read_only_object(inst, 0)
+
+    def test_placement_level(self, line_metric):
+        inst = DataManagementInstance(
+            line_metric,
+            np.ones(5),
+            np.array([[3.0, 0, 0, 0, 0], [0, 0, 0, 0, 3.0]]),
+            np.zeros((2, 5)),
+        )
+        placement = exact_read_only_placement(inst)
+        assert placement.num_objects == 2
+        assert 0 in placement.copies(0)
+        assert 4 in placement.copies(1)

@@ -1,0 +1,176 @@
+"""Tests for repro.core.tree_binarize: structure and distance preservation."""
+
+import math
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.tree_binarize import BinaryNode, BinaryTreeInstance, binarize_tree
+from repro.graphs.generators import balanced_tree, random_tree, star_graph
+
+
+def _data(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return (
+        rng.uniform(0.5, 3.0, size=n),
+        rng.integers(0, 5, size=n).astype(float),
+        rng.integers(0, 3, size=n).astype(float),
+    )
+
+
+def _bt_metric_between_real(bt: BinaryTreeInstance) -> dict[tuple[int, int], float]:
+    """All-pairs distances between real nodes in the binarized tree."""
+    g = nx.Graph()
+    for i, node in enumerate(bt.nodes):
+        for c, w in node.children:
+            g.add_edge(i, c, weight=w)
+    if bt.nodes and not g.nodes:
+        g.add_node(0)
+    dist = dict(nx.all_pairs_dijkstra_path_length(g, weight="weight"))
+    out = {}
+    real = {i: n.original for i, n in enumerate(bt.nodes) if n.original is not None}
+    for i, oi in real.items():
+        for j, oj in real.items():
+            out[(oi, oj)] = dist[i][j]
+    return out
+
+
+class TestStructure:
+    def test_binary_constraint_enforced(self):
+        with pytest.raises(ValueError, match="two children"):
+            BinaryTreeInstance(
+                [BinaryNode(0, 1.0, 0, 0, children=[(1, 1.0), (2, 1.0), (3, 1.0)])]
+                + [BinaryNode(i, 1.0, 0, 0) for i in (1, 2, 3)]
+            )
+
+    def test_star_gets_virtual_combiners(self):
+        g = star_graph(6, seed=1)  # centre 0 with 5 leaves
+        bt = binarize_tree(g, *_data(6))
+        assert all(len(n.children) <= 2 for n in bt.nodes)
+        virtual = [n for n in bt.nodes if n.original is None]
+        assert virtual, "a degree-5 node needs combiner nodes"
+        for v in virtual:
+            assert math.isinf(v.cs)
+            assert v.fr == 0 and v.fw == 0
+
+    def test_virtual_edges_zero_weight(self):
+        g = star_graph(7, seed=2)
+        bt = binarize_tree(g, *_data(7))
+        for i, node in enumerate(bt.nodes):
+            for c, w in node.children:
+                if bt.nodes[c].original is None:
+                    assert w == 0.0
+
+    def test_real_nodes_preserved_once(self):
+        g = random_tree(12, seed=5)
+        bt = binarize_tree(g, *_data(12))
+        originals = [n.original for n in bt.nodes if n.original is not None]
+        assert sorted(originals) == list(range(12))
+
+    def test_node_data_carried(self):
+        g = random_tree(8, seed=6)
+        cs, fr, fw = _data(8, seed=6)
+        bt = binarize_tree(g, cs, fr, fw)
+        for node in bt.nodes:
+            if node.original is not None:
+                v = node.original
+                assert node.cs == pytest.approx(cs[v])
+                assert node.fr == pytest.approx(fr[v])
+                assert node.fw == pytest.approx(fw[v])
+
+    def test_postorder_children_first(self):
+        g = random_tree(15, seed=7)
+        bt = binarize_tree(g, *_data(15))
+        pos = {v: i for i, v in enumerate(bt.postorder)}
+        for i, node in enumerate(bt.nodes):
+            for c, _ in node.children:
+                assert pos[c] < pos[i]
+        assert len(bt.postorder) == len(bt.nodes)
+
+    def test_totals_match(self):
+        g = random_tree(9, seed=8)
+        cs, fr, fw = _data(9, seed=8)
+        bt = binarize_tree(g, cs, fr, fw)
+        assert bt.total_writes() == pytest.approx(fw.sum())
+        assert bt.total_reads() == pytest.approx(fr.sum())
+        assert bt.num_real_nodes() == 9
+
+    def test_single_node_tree(self):
+        g = nx.Graph()
+        g.add_node(0)
+        bt = binarize_tree(g, np.ones(1), np.ones(1), np.zeros(1))
+        assert len(bt.nodes) == 1
+        assert bt.nodes[0].children == []
+
+
+class TestValidation:
+    def test_rejects_cycle(self):
+        g = nx.cycle_graph(4)
+        with pytest.raises(ValueError, match="not a tree"):
+            binarize_tree(g, *_data(4))
+
+    def test_rejects_disconnected(self):
+        g = nx.Graph()
+        g.add_nodes_from(range(4))
+        g.add_edge(0, 1)
+        g.add_edge(2, 3)
+        with pytest.raises(ValueError, match="not a tree"):
+            binarize_tree(g, *_data(4))
+
+    def test_rejects_bad_labels(self):
+        g = nx.Graph()
+        g.add_edge("a", "b")
+        with pytest.raises(ValueError, match="0..n-1"):
+            binarize_tree(g, *_data(2))
+
+    def test_rejects_bad_shapes(self):
+        g = random_tree(4, seed=1)
+        with pytest.raises(ValueError, match="shape"):
+            binarize_tree(g, np.ones(3), np.ones(4), np.ones(4))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            binarize_tree(nx.Graph(), np.ones(0), np.ones(0), np.ones(0))
+
+
+class TestDistancePreservation:
+    @given(st.integers(min_value=0, max_value=150))
+    @settings(max_examples=25, deadline=None)
+    def test_real_node_distances_unchanged(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 12))
+        g = random_tree(n, seed=seed)
+        bt = binarize_tree(g, *_data(n, seed=seed))
+        bt_dist = _bt_metric_between_real(bt)
+        orig = dict(nx.all_pairs_dijkstra_path_length(g, weight="weight"))
+        for (u, v), d in bt_dist.items():
+            assert d == pytest.approx(orig[u][v], abs=1e-9)
+
+    def test_high_degree_distance_preserved(self):
+        g = star_graph(20, seed=3)
+        bt = binarize_tree(g, *_data(20, seed=3))
+        bt_dist = _bt_metric_between_real(bt)
+        orig = dict(nx.all_pairs_dijkstra_path_length(g, weight="weight"))
+        for (u, v), d in bt_dist.items():
+            assert d == pytest.approx(orig[u][v], abs=1e-9)
+
+    def test_combiner_depth_logarithmic(self):
+        """The balanced split keeps the virtual chain depth O(log deg)."""
+        g = star_graph(65, seed=4)  # centre with 64 leaves
+        bt = binarize_tree(g, *_data(65, seed=4))
+        # depth of virtual chains from the root
+        depth = {bt.root: 0}
+        stack = [bt.root]
+        max_virtual_run = 0
+        while stack:
+            v = stack.pop()
+            node = bt.nodes[v]
+            run = depth[v] if node.original is None else 0
+            max_virtual_run = max(max_virtual_run, run)
+            for c, _ in node.children:
+                depth[c] = (depth[v] + 1) if bt.nodes[c].original is None else 0
+                stack.append(c)
+        assert max_virtual_run <= 2 * int(np.ceil(np.log2(64))) + 1

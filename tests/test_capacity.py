@@ -1,0 +1,126 @@
+"""Tests for repro.core.capacity: the capacitated-memory repair pass."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.approx import approximate_placement
+from repro.core.capacity import capacity_violations, enforce_capacities
+from repro.core.costs import placement_cost
+from repro.core.instance import DataManagementInstance
+from repro.core.placement import Placement
+from repro.graphs.metric import Metric
+from tests.conftest import make_random_instance
+
+
+def _multi_object_instance(seed: int, n: int = 8, m: int = 3):
+    rng = np.random.default_rng(seed)
+    base = make_random_instance(seed, n=n)
+    fr = rng.integers(0, 5, size=(m, n)).astype(float)
+    fw = rng.integers(0, 2, size=(m, n)).astype(float)
+    return DataManagementInstance(base.metric, base.storage_costs, fr, fw)
+
+
+class TestViolations:
+    def test_no_violation(self):
+        p = Placement.from_sets([{0}, {1}])
+        assert capacity_violations(p, np.array([1, 1, 1])) == {}
+
+    def test_detects_overflow(self):
+        p = Placement.from_sets([{0}, {0}, {0, 1}])
+        assert capacity_violations(p, np.array([2, 1])) == {0: 1}
+
+    def test_zero_capacity_node(self):
+        p = Placement.from_sets([{0}])
+        assert capacity_violations(p, np.array([0, 5])) == {0: 1}
+
+
+class TestEnforce:
+    def test_noop_when_feasible(self):
+        inst = _multi_object_instance(1)
+        p = approximate_placement(inst)
+        caps = np.full(inst.num_nodes, inst.num_objects)  # loose
+        repaired = enforce_capacities(inst, p, caps)
+        assert repaired.copy_sets == p.copy_sets
+
+    @given(st.integers(min_value=0, max_value=100))
+    @settings(max_examples=15, deadline=None)
+    def test_result_respects_capacities(self, seed):
+        inst = _multi_object_instance(seed)
+        p = approximate_placement(inst)
+        caps = np.ones(inst.num_nodes, dtype=int)  # tight: one object/node
+        repaired = enforce_capacities(inst, p, caps)
+        assert capacity_violations(repaired, caps) == {}
+        assert repaired.num_objects == inst.num_objects
+        for obj in range(inst.num_objects):
+            assert len(repaired.copies(obj)) >= 1
+
+    def test_infeasible_total_capacity(self):
+        inst = _multi_object_instance(2, n=4, m=3)
+        p = approximate_placement(inst)
+        with pytest.raises(ValueError, match="infeasible"):
+            enforce_capacities(inst, p, np.array([1, 1, 0, 0]))
+
+    def test_bad_shape(self):
+        inst = _multi_object_instance(3)
+        p = approximate_placement(inst)
+        with pytest.raises(ValueError, match="shape"):
+            enforce_capacities(inst, p, np.ones(3))
+
+    def test_negative_capacity(self):
+        inst = _multi_object_instance(4)
+        p = approximate_placement(inst)
+        with pytest.raises(ValueError, match="non-negative"):
+            enforce_capacities(inst, p, -np.ones(inst.num_nodes, dtype=int))
+
+    def test_zero_capacity_nodes_emptied(self):
+        inst = _multi_object_instance(5)
+        p = approximate_placement(inst)
+        caps = np.full(inst.num_nodes, inst.num_objects)
+        caps[0] = 0
+        repaired = enforce_capacities(inst, p, caps)
+        for copies in repaired:
+            assert 0 not in copies
+
+    @given(st.integers(min_value=0, max_value=60))
+    @settings(max_examples=8, deadline=None)
+    def test_repaired_cost_bounded_below_by_unconstrained_optimum(self, seed):
+        """Capacities can only restrict the feasible set, so any repaired
+        placement costs at least the unconstrained optimum.  (Note the
+        repair itself may *improve* a non-locally-optimal input: its
+        delete moves accept negative deltas.)"""
+        from repro.baselines.exhaustive import brute_force_object
+
+        inst = _multi_object_instance(seed, n=7)
+        p = approximate_placement(inst)
+        tight = enforce_capacities(inst, p, np.ones(inst.num_nodes, dtype=int))
+        c_tight = placement_cost(inst, tight, policy="mst").total
+        unconstrained = sum(
+            brute_force_object(inst, obj, policy="mst")[1]
+            for obj in range(inst.num_objects)
+        )
+        assert c_tight >= unconstrained - 1e-9
+
+    def test_deterministic(self):
+        inst = _multi_object_instance(7)
+        p = approximate_placement(inst)
+        caps = np.ones(inst.num_nodes, dtype=int)
+        a = enforce_capacities(inst, p, caps)
+        b = enforce_capacities(inst, p, caps)
+        assert a.copy_sets == b.copy_sets
+
+    def test_relocation_preferred_over_costly_delete(self, line_metric):
+        """A last... second copy serving heavy demand should relocate to a
+        free neighbour rather than vanish, when relocation is cheaper."""
+        inst = DataManagementInstance(
+            line_metric,
+            np.ones(5),
+            np.array([[20.0, 0, 0, 0, 20.0]]),
+            np.zeros((1, 5)),
+        )
+        p = Placement.from_sets([{0, 4}])
+        caps = np.array([1, 1, 1, 1, 0])  # node 4 can hold nothing
+        repaired = enforce_capacities(inst, p, caps)
+        # the evicted copy moves to node 3 (nearest to the demand at 4)
+        assert repaired.copies(0) == (0, 3)

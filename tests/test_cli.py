@@ -1,0 +1,78 @@
+"""Tests for the CLI (python -m repro)."""
+
+import io
+
+import pytest
+
+from repro.cli import EXPERIMENTS, SCENARIOS, main
+
+
+class TestList:
+    def test_list_outputs_registries(self):
+        out = io.StringIO()
+        assert main(["list"], out=out) == 0
+        text = out.getvalue()
+        assert "E1" in text and "E12" in text
+        assert "www" in text and "vsm" in text
+
+    def test_no_command_prints_help(self):
+        out = io.StringIO()
+        assert main([], out=out) == 1
+        assert "usage" in out.getvalue().lower()
+
+
+class TestExperimentCommand:
+    def test_registry_covers_all_runners(self):
+        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 14)}
+
+    def test_unknown_experiment(self, capsys):
+        out = io.StringIO()
+        assert main(["experiment", "E99"], out=out) == 2
+
+    def test_case_insensitive_name(self, monkeypatch):
+        # stub the runner so the test stays fast
+        from repro.analysis import ExperimentResult
+
+        called = {}
+
+        def fake():
+            called["yes"] = True
+            return ExperimentResult("E1", "stub", ("a",), [[1]])
+
+        monkeypatch.setitem(EXPERIMENTS, "E1", fake)
+        out = io.StringIO()
+        assert main(["experiment", "e1"], out=out) == 0
+        assert called.get("yes")
+        assert "[E1] stub" in out.getvalue()
+
+    def test_all_expands_registry(self, monkeypatch):
+        from repro.analysis import ExperimentResult
+
+        count = {"n": 0}
+
+        def fake():
+            count["n"] += 1
+            return ExperimentResult("EX", "stub", ("a",), [[1]])
+
+        for key in list(EXPERIMENTS):
+            monkeypatch.setitem(EXPERIMENTS, key, fake)
+        out = io.StringIO()
+        assert main(["experiment", "all"], out=out) == 0
+        assert count["n"] == len(EXPERIMENTS)
+
+
+class TestScenarioCommand:
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["scenario", "nope"], out=io.StringIO())
+
+    def test_vsm_scenario_runs(self):
+        out = io.StringIO()
+        assert main(["scenario", "vsm"], out=out) == 0
+        text = out.getvalue()
+        assert "krw-approximation" in text
+        assert "full-replication" in text
+        assert "total" in text
+
+    def test_registry_names(self):
+        assert set(SCENARIOS) == {"www", "dfs", "vsm", "tree"}

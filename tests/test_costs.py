@@ -1,0 +1,163 @@
+"""Tests for repro.core.costs: hand-computed cases and policy relations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.costs import CostBreakdown, object_cost, placement_cost
+from repro.core.instance import DataManagementInstance
+from repro.core.placement import Placement
+from tests.conftest import make_random_instance
+
+
+@pytest.fixture
+def small(line_metric):
+    """Line 0-1-2-3-4, unit edges.  fr = [2,0,0,0,1], fw = [0,0,1,0,0],
+    cs = [1,1,1,1,1]."""
+    return DataManagementInstance.single_object(
+        line_metric,
+        np.ones(5),
+        np.array([2.0, 0.0, 0.0, 0.0, 1.0]),
+        np.array([0.0, 0.0, 1.0, 0.0, 0.0]),
+    )
+
+
+class TestHandComputedMstPolicy:
+    def test_single_copy_costs(self, small):
+        # copy at node 0: storage 1; reads: 2*0 + 1*4 = 4; write at 2 pays
+        # d=2 (attach) and MST over {0} = 0
+        cost = object_cost(small, 0, [0], policy="mst")
+        assert cost.storage == pytest.approx(1.0)
+        assert cost.read == pytest.approx(4.0 + 2.0)  # attach booked as read
+        assert cost.update == pytest.approx(0.0)
+        assert cost.total == pytest.approx(7.0)
+
+    def test_two_copies_update_cost(self, small):
+        # copies at 0 and 4: storage 2; reads 0; write at 2: attach 2,
+        # update = W * mst({0,4}) = 1 * 4
+        cost = object_cost(small, 0, [0, 4], policy="mst")
+        assert cost.storage == pytest.approx(2.0)
+        assert cost.read == pytest.approx(2.0)
+        assert cost.update == pytest.approx(4.0)
+        assert cost.total == pytest.approx(8.0)
+
+    def test_full_replication(self, small):
+        cost = object_cost(small, 0, range(5), policy="mst")
+        assert cost.storage == pytest.approx(5.0)
+        assert cost.read == pytest.approx(0.0)
+        assert cost.update == pytest.approx(4.0)  # W=1 times line MST=4
+
+
+class TestHandComputedSteinerPolicy:
+    def test_single_copy_matches_mst_policy(self, small):
+        a = object_cost(small, 0, [0], policy="mst")
+        b = object_cost(small, 0, [0], policy="steiner")
+        assert a.total == pytest.approx(b.total)
+
+    def test_two_copies_steiner(self, small):
+        # write at 2 pays steiner({0,2,4}) = 4 (the whole segment), with no
+        # double-counted attach path
+        cost = object_cost(small, 0, [0, 4], policy="steiner")
+        assert cost.read == pytest.approx(0.0)
+        assert cost.update == pytest.approx(4.0)
+        assert cost.total == pytest.approx(6.0)
+
+    def test_writer_holding_copy_pays_copy_tree_only(self, line_metric):
+        inst = DataManagementInstance.single_object(
+            line_metric,
+            np.zeros(5),
+            np.zeros(5),
+            np.array([1.0, 0.0, 0.0, 0.0, 0.0]),
+        )
+        cost = object_cost(inst, 0, [0, 2], policy="steiner")
+        assert cost.update == pytest.approx(2.0)
+
+    def test_steiner_mst_upper_bounds_steiner(self, small):
+        exact = object_cost(small, 0, [0, 2, 4], policy="steiner")
+        approx = object_cost(small, 0, [0, 2, 4], policy="steiner_mst")
+        assert exact.update <= approx.update + 1e-9
+        assert approx.update <= 2 * exact.update + 1e-9
+
+
+class TestBreakdown:
+    def test_total_is_sum(self):
+        c = CostBreakdown(1.0, 2.0, 3.0)
+        assert c.total == 6.0
+
+    def test_addition(self):
+        c = CostBreakdown(1.0, 2.0, 3.0) + CostBreakdown(0.5, 0.5, 0.5)
+        assert c.storage == 1.5 and c.read == 2.5 and c.update == 3.5
+
+    def test_unknown_policy_rejected(self, small):
+        with pytest.raises(ValueError, match="unknown update policy"):
+            object_cost(small, 0, [0], policy="bogus")
+
+    def test_empty_copies_rejected(self, small):
+        with pytest.raises(ValueError):
+            object_cost(small, 0, [], policy="mst")
+
+
+class TestPlacementCost:
+    def test_sums_over_objects(self, line_metric):
+        inst = DataManagementInstance(
+            line_metric,
+            np.ones(5),
+            np.array([[1.0, 0, 0, 0, 0], [0, 0, 0, 0, 1.0]]),
+            np.zeros((2, 5)),
+        )
+        p = Placement.from_sets([{0}, {4}])
+        total = placement_cost(inst, p, policy="mst")
+        a = object_cost(inst, 0, [0], policy="mst")
+        b = object_cost(inst, 1, [4], policy="mst")
+        assert total.total == pytest.approx(a.total + b.total)
+
+    def test_placement_must_match_instance(self, line_metric):
+        inst = DataManagementInstance(
+            line_metric, np.ones(5), np.ones((2, 5)), np.zeros((2, 5))
+        )
+        with pytest.raises(ValueError):
+            placement_cost(inst, Placement.from_sets([{0}]))
+
+
+class TestPolicyRelations:
+    @given(st.integers(min_value=0, max_value=300))
+    @settings(max_examples=30, deadline=None)
+    def test_steiner_update_never_exceeds_mst_policy_write_cost(self, seed):
+        """The restricted (MST) policy upper-bounds the exact policy: per
+        write, steiner({h} ∪ S) <= d(h, S) + mst(S)."""
+        inst = make_random_instance(seed, n=7)
+        rng = np.random.default_rng(seed + 1)
+        k = int(rng.integers(1, 5))
+        copies = sorted(rng.choice(7, size=k, replace=False).tolist())
+        exact = object_cost(inst, 0, copies, policy="steiner")
+        mst = object_cost(inst, 0, copies, policy="mst")
+        # compare write-side costs: mst books the attach under read
+        attach = mst.read - exact.read  # = sum_w fw * d(h, S)
+        assert exact.update <= attach + mst.update + 1e-6
+
+    @given(st.integers(min_value=0, max_value=300))
+    @settings(max_examples=30, deadline=None)
+    def test_single_copy_policies_agree(self, seed):
+        inst = make_random_instance(seed, n=6)
+        v = seed % 6
+        a = object_cost(inst, 0, [v], policy="mst").total
+        b = object_cost(inst, 0, [v], policy="steiner").total
+        c = object_cost(inst, 0, [v], policy="steiner_mst").total
+        assert a == pytest.approx(b)
+        assert a == pytest.approx(c)
+
+    @given(st.integers(min_value=0, max_value=300))
+    @settings(max_examples=25, deadline=None)
+    def test_read_cost_decreases_with_more_copies(self, seed):
+        inst = make_random_instance(seed, n=8)
+        small = object_cost(inst, 0, [0], policy="steiner")
+        large = object_cost(inst, 0, [0, 3, 6], policy="steiner")
+        assert large.read <= small.read + 1e-9
+
+    @given(st.integers(min_value=0, max_value=300))
+    @settings(max_examples=25, deadline=None)
+    def test_read_only_objects_have_zero_update(self, seed):
+        inst = make_random_instance(seed, n=6, max_write=0)
+        cost = object_cost(inst, 0, [1, 4], policy="mst")
+        assert cost.update == 0.0

@@ -1,0 +1,169 @@
+"""Tests for repro.core.envelope: hull algebra vs brute-force minima."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.envelope import Line, LowerEnvelope
+
+finite = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+lines_strategy = st.lists(
+    st.tuples(finite, finite), min_size=1, max_size=12
+).map(lambda ps: [Line(c, m, idx) for idx, (c, m) in enumerate(ps)])
+xs_strategy = st.lists(
+    st.floats(min_value=0.0, max_value=50.0, allow_nan=False), min_size=1, max_size=8
+)
+
+
+def brute_min(lines, x):
+    return min(l.at(x) for l in lines)
+
+
+class TestFromLinesAndQuery:
+    def test_single_line(self):
+        env = LowerEnvelope.from_lines([Line(2.0, 3.0, "a")])
+        value, line = env.query(4.0)
+        assert value == pytest.approx(14.0)
+        assert line.payload == "a"
+
+    def test_dominated_line_dropped(self):
+        env = LowerEnvelope.from_lines([Line(1.0, 1.0), Line(2.0, 2.0)])
+        assert len(env) == 1
+        assert env.lines[0].intercept == 1.0
+
+    def test_equal_slope_keeps_cheapest(self):
+        env = LowerEnvelope.from_lines([Line(5.0, 1.0), Line(3.0, 1.0)])
+        assert len(env) == 1
+        assert env.lines[0].intercept == 3.0
+
+    def test_crossover(self):
+        a, b = Line(0.0, 2.0, "steep"), Line(4.0, 0.0, "flat")
+        env = LowerEnvelope.from_lines([a, b])
+        assert env.query(1.0)[1].payload == "steep"
+        assert env.query(3.0)[1].payload == "flat"
+        # breakpoint exactly at x=2
+        assert env.query(2.0)[0] == pytest.approx(4.0)
+
+    def test_middle_line_pruned(self):
+        # middle line never touches the envelope
+        lines = [Line(0.0, 3.0), Line(10.0, 1.5), Line(6.0, 0.0)]
+        env = LowerEnvelope.from_lines(lines)
+        assert all(l.slope != 1.5 for l in env.lines)
+
+    def test_infinite_intercepts_filtered(self):
+        env = LowerEnvelope.from_lines([Line(math.inf, 0.0), Line(1.0, 1.0)])
+        assert len(env) == 1
+
+    def test_empty(self):
+        env = LowerEnvelope.from_lines([])
+        assert env.is_empty
+        assert env.query(1.0) == (math.inf, None)
+
+    def test_negative_query_rejected(self):
+        env = LowerEnvelope.constant(1.0)
+        with pytest.raises(ValueError):
+            env.query(-1.0)
+
+    def test_starts_begin_at_zero_and_increase(self):
+        env = LowerEnvelope.from_lines(
+            [Line(0.0, 5.0), Line(2.0, 2.0), Line(7.0, 0.5), Line(12.0, 0.0)]
+        )
+        assert env.starts[0] == 0.0
+        assert all(a <= b for a, b in zip(env.starts, env.starts[1:]))
+
+    @given(lines_strategy, xs_strategy)
+    @settings(max_examples=120, deadline=None)
+    def test_matches_brute_force(self, lines, xs):
+        env = LowerEnvelope.from_lines(lines)
+        for x in xs:
+            expected = brute_min(lines, x)
+            got = env.value(x)
+            assert got == pytest.approx(expected, rel=1e-9, abs=1e-9)
+
+    @given(lines_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_hull_invariants(self, lines):
+        env = LowerEnvelope.from_lines(lines)
+        slopes = [l.slope for l in env.lines]
+        intercepts = [l.intercept for l in env.lines]
+        assert slopes == sorted(slopes, reverse=True)
+        assert all(a < b for a, b in zip(slopes[1:], slopes[:-1]))  # strict
+        assert intercepts == sorted(intercepts)
+
+
+class TestMinAtInfinity:
+    def test_picks_smallest_slope(self):
+        env = LowerEnvelope.from_lines([Line(0.0, 2.0), Line(10.0, 0.0, "flat")])
+        value, line = env.min_at_infinity()
+        assert value == 10.0 and line.payload == "flat"
+
+    def test_empty_gives_inf(self):
+        assert LowerEnvelope.empty().min_at_infinity() == (math.inf, None)
+
+
+class TestShift:
+    @given(lines_strategy, st.floats(min_value=0.0, max_value=20.0, allow_nan=False))
+    @settings(max_examples=60, deadline=None)
+    def test_shift_semantics(self, lines, delta):
+        env = LowerEnvelope.from_lines(lines)
+        shifted = env.shifted(delta)
+        for x in (0.0, 1.0, 7.5):
+            assert shifted.value(x) == pytest.approx(env.value(x + delta), rel=1e-9)
+
+    def test_extra_intercept(self):
+        env = LowerEnvelope.constant(2.0)
+        assert env.shifted(0.0, extra_intercept=3.0).value(0.0) == pytest.approx(5.0)
+
+    def test_negative_shift_rejected(self):
+        with pytest.raises(ValueError):
+            LowerEnvelope.constant(1.0).shifted(-1.0)
+
+
+class TestAddedSlope:
+    @given(lines_strategy, st.floats(min_value=0.0, max_value=10.0, allow_nan=False))
+    @settings(max_examples=60, deadline=None)
+    def test_added_slope_semantics(self, lines, extra):
+        env = LowerEnvelope.from_lines(lines)
+        bumped = env.with_added_slope(extra)
+        for x in (0.0, 2.0, 9.0):
+            assert bumped.value(x) == pytest.approx(env.value(x) + extra * x, rel=1e-9)
+
+
+class TestMinimumAndSum:
+    @given(lines_strategy, lines_strategy)
+    @settings(max_examples=80, deadline=None)
+    def test_minimum_semantics(self, la, lb):
+        ea, eb = LowerEnvelope.from_lines(la), LowerEnvelope.from_lines(lb)
+        merged = ea.minimum(eb)
+        for x in (0.0, 0.5, 3.0, 17.0):
+            assert merged.value(x) == pytest.approx(
+                min(brute_min(la, x), brute_min(lb, x)), rel=1e-9, abs=1e-9
+            )
+
+    @given(lines_strategy, lines_strategy)
+    @settings(max_examples=80, deadline=None)
+    def test_sum_semantics(self, la, lb):
+        ea, eb = LowerEnvelope.from_lines(la), LowerEnvelope.from_lines(lb)
+        total = ea.sum(eb)
+        for x in (0.0, 1.0, 4.0, 25.0):
+            assert total.value(x) == pytest.approx(
+                brute_min(la, x) + brute_min(lb, x), rel=1e-9, abs=1e-9
+            )
+
+    def test_sum_payload_combination(self):
+        ea = LowerEnvelope.from_lines([Line(0.0, 1.0, "a")])
+        eb = LowerEnvelope.from_lines([Line(1.0, 0.0, "b")])
+        total = ea.sum(eb)
+        assert total.query(0.0)[1].payload == ("a", "b")
+
+    def test_sum_with_empty_is_empty(self):
+        e = LowerEnvelope.constant(1.0)
+        assert e.sum(LowerEnvelope.empty()).is_empty
+
+    def test_minimum_with_empty_is_identity(self):
+        e = LowerEnvelope.constant(1.0, "p")
+        merged = e.minimum(LowerEnvelope.empty())
+        assert merged.value(3.0) == 1.0

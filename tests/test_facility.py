@@ -1,0 +1,204 @@
+"""Tests for repro.facility: the four UFL solvers against LP and MILP."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.facility import (
+    FL_SOLVERS,
+    FacilityLocationProblem,
+    exact_ufl,
+    greedy_ufl,
+    local_search_ufl,
+    lp_rounding_ufl,
+    related_facility_problem,
+    solve_ufl_lp,
+)
+from tests.conftest import make_random_instance
+
+
+def random_problem(seed: int, nf: int = 8, nc: int = 8) -> FacilityLocationProblem:
+    rng = np.random.default_rng(seed)
+    pts_f = rng.random((nf, 2))
+    pts_c = rng.random((nc, 2))
+    dist = np.sqrt(((pts_f[:, None, :] - pts_c[None, :, :]) ** 2).sum(axis=2))
+    return FacilityLocationProblem(
+        open_costs=rng.uniform(0.1, 1.5, size=nf),
+        demands=rng.integers(0, 6, size=nc).astype(float),
+        dist=dist,
+    )
+
+
+class TestProblem:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="shape"):
+            FacilityLocationProblem(np.ones(2), np.ones(3), np.zeros((3, 3)))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            FacilityLocationProblem(-np.ones(2), np.ones(2), np.zeros((2, 2)))
+
+    def test_cost_decomposition(self):
+        p = random_problem(1)
+        s = [0, 3]
+        assert p.cost(s) == pytest.approx(p.facility_cost(s) + p.connection_cost(s))
+
+    def test_empty_open_set_rejected(self):
+        p = random_problem(2)
+        with pytest.raises(ValueError):
+            p.cost([])
+
+    def test_assignments_are_nearest(self):
+        p = random_problem(3)
+        open_set = [1, 4, 6]
+        assign = p.assignments(open_set)
+        for j in range(p.num_clients):
+            best = min(open_set, key=lambda i: (p.dist[i, j], i))
+            assert assign[j] == best
+
+    def test_cheapest_facility(self):
+        p = FacilityLocationProblem(
+            np.array([3.0, 1.0, 2.0]), np.zeros(2), np.zeros((3, 2))
+        )
+        assert p.cheapest_facility() == 1
+
+    def test_related_problem_recasts_writes(self):
+        inst = make_random_instance(5, n=6)
+        fl = related_facility_problem(inst, 0)
+        assert np.allclose(fl.demands, inst.demand(0))
+        assert np.allclose(fl.open_costs, inst.storage_costs)
+        assert fl.dist.shape == (6, 6)
+
+
+class TestLP:
+    @given(st.integers(min_value=0, max_value=100))
+    @settings(max_examples=15, deadline=None)
+    def test_lp_lower_bounds_exact(self, seed):
+        p = random_problem(seed, nf=6, nc=6)
+        lp_value, y, x = solve_ufl_lp(p)
+        opt = p.cost(exact_ufl(p))
+        assert lp_value <= opt + 1e-6
+
+    def test_lp_solution_is_feasible(self):
+        p = random_problem(7)
+        _, y, x = solve_ufl_lp(p)
+        clients = np.flatnonzero(p.demands > 0)
+        assert np.allclose(x[:, clients].sum(axis=0), 1.0, atol=1e-6)
+        assert np.all(x <= y[:, None] + 1e-6)
+
+    def test_zero_demand_lp_is_zero(self):
+        p = FacilityLocationProblem(np.ones(3), np.zeros(3), np.ones((3, 3)))
+        value, _, _ = solve_ufl_lp(p)
+        assert value == 0.0
+
+
+class TestExact:
+    def test_known_small_instance(self):
+        # two facilities; opening both is optimal when connections dominate
+        dist = np.array([[0.0, 10.0], [10.0, 0.0]])
+        p = FacilityLocationProblem(np.array([1.0, 1.0]), np.array([2.0, 2.0]), dist)
+        assert exact_ufl(p) == [0, 1]
+
+    def test_expensive_facility_closed(self):
+        dist = np.array([[0.0, 1.0], [1.0, 0.0]])
+        p = FacilityLocationProblem(np.array([0.5, 100.0]), np.array([1.0, 1.0]), dist)
+        assert exact_ufl(p) == [0]
+
+    def test_zero_demand_opens_cheapest(self):
+        p = FacilityLocationProblem(np.array([2.0, 1.0]), np.zeros(2), np.ones((2, 2)))
+        assert exact_ufl(p) == [1]
+
+    @given(st.integers(min_value=0, max_value=60))
+    @settings(max_examples=10, deadline=None)
+    def test_beats_every_heuristic(self, seed):
+        p = random_problem(seed, nf=6, nc=6)
+        opt = p.cost(exact_ufl(p))
+        for name, solver in FL_SOLVERS.items():
+            assert opt <= p.cost(solver(p)) + 1e-9
+
+
+class TestLocalSearch:
+    @given(st.integers(min_value=0, max_value=150))
+    @settings(max_examples=20, deadline=None)
+    def test_within_korupolu_factor(self, seed):
+        """KPR prove 5 + eps for add/drop/swap local optima; we assert the
+        proven bound (empirically it is far smaller)."""
+        p = random_problem(seed, nf=7, nc=7)
+        cost = p.cost(local_search_ufl(p))
+        opt = p.cost(exact_ufl(p))
+        assert cost <= 5.0 * opt + 1e-6
+
+    def test_initial_set_respected(self):
+        p = random_problem(9)
+        out = local_search_ufl(p, initial=[0, 1, 2, 3, 4, 5, 6])
+        assert len(out) >= 1
+
+    def test_empty_initial_rejected(self):
+        p = random_problem(9)
+        with pytest.raises(ValueError):
+            local_search_ufl(p, initial=[])
+
+    def test_local_optimum_has_no_improving_add(self):
+        p = random_problem(11)
+        out = local_search_ufl(p)
+        cost = p.cost(out)
+        for i in range(p.num_facilities):
+            if i in out:
+                continue
+            assert p.cost(sorted(set(out) | {i})) >= cost - 1e-6
+
+    def test_local_optimum_has_no_improving_drop(self):
+        p = random_problem(12)
+        out = local_search_ufl(p)
+        cost = p.cost(out)
+        if len(out) >= 2:
+            for i in out:
+                rest = [j for j in out if j != i]
+                assert p.cost(rest) >= cost - 1e-6
+
+
+class TestGreedy:
+    @given(st.integers(min_value=0, max_value=150))
+    @settings(max_examples=20, deadline=None)
+    def test_serves_everyone_and_reasonable(self, seed):
+        p = random_problem(seed, nf=7, nc=7)
+        out = greedy_ufl(p)
+        assert len(out) >= 1
+        opt = p.cost(exact_ufl(p))
+        # O(log n) bound; for n=7 assert a loose 4x envelope
+        assert p.cost(out) <= 4.0 * opt + 1e-6
+
+    def test_zero_demand(self):
+        p = FacilityLocationProblem(np.array([2.0, 1.0]), np.zeros(2), np.ones((2, 2)))
+        assert greedy_ufl(p) == [1]
+
+
+class TestLPRounding:
+    @given(st.integers(min_value=0, max_value=100))
+    @settings(max_examples=12, deadline=None)
+    def test_within_proven_factor(self, seed):
+        """STA filtering with alpha = 1/4 proves factor 4."""
+        p = random_problem(seed, nf=6, nc=6)
+        out = lp_rounding_ufl(p)
+        opt = p.cost(exact_ufl(p))
+        assert p.cost(out) <= 4.0 * opt + 1e-6
+
+    def test_alpha_validated(self):
+        p = random_problem(1)
+        with pytest.raises(ValueError):
+            lp_rounding_ufl(p, alpha=0.0)
+        with pytest.raises(ValueError):
+            lp_rounding_ufl(p, alpha=1.0)
+
+    def test_zero_demand(self):
+        p = FacilityLocationProblem(np.array([2.0, 1.0]), np.zeros(2), np.ones((2, 2)))
+        assert lp_rounding_ufl(p) == [1]
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", sorted(FL_SOLVERS))
+    def test_each_solver_deterministic(self, name):
+        p = random_problem(77)
+        solver = FL_SOLVERS[name]
+        assert solver(p) == solver(p)

@@ -1,0 +1,181 @@
+"""Tests for repro.graphs.generators: shape, connectivity, determinism."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import generators as gen
+
+
+def _check_basic(g: nx.Graph, n_expected: int | None = None):
+    """Common contract: 0..n-1 labels, connected, positive weights."""
+    n = g.number_of_nodes()
+    if n_expected is not None:
+        assert n == n_expected
+    assert set(g.nodes()) == set(range(n))
+    assert nx.is_connected(g)
+    for _, _, data in g.edges(data=True):
+        assert data["weight"] > 0
+
+
+class TestTrees:
+    @pytest.mark.parametrize("n", [1, 2, 3, 7, 20])
+    def test_random_tree_shape(self, n):
+        g = gen.random_tree(n, seed=3)
+        _check_basic(g, n)
+        assert g.number_of_edges() == n - 1
+
+    def test_random_tree_deterministic(self):
+        a, b = gen.random_tree(12, seed=9), gen.random_tree(12, seed=9)
+        assert sorted(a.edges()) == sorted(b.edges())
+        for u, v in a.edges():
+            assert a[u][v]["weight"] == b[u][v]["weight"]
+
+    def test_random_tree_seeds_differ(self):
+        a, b = gen.random_tree(12, seed=1), gen.random_tree(12, seed=2)
+        assert sorted(a.edges()) != sorted(b.edges()) or any(
+            a[u][v]["weight"] != b[u][v]["weight"] for u, v in a.edges()
+        )
+
+    def test_random_tree_rejects_zero(self):
+        with pytest.raises(ValueError):
+            gen.random_tree(0, seed=1)
+
+    def test_balanced_tree(self):
+        g = gen.balanced_tree(3, 2, seed=4)
+        _check_basic(g, 13)  # 1 + 3 + 9
+        assert g.number_of_edges() == 12
+
+    def test_path_graph_diameter(self):
+        g = gen.path_graph(6, seed=1)
+        _check_basic(g, 6)
+        assert nx.diameter(g) == 5
+
+    def test_star_graph_degree(self):
+        g = gen.star_graph(8, seed=1)
+        _check_basic(g, 8)
+        degrees = sorted(dict(g.degree()).values())
+        assert degrees == [1] * 7 + [7]
+
+    def test_star_single_node(self):
+        _check_basic(gen.star_graph(1, seed=0), 1)
+
+    def test_caterpillar(self):
+        g = gen.caterpillar_tree(4, 2, seed=2)
+        _check_basic(g, 12)
+        assert g.number_of_edges() == 11
+
+    def test_caterpillar_no_legs_is_path(self):
+        g = gen.caterpillar_tree(5, 0, seed=2)
+        assert nx.diameter(g) == 4
+
+    def test_caterpillar_invalid(self):
+        with pytest.raises(ValueError):
+            gen.caterpillar_tree(0, 1, seed=1)
+
+
+class TestMeshes:
+    def test_grid_shape(self):
+        g = gen.grid_graph(3, 4, seed=1)
+        _check_basic(g, 12)
+        assert g.number_of_edges() == 3 * 3 + 2 * 4  # rows*(cols-1) + (rows-1)*cols
+
+    def test_torus_regular_degree(self):
+        g = gen.torus_graph(4, 4, seed=1)
+        _check_basic(g, 16)
+        assert all(d == 4 for _, d in g.degree())
+
+
+class TestRingsComplete:
+    def test_ring(self):
+        g = gen.ring_graph(6, seed=1)
+        _check_basic(g, 6)
+        assert all(d == 2 for _, d in g.degree())
+
+    def test_ring_too_small(self):
+        with pytest.raises(ValueError):
+            gen.ring_graph(2, seed=1)
+
+    def test_complete(self):
+        g = gen.complete_graph(5, seed=1)
+        _check_basic(g, 5)
+        assert g.number_of_edges() == 10
+
+
+class TestRandomGraphs:
+    @given(st.integers(min_value=0, max_value=100))
+    @settings(max_examples=15, deadline=None)
+    def test_erdos_renyi_always_connected(self, seed):
+        g = gen.erdos_renyi_graph(10, 0.15, seed=seed)
+        _check_basic(g, 10)
+
+    def test_erdos_renyi_p_validated(self):
+        with pytest.raises(ValueError):
+            gen.erdos_renyi_graph(5, 1.5, seed=1)
+
+    def test_erdos_renyi_sparse_gets_augmented(self):
+        g = gen.erdos_renyi_graph(12, 0.0, seed=5)
+        assert nx.is_connected(g)
+
+    @given(st.integers(min_value=0, max_value=100))
+    @settings(max_examples=15, deadline=None)
+    def test_geometric_always_connected(self, seed):
+        g = gen.random_geometric_graph(12, 0.3, seed=seed)
+        _check_basic(g, 12)
+
+    def test_geometric_weights_are_euclidean_scaled(self):
+        g = gen.random_geometric_graph(15, 0.5, seed=7, scale=2.0)
+        h = gen.random_geometric_graph(15, 0.5, seed=7, scale=1.0)
+        shared = set(g.edges()) & set(h.edges())
+        assert shared
+        for u, v in shared:
+            assert g[u][v]["weight"] == pytest.approx(2.0 * h[u][v]["weight"])
+
+
+class TestTransitStub:
+    def test_shape_and_connectivity(self):
+        g = gen.transit_stub_graph(3, 2, 4, seed=1)
+        _check_basic(g, 3 + 3 * 2 * 4)
+
+    def test_backbone_links_are_expensive(self):
+        g = gen.transit_stub_graph(4, 1, 3, seed=2, transit_weight=10.0, stub_weight=1.0)
+        backbone = [
+            d["weight"] for u, v, d in g.edges(data=True) if u < 4 and v < 4
+        ]
+        stub = [
+            d["weight"] for u, v, d in g.edges(data=True) if u >= 4 and v >= 4
+        ]
+        assert min(backbone) > max(stub)
+
+    def test_two_transit_no_duplicate_edge(self):
+        g = gen.transit_stub_graph(2, 1, 2, seed=3)
+        _check_basic(g)
+
+    def test_single_transit(self):
+        g = gen.transit_stub_graph(1, 2, 3, seed=4)
+        _check_basic(g, 1 + 2 * 3)
+
+    def test_invalid_shape(self):
+        with pytest.raises(ValueError):
+            gen.transit_stub_graph(0, 1, 1, seed=1)
+
+
+class TestWeights:
+    def test_assign_random_weights_range(self):
+        g = nx.path_graph(10)
+        gen.assign_random_weights(g, seed=1, low=2.0, high=3.0)
+        for _, _, d in g.edges(data=True):
+            assert 2.0 <= d["weight"] < 3.0
+
+    def test_assign_random_weights_invalid_range(self):
+        with pytest.raises(ValueError):
+            gen.assign_random_weights(nx.path_graph(3), seed=1, low=5.0, high=1.0)
+
+    def test_weight_determinism(self):
+        g1, g2 = nx.path_graph(6), nx.path_graph(6)
+        gen.assign_random_weights(g1, seed=42)
+        gen.assign_random_weights(g2, seed=42)
+        for u, v in g1.edges():
+            assert g1[u][v]["weight"] == g2[u][v]["weight"]

@@ -1,0 +1,124 @@
+"""Tests for repro.core.instance: validation and derived quantities."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core.instance import DataManagementInstance
+from repro.graphs.generators import random_tree
+from repro.graphs.metric import Metric
+
+
+@pytest.fixture
+def basic(line_metric):
+    return DataManagementInstance(
+        line_metric,
+        storage_costs=np.array([1.0, 2.0, 3.0, 4.0, 5.0]),
+        read_freq=np.array([[1.0, 0.0, 2.0, 0.0, 1.0], [0.0, 3.0, 0.0, 0.0, 0.0]]),
+        write_freq=np.array([[0.0, 1.0, 0.0, 0.0, 1.0], [0.0, 0.0, 0.0, 0.0, 0.0]]),
+    )
+
+
+class TestValidation:
+    def test_shape_mismatch_storage(self, line_metric):
+        with pytest.raises(ValueError, match="storage_costs"):
+            DataManagementInstance(
+                line_metric, np.ones(4), np.ones((1, 5)), np.zeros((1, 5))
+            )
+
+    def test_shape_mismatch_freq(self, line_metric):
+        with pytest.raises(ValueError, match="equal shapes"):
+            DataManagementInstance(
+                line_metric, np.ones(5), np.ones((1, 5)), np.zeros((2, 5))
+            )
+
+    def test_wrong_column_count(self, line_metric):
+        with pytest.raises(ValueError, match="columns"):
+            DataManagementInstance(
+                line_metric, np.ones(5), np.ones((1, 4)), np.zeros((1, 4))
+            )
+
+    def test_negative_frequency_rejected(self, line_metric):
+        fr = np.ones((1, 5))
+        fr[0, 2] = -1.0
+        with pytest.raises(ValueError, match="non-negative"):
+            DataManagementInstance(line_metric, np.ones(5), fr, np.zeros((1, 5)))
+
+    def test_negative_storage_rejected(self, line_metric):
+        with pytest.raises(ValueError, match="non-negative"):
+            DataManagementInstance(
+                line_metric, -np.ones(5), np.ones((1, 5)), np.zeros((1, 5))
+            )
+
+    def test_object_names_default(self, basic):
+        assert basic.object_names == ("x0", "x1")
+
+    def test_object_names_wrong_length(self, line_metric):
+        with pytest.raises(ValueError, match="object_names"):
+            DataManagementInstance(
+                line_metric,
+                np.ones(5),
+                np.ones((2, 5)),
+                np.zeros((2, 5)),
+                object_names=("only-one",),
+            )
+
+    def test_one_dim_frequencies_promoted(self, line_metric):
+        inst = DataManagementInstance(line_metric, np.ones(5), np.ones(5), np.zeros(5))
+        assert inst.num_objects == 1
+
+
+class TestDerived:
+    def test_counts(self, basic):
+        assert basic.num_nodes == 5
+        assert basic.num_objects == 2
+
+    def test_demand_adds_reads_and_writes(self, basic):
+        assert np.allclose(basic.demand(0), [1, 1, 2, 0, 2])
+
+    def test_totals(self, basic):
+        assert basic.total_reads(0) == 4.0
+        assert basic.total_writes(0) == 2.0
+        assert basic.total_requests(0) == 6.0
+
+    def test_read_only_per_object(self, basic):
+        assert not basic.is_read_only(0)
+        assert basic.is_read_only(1)
+        assert not basic.is_read_only()
+
+    def test_validate_copies(self, basic):
+        assert basic.validate_copies([3, 1, 1]) == [1, 3]
+
+    def test_validate_copies_empty(self, basic):
+        with pytest.raises(ValueError, match="at least one copy"):
+            basic.validate_copies([])
+
+    def test_validate_copies_out_of_range(self, basic):
+        with pytest.raises(ValueError, match="out of range"):
+            basic.validate_copies([5])
+        with pytest.raises(ValueError, match="out of range"):
+            basic.validate_copies([-1])
+
+
+class TestConstructors:
+    def test_from_graph(self):
+        g = random_tree(6, seed=2)
+        inst = DataManagementInstance.from_graph(
+            g, np.ones(6), np.ones((1, 6)), np.zeros((1, 6))
+        )
+        assert inst.num_nodes == 6
+
+    def test_from_graph_rejects_odd_labels(self):
+        g = nx.Graph()
+        g.add_edge("a", "b", weight=1.0)
+        with pytest.raises(ValueError, match="0..n-1"):
+            DataManagementInstance.from_graph(
+                g, np.ones(2), np.ones((1, 2)), np.zeros((1, 2))
+            )
+
+    def test_single_object(self, line_metric):
+        inst = DataManagementInstance.single_object(
+            line_metric, np.ones(5), np.arange(5.0), np.zeros(5)
+        )
+        assert inst.num_objects == 1
+        assert inst.total_reads(0) == 10.0

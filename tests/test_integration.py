@@ -1,0 +1,125 @@
+"""End-to-end integration tests across the whole pipeline."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    approximate_placement,
+    optimal_tree_placement,
+    placement_cost,
+)
+from repro.baselines import (
+    best_single_node,
+    brute_force_placement,
+    full_replication,
+    write_blind_placement,
+)
+from repro.core.costs import object_cost
+from repro.core.restricted import restrict_placement
+from repro.workloads import (
+    distributed_file_system,
+    tree_network,
+    virtual_shared_memory,
+    www_content_provider,
+)
+
+
+class TestScenarioPipelines:
+    @pytest.mark.parametrize(
+        "factory", [www_content_provider, distributed_file_system, virtual_shared_memory]
+    )
+    def test_scenario_end_to_end(self, factory):
+        sc = factory()
+        placement = approximate_placement(sc.instance)
+        cost = placement_cost(sc.instance, placement, policy="mst")
+        assert cost.total > 0
+        assert placement.num_objects == sc.instance.num_objects
+        # sanity: beat the trivial strategies on at least one axis
+        for obj in range(sc.instance.num_objects):
+            assert len(placement.copies(obj)) >= 1
+
+    def test_www_read_heavy_replicates_popular_objects(self):
+        sc = www_content_provider()
+        placement = approximate_placement(sc.instance)
+        degrees = [len(placement.copies(o)) for o in range(sc.instance.num_objects)]
+        # read-heavy: popular (first) objects should be replicated at least
+        # as widely as unpopular ones, on average
+        first_half = np.mean(degrees[: len(degrees) // 2])
+        second_half = np.mean(degrees[len(degrees) // 2 :])
+        assert first_half >= second_half - 1.0
+
+    def test_vsm_write_heavy_keeps_few_copies(self):
+        sc = virtual_shared_memory()
+        placement = approximate_placement(sc.instance)
+        mean_degree = placement.replication_degree()
+        assert mean_degree <= sc.instance.num_nodes / 2
+
+    def test_tree_scenario_dp_beats_approx(self):
+        sc = tree_network()
+        dp_placement, dp_cost = optimal_tree_placement(
+            sc.graph,
+            sc.instance.storage_costs,
+            sc.instance.read_freq,
+            sc.instance.write_freq,
+        )
+        approx = approximate_placement(sc.instance)
+        approx_cost = placement_cost(sc.instance, approx, policy="steiner_mst").total
+        assert dp_cost <= approx_cost + 1e-9
+
+
+class TestStrategyOrdering:
+    def test_krw_vs_baselines_on_small_instances(self):
+        """The approximation should be competitive with, and the brute
+        force never worse than, every baseline."""
+        from tests.conftest import make_random_instance
+
+        for seed in range(10):
+            inst = make_random_instance(seed, n=8)
+            _, opt = brute_force_placement(inst, policy="mst")
+            candidates = {
+                "krw": approximate_placement(inst).copies(0),
+                "median": best_single_node(inst, 0),
+                "replicate": full_replication(inst, 0),
+                "blind": write_blind_placement(inst, 0),
+            }
+            costs = {
+                name: object_cost(inst, 0, c, policy="mst").total
+                for name, c in candidates.items()
+            }
+            for name, cost in costs.items():
+                assert opt <= cost + 1e-9, name
+            # headline sanity: KRW within 4x of optimal on these instances
+            assert costs["krw"] <= 4.0 * opt + 1e-9
+
+    def test_restriction_of_krw_placement_stays_sane(self):
+        from tests.conftest import make_random_instance
+
+        for seed in range(8):
+            inst = make_random_instance(seed, n=8)
+            copies = approximate_placement(inst).copies(0)
+            restricted = restrict_placement(inst, 0, copies)
+            cost_r = object_cost(inst, 0, restricted, policy="mst").total
+            # the restricted version exists and is a valid placement
+            assert len(restricted) >= 1
+            assert np.isfinite(cost_r)
+
+
+class TestMultiObjectIndependence:
+    def test_objects_placed_independently(self):
+        """Per the paper, objects are independent: placing them jointly or
+        separately must give identical results."""
+        from repro.core.instance import DataManagementInstance
+        from tests.conftest import make_random_instance
+
+        base = make_random_instance(33, n=9)
+        rng = np.random.default_rng(34)
+        fr = rng.integers(0, 5, size=(3, 9)).astype(float)
+        fw = rng.integers(0, 3, size=(3, 9)).astype(float)
+        inst = DataManagementInstance(base.metric, base.storage_costs, fr, fw)
+        joint = approximate_placement(inst)
+        for obj in range(3):
+            single = DataManagementInstance(
+                base.metric, base.storage_costs, fr[obj : obj + 1], fw[obj : obj + 1]
+            )
+            alone = approximate_placement(single)
+            assert joint.copies(obj) == alone.copies(0)

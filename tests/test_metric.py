@@ -1,0 +1,171 @@
+"""Tests for repro.graphs.metric: construction, axioms, queries."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.generators import erdos_renyi_graph, random_tree
+from repro.graphs.metric import Metric, metric_from_graph
+
+
+class TestConstruction:
+    def test_identity_diagonal(self, line_metric):
+        assert np.allclose(np.diag(line_metric.dist), 0.0)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError, match="square"):
+            Metric(np.zeros((2, 3)))
+
+    def test_rejects_negative(self):
+        d = np.array([[0.0, -1.0], [-1.0, 0.0]])
+        with pytest.raises(ValueError, match="non-negative"):
+            Metric(d)
+
+    def test_rejects_nonzero_diagonal(self):
+        d = np.array([[1.0, 2.0], [2.0, 0.0]])
+        with pytest.raises(ValueError, match="diagonal"):
+            Metric(d)
+
+    def test_rejects_asymmetric(self):
+        d = np.array([[0.0, 2.0], [3.0, 0.0]])
+        with pytest.raises(ValueError, match="symmetric"):
+            Metric(d)
+
+    def test_rejects_triangle_violation(self):
+        d = np.array(
+            [
+                [0.0, 1.0, 5.0],
+                [1.0, 0.0, 1.0],
+                [5.0, 1.0, 0.0],
+            ]
+        )
+        with pytest.raises(ValueError, match="triangle"):
+            Metric(d)
+
+    def test_rejects_infinite(self):
+        d = np.array([[0.0, np.inf], [np.inf, 0.0]])
+        with pytest.raises(ValueError, match="non-finite"):
+            Metric(d)
+
+    def test_validate_can_be_skipped(self):
+        # deliberately broken matrix accepted without validation
+        d = np.array([[0.0, 1.0, 5.0], [1.0, 0.0, 1.0], [5.0, 1.0, 0.0]])
+        m = Metric(d, validate=False)
+        assert m.d(0, 2) == 5.0
+
+    def test_single_node(self):
+        m = Metric(np.zeros((1, 1)))
+        assert m.n == 1
+        assert m.diameter() == 0.0
+
+    def test_from_points_euclidean(self):
+        pts = np.array([[0.0, 0.0], [3.0, 4.0]])
+        m = Metric.from_points(pts)
+        assert m.d(0, 1) == pytest.approx(5.0)
+
+
+class TestGraphClosure:
+    def test_path_distances(self):
+        g = nx.path_graph(4)
+        for u, v in g.edges():
+            g[u][v]["weight"] = 2.0
+        m = Metric.from_graph(g)
+        assert m.d(0, 3) == pytest.approx(6.0)
+        assert m.d(1, 2) == pytest.approx(2.0)
+
+    def test_shortcut_beats_direct_edge(self):
+        g = nx.Graph()
+        g.add_edge(0, 1, weight=10.0)
+        g.add_edge(0, 2, weight=1.0)
+        g.add_edge(2, 1, weight=1.0)
+        m = Metric.from_graph(g)
+        assert m.d(0, 1) == pytest.approx(2.0)
+
+    def test_default_weight_is_one(self):
+        g = nx.path_graph(3)
+        m = Metric.from_graph(g)
+        assert m.d(0, 2) == pytest.approx(2.0)
+
+    def test_disconnected_rejected(self):
+        g = nx.Graph()
+        g.add_nodes_from([0, 1])
+        with pytest.raises(ValueError, match="connected"):
+            Metric.from_graph(g)
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError, match="no nodes"):
+            Metric.from_graph(nx.Graph())
+
+    def test_negative_weight_rejected(self):
+        g = nx.Graph()
+        g.add_edge(0, 1, weight=-1.0)
+        with pytest.raises(ValueError, match="negative"):
+            Metric.from_graph(g)
+
+    def test_metric_from_graph_returns_maps(self):
+        g = nx.Graph()
+        g.add_edge("b", "a", weight=1.0)
+        metric, index, nodes = metric_from_graph(g)
+        assert nodes == ["a", "b"]
+        assert index == {"a": 0, "b": 1}
+        assert metric.d(0, 1) == pytest.approx(1.0)
+
+    @given(st.integers(min_value=0, max_value=200))
+    @settings(max_examples=25, deadline=None)
+    def test_closure_satisfies_metric_axioms(self, seed):
+        g = erdos_renyi_graph(7, 0.4, seed=seed)
+        m = Metric.from_graph(g)
+        m._validate()  # raises on any axiom violation
+
+    @given(st.integers(min_value=0, max_value=200))
+    @settings(max_examples=25, deadline=None)
+    def test_tree_closure_is_additive_along_paths(self, seed):
+        g = random_tree(7, seed=seed)
+        m = Metric.from_graph(g)
+        # in a tree, d(u, w) = d(u, v) + d(v, w) whenever v is on the u-w path
+        path = nx.shortest_path(g, 0, 6)
+        for v in path[1:-1]:
+            assert m.d(0, 6) == pytest.approx(m.d(0, v) + m.d(v, 6))
+
+
+class TestQueries:
+    def test_dist_to_set(self, line_metric):
+        d = line_metric.dist_to_set([0, 4])
+        assert np.allclose(d, [0.0, 1.0, 2.0, 1.0, 0.0])
+
+    def test_dist_to_empty_set_is_inf(self, line_metric):
+        assert np.all(np.isinf(line_metric.dist_to_set([])))
+
+    def test_nearest_in_set_tie_breaks_to_smallest_index(self, line_metric):
+        nearest, dist = line_metric.nearest_in_set([0, 4])
+        assert nearest[2] == 0  # node 2 is equidistant; picks index 0
+        assert dist[2] == pytest.approx(2.0)
+
+    def test_nearest_in_set_empty_raises(self, line_metric):
+        with pytest.raises(ValueError):
+            line_metric.nearest_in_set([])
+
+    def test_nearest_in_set_members_map_to_self(self, line_metric):
+        nearest, dist = line_metric.nearest_in_set([1, 3])
+        assert nearest[1] == 1 and nearest[3] == 3
+        assert dist[1] == 0.0 and dist[3] == 0.0
+
+    def test_rows(self, line_metric):
+        rows = line_metric.rows([2])
+        assert rows.shape == (1, 5)
+        assert np.allclose(rows[0], [2, 1, 0, 1, 2])
+
+    def test_eccentricity_and_diameter(self, line_metric):
+        assert line_metric.eccentricity(0) == pytest.approx(4.0)
+        assert line_metric.eccentricity(2) == pytest.approx(2.0)
+        assert line_metric.diameter() == pytest.approx(4.0)
+
+    def test_submetric(self, line_metric):
+        sub = line_metric.submetric([0, 2, 4])
+        assert sub.n == 3
+        assert sub.d(0, 2) == pytest.approx(4.0)  # old nodes 0 and 4
+
+    def test_len(self, line_metric):
+        assert len(line_metric) == 5

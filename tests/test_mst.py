@@ -1,0 +1,144 @@
+"""Tests for repro.graphs.mst: subset MSTs in metric closures."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.generators import erdos_renyi_graph
+from repro.graphs.metric import Metric
+from repro.graphs.mst import (
+    mst_cost,
+    mst_edges,
+    mst_parent_array,
+    tree_distances_from_root,
+)
+
+
+class TestMstCost:
+    def test_single_node_is_free(self, line_metric):
+        assert mst_cost(line_metric, [3]) == 0.0
+
+    def test_two_nodes(self, line_metric):
+        assert mst_cost(line_metric, [0, 3]) == pytest.approx(3.0)
+
+    def test_line_subset(self, line_metric):
+        # 0-2-4 chains with cost 2 + 2
+        assert mst_cost(line_metric, [0, 2, 4]) == pytest.approx(4.0)
+
+    def test_triangle(self, triangle_metric):
+        # edges 3,4,5: MST takes 3 + 4
+        assert mst_cost(triangle_metric, [0, 1, 2]) == pytest.approx(7.0)
+
+    def test_empty_subset_rejected(self, line_metric):
+        with pytest.raises(ValueError, match="non-empty"):
+            mst_cost(line_metric, [])
+
+    def test_duplicates_rejected(self, line_metric):
+        with pytest.raises(ValueError, match="duplicates"):
+            mst_cost(line_metric, [1, 1])
+
+    def test_order_invariant(self, line_metric):
+        assert mst_cost(line_metric, [4, 0, 2]) == mst_cost(line_metric, [0, 2, 4])
+
+    @given(st.integers(min_value=0, max_value=100))
+    @settings(max_examples=20, deadline=None)
+    def test_matches_networkx_on_random_metrics(self, seed):
+        g = erdos_renyi_graph(8, 0.5, seed=seed)
+        m = Metric.from_graph(g)
+        rng = np.random.default_rng(seed)
+        k = int(rng.integers(2, 8))
+        nodes = sorted(rng.choice(8, size=k, replace=False).tolist())
+        complete = nx.Graph()
+        for i, u in enumerate(nodes):
+            for v in nodes[i + 1 :]:
+                complete.add_edge(u, v, weight=m.d(u, v))
+        expected = sum(
+            d["weight"] for _, _, d in nx.minimum_spanning_tree(complete).edges(data=True)
+        )
+        assert mst_cost(m, nodes) == pytest.approx(expected)
+
+    @given(st.integers(min_value=0, max_value=100))
+    @settings(max_examples=20, deadline=None)
+    def test_monotone_under_node_removal_is_not_assumed(self, seed):
+        """MSTs are not monotone in general, but cost is always >= 0 and
+        <= sum over a star from the first node (sanity envelope)."""
+        g = erdos_renyi_graph(7, 0.5, seed=seed)
+        m = Metric.from_graph(g)
+        nodes = [0, 2, 4, 6]
+        cost = mst_cost(m, nodes)
+        star = sum(m.d(nodes[0], v) for v in nodes[1:])
+        assert 0.0 <= cost <= star + 1e-9
+
+
+class TestMstEdges:
+    def test_edge_count(self, line_metric):
+        edges = mst_edges(line_metric, [0, 1, 3])
+        assert len(edges) == 2
+
+    def test_edges_cost_matches_mst_cost(self, line_metric):
+        nodes = [0, 1, 3, 4]
+        edges = mst_edges(line_metric, nodes)
+        assert sum(w for _, _, w in edges) == pytest.approx(mst_cost(line_metric, nodes))
+
+    def test_edges_form_spanning_tree(self, triangle_metric):
+        nodes = [0, 1, 2]
+        edges = mst_edges(triangle_metric, nodes)
+        g = nx.Graph()
+        g.add_nodes_from(nodes)
+        g.add_edges_from((u, v) for u, v, _ in edges)
+        assert nx.is_connected(g)
+        assert g.number_of_edges() == len(nodes) - 1
+
+    def test_single_node_no_edges(self, line_metric):
+        assert mst_edges(line_metric, [2]) == []
+
+    def test_deterministic(self, line_metric):
+        a = mst_edges(line_metric, [0, 2, 4])
+        b = mst_edges(line_metric, [0, 2, 4])
+        assert a == b
+
+
+class TestParentArray:
+    def test_root_has_none_parent(self, line_metric):
+        parents = mst_parent_array(line_metric, [1, 2, 4])
+        assert parents[1] is None  # default root = min index
+
+    def test_explicit_root(self, line_metric):
+        parents = mst_parent_array(line_metric, [1, 2, 4], root=4)
+        assert parents[4] is None
+
+    def test_root_must_be_member(self, line_metric):
+        with pytest.raises(ValueError, match="root"):
+            mst_parent_array(line_metric, [1, 2], root=0)
+
+    def test_every_node_reaches_root(self, line_metric):
+        nodes = [0, 1, 3, 4]
+        parents = mst_parent_array(line_metric, nodes)
+        for v in nodes:
+            seen = set()
+            while parents[v] is not None:
+                assert v not in seen
+                seen.add(v)
+                v = parents[v]
+            assert v == 0
+
+
+class TestTreeDistances:
+    def test_line_tree_distances(self, line_metric):
+        dist = tree_distances_from_root(line_metric, [0, 2, 4])
+        # MST on the line is the chain 0-2-4
+        assert dist[0] == 0.0
+        assert dist[2] == pytest.approx(2.0)
+        assert dist[4] == pytest.approx(4.0)
+
+    def test_tree_distance_at_least_metric_distance(self, triangle_metric):
+        dist = tree_distances_from_root(triangle_metric, [0, 1, 2])
+        for v, d in dist.items():
+            assert d >= triangle_metric.d(0, v) - 1e-12
+
+    def test_all_nodes_present(self, line_metric):
+        nodes = [0, 1, 2, 3, 4]
+        dist = tree_distances_from_root(line_metric, nodes)
+        assert set(dist) == set(nodes)

@@ -1,0 +1,88 @@
+"""Tests for the non-uniform object size model (Section 1.1 remark).
+
+The paper states "all our results hold also in a non-uniform model":
+per-byte fees mean an object of size ``s`` scales every cost term by
+``s``, so placements are invariant and bills scale linearly.  These tests
+pin down exactly that semantics.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.approx import approximate_placement
+from repro.core.costs import object_cost, placement_cost
+from repro.core.instance import DataManagementInstance
+from tests.conftest import make_random_instance
+
+
+def _with_sizes(inst: DataManagementInstance, sizes) -> DataManagementInstance:
+    return DataManagementInstance(
+        inst.metric,
+        inst.storage_costs,
+        inst.read_freq,
+        inst.write_freq,
+        object_sizes=np.asarray(sizes, dtype=float),
+    )
+
+
+class TestValidation:
+    def test_default_sizes_are_one(self):
+        inst = make_random_instance(1, n=6)
+        assert np.allclose(inst.object_sizes, 1.0)
+        assert inst.object_size(0) == 1.0
+
+    def test_wrong_shape_rejected(self):
+        inst = make_random_instance(2, n=6)
+        with pytest.raises(ValueError, match="object_sizes"):
+            _with_sizes(inst, [1.0, 2.0])
+
+    def test_nonpositive_rejected(self):
+        inst = make_random_instance(3, n=6)
+        with pytest.raises(ValueError, match="positive"):
+            _with_sizes(inst, [0.0])
+
+
+class TestScaling:
+    @given(
+        st.integers(min_value=0, max_value=200),
+        st.floats(min_value=0.1, max_value=50.0, allow_nan=False),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_cost_scales_linearly(self, seed, size):
+        inst = make_random_instance(seed, n=7)
+        sized = _with_sizes(inst, [size])
+        for policy in ("mst", "steiner"):
+            base = object_cost(inst, 0, [0, 3], policy=policy)
+            scaled = object_cost(sized, 0, [0, 3], policy=policy)
+            assert scaled.total == pytest.approx(size * base.total, rel=1e-9)
+            assert scaled.storage == pytest.approx(size * base.storage, rel=1e-9)
+            assert scaled.read == pytest.approx(size * base.read, rel=1e-9)
+            assert scaled.update == pytest.approx(size * base.update, rel=1e-9)
+
+    @given(st.integers(min_value=0, max_value=100))
+    @settings(max_examples=15, deadline=None)
+    def test_placement_invariant_under_size(self, seed):
+        """The optimal and the approximate placement don't depend on size."""
+        inst = make_random_instance(seed, n=8)
+        sized = _with_sizes(inst, [7.5])
+        assert approximate_placement(inst).copies(0) == approximate_placement(
+            sized
+        ).copies(0)
+
+    def test_mixed_catalogue_bills_add(self, line_metric):
+        inst = DataManagementInstance(
+            line_metric,
+            np.ones(5),
+            np.array([[2.0, 0, 0, 0, 0], [0, 0, 0, 0, 2.0]]),
+            np.zeros((2, 5)),
+            object_sizes=np.array([1.0, 10.0]),
+        )
+        placement = approximate_placement(inst)
+        total = placement_cost(inst, placement, policy="mst").total
+        a = object_cost(inst, 0, placement.copies(0), policy="mst").total
+        b = object_cost(inst, 1, placement.copies(1), policy="mst").total
+        assert total == pytest.approx(a + b)
+        # the big object's bill dominates
+        assert b > a

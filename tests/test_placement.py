@@ -1,0 +1,84 @@
+"""Tests for repro.core.placement: value semantics and serving maps."""
+
+import numpy as np
+import pytest
+
+from repro.core.instance import DataManagementInstance
+from repro.core.placement import Placement, serving_nodes, update_tree_edges
+
+
+class TestPlacement:
+    def test_normalizes_sorted_unique(self):
+        p = Placement(((3, 1, 1, 2),))
+        assert p.copies(0) == (1, 2, 3)
+
+    def test_rejects_empty_object(self):
+        with pytest.raises(ValueError, match="at least one copy"):
+            Placement(((),))
+
+    def test_single_constructor(self):
+        assert Placement.single([4, 0]).copies(0) == (0, 4)
+
+    def test_from_sets(self):
+        p = Placement.from_sets([{1}, {0, 2}])
+        assert p.num_objects == 2
+        assert p.copies(1) == (0, 2)
+
+    def test_full_replication(self):
+        p = Placement.full_replication(4, 3)
+        assert p.num_objects == 3
+        assert all(p.copies(i) == (0, 1, 2, 3) for i in range(3))
+
+    def test_replication_degree(self):
+        p = Placement.from_sets([{0}, {1, 2, 3}])
+        assert p.replication_degree(0) == 1.0
+        assert p.replication_degree(1) == 3.0
+        assert p.replication_degree() == 2.0
+
+    def test_total_copies(self):
+        assert Placement.from_sets([{0}, {1, 2}]).total_copies() == 3
+
+    def test_iter(self):
+        p = Placement.from_sets([{0}, {1}])
+        assert list(p) == [(0,), (1,)]
+
+    def test_validate_against_instance(self, line_metric):
+        inst = DataManagementInstance(
+            line_metric, np.ones(5), np.ones((2, 5)), np.zeros((2, 5))
+        )
+        Placement.from_sets([{0}, {4}]).validate(inst)  # fine
+        with pytest.raises(ValueError, match="objects"):
+            Placement.from_sets([{0}]).validate(inst)
+        with pytest.raises(ValueError, match="out of range"):
+            Placement.from_sets([{0}, {5}]).validate(inst)
+
+    def test_immutable(self):
+        p = Placement.single([1])
+        with pytest.raises(AttributeError):
+            p.copy_sets = ((2,),)
+
+
+class TestServingNodes:
+    def test_nearest_assignment(self, line_metric):
+        serve = serving_nodes(line_metric, [0, 4])
+        assert list(serve) == [0, 0, 0, 4, 4]  # tie at node 2 -> smaller index
+
+    def test_all_copies(self, line_metric):
+        serve = serving_nodes(line_metric, range(5))
+        assert list(serve) == [0, 1, 2, 3, 4]
+
+
+class TestUpdateTree:
+    def test_single_copy_no_edges(self, line_metric):
+        assert update_tree_edges(line_metric, [2]) == []
+
+    def test_chain_update_tree(self, line_metric):
+        edges = update_tree_edges(line_metric, [0, 2, 4])
+        assert len(edges) == 2
+        total = sum(w for _, _, w in edges)
+        assert total == pytest.approx(4.0)
+
+    def test_duplicates_ignored(self, line_metric):
+        assert update_tree_edges(line_metric, [1, 1, 3]) == update_tree_edges(
+            line_metric, [1, 3]
+        )

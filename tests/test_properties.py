@@ -1,0 +1,201 @@
+"""Cross-module property tests: invariants that span subsystems.
+
+Each property here ties at least two modules together (costs + graphs,
+DP + brute force, approx + simulator, ...) -- the places where subtle
+inconsistencies between independently-correct components would hide.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.exhaustive import SteinerOracle, brute_force_object
+from repro.core.approx import approximate_object_placement
+from repro.core.costs import object_cost
+from repro.core.instance import DataManagementInstance
+from repro.core.restricted import restrict_placement
+from repro.core.tree_dp import optimal_tree_placement
+from repro.graphs.metric import Metric
+from tests.conftest import make_random_instance, make_random_tree_instance
+
+seeds = st.integers(min_value=0, max_value=400)
+
+
+class TestCostOrderings:
+    @given(seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_policy_sandwich(self, seed):
+        """For any placement: steiner <= steiner_mst, and steiner_mst's
+        update <= 2x steiner's update (Claim 2's factor)."""
+        inst = make_random_instance(seed, n=8)
+        rng = np.random.default_rng(seed)
+        k = int(rng.integers(1, 6))
+        copies = sorted(rng.choice(8, size=k, replace=False).tolist())
+        exact = object_cost(inst, 0, copies, policy="steiner")
+        approx = object_cost(inst, 0, copies, policy="steiner_mst")
+        assert exact.total <= approx.total + 1e-9
+        assert approx.update <= 2.0 * exact.update + 1e-9
+
+    @given(seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_more_demand_costs_more(self, seed):
+        """Adding requests never lowers the cost of a fixed placement."""
+        inst = make_random_instance(seed, n=7)
+        boosted = DataManagementInstance(
+            inst.metric,
+            inst.storage_costs,
+            inst.read_freq + 1.0,
+            inst.write_freq,
+        )
+        for policy in ("mst", "steiner"):
+            a = object_cost(inst, 0, [0, 3], policy=policy).total
+            b = object_cost(boosted, 0, [0, 3], policy=policy).total
+            assert b >= a - 1e-9
+
+    @given(seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_cheaper_storage_never_raises_optimum(self, seed):
+        """Lowering every storage price weakly lowers the optimal cost."""
+        inst = make_random_instance(seed, n=7)
+        cheaper = DataManagementInstance(
+            inst.metric,
+            inst.storage_costs * 0.5,
+            inst.read_freq,
+            inst.write_freq,
+        )
+        _, opt_a = brute_force_object(inst, 0, policy="mst")
+        _, opt_b = brute_force_object(cheaper, 0, policy="mst")
+        assert opt_b <= opt_a + 1e-9
+
+
+class TestOptimaAgainstAlgorithms:
+    @given(seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_tree_dp_lower_bounds_krw(self, seed):
+        """On trees, the DP optimum lower-bounds the approximation under
+        the exact policy."""
+        g, inst = make_random_tree_instance(seed, n=8)
+        _, dp_cost = optimal_tree_placement(
+            g, inst.storage_costs, inst.read_freq, inst.write_freq
+        )
+        krw = approximate_object_placement(inst, 0)
+        krw_cost = object_cost(inst, 0, krw, policy="steiner").total
+        assert dp_cost <= krw_cost + 1e-9
+
+    @given(seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_brute_force_policies_ordered(self, seed):
+        """min over subsets: Steiner-policy optimum <= MST-policy optimum
+        (per-placement domination transfers to the minima)."""
+        inst = make_random_instance(seed, n=7)
+        _, opt_exact = brute_force_object(inst, 0, policy="steiner")
+        _, opt_mst = brute_force_object(inst, 0, policy="mst")
+        assert opt_exact <= opt_mst + 1e-9
+
+    @given(seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_restriction_idempotent(self, seed):
+        inst = make_random_instance(seed, n=8)
+        rng = np.random.default_rng(seed + 5)
+        k = int(rng.integers(1, 8))
+        copies = sorted(rng.choice(8, size=k, replace=False).tolist())
+        once = restrict_placement(inst, 0, copies)
+        twice = restrict_placement(inst, 0, once)
+        assert once == twice
+
+
+class TestSteinerOracleConsistency:
+    @given(seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_oracle_monotone_in_terminals(self, seed):
+        inst = make_random_instance(seed, n=7)
+        oracle = SteinerOracle(inst.metric)
+        rng = np.random.default_rng(seed)
+        base = sorted(rng.choice(7, size=3, replace=False).tolist())
+        extra = sorted(set(base) | {int(rng.integers(0, 7))})
+        assert oracle.steiner_cost(base) <= oracle.steiner_cost(extra) + 1e-9
+
+    @given(seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_oracle_triangle_consistency(self, seed):
+        """steiner({a, b}) is exactly the metric distance."""
+        inst = make_random_instance(seed, n=6)
+        oracle = SteinerOracle(inst.metric)
+        rng = np.random.default_rng(seed)
+        a, b = rng.choice(6, size=2, replace=False)
+        assert oracle.steiner_cost([int(a), int(b)]) == pytest.approx(
+            inst.metric.d(int(a), int(b)), rel=1e-9, abs=1e-9
+        )
+
+
+class TestSimulatorCrossChecks:
+    @given(st.integers(min_value=0, max_value=120))
+    @settings(max_examples=10, deadline=None)
+    def test_simulated_krw_ratio_matches_analytic_ratio(self, seed):
+        """Ratios computed from simulated bills equal ratios from the
+        closed form -- the full pipeline agrees end to end."""
+        from repro.graphs.generators import random_tree
+        from repro.simulate import NetworkSimulator, request_log_from_instance
+        from repro.workloads import make_instance
+        from repro.core.placement import Placement
+
+        g = random_tree(9, seed=seed)
+        metric = Metric.from_graph(g)
+        inst = make_instance(metric, seed=seed + 10, num_objects=1,
+                             write_fraction=0.3)
+        krw = Placement.single(approximate_object_placement(inst, 0))
+        opt, _ = optimal_tree_placement(
+            g, inst.storage_costs, inst.read_freq, inst.write_freq
+        )
+        sim = NetworkSimulator(g, inst, update_policy="mst")
+        log = request_log_from_instance(inst, seed=seed)
+        sim_krw = sim.run(krw, log).total_cost
+        analytic_krw = object_cost(inst, 0, krw.copies(0), policy="mst").total
+        assert sim_krw == pytest.approx(analytic_krw, rel=1e-9)
+
+
+class TestDegenerateInstances:
+    def test_all_demand_on_one_node(self, line_metric):
+        inst = DataManagementInstance.single_object(
+            line_metric,
+            np.full(5, 2.0),
+            np.array([50.0, 0, 0, 0, 0]),
+            np.array([5.0, 0, 0, 0, 0]),
+        )
+        copies = approximate_object_placement(inst, 0)
+        assert copies == (0,)
+        _, opt = brute_force_object(inst, 0, policy="steiner")
+        assert object_cost(inst, 0, copies, policy="steiner").total == pytest.approx(opt)
+
+    def test_uniform_everything_symmetric_cost(self):
+        """On a symmetric ring with uniform demand, all single-copy
+        placements cost the same."""
+        import networkx as nx
+
+        g = nx.cycle_graph(6)
+        for u, v in g.edges():
+            g[u][v]["weight"] = 1.0
+        metric = Metric.from_graph(g)
+        inst = DataManagementInstance.single_object(
+            metric, np.ones(6), np.ones(6), np.zeros(6)
+        )
+        costs = {
+            round(object_cost(inst, 0, [v], policy="mst").total, 9)
+            for v in range(6)
+        }
+        assert len(costs) == 1
+
+    def test_zero_transmission_everywhere(self):
+        """Free bandwidth: a single copy on the cheapest node is optimal."""
+        metric = Metric(np.zeros((5, 5)))
+        cs = np.array([4.0, 1.0, 3.0, 2.0, 5.0])
+        inst = DataManagementInstance.single_object(
+            metric, cs, np.full(5, 3.0), np.full(5, 2.0)
+        )
+        copies, opt = brute_force_object(inst, 0, policy="steiner")
+        assert opt == pytest.approx(1.0)
+        krw = approximate_object_placement(inst, 0)
+        assert object_cost(inst, 0, krw, policy="steiner").total == pytest.approx(1.0)

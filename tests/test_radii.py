@@ -1,0 +1,157 @@
+"""Tests for repro.core.radii: the Section 2.1 defining inequalities."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.radii import RequestProfile, radii_for_object
+from repro.graphs.metric import Metric
+from tests.conftest import make_random_instance
+
+
+@pytest.fixture
+def profile(line_metric):
+    # weights: node i issues i requests (node 0 none)
+    return RequestProfile(line_metric, np.array([0.0, 1.0, 2.0, 3.0, 4.0]))
+
+
+class TestPrefix:
+    def test_zero_z(self, profile):
+        assert profile.prefix(0, 0) == 0.0
+        assert profile.avg_dist(0, 0) == 0.0
+
+    def test_prefix_at_node_zero(self, profile):
+        # from node 0, sorted request distances: 1 (x1), 2,2 (x2), 3^3, 4^4
+        assert profile.prefix(0, 1) == pytest.approx(1.0)
+        assert profile.prefix(0, 3) == pytest.approx(1 + 2 + 2)
+        assert profile.prefix(0, 6) == pytest.approx(1 + 4 + 9)
+
+    def test_prefix_fractional(self, profile):
+        # halfway into the second request (distance 2): 1 + 0.5*2
+        assert profile.prefix(0, 1.5) == pytest.approx(2.0)
+
+    def test_prefix_clamps_to_total(self, profile):
+        assert profile.prefix(0, 100) == pytest.approx(profile.prefix(0, 10))
+
+    def test_avg_dist_is_prefix_over_z(self, profile):
+        z = 4.0
+        assert profile.avg_dist(0, z) == pytest.approx(profile.prefix(0, z) / z)
+
+    def test_own_requests_at_distance_zero(self, profile):
+        # node 4 has 4 requests at distance 0
+        assert profile.prefix(4, 4) == 0.0
+        assert profile.avg_dist(4, 4) == 0.0
+
+    def test_weights_shape_validated(self, line_metric):
+        with pytest.raises(ValueError):
+            RequestProfile(line_metric, np.ones(3))
+
+    def test_negative_weights_rejected(self, line_metric):
+        with pytest.raises(ValueError):
+            RequestProfile(line_metric, np.array([1.0, -1.0, 0, 0, 0]))
+
+    @given(st.integers(min_value=0, max_value=200))
+    @settings(max_examples=30, deadline=None)
+    def test_prefix_monotone_and_avg_monotone(self, seed):
+        inst = make_random_instance(seed, n=7)
+        prof = RequestProfile(inst.metric, inst.demand(0))
+        v = seed % 7
+        zs = np.linspace(0.1, prof.total, 12)
+        prefixes = [prof.prefix(v, z) for z in zs]
+        avgs = [prof.avg_dist(v, z) for z in zs]
+        assert all(a <= b + 1e-9 for a, b in zip(prefixes, prefixes[1:]))
+        assert all(a <= b + 1e-9 for a, b in zip(avgs, avgs[1:]))
+
+
+class TestWriteRadius:
+    def test_zero_writes_gives_zero(self, profile):
+        assert profile.write_radius(2, 0.0) == 0.0
+
+    def test_equals_avg_dist_at_w(self, profile):
+        assert profile.write_radius(1, 3.0) == pytest.approx(profile.avg_dist(1, 3.0))
+
+    def test_radius_grows_with_w(self, profile):
+        assert profile.write_radius(0, 2.0) <= profile.write_radius(0, 8.0) + 1e-12
+
+
+class TestStorageRadius:
+    def test_defining_inequalities_hold(self):
+        """The paper's two chains: (zs-1) rs <= cs < zs rs and
+        d(v, zs-1) <= rs <= d(v, zs)."""
+        for seed in range(40):
+            inst = make_random_instance(seed, n=8)
+            prof = RequestProfile(inst.metric, inst.demand(0))
+            for v in range(8):
+                cs = float(inst.storage_costs[v])
+                rs, zs = prof.storage_radius(v, cs)
+                if math.isinf(rs):
+                    # degenerate: storage never amortizes
+                    assert prof.prefix(v, prof.total) <= cs + 1e-9
+                    continue
+                assert (zs - 1) * rs <= cs + 1e-9
+                assert cs < zs * rs + 1e-9
+                assert prof.avg_dist(v, zs - 1) <= rs + 1e-9
+                assert rs <= prof.avg_dist(v, zs) + 1e-9
+
+    def test_zs_is_first_prefix_exceeding_cs(self):
+        for seed in range(20):
+            inst = make_random_instance(seed, n=6)
+            prof = RequestProfile(inst.metric, inst.demand(0))
+            for v in range(6):
+                cs = float(inst.storage_costs[v])
+                rs, zs = prof.storage_radius(v, cs)
+                if math.isinf(rs):
+                    continue
+                assert prof.prefix(v, zs) > cs - 1e-9
+                if zs > 1:
+                    assert prof.prefix(v, zs - 1) <= cs + 1e-9
+
+    def test_zero_storage_cost(self, profile):
+        # cs = 0: zs is the first z with positive prefix
+        rs, zs = profile.storage_radius(0, 0.0)
+        assert zs == 1
+        assert 0.0 <= rs <= profile.avg_dist(0, 1)
+
+    def test_huge_storage_cost_gives_infinite_radius(self, profile):
+        rs, zs = profile.storage_radius(0, 1e9)
+        assert math.isinf(rs)
+
+    def test_no_requests_gives_infinite_radius(self, line_metric):
+        prof = RequestProfile(line_metric, np.zeros(5))
+        rs, _ = prof.storage_radius(2, 1.0)
+        assert math.isinf(rs)
+
+    def test_negative_cost_rejected(self, profile):
+        with pytest.raises(ValueError):
+            profile.storage_radius(0, -1.0)
+
+
+class TestRadiiForObject:
+    def test_shapes(self):
+        inst = make_random_instance(3, n=7)
+        rw, rs, zs = radii_for_object(
+            inst.metric, inst.storage_costs, inst.read_freq[0], inst.write_freq[0]
+        )
+        assert rw.shape == rs.shape == zs.shape == (7,)
+        assert np.all(rw >= 0)
+
+    def test_read_only_write_radius_zero(self):
+        inst = make_random_instance(5, n=6, max_write=0)
+        rw, _, _ = radii_for_object(
+            inst.metric, inst.storage_costs, inst.read_freq[0], inst.write_freq[0]
+        )
+        assert np.allclose(rw, 0.0)
+
+    def test_node_with_local_mass_has_small_write_radius(self, line_metric):
+        # all writes at node 0 -> rw(0) = 0, rw(4) = 4
+        rw, _, _ = radii_for_object(
+            line_metric,
+            np.ones(5),
+            np.zeros(5),
+            np.array([3.0, 0.0, 0.0, 0.0, 0.0]),
+        )
+        assert rw[0] == 0.0
+        assert rw[4] == pytest.approx(4.0)

@@ -1,0 +1,123 @@
+"""Tests for repro.core.restricted: the Lemma 1 machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.exhaustive import brute_force_object
+from repro.core.instance import DataManagementInstance
+from repro.core.restricted import (
+    is_restricted,
+    requests_served_per_copy,
+    restrict_placement,
+)
+from tests.conftest import make_random_instance
+
+
+class TestServedCounts:
+    def test_counts_sum_to_total_demand(self):
+        inst = make_random_instance(3, n=8)
+        served = requests_served_per_copy(inst, 0, [0, 4, 7])
+        assert sum(served.values()) == pytest.approx(inst.total_requests(0))
+
+    def test_single_copy_serves_everything(self):
+        inst = make_random_instance(4, n=6)
+        served = requests_served_per_copy(inst, 0, [2])
+        assert served[2] == pytest.approx(inst.total_requests(0))
+
+    def test_tie_breaking_toward_smaller_index(self, line_metric):
+        inst = DataManagementInstance.single_object(
+            line_metric, np.ones(5), np.array([0.0, 0, 5.0, 0, 0]), np.zeros(5)
+        )
+        served = requests_served_per_copy(inst, 0, [0, 4])
+        assert served[0] == 5.0 and served[4] == 0.0
+
+
+class TestIsRestricted:
+    def test_read_only_always_restricted(self):
+        inst = make_random_instance(5, n=7, max_write=0)
+        assert is_restricted(inst, 0, [0, 3, 6])
+
+    def test_single_copy_always_restricted(self):
+        inst = make_random_instance(6, n=7)
+        assert is_restricted(inst, 0, [1])
+
+    def test_detects_underused_copy(self, line_metric):
+        # all demand at node 0, a stray copy at node 4 serves nothing < W
+        inst = DataManagementInstance.single_object(
+            line_metric,
+            np.ones(5),
+            np.array([5.0, 0, 0, 0, 0]),
+            np.array([2.0, 0, 0, 0, 0]),
+        )
+        assert not is_restricted(inst, 0, [0, 4])
+        assert is_restricted(inst, 0, [0])
+
+
+class TestRestrictPlacement:
+    def test_output_is_restricted(self):
+        for seed in range(30):
+            inst = make_random_instance(seed, n=8)
+            rng = np.random.default_rng(seed)
+            k = int(rng.integers(1, 8))
+            copies = sorted(rng.choice(8, size=k, replace=False).tolist())
+            restricted = restrict_placement(inst, 0, copies)
+            assert is_restricted(inst, 0, restricted)
+
+    def test_subset_of_input(self):
+        for seed in range(20):
+            inst = make_random_instance(seed, n=8)
+            copies = [0, 2, 4, 6]
+            restricted = restrict_placement(inst, 0, copies)
+            assert set(restricted) <= set(copies)
+            assert len(restricted) >= 1
+
+    def test_read_only_unchanged(self):
+        inst = make_random_instance(7, n=7, max_write=0)
+        copies = (0, 3, 5)
+        assert restrict_placement(inst, 0, copies) == copies
+
+    def test_already_restricted_unchanged(self, line_metric):
+        inst = DataManagementInstance.single_object(
+            line_metric,
+            np.ones(5),
+            np.array([5.0, 0, 0, 0, 5.0]),
+            np.array([1.0, 0, 0, 0, 1.0]),
+        )
+        # both end copies serve >= W = 2 requests
+        assert restrict_placement(inst, 0, (0, 4)) == (0, 4)
+
+    def test_concentrated_demand_collapses_to_one_copy(self, line_metric):
+        inst = DataManagementInstance.single_object(
+            line_metric,
+            np.ones(5),
+            np.zeros(5),
+            np.array([3.0, 0, 0, 0, 0]),
+        )
+        restricted = restrict_placement(inst, 0, [0, 2, 3, 4])
+        assert restricted == (0,)
+
+
+class TestLemma1Bound:
+    @given(st.integers(min_value=0, max_value=120))
+    @settings(max_examples=20, deadline=None)
+    def test_restricted_optimum_within_4x_of_true_optimum(self, seed):
+        """Lemma 1: C^OPT_W <= 4 C^OPT, with OPT_W enumerated under the MST
+        policy + serving constraint and OPT under the exact Steiner policy."""
+        inst = make_random_instance(seed, n=7)
+        _, opt_true = brute_force_object(inst, 0, policy="steiner")
+        _, opt_restricted = brute_force_object(
+            inst, 0, policy="mst", require_restricted=True
+        )
+        assert opt_restricted <= 4.0 * opt_true + 1e-9
+
+    @given(st.integers(min_value=0, max_value=120))
+    @settings(max_examples=20, deadline=None)
+    def test_restricted_optimum_at_least_true_optimum(self, seed):
+        inst = make_random_instance(seed, n=7)
+        _, opt_true = brute_force_object(inst, 0, policy="steiner")
+        _, opt_restricted = brute_force_object(
+            inst, 0, policy="mst", require_restricted=True
+        )
+        assert opt_restricted >= opt_true - 1e-9

@@ -1,0 +1,216 @@
+"""Tests for repro.simulate: event logs, the network simulator, online."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.costs import placement_cost
+from repro.core.instance import DataManagementInstance
+from repro.core.placement import Placement
+from repro.graphs.generators import random_tree, transit_stub_graph
+from repro.graphs.metric import Metric
+from repro.simulate import (
+    READ,
+    WRITE,
+    NetworkSimulator,
+    OnlineCountingStrategy,
+    Request,
+    request_log_from_instance,
+)
+from repro.workloads import make_instance
+
+
+def _setup(seed: int, *, n: int = 10, write_fraction: float = 0.25, objects: int = 1):
+    g = random_tree(n, seed=seed) if seed % 2 else transit_stub_graph(2, 1, max(n // 2 - 1, 1), seed=seed)
+    metric = Metric.from_graph(g)
+    inst = make_instance(
+        metric, seed=seed + 100, num_objects=objects, write_fraction=write_fraction
+    )
+    return g, inst
+
+
+class TestRequestLog:
+    def test_log_realizes_frequencies(self):
+        _, inst = _setup(2, objects=2)
+        log = request_log_from_instance(inst)
+        for obj in range(2):
+            reads = sum(1 for r in log if r.obj == obj and r.kind == READ)
+            writes = sum(1 for r in log if r.obj == obj and r.kind == WRITE)
+            assert reads == inst.total_reads(obj)
+            assert writes == inst.total_writes(obj)
+
+    def test_shuffle_is_permutation(self):
+        _, inst = _setup(3)
+        base = request_log_from_instance(inst)
+        shuffled = request_log_from_instance(inst, seed=1)
+        assert len(base) == len(shuffled)
+        assert sorted(map(repr, base)) == sorted(map(repr, shuffled))
+        assert request_log_from_instance(inst, seed=1) == shuffled  # deterministic
+
+    def test_fractional_frequencies_rejected(self, line_metric):
+        inst = DataManagementInstance.single_object(
+            line_metric, np.ones(5), np.full(5, 0.5), np.zeros(5)
+        )
+        with pytest.raises(ValueError, match="integer"):
+            request_log_from_instance(inst)
+
+    def test_request_kind_validated(self):
+        with pytest.raises(ValueError, match="kind"):
+            Request("update", 0, 0)
+
+
+class TestSimulatorAgreement:
+    @given(st.integers(min_value=0, max_value=100))
+    @settings(max_examples=15, deadline=None)
+    def test_simulation_matches_analytic_mst_cost(self, seed):
+        """E11's core claim: the executed bill equals the closed form."""
+        g, inst = _setup(seed)
+        from repro.core.approx import approximate_placement
+
+        placement = approximate_placement(inst)
+        sim = NetworkSimulator(g, inst, update_policy="mst")
+        report = sim.run(placement, request_log_from_instance(inst, seed=seed))
+        analytic = placement_cost(inst, placement, policy="mst")
+        assert report.total_cost == pytest.approx(analytic.total, rel=1e-9)
+        assert report.storage_cost == pytest.approx(analytic.storage, rel=1e-9)
+        assert report.read_traffic_cost + report.write_traffic_cost == pytest.approx(
+            analytic.read + analytic.update, rel=1e-9
+        )
+
+    def test_log_order_does_not_change_static_bill(self):
+        g, inst = _setup(4)
+        placement = Placement.single([0, inst.num_nodes - 1])
+        sim = NetworkSimulator(g, inst)
+        a = sim.run(placement, request_log_from_instance(inst, seed=1))
+        b = sim.run(placement, request_log_from_instance(inst, seed=2))
+        assert a.total_cost == pytest.approx(b.total_cost)
+
+    def test_kmb_policy_within_factor_two_of_exact(self):
+        g, inst = _setup(6, n=8)
+        placement = Placement.single([0, 3])
+        sim = NetworkSimulator(g, inst, update_policy="kmb")
+        report = sim.run(placement, request_log_from_instance(inst))
+        exact = placement_cost(inst, placement, policy="steiner")
+        assert report.total_cost >= exact.total - 1e-9
+        # reads and storage identical; writes within factor 2
+        assert report.write_traffic_cost <= 2.0 * exact.update + 1e-9
+
+    def test_edge_load_accounting(self):
+        g, inst = _setup(8)
+        placement = Placement.single([0])
+        sim = NetworkSimulator(g, inst)
+        report = sim.run(placement, request_log_from_instance(inst))
+        assert report.total_load() == pytest.approx(report.transmission_cost)
+        assert report.max_edge_load() <= report.total_load() + 1e-9
+
+    def test_message_count(self, line_metric):
+        inst = DataManagementInstance.single_object(
+            line_metric, np.ones(5), np.array([1.0, 0, 0, 0, 0]), np.zeros(5)
+        )
+        import networkx as nx
+
+        g = nx.path_graph(5)
+        for u, v in g.edges():
+            g[u][v]["weight"] = 1.0
+        sim = NetworkSimulator(g, inst)
+        report = sim.run(Placement.single([4]), request_log_from_instance(inst))
+        assert report.messages == 1
+        assert report.read_traffic_cost == pytest.approx(4.0)
+
+    def test_write_by_copy_holder_costs_only_multicast(self, line_metric):
+        import networkx as nx
+
+        inst = DataManagementInstance.single_object(
+            line_metric, np.zeros(5), np.zeros(5), np.array([1.0, 0, 0, 0, 0])
+        )
+        g = nx.path_graph(5)
+        for u, v in g.edges():
+            g[u][v]["weight"] = 1.0
+        sim = NetworkSimulator(g, inst)
+        report = sim.run(Placement.single([0, 2]), request_log_from_instance(inst))
+        # attach is free (writer holds a copy); MST over {0,2} costs 2
+        assert report.write_traffic_cost == pytest.approx(2.0)
+
+
+class TestSimulatorValidation:
+    def test_mismatched_graph_rejected(self):
+        g, inst = _setup(10)
+        import networkx as nx
+
+        other = nx.path_graph(inst.num_nodes + 1)
+        with pytest.raises(ValueError, match="0..n-1"):
+            NetworkSimulator(other, inst)
+
+    def test_wrong_metric_rejected(self):
+        g, inst = _setup(12, n=8)
+        # rescale the graph fees so the instance metric no longer matches
+        for u, v in g.edges():
+            g[u][v]["weight"] *= 7.0
+        with pytest.raises(ValueError, match="closure"):
+            NetworkSimulator(g, inst)
+
+    def test_unknown_policy_rejected(self):
+        g, inst = _setup(14)
+        with pytest.raises(ValueError, match="update_policy"):
+            NetworkSimulator(g, inst, update_policy="flood")
+
+    def test_unknown_object_in_log(self):
+        g, inst = _setup(16)
+        sim = NetworkSimulator(g, inst)
+        with pytest.raises(ValueError, match="unknown object"):
+            sim.run(Placement.single([0]), [Request(READ, 0, 5)])
+
+
+class TestOnlineStrategy:
+    def test_threshold_validated(self):
+        g, inst = _setup(18)
+        with pytest.raises(ValueError):
+            OnlineCountingStrategy(g, inst, replication_threshold=0)
+
+    def test_hot_reader_gets_a_copy(self, line_metric):
+        import networkx as nx
+
+        inst = DataManagementInstance.single_object(
+            line_metric, np.ones(5), np.array([0.0, 0, 0, 0, 10.0]), np.zeros(5)
+        )
+        g = nx.path_graph(5)
+        for u, v in g.edges():
+            g[u][v]["weight"] = 1.0
+        online = OnlineCountingStrategy(g, inst, replication_threshold=3)
+        report, finals = online.run(request_log_from_instance(inst))
+        assert 4 in finals[0]  # the hot reader bought a local copy
+
+    def test_write_invalidates_to_single_copy(self, line_metric):
+        import networkx as nx
+
+        inst = DataManagementInstance.single_object(
+            line_metric,
+            np.ones(5),
+            np.array([0.0, 0, 0, 0, 5.0]),
+            np.array([0.0, 0, 0, 0, 1.0]),
+        )
+        g = nx.path_graph(5)
+        for u, v in g.edges():
+            g[u][v]["weight"] = 1.0
+        online = OnlineCountingStrategy(g, inst, replication_threshold=2)
+        # canonical order: reads first, then the write -> ends with 1 copy
+        report, finals = online.run(request_log_from_instance(inst))
+        assert len(finals[0]) == 1
+
+    def test_deterministic(self):
+        g, inst = _setup(20)
+        online = OnlineCountingStrategy(g, inst)
+        log = request_log_from_instance(inst, seed=5)
+        a, _ = online.run(log)
+        b, _ = online.run(log)
+        assert a.total_cost == pytest.approx(b.total_cost)
+
+    def test_read_only_online_approaches_replication(self):
+        """With no writes and threshold k, every node that reads >= k times
+        ends up holding a copy."""
+        g, inst = _setup(22, write_fraction=0.0)
+        online = OnlineCountingStrategy(g, inst, replication_threshold=1)
+        _, finals = online.run(request_log_from_instance(inst))
+        readers = set(np.flatnonzero(inst.read_freq[0] > 0).tolist())
+        assert readers <= finals[0]

@@ -1,0 +1,120 @@
+"""Tests for repro.graphs.steiner: exact DP vs the MST 2-approximation."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.generators import erdos_renyi_graph, grid_graph, star_graph
+from repro.graphs.metric import Metric
+from repro.graphs.steiner import (
+    MAX_EXACT_TERMINALS,
+    steiner_exact_cost,
+    steiner_kmb,
+    steiner_mst_cost,
+)
+
+
+class TestExactSteiner:
+    def test_single_terminal_free(self, line_metric):
+        assert steiner_exact_cost(line_metric, [2]) == 0.0
+
+    def test_two_terminals_is_distance(self, line_metric):
+        assert steiner_exact_cost(line_metric, [0, 3]) == pytest.approx(3.0)
+
+    def test_duplicates_collapse(self, line_metric):
+        assert steiner_exact_cost(line_metric, [0, 0, 3]) == pytest.approx(3.0)
+
+    def test_line_terminals_span_interval(self, line_metric):
+        # optimal tree for {0, 2, 4} on a line is the segment [0, 4]
+        assert steiner_exact_cost(line_metric, [0, 2, 4]) == pytest.approx(4.0)
+
+    def test_star_uses_centre_as_steiner_point(self):
+        # star with 4 leaves at distance 1: spanning 3 leaves costs 3 via the
+        # centre, while the leaf-MST costs 4 -- the classic Steiner gain
+        g = star_graph(5, seed=0)
+        for u, v in g.edges():
+            g[u][v]["weight"] = 1.0
+        m = Metric.from_graph(g)
+        leaves = [1, 2, 3]
+        assert steiner_exact_cost(m, leaves) == pytest.approx(3.0)
+        assert steiner_mst_cost(m, leaves) == pytest.approx(4.0)
+
+    def test_terminal_cap_enforced(self):
+        m = Metric(np.zeros((MAX_EXACT_TERMINALS + 2, MAX_EXACT_TERMINALS + 2)))
+        with pytest.raises(ValueError, match="MAX_EXACT_TERMINALS"):
+            steiner_exact_cost(m, list(range(MAX_EXACT_TERMINALS + 1)))
+
+    def test_no_terminals_rejected(self, line_metric):
+        with pytest.raises(ValueError):
+            steiner_exact_cost(line_metric, [])
+
+    def test_all_nodes_equals_mst(self, triangle_metric):
+        # with every node a terminal there is no room for Steiner points
+        assert steiner_exact_cost(triangle_metric, [0, 1, 2]) == pytest.approx(
+            steiner_mst_cost(triangle_metric, [0, 1, 2])
+        )
+
+
+class TestApproximationGuarantee:
+    @given(st.integers(min_value=0, max_value=150))
+    @settings(max_examples=30, deadline=None)
+    def test_exact_le_mst_le_twice_exact(self, seed):
+        """Claim 2's inequality chain on random instances."""
+        g = erdos_renyi_graph(8, 0.45, seed=seed)
+        m = Metric.from_graph(g)
+        rng = np.random.default_rng(seed)
+        k = int(rng.integers(2, 7))
+        terminals = sorted(rng.choice(8, size=k, replace=False).tolist())
+        exact = steiner_exact_cost(m, terminals)
+        approx = steiner_mst_cost(m, terminals)
+        assert exact <= approx + 1e-9
+        assert approx <= 2.0 * exact + 1e-9
+
+    @given(st.integers(min_value=0, max_value=100))
+    @settings(max_examples=20, deadline=None)
+    def test_exact_monotone_in_terminals(self, seed):
+        g = erdos_renyi_graph(8, 0.45, seed=seed)
+        m = Metric.from_graph(g)
+        base = [0, 3, 6]
+        bigger = [0, 2, 3, 6]
+        assert steiner_exact_cost(m, base) <= steiner_exact_cost(m, bigger) + 1e-9
+
+
+class TestKMB:
+    def test_tree_spans_terminals(self):
+        g = grid_graph(3, 3, seed=5)
+        terminals = [0, 4, 8]
+        edges, cost = steiner_kmb(g, terminals)
+        t = nx.Graph(edges)
+        for term in terminals:
+            assert term in t
+        assert nx.is_connected(t)
+
+    def test_cost_between_exact_and_mst_bound(self):
+        g = grid_graph(3, 3, seed=5)
+        m = Metric.from_graph(g)
+        terminals = [0, 4, 8]
+        edges, cost = steiner_kmb(g, terminals)
+        exact = steiner_exact_cost(m, terminals)
+        assert exact - 1e-9 <= cost <= 2 * exact + 1e-9
+
+    def test_single_terminal(self):
+        g = grid_graph(2, 2, seed=1)
+        edges, cost = steiner_kmb(g, [0])
+        assert edges == [] and cost == 0.0
+
+    def test_two_terminals_is_shortest_path(self):
+        g = grid_graph(3, 3, seed=2)
+        _, cost = steiner_kmb(g, [0, 8])
+        assert cost == pytest.approx(nx.shortest_path_length(g, 0, 8, weight="weight"))
+
+    def test_no_nonterminal_leaves(self):
+        g = grid_graph(4, 4, seed=9)
+        terminals = [0, 15, 3]
+        edges, _ = steiner_kmb(g, terminals)
+        t = nx.Graph(edges)
+        for v in t.nodes:
+            if t.degree(v) == 1:
+                assert v in terminals

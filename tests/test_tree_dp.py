@@ -1,0 +1,251 @@
+"""Tests for repro.core.tree_dp: exactness of the Section 3 algorithm.
+
+The crown jewel of the test suite: the DP must equal brute-force optimal
+on every random tree, in both the general and the read-only case, and its
+reported cost must match independent cost accounting of the reconstructed
+placement.
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.exhaustive import brute_force_object
+from repro.core.costs import object_cost
+from repro.core.instance import DataManagementInstance
+from repro.core.tree_binarize import binarize_tree
+from repro.core.tree_dp import optimal_tree_object_placement, optimal_tree_placement
+from repro.facility.mip import exact_ufl
+from repro.facility.problem import FacilityLocationProblem
+from repro.graphs.generators import (
+    balanced_tree,
+    caterpillar_tree,
+    path_graph,
+    random_tree,
+    star_graph,
+)
+from repro.graphs.metric import Metric
+from tests.conftest import make_random_tree_instance
+
+
+def _run_dp(g, inst):
+    placement, cost = optimal_tree_placement(
+        g, inst.storage_costs, inst.read_freq, inst.write_freq
+    )
+    return placement.copies(0), cost
+
+
+class TestHandCases:
+    def test_single_node(self):
+        g = nx.Graph()
+        g.add_node(0)
+        placement, cost = optimal_tree_placement(
+            g, np.array([2.5]), np.array([[3.0]]), np.array([[1.0]])
+        )
+        assert placement.copies(0) == (0,)
+        assert cost == pytest.approx(2.5)
+
+    def test_two_nodes_cheap_storage_replicates(self):
+        g = nx.Graph()
+        g.add_edge(0, 1, weight=10.0)
+        # read-only, heavy demand both sides, cheap storage -> two copies
+        placement, cost = optimal_tree_placement(
+            g, np.array([1.0, 1.0]), np.array([[5.0, 5.0]]), np.array([[0.0, 0.0]])
+        )
+        assert placement.copies(0) == (0, 1)
+        assert cost == pytest.approx(2.0)
+
+    def test_two_nodes_writes_forbid_replication(self):
+        g = nx.Graph()
+        g.add_edge(0, 1, weight=10.0)
+        # heavy writes: the second copy costs 10 per write to update
+        placement, cost = optimal_tree_placement(
+            g, np.array([1.0, 1.0]), np.array([[0.0, 0.0]]), np.array([[5.0, 5.0]])
+        )
+        assert len(placement.copies(0)) == 1
+        # one copy at either end: storage 1 + 5 writes crossing the edge
+        assert cost == pytest.approx(1.0 + 5 * 10.0)
+
+    def test_zero_demand_picks_cheapest_node(self):
+        g = path_graph(4, seed=1)
+        cs = np.array([3.0, 0.5, 2.0, 1.0])
+        placement, cost = optimal_tree_placement(
+            g, cs, np.zeros((1, 4)), np.zeros((1, 4))
+        )
+        assert placement.copies(0) == (1,)
+        assert cost == pytest.approx(0.5)
+
+    def test_star_hub_preferred_for_uniform_demand(self):
+        g = star_graph(6, seed=3)
+        for u, v in g.edges():
+            g[u][v]["weight"] = 1.0
+        cs = np.full(6, 10.0)  # expensive storage: single copy
+        fr = np.full((1, 6), 1.0)
+        placement, cost = optimal_tree_placement(g, cs, fr, np.zeros((1, 6)))
+        assert placement.copies(0) == (0,)  # the hub is the 1-median
+        assert cost == pytest.approx(10.0 + 5.0)
+
+
+class TestAgainstBruteForce:
+    @given(st.integers(min_value=0, max_value=400))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_brute_force_general(self, seed):
+        g, inst = make_random_tree_instance(seed)
+        copies, cost = _run_dp(g, inst)
+        _, opt = brute_force_object(inst, 0, policy="steiner")
+        assert cost == pytest.approx(opt, rel=1e-9, abs=1e-9)
+
+    @given(st.integers(min_value=0, max_value=200))
+    @settings(max_examples=30, deadline=None)
+    def test_reconstruction_cost_matches_reported(self, seed):
+        g, inst = make_random_tree_instance(seed)
+        copies, cost = _run_dp(g, inst)
+        evaluated = object_cost(inst, 0, copies, policy="steiner").total
+        assert evaluated == pytest.approx(cost, rel=1e-9, abs=1e-9)
+
+    @given(st.integers(min_value=0, max_value=200))
+    @settings(max_examples=25, deadline=None)
+    def test_read_only_matches_exact_ufl(self, seed):
+        """Read-only data management on any metric is exactly UFL."""
+        g, inst = make_random_tree_instance(seed, max_write=0)
+        copies, cost = _run_dp(g, inst)
+        fl = FacilityLocationProblem(
+            inst.storage_costs, inst.read_freq[0], inst.metric.dist
+        )
+        assert cost == pytest.approx(fl.cost(exact_ufl(fl)), rel=1e-9, abs=1e-9)
+
+    @pytest.mark.parametrize(
+        "builder",
+        [
+            lambda seed: path_graph(7, seed=seed),
+            lambda seed: star_graph(7, seed=seed),
+            lambda seed: caterpillar_tree(3, 1, seed=seed),
+            lambda seed: balanced_tree(2, 2, seed=seed),
+        ],
+        ids=["path", "star", "caterpillar", "balanced"],
+    )
+    def test_structured_shapes(self, builder):
+        for seed in range(8):
+            g = builder(seed)
+            n = g.number_of_nodes()
+            rng = np.random.default_rng(seed + 900)
+            inst = DataManagementInstance.single_object(
+                Metric.from_graph(g),
+                rng.uniform(0.1, 5.0, size=n),
+                rng.integers(0, 5, size=n).astype(float),
+                rng.integers(0, 3, size=n).astype(float),
+            )
+            copies, cost = _run_dp(g, inst)
+            _, opt = brute_force_object(inst, 0, policy="steiner")
+            assert cost == pytest.approx(opt, rel=1e-9)
+
+    def test_zero_weight_edges(self):
+        g = path_graph(5, seed=1)
+        for u, v in list(g.edges())[:2]:
+            g[u][v]["weight"] = 0.0
+        rng = np.random.default_rng(5)
+        inst = DataManagementInstance.single_object(
+            Metric.from_graph(g),
+            rng.uniform(0.1, 4.0, size=5),
+            rng.integers(0, 5, size=5).astype(float),
+            rng.integers(0, 3, size=5).astype(float),
+        )
+        copies, cost = _run_dp(g, inst)
+        _, opt = brute_force_object(inst, 0, policy="steiner")
+        assert cost == pytest.approx(opt, rel=1e-9)
+
+    def test_integer_tie_heavy_weights(self):
+        """Unit weights create massive tie degeneracy; DP must still match."""
+        for seed in range(6):
+            g = random_tree(7, seed=seed)
+            for u, v in g.edges():
+                g[u][v]["weight"] = 1.0
+            rng = np.random.default_rng(seed)
+            inst = DataManagementInstance.single_object(
+                Metric.from_graph(g),
+                rng.integers(1, 4, size=7).astype(float),
+                rng.integers(0, 3, size=7).astype(float),
+                rng.integers(0, 2, size=7).astype(float),
+            )
+            copies, cost = _run_dp(g, inst)
+            _, opt = brute_force_object(inst, 0, policy="steiner")
+            assert cost == pytest.approx(opt, rel=1e-9)
+
+
+class TestInvariance:
+    @given(st.integers(min_value=0, max_value=150))
+    @settings(max_examples=20, deadline=None)
+    def test_root_choice_does_not_change_cost(self, seed):
+        g, inst = make_random_tree_instance(seed, n=7)
+        costs = set()
+        for root in range(7):
+            _, cost = optimal_tree_placement(
+                g, inst.storage_costs, inst.read_freq, inst.write_freq, root=root
+            )
+            costs.add(round(cost, 8))
+        assert len(costs) == 1
+
+    def test_deterministic(self):
+        g, inst = make_random_tree_instance(42, n=9)
+        a = _run_dp(g, inst)
+        b = _run_dp(g, inst)
+        assert a == b
+
+    def test_multi_object_cost_adds(self):
+        g = random_tree(8, seed=10)
+        rng = np.random.default_rng(10)
+        cs = rng.uniform(0.5, 3.0, size=8)
+        fr = rng.integers(0, 5, size=(2, 8)).astype(float)
+        fw = rng.integers(0, 3, size=(2, 8)).astype(float)
+        _, total = optimal_tree_placement(g, cs, fr, fw)
+        singles = 0.0
+        for obj in range(2):
+            _, c = optimal_tree_placement(
+                g, cs, fr[obj : obj + 1], fw[obj : obj + 1]
+            )
+            singles += c
+        assert total == pytest.approx(singles)
+
+
+class TestOptimalityAgainstHeuristics:
+    @given(st.integers(min_value=0, max_value=200))
+    @settings(max_examples=25, deadline=None)
+    def test_never_beaten_by_any_subset(self, seed):
+        """Spot-check optimality: random copy sets can't beat the DP."""
+        g, inst = make_random_tree_instance(seed, n=8)
+        _, cost = _run_dp(g, inst)
+        rng = np.random.default_rng(seed + 1)
+        for _ in range(10):
+            k = int(rng.integers(1, 9))
+            copies = sorted(rng.choice(8, size=k, replace=False).tolist())
+            other = object_cost(inst, 0, copies, policy="steiner").total
+            assert cost <= other + 1e-9
+
+
+class TestDirectBinaryInterface:
+    def test_runs_on_prebinarized_instance(self):
+        g = star_graph(9, seed=2)
+        rng = np.random.default_rng(2)
+        cs = rng.uniform(0.5, 3.0, size=9)
+        fr = rng.integers(0, 5, size=9).astype(float)
+        fw = rng.integers(0, 2, size=9).astype(float)
+        bt = binarize_tree(g, cs, fr, fw)
+        result = optimal_tree_object_placement(bt)
+        placement, cost = optimal_tree_placement(
+            g, cs, fr.reshape(1, -1), fw.reshape(1, -1)
+        )
+        assert result.copies == placement.copies(0)
+        assert result.cost == pytest.approx(cost)
+
+    def test_all_infinite_storage_raises(self):
+        import math
+
+        from repro.core.tree_binarize import BinaryNode, BinaryTreeInstance
+
+        bt = BinaryTreeInstance(
+            [BinaryNode(0, math.inf, 1.0, 0.0)]
+        )
+        with pytest.raises(RuntimeError, match="infinite storage"):
+            optimal_tree_object_placement(bt)

@@ -1,0 +1,171 @@
+"""Tests for repro.core.tree_dp_readonly: the literal Section 3.1 tuples.
+
+The strongest evidence for Theorem 13 in this repository: two
+structurally different implementations -- the paper-literal tuple
+sequences here and the envelope-based general DP -- must agree with each
+other, with brute force, and with an exact UFL MILP on every random tree.
+"""
+
+import math
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.exhaustive import brute_force_object
+from repro.core.costs import object_cost
+from repro.core.instance import DataManagementInstance
+from repro.core.tree_binarize import binarize_tree
+from repro.core.tree_dp import optimal_tree_placement
+from repro.core.tree_dp_readonly import (
+    optimal_tree_object_placement_readonly,
+    optimal_tree_placement_readonly,
+)
+from repro.graphs.generators import (
+    balanced_tree,
+    path_graph,
+    random_tree,
+    star_graph,
+)
+from repro.graphs.metric import Metric
+
+
+def _random_readonly(seed: int):
+    rng = np.random.default_rng(seed + 31_000)
+    n = int(rng.integers(2, 11))
+    kind = seed % 4
+    if kind == 0:
+        g = random_tree(n, seed=seed)
+    elif kind == 1:
+        g = path_graph(n, seed=seed)
+    elif kind == 2:
+        g = star_graph(n, seed=seed)
+    else:
+        g = balanced_tree(3, 2, seed=seed)
+        n = g.number_of_nodes()
+    fr = rng.integers(0, 6, size=n).astype(float)
+    cs = rng.uniform(0.0, 8.0, size=n)
+    inst = DataManagementInstance.single_object(
+        Metric.from_graph(g), cs, fr, np.zeros(n)
+    )
+    return g, inst
+
+
+class TestAgainstGeneralDP:
+    @given(st.integers(min_value=0, max_value=500))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_general_dp(self, seed):
+        g, inst = _random_readonly(seed)
+        n = inst.num_nodes
+        _, general = optimal_tree_placement(
+            g, inst.storage_costs, inst.read_freq, np.zeros((1, n))
+        )
+        _, literal = optimal_tree_placement_readonly(
+            g, inst.storage_costs, inst.read_freq
+        )
+        assert literal == pytest.approx(general, rel=1e-9, abs=1e-9)
+
+    @given(st.integers(min_value=0, max_value=300))
+    @settings(max_examples=30, deadline=None)
+    def test_reconstruction_achieves_cost(self, seed):
+        g, inst = _random_readonly(seed)
+        placement, cost = optimal_tree_placement_readonly(
+            g, inst.storage_costs, inst.read_freq
+        )
+        evaluated = object_cost(inst, 0, placement.copies(0), policy="steiner").total
+        assert evaluated == pytest.approx(cost, rel=1e-9, abs=1e-9)
+
+    @given(st.integers(min_value=0, max_value=200))
+    @settings(max_examples=20, deadline=None)
+    def test_matches_brute_force(self, seed):
+        g, inst = _random_readonly(seed)
+        if inst.num_nodes > 10:
+            return
+        _, cost = optimal_tree_placement_readonly(
+            g, inst.storage_costs, inst.read_freq
+        )
+        _, opt = brute_force_object(inst, 0, policy="steiner")
+        assert cost == pytest.approx(opt, rel=1e-9, abs=1e-9)
+
+
+class TestHandCases:
+    def test_single_node(self):
+        g = nx.Graph()
+        g.add_node(0)
+        placement, cost = optimal_tree_placement_readonly(
+            g, np.array([1.5]), np.array([[2.0]])
+        )
+        assert placement.copies(0) == (0,)
+        assert cost == pytest.approx(1.5)
+
+    def test_leaf_threshold_semantics(self):
+        """Two nodes: the far reader buys a copy exactly when its demand
+        times the distance exceeds the storage price."""
+        g = nx.Graph()
+        g.add_edge(0, 1, weight=2.0)
+        # demand 3 at node 1, storage 5: remote serving costs 6 > 5 -> copy
+        placement, cost = optimal_tree_placement_readonly(
+            g, np.array([0.5, 5.0]), np.array([[0.0, 3.0]])
+        )
+        assert 1 in placement.copies(0)
+        # demand 2: remote costs 4 + 0.5 storage at node 0 = 4.5 < 5 -> no copy
+        placement, cost = optimal_tree_placement_readonly(
+            g, np.array([0.5, 5.0]), np.array([[0.0, 2.0]])
+        )
+        assert placement.copies(0) == (0,)
+        assert cost == pytest.approx(0.5 + 4.0)
+
+    def test_zero_demand_subtree_not_stocked(self):
+        """The corner the paper's Claim 16 prose skips: a zero-demand
+        branch must not be forced to hold a copy by the E-infinity
+        terminal."""
+        g = nx.Graph()
+        g.add_edge(0, 1, weight=1.0)  # demand at 0 only
+        g.add_edge(1, 2, weight=1.0)  # node 2: zero demand, dirt-cheap storage
+        placement, cost = optimal_tree_placement_readonly(
+            g, np.array([1.0, 10.0, 0.01]), np.array([[5.0, 0.0, 0.0]])
+        )
+        assert placement.copies(0) == (0,)
+        assert cost == pytest.approx(1.0)
+
+    def test_rejects_writes(self):
+        g = random_tree(4, seed=1)
+        bt = binarize_tree(g, np.ones(4), np.ones(4), np.ones(4))
+        with pytest.raises(ValueError, match="read-only"):
+            optimal_tree_object_placement_readonly(bt)
+
+    def test_all_infinite_storage_raises(self):
+        from repro.core.tree_binarize import BinaryNode, BinaryTreeInstance
+
+        bt = BinaryTreeInstance([BinaryNode(0, math.inf, 1.0, 0.0)])
+        with pytest.raises(RuntimeError, match="infinite storage"):
+            optimal_tree_object_placement_readonly(bt)
+
+
+class TestInvariance:
+    @given(st.integers(min_value=0, max_value=100))
+    @settings(max_examples=15, deadline=None)
+    def test_root_independence(self, seed):
+        g, inst = _random_readonly(seed)
+        n = inst.num_nodes
+        costs = set()
+        for root in range(min(n, 4)):
+            _, cost = optimal_tree_placement_readonly(
+                g, inst.storage_costs, inst.read_freq, root=root
+            )
+            costs.add(round(cost, 8))
+        assert len(costs) == 1
+
+    def test_multi_object(self):
+        g = random_tree(7, seed=3)
+        rng = np.random.default_rng(3)
+        cs = rng.uniform(0.5, 4.0, size=7)
+        fr = rng.integers(0, 5, size=(3, 7)).astype(float)
+        placement, total = optimal_tree_placement_readonly(g, cs, fr)
+        assert placement.num_objects == 3
+        singles = sum(
+            optimal_tree_placement_readonly(g, cs, fr[i : i + 1])[1] for i in range(3)
+        )
+        assert total == pytest.approx(singles)

@@ -1,0 +1,139 @@
+"""Tests for repro.workloads: generators and scenarios."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import random_tree
+from repro.graphs.metric import Metric
+from repro.workloads import (
+    distributed_file_system,
+    heterogeneous_storage_costs,
+    hotspot_requests,
+    make_instance,
+    split_read_write,
+    tree_network,
+    uniform_requests,
+    uniform_storage_costs,
+    virtual_shared_memory,
+    www_content_provider,
+    zipf_object_popularity,
+)
+
+
+@pytest.fixture
+def metric():
+    return Metric.from_graph(random_tree(10, seed=1))
+
+
+class TestStorageCosts:
+    def test_uniform(self):
+        cs = uniform_storage_costs(5, 2.5)
+        assert np.allclose(cs, 2.5)
+
+    def test_uniform_negative_rejected(self):
+        with pytest.raises(ValueError):
+            uniform_storage_costs(5, -1.0)
+
+    def test_heterogeneous_range_and_determinism(self):
+        a = heterogeneous_storage_costs(20, seed=3, low=1.0, high=2.0)
+        b = heterogeneous_storage_costs(20, seed=3, low=1.0, high=2.0)
+        assert np.array_equal(a, b)
+        assert np.all((a >= 1.0) & (a < 2.0))
+
+
+class TestRequestGenerators:
+    def test_uniform_shape_and_nonneg(self):
+        r = uniform_requests(10, 3, seed=1)
+        assert r.shape == (3, 10)
+        assert np.all(r >= 0)
+        assert np.allclose(r, np.round(r))  # integer counts
+
+    def test_zipf_popularity_decreasing(self):
+        r = zipf_object_popularity(20, 6, seed=2, total_per_object=50.0)
+        totals = r.sum(axis=1)
+        assert all(a >= b - 1e-9 for a, b in zip(totals, totals[1:]))
+
+    def test_hotspot_concentration(self):
+        r = hotspot_requests(
+            50, 1, seed=3, hot_fraction=0.1, hot_share=0.9, total_per_object=1000
+        )
+        row = np.sort(r[0])[::-1]
+        # the top 10% of nodes should hold clearly more than half the mass
+        assert row[:5].sum() > 0.5 * row.sum()
+
+    def test_hotspot_param_validation(self):
+        with pytest.raises(ValueError):
+            hotspot_requests(10, 1, seed=1, hot_fraction=0.0)
+
+    def test_split_read_write_partitions(self):
+        demand = uniform_requests(10, 2, seed=4)
+        reads, writes = split_read_write(demand, write_fraction=0.4, seed=5)
+        assert np.allclose(reads + writes, demand)
+        assert np.all(reads >= 0) and np.all(writes >= 0)
+
+    def test_split_extremes(self):
+        demand = uniform_requests(8, 1, seed=6)
+        reads, writes = split_read_write(demand, write_fraction=0.0, seed=7)
+        assert writes.sum() == 0
+        reads, writes = split_read_write(demand, write_fraction=1.0, seed=8)
+        assert reads.sum() == 0
+
+    def test_split_fraction_validated(self):
+        with pytest.raises(ValueError):
+            split_read_write(np.ones((1, 3)), write_fraction=1.5, seed=1)
+
+
+class TestMakeInstance:
+    @pytest.mark.parametrize("model", ["uniform", "zipf", "hotspot"])
+    def test_models(self, metric, model):
+        inst = make_instance(metric, seed=9, num_objects=3, demand_model=model)
+        assert inst.num_objects == 3
+        assert inst.num_nodes == 10
+
+    def test_unknown_model(self, metric):
+        with pytest.raises(ValueError, match="demand model"):
+            make_instance(metric, seed=1, demand_model="nope")
+
+    def test_fixed_storage_price(self, metric):
+        inst = make_instance(metric, seed=1, storage_price=3.0)
+        assert np.allclose(inst.storage_costs, 3.0)
+
+    def test_deterministic(self, metric):
+        a = make_instance(metric, seed=12, num_objects=2)
+        b = make_instance(metric, seed=12, num_objects=2)
+        assert np.array_equal(a.read_freq, b.read_freq)
+        assert np.array_equal(a.write_freq, b.write_freq)
+        assert np.array_equal(a.storage_costs, b.storage_costs)
+
+
+class TestScenarios:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            www_content_provider,
+            distributed_file_system,
+            virtual_shared_memory,
+            tree_network,
+        ],
+    )
+    def test_scenarios_build_consistent_instances(self, factory):
+        sc = factory()
+        assert sc.instance.num_nodes == sc.graph.number_of_nodes()
+        assert sc.instance.num_objects >= 1
+        assert sc.name
+
+    def test_www_is_read_heavy(self):
+        sc = www_content_provider()
+        total_r = sc.instance.read_freq.sum()
+        total_w = sc.instance.write_freq.sum()
+        assert total_w < 0.2 * total_r
+
+    def test_vsm_is_write_heavy(self):
+        sc = virtual_shared_memory()
+        total_r = sc.instance.read_freq.sum()
+        total_w = sc.instance.write_freq.sum()
+        assert total_w > 0.5 * total_r
+
+    def test_tree_scenario_graph_is_tree(self):
+        sc = tree_network()
+        assert sc.graph.number_of_edges() == sc.graph.number_of_nodes() - 1
