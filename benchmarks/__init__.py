@@ -1,0 +1,5 @@
+"""Benchmark package: E1--E13 experiment regenerations (see
+docs/EXPERIMENTS.md).  Run with::
+
+    python -m pytest benchmarks -o python_files='bench_*.py' -s
+"""

@@ -1,8 +1,9 @@
-"""E10: runtime scaling of the two headline algorithms."""
+"""E10: runtime scaling of the two headline algorithms, plus the
+dense-vs-lazy distance-backend sweep (E10b) with its BENCH JSON artifact."""
 
-from repro.analysis import run_e10_scalability
+from repro.analysis import run_e10_backend_sweep, run_e10_scalability
 
-from .conftest import emit
+from .conftest import emit, emit_json
 
 
 def test_e10_scalability(benchmark):
@@ -16,3 +17,17 @@ def test_e10_scalability(benchmark):
         iterations=1,
     )
     emit(result)
+
+
+def test_e10_backend_sweep(benchmark):
+    """Dense vs lazy backend: wall time + peak RSS-style (tracemalloc)
+    memory, persisted as BENCH_e10_backend_sweep.json."""
+    result = benchmark.pedantic(
+        run_e10_backend_sweep,
+        kwargs=dict(sizes=(500, 1500, 4000), dense_limit=4000),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+    path = emit_json(result, "e10_backend_sweep")
+    print(f"artifact: {path}")

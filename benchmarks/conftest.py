@@ -1,12 +1,19 @@
 """Benchmark harness configuration.
 
-Each ``bench_e*.py`` regenerates one experiment from DESIGN.md section 3:
-the benchmark times the core computation while the rendered result table
-is printed to stdout (run with ``-s`` to see it; EXPERIMENTS.md records
-the reference output).
+Each ``bench_e*.py`` regenerates one experiment; docs/EXPERIMENTS.md maps
+every file to the paper result it validates and records how to run the
+suite.  The benchmark times the core computation while the rendered result
+table is printed to stdout (run with ``-s`` to see it); sweeps that
+measure scaling additionally persist a machine-readable ``BENCH_*.json``
+artifact next to this file via ``ExperimentResult.save_json``.
 """
 
 from __future__ import annotations
+
+from pathlib import Path
+
+#: Where BENCH_*.json artifacts land (the benchmarks directory itself).
+ARTIFACT_DIR = Path(__file__).resolve().parent
 
 
 def emit(result) -> None:
@@ -14,3 +21,10 @@ def emit(result) -> None:
     print()
     print(result.render())
     print()
+
+
+def emit_json(result, name: str) -> Path:
+    """Persist an ExperimentResult as ``BENCH_<name>.json``; returns path."""
+    path = ARTIFACT_DIR / f"BENCH_{name}.json"
+    result.save_json(path)
+    return path

@@ -15,13 +15,19 @@ Quickstart
 >>> placement_cost(inst, placement).total  # doctest: +SKIP
 123.4
 
+For networks beyond a few thousand nodes, build the instance on
+``graphs.LazyMetric.from_graph(g)`` instead -- identical results, no
+``O(n^2)`` distance matrix (see docs/ARCHITECTURE.md).
+
 Package layout
 --------------
 ``repro.core``
     problem model, cost accounting, the Section 2 approximation, the
     Section 3 tree optimum.
 ``repro.graphs``
-    metric closures, MST/Steiner substrate, topology generators.
+    distance backends (dense :class:`~repro.graphs.metric.Metric` and
+    scalable :class:`~repro.graphs.backend.LazyMetric`), MST/Steiner
+    substrate, topology generators.
 ``repro.facility``
     facility-location solvers (phase 1 of the approximation).
 ``repro.baselines``
@@ -46,7 +52,7 @@ from .core import (
     placement_cost,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "core",

@@ -13,6 +13,7 @@ from .experiments import (
     run_e8_facility_choice,
     run_e9_load_model,
     run_e10_scalability,
+    run_e10_backend_sweep,
     run_e11_simulation_agreement,
     run_e12_online_vs_static,
     run_e13_capacity_price,
@@ -33,6 +34,7 @@ __all__ = [
     "run_e8_facility_choice",
     "run_e9_load_model",
     "run_e10_scalability",
+    "run_e10_backend_sweep",
     "run_e11_simulation_agreement",
     "run_e12_online_vs_static",
     "run_e13_capacity_price",

@@ -1,16 +1,20 @@
-"""Experiment runners E1--E13 (see DESIGN.md section 3).
+"""Experiment runners E1--E13 (mapped to the paper in docs/EXPERIMENTS.md).
 
 The paper proves theorems instead of reporting measurements, so the
 reproduction's "tables and figures" are executable validations of each
 theorem/lemma.  Every runner returns an :class:`ExperimentResult` whose
 rendered table is what the corresponding benchmark prints and what
-EXPERIMENTS.md records.  Runners accept size knobs so the test suite can
-exercise them at tiny scale while benchmarks run the full configuration.
+docs/EXPERIMENTS.md records.  Runners accept size knobs so the test suite
+can exercise them at tiny scale while benchmarks run the full
+configuration; results can be persisted as machine-readable JSON via
+:meth:`ExperimentResult.save_json` (the ``BENCH_*.json`` artifacts).
 """
 
 from __future__ import annotations
 
+import json
 import time
+import tracemalloc
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
@@ -32,6 +36,7 @@ from ..core.restricted import is_restricted, restrict_placement
 from ..core.tree_dp import optimal_tree_placement
 from ..facility import FL_SOLVERS, related_facility_problem, solve_ufl_lp
 from ..graphs import generators
+from ..graphs.backend import LazyMetric
 from ..graphs.metric import Metric
 from ..workloads.request_models import make_instance, uniform_storage_costs
 from .ratios import ratio, summarize_ratios
@@ -49,6 +54,7 @@ __all__ = [
     "run_e8_facility_choice",
     "run_e9_load_model",
     "run_e10_scalability",
+    "run_e10_backend_sweep",
     "run_e11_simulation_agreement",
     "run_e12_online_vs_static",
     "run_e13_capacity_price",
@@ -71,6 +77,32 @@ class ExperimentResult:
         if self.notes:
             text += f"\n{self.notes}"
         return text
+
+    def to_json(self) -> dict:
+        """Machine-readable form (plain python types, numpy coerced)."""
+
+        def coerce(x):
+            if isinstance(x, (np.floating,)):
+                return float(x)
+            if isinstance(x, (np.integer,)):
+                return int(x)
+            if isinstance(x, (np.bool_,)):
+                return bool(x)
+            return x
+
+        return {
+            "exp_id": self.exp_id,
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [[coerce(x) for x in row] for row in self.rows],
+            "notes": self.notes,
+        }
+
+    def save_json(self, path) -> None:
+        """Write the ``BENCH_*.json``-style artifact for this experiment."""
+        with open(path, "w") as fh:
+            json.dump(self.to_json(), fh, indent=2)
+            fh.write("\n")
 
 
 def _graph_family(name: str, n: int, seed: int) -> nx.Graph:
@@ -523,6 +555,86 @@ def run_e10_scalability(
         result.rows.append(
             ["tree DP", "random tree", n, 1e3 * dt, len(placement.copies(0))]
         )
+    return result
+
+
+# ----------------------------------------------------------------------
+# E10b: dense vs lazy distance backend at scale
+# ----------------------------------------------------------------------
+def run_e10_backend_sweep(
+    *,
+    sizes: Sequence[int] = (500, 1500, 4000),
+    topology: str = "transit_stub",
+    write_fraction: float = 0.2,
+    seed: int = 7,
+    dense_limit: int = 4000,
+    storage_price: float | None = None,
+) -> ExperimentResult:
+    """Dense vs lazy backend: wall time, peak memory, and result parity.
+
+    For each network size the full pipeline (metric construction +
+    instance + Section 2 placement) runs once per backend under
+    ``tracemalloc``; the dense backend is skipped when the *requested*
+    size exceeds ``dense_limit`` (generators may land a few percent off
+    the request, and the parity column must not silently disappear when
+    they overshoot the limit).
+    ``peak / dense-matrix`` is the headline column: the lazy backend must
+    stay well below 1 for the scaling story to hold.
+
+    ``topology`` is ``"transit_stub"`` or ``"power_law"``;
+    ``storage_price=None`` scales the uniform storage price with the
+    request volume (``~ n / 100``) so replication degrees stay
+    size-independent instead of drifting towards full replication as the
+    request volume grows with ``n``.
+    """
+    if topology == "transit_stub":
+        build = lambda n: generators.sized_transit_stub_graph(n, seed=seed)
+    elif topology == "power_law":
+        build = lambda n: generators.power_law_graph(n, seed=seed)
+    else:
+        raise ValueError(f"unknown topology {topology!r}")
+
+    result = ExperimentResult(
+        "E10b",
+        "distance backends at scale: dense closure vs lazy Dijkstra",
+        ("topology", "n", "backend", "time (s)", "peak MB",
+         "dense matrix MB", "peak / dense matrix", "copies", "matches dense"),
+        notes="'matches dense' compares the placed copy sets; '--' when the "
+        "dense run was skipped (n > dense_limit) or not comparable.",
+    )
+    for size in sizes:
+        g = build(size)
+        n = g.number_of_nodes()
+        price = storage_price if storage_price is not None else max(1.0, n / 100.0)
+        dense_bytes = 8.0 * n * n
+        per_backend: dict[str, tuple[float, ...]] = {}
+        backends = (["dense"] if size <= dense_limit else []) + ["lazy"]
+        for backend in backends:
+            tracemalloc.start()
+            t0 = time.perf_counter()
+            if backend == "dense":
+                metric = Metric.from_graph(g)
+            else:
+                metric = LazyMetric.from_graph(g)
+            inst = make_instance(
+                metric, seed=seed + n, num_objects=1,
+                write_fraction=write_fraction, storage_price=price,
+            )
+            copies = approximate_object_placement(inst, 0)
+            elapsed = time.perf_counter() - t0
+            _, peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+            per_backend[backend] = (elapsed, peak, copies)
+        for backend in backends:
+            elapsed, peak, copies = per_backend[backend]
+            if backend == "lazy" and "dense" in per_backend:
+                matches = copies == per_backend["dense"][2]
+            else:
+                matches = "--"
+            result.rows.append(
+                [topology, n, backend, elapsed, peak / 1e6, dense_bytes / 1e6,
+                 peak / dense_bytes, len(copies), matches]
+            )
     return result
 
 

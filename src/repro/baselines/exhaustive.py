@@ -26,6 +26,7 @@ from ..core.costs import CostBreakdown
 from ..core.instance import DataManagementInstance
 from ..core.placement import Placement
 from ..core.restricted import is_restricted
+from ..graphs.backend import dense_distance_matrix
 from ..graphs.metric import Metric
 from ..graphs.mst import mst_cost
 
@@ -57,7 +58,7 @@ class SteinerOracle:
                 f"{MAX_STEINER_ORACLE_NODES}"
             )
         self.metric = metric
-        d = metric.dist
+        d = dense_distance_matrix(metric, context="SteinerOracle")
         full = 1 << n
         dp = np.full((full, n), np.inf)
         dp[0] = 0.0  # spanning {} ∪ {v} is the single node v
@@ -153,7 +154,7 @@ def brute_force_object(
     demand = fr + fw
     w_total = instance.total_writes(obj)
     cs = instance.storage_costs
-    dist = metric.dist
+    dist = dense_distance_matrix(metric, context="brute_force_object")
 
     if policy == "steiner":
         if oracle is None:

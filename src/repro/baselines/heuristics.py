@@ -43,7 +43,7 @@ def best_single_node(instance: DataManagementInstance, obj: int) -> tuple[int, .
     ``cs(v) + sum_u (fr+fw)(u) * d(u, v)`` under every policy.
     """
     demand = instance.demand(obj)
-    score = instance.storage_costs + instance.metric.dist @ demand
+    score = instance.storage_costs + instance.metric.matvec(demand)
     return (int(np.argmin(score)),)
 
 
@@ -64,7 +64,7 @@ def write_blind_placement(
     if instance.total_requests(obj) == 0:
         return (int(np.argmin(instance.storage_costs)),)
     fl = related_facility_problem(instance, obj)
-    return tuple(sorted(set(FL_SOLVERS[fl_solver](fl))))
+    return tuple(fl.to_nodes(FL_SOLVERS[fl_solver](fl)))
 
 
 def greedy_add_placement(

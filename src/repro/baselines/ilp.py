@@ -18,6 +18,7 @@ from ..core.instance import DataManagementInstance
 from ..core.placement import Placement
 from ..facility.mip import exact_ufl
 from ..facility.problem import FacilityLocationProblem
+from ..graphs.backend import dense_distance_matrix
 
 __all__ = ["exact_read_only_object", "exact_read_only_placement"]
 
@@ -28,7 +29,7 @@ def _read_only_problem(
     return FacilityLocationProblem(
         open_costs=instance.storage_costs,
         demands=instance.read_freq[obj],
-        dist=instance.metric.dist,
+        dist=dense_distance_matrix(instance.metric, context="exact_read_only"),
     )
 
 

@@ -5,10 +5,15 @@ Usage::
     python -m repro experiment E1 [E3 ...]   # regenerate experiment tables
     python -m repro experiment all
     python -m repro scenario www             # run a named scenario bake-off
+    python -m repro backend-sweep --sizes 1000 4000 10000 \\
+        --out BENCH_backend_sweep.json       # dense-vs-lazy scaling sweep
     python -m repro list                     # what is available
 
-Experiments are the DESIGN.md E1--E13 validations; scenarios place a full
-object catalogue with every strategy and print the bill comparison.
+Experiments are the E1--E13 validations mapped to the paper in
+docs/EXPERIMENTS.md; scenarios place a full object catalogue with every
+strategy and print the bill comparison; ``backend-sweep`` measures the
+dense vs lazy distance backends at chosen network sizes and can persist a
+``BENCH_*.json`` artifact.
 """
 
 from __future__ import annotations
@@ -42,6 +47,7 @@ EXPERIMENTS: dict[str, Callable[[], "analysis.ExperimentResult"]] = {
     "E8": analysis.run_e8_facility_choice,
     "E9": analysis.run_e9_load_model,
     "E10": analysis.run_e10_scalability,
+    "E10B": analysis.run_e10_backend_sweep,
     "E11": analysis.run_e11_simulation_agreement,
     "E12": analysis.run_e12_online_vs_static,
     "E13": analysis.run_e13_capacity_price,
@@ -107,6 +113,24 @@ def _run_scenario(name: str, out=sys.stdout) -> int:
     return 0
 
 
+def _run_backend_sweep(args, out=sys.stdout) -> int:
+    try:
+        result = analysis.run_e10_backend_sweep(
+            sizes=tuple(args.sizes),
+            topology=args.topology,
+            dense_limit=args.dense_limit,
+            seed=args.seed,
+        )
+    except ValueError as exc:
+        print(f"backend-sweep: {exc}", file=sys.stderr)
+        return 2
+    print(result.render(), file=out)
+    if args.out_path:
+        result.save_json(args.out_path)
+        print(f"wrote {args.out_path}", file=out)
+    return 0
+
+
 def main(argv: Sequence[str] | None = None, out=sys.stdout) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -121,6 +145,20 @@ def main(argv: Sequence[str] | None = None, out=sys.stdout) -> int:
     p_sc = sub.add_parser("scenario", help="run a named scenario bake-off")
     p_sc.add_argument("name", choices=sorted(SCENARIOS))
 
+    p_bs = sub.add_parser(
+        "backend-sweep",
+        help="measure dense vs lazy distance backends at chosen sizes",
+    )
+    p_bs.add_argument("--sizes", nargs="+", type=int, default=[500, 1500, 4000],
+                      help="target network sizes (nodes)")
+    p_bs.add_argument("--topology", choices=("transit_stub", "power_law"),
+                      default="transit_stub")
+    p_bs.add_argument("--dense-limit", type=int, default=4000,
+                      help="skip the dense backend above this many nodes")
+    p_bs.add_argument("--seed", type=int, default=7)
+    p_bs.add_argument("--out", dest="out_path", default=None,
+                      help="also write a BENCH_*.json artifact here")
+
     sub.add_parser("list", help="list experiments and scenarios")
 
     args = parser.parse_args(argv)
@@ -128,6 +166,8 @@ def main(argv: Sequence[str] | None = None, out=sys.stdout) -> int:
         return _run_experiments(args.names, out=out)
     if args.command == "scenario":
         return _run_scenario(args.name, out=out)
+    if args.command == "backend-sweep":
+        return _run_backend_sweep(args, out=out)
     if args.command == "list":
         print("experiments:", ", ".join(EXPERIMENTS), file=out)
         print("scenarios:  ", ", ".join(SCENARIOS), file=out)

@@ -31,6 +31,14 @@ Implementation notes:
   the scanned holder itself is never deleted (hence the copy set stays
   non-empty -- the minimum-``rw`` holder provably survives).
 * Zero-demand objects are stored once on the cheapest node.
+* All metric access goes through the
+  :class:`~repro.graphs.backend.DistanceBackend` row/set queries -- never
+  the full matrix -- so the pipeline runs unchanged on a
+  :class:`~repro.graphs.backend.LazyMetric` at 10k+ nodes.  On networks
+  above :data:`repro.facility.FACILITY_AUTO_THRESHOLD` nodes, phase 1
+  restricts candidate facilities to a hot set (see
+  :func:`repro.facility.facility_candidate_set`); pass
+  ``facility_candidates`` to control or disable the cap.
 """
 
 from __future__ import annotations
@@ -81,6 +89,7 @@ def approximate_object_placement(
     phase2: bool = True,
     phase3: bool = True,
     return_diagnostics: bool = False,
+    facility_candidates: int | None = None,
 ):
     """Place a single object; returns the sorted copy tuple.
 
@@ -93,6 +102,13 @@ def approximate_object_placement(
         Ablation switches (Experiment E5); the theorem requires both.
     return_diagnostics:
         Also return an :class:`ApproxDiagnostics` with per-phase states.
+    facility_candidates:
+        Cap on the phase-1 candidate facility set.  ``None`` (default)
+        keeps every node on networks up to
+        :data:`repro.facility.FACILITY_AUTO_THRESHOLD` nodes and switches
+        to a :data:`repro.facility.DEFAULT_FACILITY_CANDIDATES`-node hot
+        set beyond -- identical behaviour for the dense and lazy backends,
+        so results stay backend-independent at every size.
     """
     if fl_solver not in FL_SOLVERS:
         raise ValueError(f"unknown fl_solver {fl_solver!r}; choose from {sorted(FL_SOLVERS)}")
@@ -108,8 +124,8 @@ def approximate_object_placement(
         return copies
 
     # ------------------------------------------------------ phase 1: UFL
-    fl = related_facility_problem(instance, obj)
-    copies = sorted(set(FL_SOLVERS[fl_solver](fl)))
+    fl = related_facility_problem(instance, obj, max_facilities=facility_candidates)
+    copies = sorted(set(fl.to_nodes(FL_SOLVERS[fl_solver](fl))))
     after1 = tuple(copies)
 
     rw, rs, zs = radii_for_object(
@@ -120,25 +136,38 @@ def approximate_object_placement(
     if phase2:
         dts = metric.dist_to_set(copies)
         copy_set = set(copies)
-        for v in range(metric.n):
+        # Adding a copy only shrinks nearest-copy distances, so only nodes
+        # violating the threshold under the *initial* dts can ever fire;
+        # scan those (in ascending node order, as before) and re-check.
+        for v in np.flatnonzero(dts > 5.0 * rs):
+            v = int(v)
             if dts[v] > 5.0 * rs[v]:
                 copy_set.add(v)
-                np.minimum(dts, metric.dist[v], out=dts)
+                np.minimum(dts, metric.row(v), out=dts)
         copies = sorted(copy_set)
     after2 = tuple(copies)
 
     # -------------------------------------------- phase 3: delete copies
     if phase3:
-        alive = set(copies)
-        scan = sorted(copies, key=lambda v: (rw[v], v))
-        for v in scan:
-            if v not in alive:
+        scan = np.asarray(sorted(copies, key=lambda v: (rw[v], v)), dtype=int)
+        u_bound = 4.0 * rw[scan]  # per-column threshold for the deleted copy u
+        alive = np.ones(scan.size, dtype=bool)
+        # Row access is chunked so a large post-phase-2 copy set never
+        # materializes a (k, k) block at once; rows of holders already
+        # deleted by an earlier chunk are never fetched.
+        chunk = 256
+        for c0 in range(0, scan.size, chunk):
+            live = [i for i in range(c0, min(c0 + chunk, scan.size)) if alive[i]]
+            if not live:
                 continue
-            doomed = [
-                u for u in alive if u != v and metric.d(u, v) <= 4.0 * rw[u]
-            ]
-            alive.difference_update(doomed)
-        copies = sorted(alive)
+            rows = np.asarray(metric.rows(scan[live]))[:, scan]  # (|live|, k)
+            for r, i in enumerate(live):
+                if not alive[i]:
+                    continue
+                doomed = alive & (rows[r] <= u_bound)
+                doomed[i] = False  # the scanned holder never deletes itself
+                alive[doomed] = False
+        copies = sorted(int(v) for v in scan[alive])
     after3 = tuple(copies)
 
     if return_diagnostics:
@@ -152,12 +181,18 @@ def approximate_placement(
     fl_solver: str = "local_search",
     phase2: bool = True,
     phase3: bool = True,
+    facility_candidates: int | None = None,
 ) -> Placement:
     """Place every object independently (the paper's per-object scheme)."""
     return Placement(
         tuple(
             approximate_object_placement(
-                instance, obj, fl_solver=fl_solver, phase2=phase2, phase3=phase3
+                instance,
+                obj,
+                fl_solver=fl_solver,
+                phase2=phase2,
+                phase3=phase3,
+                facility_candidates=facility_candidates,
             )
             for obj in range(instance.num_objects)
         )
@@ -195,10 +230,11 @@ def proper_placement_margins(
         coverage = float(np.min(np.where(np.isinf(bound), np.inf, bound - dts)))
 
     separation = np.inf
-    for a_pos, u in enumerate(nodes):
-        for v in nodes[a_pos + 1 :]:
-            separation = min(
-                separation,
-                metric.d(u, v) - 2.0 * k2 * max(rw[u], rw[v]),
-            )
+    if len(nodes) >= 2:
+        idx = np.asarray(nodes, dtype=int)
+        pair = np.asarray(metric.pairwise(idx))
+        rwn = rw[idx]
+        margin = pair - 2.0 * k2 * np.maximum.outer(rwn, rwn)
+        iu = np.triu_indices(idx.size, k=1)
+        separation = float(margin[iu].min())
     return {"coverage": coverage, "separation": float(separation)}

@@ -38,7 +38,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..graphs.metric import Metric
-from ..graphs.mst import mst_cost
+from ..graphs.mst import mst_cost, mst_cost_from_submatrix
 from ..graphs.steiner import steiner_exact_cost, steiner_mst_cost
 from .instance import DataManagementInstance
 from .placement import Placement
@@ -46,6 +46,11 @@ from .placement import Placement
 __all__ = ["CostBreakdown", "object_cost", "placement_cost", "UPDATE_POLICIES"]
 
 UPDATE_POLICIES = ("mst", "steiner", "steiner_mst")
+
+#: ``placement_cost`` batches row fetches across objects only while the
+#: union of copy nodes stays below this size; beyond it the per-object
+#: path is no worse and avoids holding a large ``(k, n)`` row block.
+_BATCH_UNION_LIMIT = 1024
 
 
 @dataclass(frozen=True)
@@ -137,9 +142,44 @@ def placement_cost(
     policy: str = "mst",
 ) -> CostBreakdown:
     """Total cost of a placement across all objects (objects are
-    independent in the model, so costs simply add)."""
+    independent in the model, so costs simply add).
+
+    Under the ``"mst"`` policy the per-object loop is batched: one row
+    fetch for the union of all copy nodes (a single multi-source block on
+    a lazy backend), then each object's read/update kernels are numpy
+    slices of that block.  The Steiner policies keep the per-object path
+    (their update cost is per-writer anyway).
+    """
     placement.validate(instance)
+    union = sorted({v for copies in placement for v in copies})
+    if policy == "mst" and len(union) <= _BATCH_UNION_LIMIT:
+        return _placement_cost_mst_batched(instance, placement, union)
     total = ZERO_COST
     for obj in range(instance.num_objects):
         total = total + object_cost(instance, obj, placement.copies(obj), policy=policy)
+    return total
+
+
+def _placement_cost_mst_batched(
+    instance: DataManagementInstance, placement: Placement, union: list[int]
+) -> CostBreakdown:
+    """All-object MST-policy accounting from one shared row block."""
+    metric = instance.metric
+    rows = np.asarray(metric.rows(union))  # (k, n)
+    pair = rows[:, union]  # (k, k) for the update MSTs
+    pos = {v: i for i, v in enumerate(union)}
+
+    total = ZERO_COST
+    for obj in range(instance.num_objects):
+        nodes = placement.copies(obj)
+        ids = np.asarray([pos[v] for v in nodes], dtype=int)
+        d_to_set = rows[ids].min(axis=0)
+        storage = float(instance.storage_costs[np.asarray(nodes)].sum())
+        read = float((instance.read_freq[obj] + instance.write_freq[obj]) @ d_to_set)
+        update = instance.total_writes(obj) * mst_cost_from_submatrix(
+            pair[np.ix_(ids, ids)]
+        )
+        total = total + CostBreakdown(storage, read, update).scaled(
+            instance.object_size(obj)
+        )
     return total

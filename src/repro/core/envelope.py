@@ -27,6 +27,8 @@ from typing import Any, Iterable, Sequence
 
 import math
 
+import numpy as np
+
 __all__ = ["Line", "LowerEnvelope"]
 
 
@@ -182,12 +184,15 @@ class LowerEnvelope:
         """
         if self.is_empty or other.is_empty:
             return LowerEnvelope.empty()
-        xs = sorted(set(self.starts) | set(other.starts))
+        # Breakpoints of the sum = union of both inputs' breakpoints; the
+        # winning (a, b) pair at each is found with two batched bisections
+        # (the tree DP calls this in its inner loop, so it is vectorized).
+        xs = np.union1d(self.starts, other.starts)
+        ia = np.searchsorted(self.starts, xs, side="right") - 1
+        ib = np.searchsorted(other.starts, xs, side="right") - 1
         out: list[Line] = []
-        for x in xs:
-            ia = bisect_right(self.starts, x) - 1
-            ib = bisect_right(other.starts, x) - 1
-            a, b = self.lines[ia], other.lines[ib]
+        for i, j in zip(ia.tolist(), ib.tolist()):
+            a, b = self.lines[i], other.lines[j]
             out.append(
                 Line(
                     a.intercept + b.intercept,

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 import networkx as nx
 import numpy as np
 
+from ..graphs.backend import DistanceBackend, lazy_metric_from_graph
 from ..graphs.metric import Metric, metric_from_graph
 
 __all__ = ["DataManagementInstance"]
@@ -33,7 +34,10 @@ class DataManagementInstance:
     Attributes
     ----------
     metric:
-        Transmission-price metric ``ct`` (closure of the network).
+        Transmission-price metric ``ct`` (closure of the network) -- any
+        :class:`~repro.graphs.backend.DistanceBackend`: the dense
+        :class:`~repro.graphs.metric.Metric` or the scalable
+        :class:`~repro.graphs.backend.LazyMetric`.
     storage_costs:
         Array of shape ``(n,)``: ``cs(v)`` per node.  The model is uniform
         in object size, so storage prices do not depend on the object
@@ -53,7 +57,7 @@ class DataManagementInstance:
         and only the bill changes; cost accounting applies the factor.
     """
 
-    metric: Metric
+    metric: DistanceBackend
     storage_costs: np.ndarray
     read_freq: np.ndarray
     write_freq: np.ndarray
@@ -111,14 +115,22 @@ class DataManagementInstance:
         *,
         weight: str = "weight",
         object_names: tuple[str, ...] = (),
+        backend: str = "dense",
     ) -> "DataManagementInstance":
         """Build an instance from a weighted network.
 
         Node labels must already be ``0..n-1`` (the generator convention);
         use :func:`repro.graphs.metric.metric_from_graph` directly for
-        arbitrary labels.
+        arbitrary labels.  ``backend`` selects the distance oracle:
+        ``"dense"`` (full closure) or ``"lazy"`` (on-demand Dijkstra, for
+        large networks).
         """
-        metric, index, _ = metric_from_graph(graph, weight=weight)
+        if backend == "dense":
+            metric, index, _ = metric_from_graph(graph, weight=weight)
+        elif backend == "lazy":
+            metric, index, _ = lazy_metric_from_graph(graph, weight=weight)
+        else:
+            raise ValueError(f"unknown backend {backend!r}; use 'dense' or 'lazy'")
         if any(index[u] != u for u in graph.nodes()):
             raise ValueError(
                 "graph nodes must be 0..n-1; relabel first or build the "

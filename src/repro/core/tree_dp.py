@@ -39,8 +39,9 @@ Sufficient families per subtree ``Tv`` (mirroring the paper's
     :class:`~repro.core.envelope.LowerEnvelope` over the outside-copy
     distance ``D``; its slope-0 line is the all-internal ``J^0``.
 
-The recurrences and their write-accounting terms are derived in
-DESIGN.md; each candidate corresponds to an *achievable* placement
+The recurrences and their write-accounting terms follow Section 3 of the
+paper (see docs/ARCHITECTURE.md for the pipeline overview); each
+candidate corresponds to an *achievable* placement
 (pessimistic tuples are dominated, never selected below true optimum), and
 every naturally-assigned optimal placement maps onto some candidate, so
 the root minimum over ``IMP0`` is exactly the optimum.

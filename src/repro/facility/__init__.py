@@ -16,11 +16,20 @@ from .greedy import greedy_ufl
 from .local_search import local_search_ufl
 from .lp_rounding import lp_rounding_ufl, solve_ufl_lp
 from .mip import exact_ufl
-from .problem import FacilityLocationProblem, related_facility_problem
+from .problem import (
+    DEFAULT_FACILITY_CANDIDATES,
+    FACILITY_AUTO_THRESHOLD,
+    FacilityLocationProblem,
+    facility_candidate_set,
+    related_facility_problem,
+)
 
 __all__ = [
     "FacilityLocationProblem",
     "related_facility_problem",
+    "facility_candidate_set",
+    "FACILITY_AUTO_THRESHOLD",
+    "DEFAULT_FACILITY_CANDIDATES",
     "local_search_ufl",
     "greedy_ufl",
     "lp_rounding_ufl",

@@ -11,17 +11,41 @@ algorithm is plugged in carries through to the storage-cost bound
 The problem container is deliberately more general than the phase-1 use
 (facility and client sets may differ), so the module doubles as a
 standalone UFL library; solvers live in sibling modules.
+
+Scaling note: the solvers operate on a dense ``(nf, nc)`` connection
+matrix, which is the right kernel shape for numpy but quadratic when every
+node is a candidate facility.  On large networks
+:func:`related_facility_problem` therefore restricts the candidate set to
+a *hot set* (:func:`facility_candidate_set`: high-demand nodes, the
+cheapest storage node, and a farthest-point sample for coverage) and the
+problem carries a ``facility_nodes`` map from solver indices back to node
+ids.  The restriction is an engineering trade -- Lemma 9's factor formally
+assumes unrestricted facilities -- but phases 2/3 of the approximation
+still run over *all* nodes, so every node can still acquire a copy.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..core.instance import DataManagementInstance
 
-__all__ = ["FacilityLocationProblem", "related_facility_problem"]
+__all__ = [
+    "FacilityLocationProblem",
+    "related_facility_problem",
+    "facility_candidate_set",
+    "FACILITY_AUTO_THRESHOLD",
+    "DEFAULT_FACILITY_CANDIDATES",
+]
+
+#: ``related_facility_problem`` keeps every node as a candidate facility
+#: up to this instance size; above it the candidate set is capped.
+FACILITY_AUTO_THRESHOLD = 1024
+
+#: Candidate-set size used when the auto threshold kicks in.
+DEFAULT_FACILITY_CANDIDATES = 256
 
 
 @dataclass(frozen=True)
@@ -37,11 +61,16 @@ class FacilityLocationProblem:
         serving requirement but are legal).
     dist:
         Shape ``(nf, nc)``: connection price facility x client.
+    facility_nodes:
+        Optional shape ``(nf,)`` map from facility index to an external
+        node id (set when facilities are a restricted candidate subset of
+        a network's nodes).  ``None`` means facility ``i`` *is* node ``i``.
     """
 
     open_costs: np.ndarray
     demands: np.ndarray
     dist: np.ndarray
+    facility_nodes: np.ndarray | None = field(default=None)
 
     def __post_init__(self) -> None:
         f = np.asarray(self.open_costs, dtype=float)
@@ -56,6 +85,13 @@ class FacilityLocationProblem:
             )
         if np.any(f < 0) or np.any(d < 0) or np.any(c < 0):
             raise ValueError("costs, demands and distances must be non-negative")
+        if self.facility_nodes is not None:
+            fn = np.asarray(self.facility_nodes, dtype=int)
+            object.__setattr__(self, "facility_nodes", fn)
+            if fn.shape != (f.shape[0],):
+                raise ValueError(
+                    f"facility_nodes must have shape ({f.shape[0]},), got {fn.shape}"
+                )
 
     # ------------------------------------------------------------------
     @property
@@ -93,13 +129,116 @@ class FacilityLocationProblem:
         """Deterministic fallback for degenerate (zero-demand) inputs."""
         return int(np.argmin(self.open_costs))
 
+    def to_nodes(self, open_set) -> list[int]:
+        """Map solver facility indices back to node ids, sorted."""
+        idx = sorted(set(int(i) for i in open_set))
+        if self.facility_nodes is None:
+            return idx
+        return sorted(int(self.facility_nodes[i]) for i in idx)
+
+
+def facility_candidate_set(
+    metric,
+    storage_costs: np.ndarray,
+    demand: np.ndarray,
+    k: int,
+) -> np.ndarray:
+    """A deterministic hot set of ``k`` candidate facility nodes.
+
+    Composition (all ties broken towards the smallest node index):
+
+    * the cheapest-storage node -- the zero-demand fallback must stay
+      representable;
+    * the top ``k // 2`` nodes by demand weight -- where opening a
+      facility pays off directly;
+    * a farthest-point (k-center style) fill to ``k`` nodes -- so sparse
+      regions keep a nearby candidate and no client is left stranded far
+      from every facility.
+
+    Works against any distance backend: the k-center fill needs one
+    distance row per added node, nothing quadratic.
+    """
+    n = metric.n
+    storage_costs = np.asarray(storage_costs, dtype=float)
+    demand = np.asarray(demand, dtype=float)
+    if k >= n:
+        return np.arange(n)
+    if k < 1:
+        raise ValueError("k must be >= 1")
+
+    chosen: list[int] = [int(np.argmin(storage_costs))]
+    chosen_set = set(chosen)
+    # stable demand ranking: weight descending, index ascending
+    by_demand = np.lexsort((np.arange(n), -demand))
+    for v in by_demand[: k // 2]:
+        v = int(v)
+        if demand[v] <= 0 or len(chosen) >= k:
+            break
+        if v not in chosen_set:
+            chosen.append(v)
+            chosen_set.add(v)
+
+    dts = np.min(np.asarray(metric.rows(chosen)), axis=0)
+    while len(chosen) < k:
+        v = int(np.argmax(dts))  # first maximiser -> deterministic
+        if v in chosen_set:  # pragma: no cover - only if graph degenerate
+            break
+        chosen.append(v)
+        chosen_set.add(v)
+        np.minimum(dts, np.asarray(metric.row(v)), out=dts)
+    return np.asarray(sorted(chosen), dtype=int)
+
 
 def related_facility_problem(
-    instance: DataManagementInstance, obj: int
+    instance: DataManagementInstance,
+    obj: int,
+    *,
+    max_facilities: int | None = None,
 ) -> FacilityLocationProblem:
-    """The phase-1 UFL instance: writes recast as reads, updates ignored."""
+    """The phase-1 UFL instance: writes recast as reads, updates ignored.
+
+    ``max_facilities`` caps the candidate facility set (``None`` = every
+    node up to :data:`FACILITY_AUTO_THRESHOLD`, then
+    :data:`DEFAULT_FACILITY_CANDIDATES`).  With a cap in effect the
+    returned problem carries ``facility_nodes``; feed solver output
+    through :meth:`FacilityLocationProblem.to_nodes`.
+    """
+    metric = instance.metric
+    n = metric.n
+    demand = instance.demand(obj)
+    if max_facilities is None:
+        max_facilities = (
+            n if n <= FACILITY_AUTO_THRESHOLD else DEFAULT_FACILITY_CANDIDATES
+        )
+    if max_facilities < 1:
+        raise ValueError("max_facilities must be >= 1")
+
+    if max_facilities >= n:
+        # All nodes are candidates; reuse the dense matrix when one exists
+        # instead of copying n rows.
+        dist = getattr(metric, "dist", None)
+        if dist is None:
+            dist = np.asarray(metric.rows(np.arange(n)))
+        return FacilityLocationProblem(
+            open_costs=instance.storage_costs,
+            demands=demand,
+            dist=dist,
+        )
+
+    nodes = facility_candidate_set(
+        metric, instance.storage_costs, demand, max_facilities
+    )
+    dist = np.asarray(metric.rows(nodes))
+    # Pin the hot set's rows on backends that support it: phases 2/3 and
+    # later objects revisit these exact nodes (copy holders come out of
+    # the candidate set), and pinned rows survive LRU churn.  The pins
+    # are views into the connection matrix we hold anyway -- no copy.
+    precompute = getattr(metric, "precompute", None)
+    if precompute is not None:
+        precompute(nodes, rows=dist)
     return FacilityLocationProblem(
-        open_costs=instance.storage_costs,
-        demands=instance.demand(obj),
-        dist=instance.metric.dist,
+        open_costs=instance.storage_costs[nodes],
+        demands=demand,
+        dist=dist,
+        facility_nodes=nodes,
     )

@@ -1,0 +1,367 @@
+"""Pluggable distance backends: dense and lazy metric-closure oracles.
+
+Every algorithm in this library consumes the metric closure ``ct(u, v)``
+of the network through a small query surface -- single distances, distance
+rows, nearest-copy vectors -- rather than through the raw ``(n, n)`` matrix.
+This module names that surface (:class:`DistanceBackend`) and provides the
+scalable implementation (:class:`LazyMetric`) that answers the same queries
+from the *sparse adjacency* via on-demand single-source Dijkstra, so the
+Section 2 approximation pipeline runs on 10k+ node networks without ever
+materializing the ``O(n^2)`` all-pairs matrix.
+
+Backends
+--------
+:class:`~repro.graphs.metric.Metric`
+    The dense closure: precomputes all pairs, answers every query with one
+    numpy slice.  Right for ``n`` up to a few thousand, and required by the
+    exponential exact baselines (Dreyfus--Wagner, brute force).
+:class:`LazyMetric`
+    Stores only the CSR adjacency (``O(n + m)``).  Distance rows are
+    computed on demand by scipy's compiled Dijkstra -- batched when callers
+    ask for blocks -- and kept in a bounded LRU cache; hot rows (facility
+    candidates, copy holders) can be pinned with :meth:`LazyMetric.precompute`.
+    Set queries (``dist_to_set`` / ``nearest_in_set``) over large target
+    sets collapse to a *single* multi-source Dijkstra (``min_only=True``),
+    which is how phase 2 of the approximation touches all ``n`` nodes in
+    ``O(m log n)`` instead of ``O(n |S|)`` row lookups.
+
+Choosing
+--------
+``Metric`` and ``LazyMetric`` return identical distances (both run
+Dijkstra over the same adjacency); property tests assert parity of
+``dist_to_set`` / ``nearest_in_set`` / end-to-end placements.  The dense
+backend is faster per query once built; the lazy backend wins whenever the
+``8 n^2`` bytes of the closure dominate -- roughly ``n >= 3000`` on
+commodity RAM, and strictly necessary at ``n ~ 10^4``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable, Protocol, Sequence, runtime_checkable
+
+import networkx as nx
+import numpy as np
+from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import dijkstra
+
+from .metric import Metric, graph_to_adjacency
+
+__all__ = [
+    "DistanceBackend",
+    "LazyMetric",
+    "lazy_metric_from_graph",
+    "dense_distance_matrix",
+    "DENSE_MATERIALIZE_LIMIT",
+]
+
+#: ``dense_distance_matrix`` refuses to materialize closures bigger than
+#: this many nodes -- the exact/exponential baselines that need the full
+#: matrix are only meaningful far below it anyway.
+DENSE_MATERIALIZE_LIMIT = 4096
+
+#: Set queries on at most this many targets go through (cached) rows,
+#: preserving the library's smallest-index tie-break exactly; larger sets
+#: use one multi-source Dijkstra.
+_SMALL_TARGET_SET = 32
+
+
+@runtime_checkable
+class DistanceBackend(Protocol):
+    """The distance-oracle surface every placement algorithm consumes.
+
+    Implementations must agree on semantics: distances are the shortest
+    path closure of a connected non-negatively weighted graph, symmetric
+    with zero diagonal, and ``nearest_in_set`` breaks ties towards the
+    smallest node index whenever it can do so without extra work.
+    """
+
+    n: int
+
+    def d(self, u: int, v: int) -> float:
+        """Distance between two nodes."""
+        ...
+
+    def row(self, v: int) -> np.ndarray:
+        """Distance row ``d(v, .)`` of shape ``(n,)``."""
+        ...
+
+    def rows(self, nodes: Sequence[int]) -> np.ndarray:
+        """Distance rows for a node block: shape ``(len(nodes), n)``."""
+        ...
+
+    def pairwise(self, nodes: Sequence[int]) -> np.ndarray:
+        """Induced distance submatrix, shape ``(k, k)``, in given order."""
+        ...
+
+    def dist_to_set(self, targets: Iterable[int]) -> np.ndarray:
+        """``d(v, S)`` for every node ``v``."""
+        ...
+
+    def nearest_in_set(self, targets: Iterable[int]) -> tuple[np.ndarray, np.ndarray]:
+        """Per node: nearest target and distance to it."""
+        ...
+
+    def matvec(self, weights: np.ndarray) -> np.ndarray:
+        """``out[v] = sum_u d(v, u) * weights[u]`` without storing all rows."""
+        ...
+
+
+class LazyMetric:
+    """Shortest-path oracle over a sparse adjacency, no ``n x n`` storage.
+
+    Parameters
+    ----------
+    adjacency:
+        ``(n, n)`` scipy sparse matrix of edge weights (upper or lower
+        triangle suffices; treated as undirected).
+    cache_rows:
+        Capacity of the LRU row cache.  Rows pinned via
+        :meth:`precompute` live outside this budget.
+    validate:
+        Run one Dijkstra from node 0 and require finite distances
+        (i.e. a connected graph) at construction time.
+    """
+
+    __slots__ = (
+        "n",
+        "_adj",
+        "_cache",
+        "_cache_rows",
+        "_pinned",
+        "rows_computed",
+        "cache_hits",
+    )
+
+    def __init__(self, adjacency, *, cache_rows: int = 128, validate: bool = True) -> None:
+        adj = csr_matrix(adjacency)
+        if adj.shape[0] != adj.shape[1]:
+            raise ValueError(f"adjacency must be square, got {adj.shape}")
+        if adj.nnz and adj.data.min() < 0:
+            raise ValueError("edge weights must be non-negative")
+        if cache_rows < 1:
+            raise ValueError("cache_rows must be positive")
+        self._adj = adj
+        self.n = adj.shape[0]
+        self._cache: OrderedDict[int, np.ndarray] = OrderedDict()
+        self._cache_rows = int(cache_rows)
+        self._pinned: dict[int, np.ndarray] = {}
+        self.rows_computed = 0
+        self.cache_hits = 0
+        if validate and self.n > 1:
+            if not np.all(np.isfinite(self.row(0))):
+                raise ValueError(
+                    "graph must be connected for a finite metric closure"
+                )
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_graph(
+        cls, graph: nx.Graph, *, weight: str = "weight", cache_rows: int = 128
+    ) -> "LazyMetric":
+        """Lazy closure of a connected weighted graph (nodes ``0..n-1``
+        in sorted label order; see :func:`lazy_metric_from_graph` for the
+        node <-> index maps)."""
+        metric, _, _ = lazy_metric_from_graph(
+            graph, weight=weight, cache_rows=cache_rows
+        )
+        return metric
+
+    # ------------------------------------------------------------------
+    # row machinery
+    # ------------------------------------------------------------------
+    def _compute_rows(self, idx: np.ndarray) -> np.ndarray:
+        """One batched compiled-Dijkstra call for a block of sources."""
+        self.rows_computed += int(idx.size)
+        out = dijkstra(self._adj, directed=False, indices=idx)
+        return np.atleast_2d(out)
+
+    def _lookup(self, v: int) -> np.ndarray | None:
+        pinned = self._pinned.get(v)
+        if pinned is not None:
+            self.cache_hits += 1
+            return pinned
+        cached = self._cache.get(v)
+        if cached is not None:
+            self._cache.move_to_end(v)
+            self.cache_hits += 1
+        return cached
+
+    def _insert(self, v: int, row: np.ndarray) -> None:
+        if v in self._pinned:
+            return
+        self._cache[v] = row
+        self._cache.move_to_end(v)
+        while len(self._cache) > self._cache_rows:
+            self._cache.popitem(last=False)
+
+    def row(self, v: int) -> np.ndarray:
+        v = int(v)
+        row = self._lookup(v)
+        if row is None:
+            row = self._compute_rows(np.asarray([v]))[0]
+            self._insert(v, row)
+        return row
+
+    def rows(self, nodes: Sequence[int]) -> np.ndarray:
+        idx = np.asarray(list(nodes), dtype=int)
+        out = np.empty((idx.size, self.n))
+        missing: list[int] = []
+        missing_pos: list[int] = []
+        for pos, v in enumerate(idx.tolist()):
+            row = self._lookup(v)
+            if row is None:
+                missing.append(v)
+                missing_pos.append(pos)
+            else:
+                out[pos] = row
+        if missing:
+            computed = self._compute_rows(np.asarray(missing))
+            for pos, v, row in zip(missing_pos, missing, computed):
+                out[pos] = row
+                # Large blocks (e.g. the radii sweep) would churn the LRU;
+                # only fetches well under capacity are worth caching.
+                if 4 * len(missing) <= self._cache_rows:
+                    self._insert(v, row.copy())
+        return out
+
+    def precompute(self, nodes: Iterable[int], rows: np.ndarray | None = None) -> None:
+        """Pin the rows of a hot set (facility candidates, copy holders)
+        outside the LRU budget, computing missing ones in one batch.
+
+        ``rows`` lets a caller that already fetched the block (e.g. the
+        facility phase, which keeps the same block as its connection
+        matrix) share storage with the pins instead of re-copying it.
+        """
+        order = list(dict.fromkeys(int(v) for v in nodes))
+        if rows is not None:
+            if rows.shape != (len(order), self.n):
+                raise ValueError(
+                    f"rows must have shape ({len(order)}, {self.n}), got {rows.shape}"
+                )
+            for pos, v in enumerate(order):
+                if v not in self._pinned:
+                    self._pinned[v] = rows[pos]
+                    self._cache.pop(v, None)
+            return
+        fresh = [v for v in order if v not in self._pinned]
+        if not fresh:
+            return
+        block = self.rows(fresh)
+        for v, row in zip(fresh, block):
+            self._pinned[v] = row  # views share the block; no extra copy
+            self._cache.pop(v, None)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def d(self, u: int, v: int) -> float:
+        return float(self.row(u)[int(v)])
+
+    def pairwise(self, nodes: Sequence[int]) -> np.ndarray:
+        idx = np.asarray(list(nodes), dtype=int)
+        return self.rows(idx)[:, idx]
+
+    def dist_to_set(self, targets: Iterable[int]) -> np.ndarray:
+        idx = np.fromiter(targets, dtype=int)
+        if idx.size == 0:
+            return np.full(self.n, np.inf)
+        if idx.size <= _SMALL_TARGET_SET:
+            return self.rows(idx).min(axis=0)
+        return dijkstra(self._adj, directed=False, indices=idx, min_only=True)
+
+    def nearest_in_set(self, targets: Iterable[int]) -> tuple[np.ndarray, np.ndarray]:
+        idx = np.unique(np.fromiter(targets, dtype=int))
+        if idx.size == 0:
+            raise ValueError("targets must be non-empty")
+        if idx.size <= _SMALL_TARGET_SET:
+            sub = self.rows(idx)  # (k, n)
+            arg = sub.argmin(axis=0)  # first (= smallest index) minimiser
+            return idx[arg], sub[arg, np.arange(self.n)]
+        dist, _, sources = dijkstra(
+            self._adj, directed=False, indices=idx,
+            min_only=True, return_predecessors=True,
+        )
+        return sources.astype(idx.dtype), dist
+
+    def matvec(self, weights: np.ndarray, *, block_size: int = 128) -> np.ndarray:
+        weights = np.asarray(weights, dtype=float)
+        if weights.shape != (self.n,):
+            raise ValueError(f"weights must have shape ({self.n},)")
+        out = np.empty(self.n)
+        for start in range(0, self.n, block_size):
+            block = np.arange(start, min(start + block_size, self.n))
+            out[block] = self.rows(block) @ weights
+        return out
+
+    # ------------------------------------------------------------------
+    def as_dense(self, *, max_nodes: int = DENSE_MATERIALIZE_LIMIT) -> Metric:
+        """Materialize the full closure as a dense :class:`Metric`.
+
+        Guarded: refuses beyond ``max_nodes`` because defeating the lazy
+        backend's memory bound should be an explicit decision.
+        """
+        if self.n > max_nodes:
+            raise ValueError(
+                f"refusing to materialize a {self.n}x{self.n} distance "
+                f"matrix (limit {max_nodes}); raise max_nodes explicitly "
+                "if you really want the dense closure"
+            )
+        dist = dijkstra(self._adj, directed=False)
+        return Metric(dist, validate=False)
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LazyMetric(n={self.n}, cached={len(self._cache)}, "
+            f"pinned={len(self._pinned)}, computed={self.rows_computed})"
+        )
+
+
+def lazy_metric_from_graph(
+    graph: nx.Graph, *, weight: str = "weight", cache_rows: int = 128
+) -> tuple[LazyMetric, dict, list]:
+    """Lazy metric closure plus node <-> index maps.
+
+    The sibling of :func:`repro.graphs.metric.metric_from_graph` with the
+    same node-ordering convention, but ``O(n + m)`` memory: connectivity is
+    checked on the graph up front instead of through infinite distances.
+    """
+    if graph.number_of_nodes() == 0:
+        raise ValueError("graph has no nodes")
+    if not nx.is_connected(graph):
+        raise ValueError("graph must be connected for a finite metric closure")
+    adj, index, nodes = graph_to_adjacency(graph, weight=weight)
+    return LazyMetric(adj, cache_rows=cache_rows, validate=False), index, nodes
+
+
+def dense_distance_matrix(
+    backend, *, max_nodes: int = DENSE_MATERIALIZE_LIMIT, context: str = ""
+) -> np.ndarray:
+    """The full ``(n, n)`` matrix of a backend, for algorithms that truly
+    need all pairs (Dreyfus--Wagner, brute force, the ILP).
+
+    Dense metrics return their matrix for free; lazy metrics materialize
+    under the :data:`DENSE_MATERIALIZE_LIMIT` guard.  ``context`` names the
+    caller in the error message.
+    """
+    if isinstance(backend, Metric):
+        return backend.dist
+    if isinstance(backend, LazyMetric):
+        if backend.n > max_nodes:
+            where = f" ({context})" if context else ""
+            raise ValueError(
+                f"this algorithm{where} needs the dense {backend.n}x"
+                f"{backend.n} distance matrix, which exceeds the "
+                f"materialization limit of {max_nodes} nodes; use the "
+                "scalable code paths or construct a dense Metric explicitly"
+            )
+        return backend.as_dense(max_nodes=max_nodes).dist
+    dist = getattr(backend, "dist", None)
+    if dist is not None:
+        return np.asarray(dist, dtype=float)
+    raise TypeError(f"cannot extract a dense matrix from {type(backend).__name__}")

@@ -37,7 +37,9 @@ __all__ = [
     "complete_graph",
     "erdos_renyi_graph",
     "random_geometric_graph",
+    "power_law_graph",
     "transit_stub_graph",
+    "sized_transit_stub_graph",
     "assign_random_weights",
 ]
 
@@ -233,6 +235,26 @@ def random_geometric_graph(
     return g
 
 
+def power_law_graph(
+    n: int, *, seed: int, attach: int = 2, low: float = 0.5, high: float = 2.0
+) -> nx.Graph:
+    """Barabási–Albert preferential-attachment graph (power-law degrees).
+
+    The degree distribution of real Internet/WWW topologies is heavy
+    tailed; this generator covers that regime at any size (``O(n)`` edges,
+    connected by construction), which is what the 10k-node scalability
+    sweeps run on.  ``attach`` is the number of edges each arriving node
+    brings (``m`` in the BA model).
+    """
+    if n < 2:
+        raise ValueError("n must be >= 2")
+    attach = min(attach, n - 1)
+    if attach < 1:
+        raise ValueError("attach must be >= 1")
+    g = nx.barabasi_albert_graph(n, attach, seed=seed)
+    return assign_random_weights(g, seed=seed + 1, low=low, high=high)
+
+
 # ----------------------------------------------------------------------
 # Internet-like clustered networks (the paper's WWW motivation)
 # ----------------------------------------------------------------------
@@ -286,3 +308,30 @@ def transit_stub_graph(
             if stub_size >= 3:
                 g.add_edge(members[1], members[2], weight=w(stub_weight))
     return g
+
+
+def sized_transit_stub_graph(
+    n: int,
+    *,
+    seed: int,
+    stubs_per_transit: int = 4,
+    stub_size: int = 12,
+    **kwargs,
+) -> nx.Graph:
+    """Transit-stub topology sized to approximately ``n`` nodes.
+
+    Picks the backbone size so that ``transit * (1 + stubs_per_transit *
+    stub_size)`` lands as close to ``n`` as possible, which is what the
+    scalability experiments need ("give me a 10k-node Internet-like
+    network") without hand-solving the shape equation.  The actual node
+    count may deviate from ``n`` by up to one cluster; read it off the
+    returned graph.  Extra keyword arguments pass through to
+    :func:`transit_stub_graph`.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    cluster = 1 + stubs_per_transit * stub_size
+    transit = max(1, round(n / cluster))
+    return transit_stub_graph(
+        transit, stubs_per_transit, stub_size, seed=seed, **kwargs
+    )

@@ -9,7 +9,10 @@ metric closure.
 
 This module provides :class:`Metric`, a dense all-pairs distance oracle with
 numpy-vectorized nearest-copy queries, built either from an explicit distance
-matrix or from a ``networkx`` graph via scipy's compiled Dijkstra.
+matrix or from a ``networkx`` graph via scipy's compiled Dijkstra.  It is
+the reference implementation of the :class:`~repro.graphs.backend.DistanceBackend`
+protocol; :class:`~repro.graphs.backend.LazyMetric` answers the same queries
+without ``O(n^2)`` storage for large networks.
 """
 
 from __future__ import annotations
@@ -21,7 +24,7 @@ import numpy as np
 from scipy.sparse import csr_matrix
 from scipy.sparse.csgraph import shortest_path
 
-__all__ = ["Metric", "metric_from_graph"]
+__all__ = ["Metric", "metric_from_graph", "graph_to_adjacency"]
 
 
 class Metric:
@@ -104,9 +107,25 @@ class Metric:
         """Distance between two nodes."""
         return float(self.dist[u, v])
 
+    def row(self, v: int) -> np.ndarray:
+        """Distance row ``d(v, .)`` -- a view into the dense matrix."""
+        return self.dist[int(v)]
+
     def rows(self, nodes: Sequence[int]) -> np.ndarray:
         """Distance rows for a set of nodes: shape ``(len(nodes), n)``."""
         return self.dist[np.asarray(list(nodes), dtype=int)]
+
+    def pairwise(self, nodes: Sequence[int]) -> np.ndarray:
+        """Induced distance submatrix, shape ``(k, k)``, in given order."""
+        idx = np.asarray(list(nodes), dtype=int)
+        return self.dist[np.ix_(idx, idx)]
+
+    def matvec(self, weights: np.ndarray) -> np.ndarray:
+        """``out[v] = sum_u d(v, u) * weights[u]`` (one matrix-vector product)."""
+        weights = np.asarray(weights, dtype=float)
+        if weights.shape != (self.n,):
+            raise ValueError(f"weights must have shape ({self.n},)")
+        return self.dist @ weights
 
     def dist_to_set(self, targets: Iterable[int]) -> np.ndarray:
         """Vector of ``d(v, S)`` for every node ``v`` (``S`` = targets).
@@ -178,7 +197,20 @@ def metric_from_graph(
         raise ValueError("graph has no nodes")
     if not nx.is_connected(graph):
         raise ValueError("graph must be connected for a finite metric closure")
+    adj, index, nodes = graph_to_adjacency(graph, weight=weight)
+    dist = shortest_path(adj, method="D", directed=False)
+    return Metric(dist, validate=False), index, nodes
 
+
+def graph_to_adjacency(
+    graph: nx.Graph, *, weight: str = "weight"
+) -> tuple[csr_matrix, dict, list]:
+    """Sparse adjacency of a weighted graph plus node <-> index maps.
+
+    Nodes are mapped to ``0..n-1`` in ``sorted`` order if sortable, else in
+    insertion order -- the shared convention of every distance backend.
+    Missing edge weights default to 1.
+    """
     try:
         nodes = sorted(graph.nodes())
     except TypeError:  # unsortable mixed node types
@@ -194,6 +226,4 @@ def metric_from_graph(
         rows.append(index[u])
         cols.append(index[v])
         vals.append(w)
-    adj = csr_matrix((vals, (rows, cols)), shape=(n, n))
-    dist = shortest_path(adj, method="D", directed=False)
-    return Metric(dist, validate=False), index, nodes
+    return csr_matrix((vals, (rows, cols)), shape=(n, n)), index, nodes

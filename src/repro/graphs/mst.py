@@ -23,7 +23,13 @@ import numpy as np
 
 from .metric import Metric
 
-__all__ = ["mst_cost", "mst_edges", "mst_parent_array", "tree_distances_from_root"]
+__all__ = [
+    "mst_cost",
+    "mst_cost_from_submatrix",
+    "mst_edges",
+    "mst_parent_array",
+    "tree_distances_from_root",
+]
 
 
 def _as_index_array(nodes: Sequence[int]) -> np.ndarray:
@@ -46,7 +52,7 @@ def mst_edges(metric: Metric, nodes: Sequence[int]) -> list[tuple[int, int, floa
     k = idx.size
     if k == 1:
         return []
-    sub = metric.dist[np.ix_(idx, idx)]
+    sub = metric.pairwise(idx)
 
     in_tree = np.zeros(k, dtype=bool)
     best = np.full(k, np.inf)
@@ -80,10 +86,21 @@ def mst_cost(metric: Metric, nodes: Sequence[int]) -> float:
     the copy itself).
     """
     idx = _as_index_array(nodes)
-    k = idx.size
+    if idx.size == 1:
+        return 0.0
+    return mst_cost_from_submatrix(metric.pairwise(idx))
+
+
+def mst_cost_from_submatrix(sub: np.ndarray) -> float:
+    """Prim's MST weight over an explicit ``(k, k)`` distance submatrix.
+
+    The kernel behind :func:`mst_cost`, split out so batched callers
+    (e.g. :func:`repro.core.costs.placement_cost`) can reuse distance rows
+    they already fetched instead of querying the backend per object.
+    """
+    k = sub.shape[0]
     if k == 1:
         return 0.0
-    sub = metric.dist[np.ix_(idx, idx)]
     in_tree = np.zeros(k, dtype=bool)
     in_tree[0] = True
     best = sub[0].copy()

@@ -29,6 +29,7 @@ from typing import Iterable, Sequence
 import networkx as nx
 import numpy as np
 
+from .backend import dense_distance_matrix
 from .metric import Metric
 from .mst import mst_cost
 
@@ -69,7 +70,10 @@ def steiner_exact_cost(metric: Metric, terminals: Sequence[int]) -> float:
             "use steiner_mst_cost for large instances"
         )
 
-    d = metric.dist
+    # Dreyfus--Wagner grows trees through arbitrary Steiner nodes, so it
+    # genuinely needs every distance row; lazy backends materialize here
+    # (guarded -- the DP is exponential in terminals anyway).
+    d = dense_distance_matrix(metric, context="steiner_exact_cost")
     n = metric.n
     root = terms[-1]
     others = terms[:-1]

@@ -72,7 +72,17 @@ class OnlineCountingStrategy:
         self.graph = graph
         self.instance = instance
         self.threshold = replication_threshold
-        self._paths = dict(nx.all_pairs_dijkstra_path(graph, weight="weight"))
+        # per-source shortest-path trees, computed on demand (the online
+        # strategy only routes from request homes and copy holders, so
+        # the all-pairs structure would be O(n^2) waste on large networks)
+        self._path_cache: dict[int, dict[int, list[int]]] = {}
+
+    def _paths_from(self, u: int) -> dict[int, list[int]]:
+        paths = self._path_cache.get(u)
+        if paths is None:
+            paths = nx.single_source_dijkstra_path(self.graph, u, weight="weight")
+            self._path_cache[u] = paths
+        return paths
 
     # ------------------------------------------------------------------
     def _send(self, path: list[int], report: SimulationReport, *, write: bool) -> None:
@@ -111,22 +121,22 @@ class OnlineCountingStrategy:
             state = states[req.obj]
             serving = self._nearest(state.copies, req.node)
             if req.kind == READ:
-                self._send(self._paths[req.node][serving], report, write=False)
+                self._send(self._paths_from(req.node)[serving], report, write=False)
                 if req.node not in state.copies:
                     count = state.read_counts.get(req.node, 0) + 1
                     state.read_counts[req.node] = count
                     if count >= self.threshold:
                         # buy a copy: transfer from the nearest replica,
                         # then pay the storage price
-                        self._send(self._paths[serving][req.node], report, write=False)
+                        self._send(self._paths_from(serving)[req.node], report, write=False)
                         report.storage_cost += float(inst.storage_costs[req.node])
                         state.copies.add(req.node)
                         state.read_counts[req.node] = 0
             elif req.kind == WRITE:
                 # attach + multicast over the current copy MST
-                self._send(self._paths[req.node][serving], report, write=True)
+                self._send(self._paths_from(req.node)[serving], report, write=True)
                 for u, v, _ in mst_edges(inst.metric, sorted(state.copies)):
-                    self._send(self._paths[u][v], report, write=True)
+                    self._send(self._paths_from(u)[v], report, write=True)
                 # invalidate down to the copy nearest the writer
                 state.copies = {serving}
                 state.read_counts.clear()

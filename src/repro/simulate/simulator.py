@@ -104,14 +104,17 @@ class NetworkSimulator:
         self.graph = graph
         self.instance = instance
         self.update_policy = update_policy
-        # hop-by-hop routing: full predecessor structure via Dijkstra
-        self._paths = dict(nx.all_pairs_dijkstra_path(graph, weight="weight"))
+        # hop-by-hop routing: per-source shortest-path trees, computed on
+        # demand and cached -- a replay only ever routes from nodes that
+        # actually issue requests (plus copy holders), so the all-pairs
+        # O(n^2) path structure is never built.
+        self._path_cache: dict[int, dict[int, list[int]]] = {}
         # consistency spot-check against the instance metric
         metric = instance.metric
         rng = np.random.default_rng(0)
         for _ in range(min(10, n * n)):
             u, v = int(rng.integers(0, n)), int(rng.integers(0, n))
-            got = self._path_cost(self._paths[u][v])
+            got = self._path_cost(self._paths_from(u)[v])
             if abs(got - metric.d(u, v)) > 1e-6 * (1.0 + got):
                 raise ValueError(
                     "instance metric is not the closure of the given graph "
@@ -119,6 +122,14 @@ class NetworkSimulator:
                 )
 
     # ------------------------------------------------------------------
+    def _paths_from(self, u: int) -> dict[int, list[int]]:
+        """Cheapest paths from one source (cached single-source Dijkstra)."""
+        paths = self._path_cache.get(u)
+        if paths is None:
+            paths = nx.single_source_dijkstra_path(self.graph, u, weight="weight")
+            self._path_cache[u] = paths
+        return paths
+
     def _path_cost(self, path: list[int]) -> float:
         return sum(
             self.graph[a][b]["weight"] for a, b in zip(path[:-1], path[1:])
@@ -169,13 +180,13 @@ class NetworkSimulator:
             copies = placement.copies(req.obj)
             target = int(nearest[req.obj][req.node])
             if req.kind == READ:
-                self._send(self._paths[req.node][target], report, write=False)
+                self._send(self._paths_from(req.node)[target], report, write=False)
             elif req.kind == WRITE:
                 if self.update_policy == "mst":
                     # attach message + multicast along the copy MST
-                    self._send(self._paths[req.node][target], report, write=True)
+                    self._send(self._paths_from(req.node)[target], report, write=True)
                     for u, v, _ in update_trees[req.obj]:
-                        self._send(self._paths[u][v], report, write=True)
+                        self._send(self._paths_from(u)[v], report, write=True)
                 else:  # kmb: one embedded Steiner tree over writer + copies
                     edges, _ = steiner_kmb(
                         self.graph, set(copies) | {req.node}
