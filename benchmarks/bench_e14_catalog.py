@@ -1,0 +1,33 @@
+"""E14: catalog placement throughput of the batched engine (this repo's
+multi-object scaling extension).
+
+Headline configuration: a 10k-object Zipf catalog on a ~1k-node
+transit-stub network, placed by the per-object loop, the serial engine
+and the 2-worker engine; the artifact records wall times, speedups and
+copy-set parity (all modes must place identical copy sets).  Parallel
+speedup requires > 1 free core -- on a single-CPU host the ``jobs=2`` row
+measures pool overhead, not parallelism.
+"""
+
+from repro.analysis import run_e14_catalog_throughput
+
+from .conftest import emit, emit_json
+
+
+def test_e14_catalog_throughput(benchmark):
+    result = benchmark.pedantic(
+        run_e14_catalog_throughput,
+        kwargs=dict(
+            num_objects=10_000, n=1100, chunk_size=512, jobs=(2,),
+            compare_loop=True,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+    emit_json(result, "e14_catalog")
+    by_mode = {row[0]: row for row in result.rows}
+    for label, row in by_mode.items():
+        if label != "per-object loop":
+            assert row[-1] is True  # copy sets identical to the loop
+    assert by_mode["engine serial"][5] >= 5.0  # >= 5x over the loop

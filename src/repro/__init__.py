@@ -24,6 +24,10 @@ Package layout
 ``repro.core``
     problem model, cost accounting, the Section 2 approximation, the
     Section 3 tree optimum.
+``repro.engine``
+    catalog-scale placement: the batched, chunked, optionally parallel
+    :class:`~repro.engine.PlacementEngine` (identical copy sets to the
+    per-object loop).
 ``repro.graphs``
     distance backends (dense :class:`~repro.graphs.metric.Metric` and
     scalable :class:`~repro.graphs.backend.LazyMetric`), MST/Steiner
@@ -41,7 +45,7 @@ Package layout
     experiment runners, ratio statistics, table formatting.
 """
 
-from . import analysis, baselines, core, facility, graphs, simulate, workloads
+from . import analysis, baselines, core, engine, facility, graphs, simulate, workloads
 from .core import (
     DataManagementInstance,
     Placement,
@@ -51,11 +55,13 @@ from .core import (
     optimal_tree_placement,
     placement_cost,
 )
+from .engine import PlacementEngine, place_catalog
 
 __version__ = "1.1.0"
 
 __all__ = [
     "core",
+    "engine",
     "graphs",
     "facility",
     "baselines",
@@ -64,6 +70,8 @@ __all__ = [
     "analysis",
     "DataManagementInstance",
     "Placement",
+    "PlacementEngine",
+    "place_catalog",
     "approximate_placement",
     "approximate_object_placement",
     "optimal_tree_placement",

@@ -17,6 +17,7 @@ from .experiments import (
     run_e11_simulation_agreement,
     run_e12_online_vs_static,
     run_e13_capacity_price,
+    run_e14_catalog_throughput,
 )
 from .ratios import RatioStats, ratio, summarize_ratios
 from .tables import format_series, format_table
@@ -38,6 +39,7 @@ __all__ = [
     "run_e11_simulation_agreement",
     "run_e12_online_vs_static",
     "run_e13_capacity_price",
+    "run_e14_catalog_throughput",
     "RatioStats",
     "ratio",
     "summarize_ratios",

@@ -5,21 +5,28 @@ Usage::
     python -m repro experiment E1 [E3 ...]   # regenerate experiment tables
     python -m repro experiment all
     python -m repro scenario www             # run a named scenario bake-off
+    python -m repro scenario www --num-objects 5000
+    python -m repro place --scenario www --num-objects 100000 \\
+        --jobs 4 --chunk-size 512            # batched catalog placement
     python -m repro backend-sweep --sizes 1000 4000 10000 \\
         --out BENCH_backend_sweep.json       # dense-vs-lazy scaling sweep
     python -m repro list                     # what is available
 
-Experiments are the E1--E13 validations mapped to the paper in
+Experiments are the E1--E14 validations mapped to the paper in
 docs/EXPERIMENTS.md; scenarios place a full object catalogue with every
-strategy and print the bill comparison; ``backend-sweep`` measures the
-dense vs lazy distance backends at chosen network sizes and can persist a
-``BENCH_*.json`` artifact.
+strategy and print the bill comparison; ``place`` runs the batched
+:class:`~repro.engine.PlacementEngine` over a scenario's catalog (with
+optional per-object-loop parity check and JSON summary);
+``backend-sweep`` measures the dense vs lazy distance backends at chosen
+network sizes and can persist a ``BENCH_*.json`` artifact.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 from typing import Callable, Sequence
 
 from . import analysis
@@ -27,6 +34,8 @@ from .baselines import best_single_node, full_replication, write_blind_placement
 from .core.approx import approximate_placement
 from .core.costs import placement_cost
 from .core.placement import Placement
+from .engine import DEFAULT_CHUNK_SIZE, PlacementEngine
+from .facility import FL_SOLVERS
 from .workloads import (
     distributed_file_system,
     tree_network,
@@ -51,6 +60,7 @@ EXPERIMENTS: dict[str, Callable[[], "analysis.ExperimentResult"]] = {
     "E11": analysis.run_e11_simulation_agreement,
     "E12": analysis.run_e12_online_vs_static,
     "E13": analysis.run_e13_capacity_price,
+    "E14": analysis.run_e14_catalog_throughput,
 }
 
 SCENARIOS = {
@@ -76,18 +86,27 @@ def _run_experiments(names: Sequence[str], out=sys.stdout) -> int:
     return 0
 
 
-def _run_scenario(name: str, out=sys.stdout) -> int:
+def _scenario_kwargs(args) -> dict:
+    kwargs = {}
+    if getattr(args, "num_objects", None) is not None:
+        kwargs["num_objects"] = args.num_objects
+    return kwargs
+
+
+def _run_scenario(name: str, out=sys.stdout, *, num_objects: int | None = None) -> int:
     if name not in SCENARIOS:
         print(f"unknown scenario {name!r}; choose from {', '.join(SCENARIOS)}",
               file=sys.stderr)
         return 2
-    sc = SCENARIOS[name]()
+    kwargs = {} if num_objects is None else {"num_objects": num_objects}
+    sc = SCENARIOS[name](**kwargs)
     inst = sc.instance
     print(f"scenario {sc.name}: {inst.num_nodes} nodes, "
           f"{inst.num_objects} objects", file=out)
 
     strategies = {
-        "krw-approximation": approximate_placement(inst),
+        # identical to approximate_placement(inst), batched across the catalog
+        "krw-approximation": PlacementEngine(inst).place(),
         "single-median": Placement(
             tuple(best_single_node(inst, o) for o in range(inst.num_objects))
         ),
@@ -110,6 +129,69 @@ def _run_scenario(name: str, out=sys.stdout) -> int:
         ),
         file=out,
     )
+    return 0
+
+
+def _run_place(args, out=sys.stdout) -> int:
+    if args.jobs < 1 or args.chunk_size < 1:
+        print("place: --jobs and --chunk-size must be positive", file=sys.stderr)
+        return 2
+    sc = SCENARIOS[args.scenario](**_scenario_kwargs(args))
+    inst = sc.instance
+    print(f"scenario {sc.name}: {inst.num_nodes} nodes, "
+          f"{inst.num_objects} objects", file=out)
+
+    engine = PlacementEngine(
+        inst, fl_solver=args.fl_solver, chunk_size=args.chunk_size,
+        jobs=args.jobs,
+    )
+    t0 = time.perf_counter()
+    placement = engine.place()
+    elapsed = time.perf_counter() - t0
+    summary = {
+        "scenario": sc.name,
+        "nodes": inst.num_nodes,
+        "objects": inst.num_objects,
+        "jobs": args.jobs,
+        "chunk_size": args.chunk_size,
+        "fl_solver": args.fl_solver,
+        "time_s": elapsed,
+        "objects_per_s": inst.num_objects / elapsed,
+        "total_copies": placement.total_copies(),
+        "mean_copies": placement.replication_degree(),
+    }
+    print(f"engine: {elapsed:.2f}s "
+          f"({summary['objects_per_s']:.0f} objects/s, jobs={args.jobs}), "
+          f"{summary['total_copies']} copies "
+          f"(mean {summary['mean_copies']:.2f}/object)", file=out)
+
+    if args.compare_loop:
+        t0 = time.perf_counter()
+        loop = approximate_placement(inst, fl_solver=args.fl_solver)
+        loop_s = time.perf_counter() - t0
+        summary["loop_time_s"] = loop_s
+        summary["speedup_vs_loop"] = loop_s / elapsed
+        summary["matches_loop"] = placement.copy_sets == loop.copy_sets
+        print(f"per-object loop: {loop_s:.2f}s -> engine speedup "
+              f"{summary['speedup_vs_loop']:.1f}x, identical copy sets: "
+              f"{summary['matches_loop']}", file=out)
+        if not summary["matches_loop"]:
+            print("place: engine/loop copy sets differ", file=sys.stderr)
+            return 1
+    if args.cost:
+        bill = placement_cost(inst, placement, policy="mst")
+        summary["cost"] = {
+            "storage": bill.storage, "read": bill.read,
+            "update": bill.update, "total": bill.total,
+        }
+        print(f"bill (mst policy): storage {bill.storage:.1f} + read "
+              f"{bill.read:.1f} + update {bill.update:.1f} = "
+              f"{bill.total:.1f}", file=out)
+    if args.out_path:
+        with open(args.out_path, "w") as fh:
+            json.dump(summary, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.out_path}", file=out)
     return 0
 
 
@@ -144,6 +226,29 @@ def main(argv: Sequence[str] | None = None, out=sys.stdout) -> int:
 
     p_sc = sub.add_parser("scenario", help="run a named scenario bake-off")
     p_sc.add_argument("name", choices=sorted(SCENARIOS))
+    p_sc.add_argument("--num-objects", type=int, default=None,
+                      help="catalog size (scenario default when omitted); "
+                      "large catalogs use the Zipf-weighted columnar split")
+
+    p_pl = sub.add_parser(
+        "place",
+        help="place a scenario's object catalog with the batched engine",
+    )
+    p_pl.add_argument("--scenario", choices=sorted(SCENARIOS), default="www")
+    p_pl.add_argument("--num-objects", type=int, default=None,
+                      help="catalog size (scenario default when omitted)")
+    p_pl.add_argument("--jobs", type=int, default=1,
+                      help="worker processes (1 = in-process)")
+    p_pl.add_argument("--chunk-size", type=int, default=DEFAULT_CHUNK_SIZE,
+                      help="objects per engine chunk")
+    p_pl.add_argument("--fl-solver", choices=sorted(FL_SOLVERS),
+                      default="local_search")
+    p_pl.add_argument("--compare-loop", action="store_true",
+                      help="also run the per-object loop and verify parity")
+    p_pl.add_argument("--cost", action="store_true",
+                      help="bill the placement under the mst policy")
+    p_pl.add_argument("--out", dest="out_path", default=None,
+                      help="write a JSON summary here")
 
     p_bs = sub.add_parser(
         "backend-sweep",
@@ -165,7 +270,9 @@ def main(argv: Sequence[str] | None = None, out=sys.stdout) -> int:
     if args.command == "experiment":
         return _run_experiments(args.names, out=out)
     if args.command == "scenario":
-        return _run_scenario(args.name, out=out)
+        return _run_scenario(args.name, out=out, num_objects=args.num_objects)
+    if args.command == "place":
+        return _run_place(args, out=out)
     if args.command == "backend-sweep":
         return _run_backend_sweep(args, out=out)
     if args.command == "list":

@@ -39,6 +39,12 @@ Implementation notes:
   restricts candidate facilities to a hot set (see
   :func:`repro.facility.facility_candidate_set`); pass
   ``facility_candidates`` to control or disable the cap.
+* Each phase is exposed as a standalone helper
+  (:func:`phase1_facility_copies`, :func:`phase2_add_copies`,
+  :func:`phase3_delete_copies`) so the catalog engine
+  (:mod:`repro.engine`) can drive the identical decisions from batched
+  per-chunk radii.  Phase 1 solves the related FL problem on the
+  object's demand support (zero-demand clients are objective-neutral).
 """
 
 from __future__ import annotations
@@ -55,6 +61,10 @@ from .radii import radii_for_object
 __all__ = [
     "approximate_placement",
     "approximate_object_placement",
+    "phase1_facility_copies",
+    "phase2_add_copies",
+    "phase3_delete_copies",
+    "zero_demand_copies",
     "ApproxDiagnostics",
     "proper_placement_margins",
     "K1",
@@ -79,6 +89,70 @@ class ApproxDiagnostics:
     write_radii: np.ndarray
     storage_radii: np.ndarray
     storage_numbers: np.ndarray
+
+
+def zero_demand_copies(instance: DataManagementInstance) -> tuple[int, ...]:
+    """Copy set for an object nobody requests: one copy, cheapest node."""
+    return (int(np.argmin(instance.storage_costs)),)
+
+
+def phase1_facility_copies(
+    instance: DataManagementInstance,
+    obj: int,
+    *,
+    fl_solver: str = "local_search",
+    facility_candidates: int | None = None,
+) -> list[int]:
+    """Phase 1: solve the related facility location problem for one object.
+
+    Clients are restricted to the object's demand support (an equivalent
+    problem -- zero-demand clients affect no objective); the open set maps
+    back to node ids, sorted.
+    """
+    fl = related_facility_problem(
+        instance, obj, max_facilities=facility_candidates, drop_zero_clients=True
+    )
+    return sorted(set(fl.to_nodes(FL_SOLVERS[fl_solver](fl))))
+
+
+def phase2_add_copies(metric, copies, rs: np.ndarray) -> list[int]:
+    """Phase 2: store a copy on every node whose nearest copy is farther
+    than ``5 * rs(v)``; returns the enlarged, sorted copy set."""
+    dts = metric.dist_to_set(copies)
+    copy_set = set(copies)
+    # Adding a copy only shrinks nearest-copy distances, so only nodes
+    # violating the threshold under the *initial* dts can ever fire;
+    # scan those (in ascending node order, as before) and re-check.
+    for v in np.flatnonzero(dts > 5.0 * rs):
+        v = int(v)
+        if dts[v] > 5.0 * rs[v]:
+            copy_set.add(v)
+            np.minimum(dts, metric.row(v), out=dts)
+    return sorted(copy_set)
+
+
+def phase3_delete_copies(metric, copies, rw: np.ndarray) -> list[int]:
+    """Phase 3: scan holders by ascending write radius; the scanned holder
+    deletes any other copy ``u`` with ``ct(u, v) <= 4 * rw(u)``."""
+    scan = np.asarray(sorted(copies, key=lambda v: (rw[v], v)), dtype=int)
+    u_bound = 4.0 * rw[scan]  # per-column threshold for the deleted copy u
+    alive = np.ones(scan.size, dtype=bool)
+    # Row access is chunked so a large post-phase-2 copy set never
+    # materializes a (k, k) block at once; rows of holders already
+    # deleted by an earlier chunk are never fetched.
+    chunk = 256
+    for c0 in range(0, scan.size, chunk):
+        live = [i for i in range(c0, min(c0 + chunk, scan.size)) if alive[i]]
+        if not live:
+            continue
+        rows = np.asarray(metric.rows(scan[live]))[:, scan]  # (|live|, k)
+        for r, i in enumerate(live):
+            if not alive[i]:
+                continue
+            doomed = alive & (rows[r] <= u_bound)
+            doomed[i] = False  # the scanned holder never deletes itself
+            alive[doomed] = False
+    return sorted(int(v) for v in scan[alive])
 
 
 def approximate_object_placement(
@@ -115,7 +189,7 @@ def approximate_object_placement(
     metric = instance.metric
 
     if instance.total_requests(obj) == 0:
-        copies = (int(np.argmin(instance.storage_costs)),)
+        copies = zero_demand_copies(instance)
         if return_diagnostics:
             n = metric.n
             zero = np.zeros(n)
@@ -124,8 +198,9 @@ def approximate_object_placement(
         return copies
 
     # ------------------------------------------------------ phase 1: UFL
-    fl = related_facility_problem(instance, obj, max_facilities=facility_candidates)
-    copies = sorted(set(fl.to_nodes(FL_SOLVERS[fl_solver](fl))))
+    copies = phase1_facility_copies(
+        instance, obj, fl_solver=fl_solver, facility_candidates=facility_candidates
+    )
     after1 = tuple(copies)
 
     rw, rs, zs = radii_for_object(
@@ -134,40 +209,12 @@ def approximate_object_placement(
 
     # ----------------------------------------------- phase 2: add copies
     if phase2:
-        dts = metric.dist_to_set(copies)
-        copy_set = set(copies)
-        # Adding a copy only shrinks nearest-copy distances, so only nodes
-        # violating the threshold under the *initial* dts can ever fire;
-        # scan those (in ascending node order, as before) and re-check.
-        for v in np.flatnonzero(dts > 5.0 * rs):
-            v = int(v)
-            if dts[v] > 5.0 * rs[v]:
-                copy_set.add(v)
-                np.minimum(dts, metric.row(v), out=dts)
-        copies = sorted(copy_set)
+        copies = phase2_add_copies(metric, copies, rs)
     after2 = tuple(copies)
 
     # -------------------------------------------- phase 3: delete copies
     if phase3:
-        scan = np.asarray(sorted(copies, key=lambda v: (rw[v], v)), dtype=int)
-        u_bound = 4.0 * rw[scan]  # per-column threshold for the deleted copy u
-        alive = np.ones(scan.size, dtype=bool)
-        # Row access is chunked so a large post-phase-2 copy set never
-        # materializes a (k, k) block at once; rows of holders already
-        # deleted by an earlier chunk are never fetched.
-        chunk = 256
-        for c0 in range(0, scan.size, chunk):
-            live = [i for i in range(c0, min(c0 + chunk, scan.size)) if alive[i]]
-            if not live:
-                continue
-            rows = np.asarray(metric.rows(scan[live]))[:, scan]  # (|live|, k)
-            for r, i in enumerate(live):
-                if not alive[i]:
-                    continue
-                doomed = alive & (rows[r] <= u_bound)
-                doomed[i] = False  # the scanned holder never deletes itself
-                alive[doomed] = False
-        copies = sorted(int(v) for v in scan[alive])
+        copies = phase3_delete_copies(metric, copies, rw)
     after3 = tuple(copies)
 
     if return_diagnostics:

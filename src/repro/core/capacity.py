@@ -20,13 +20,27 @@ This is a heuristic (the capacitated problem is NP-hard even for reads
 only); Experiment E13 measures the price of tightening capacities.
 Feasibility requires ``sum(cap) >= num_objects`` -- every object needs a
 copy somewhere.
+
+Scaling note: a naive implementation re-derives ``object_cost`` for every
+(object, overflowing node, target) triple in every round --
+``O(rounds * objects * n)`` full cost evaluations, which is what made
+catalog-scale repair impossible.  :func:`enforce_capacities` instead
+keeps, per object, the cached cost components that every candidate move
+shares (the copy rows, the nearest-copy distance vector, the base bill)
+and memoizes the per-(object, node) repair deltas across rounds; a round
+invalidates only the one object it touched.  Candidate bills are
+assembled from the cached pieces with the exact arithmetic of
+:func:`~repro.core.costs.object_cost` (elementwise minima over the same
+rows, the same dot products, the same MST kernel), so the greedy
+trajectory -- and therefore the repaired placement -- is unchanged.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from .costs import object_cost
+from ..graphs.mst import mst_cost
+from .costs import CostBreakdown, object_cost
 from .instance import DataManagementInstance
 from .placement import Placement
 
@@ -49,6 +63,138 @@ def capacity_violations(
     }
 
 
+def _copy_distance_vectors(metric, idx: np.ndarray) -> np.ndarray:
+    """Per-copy distance vectors, oriented like ``metric.dist_to_set``.
+
+    A shortest-path closure is symmetric only to float precision, and the
+    dense :class:`~repro.graphs.metric.Metric` answers set queries from
+    matrix *columns* while row-oriented backends answer them from rows.
+    Matching the orientation keeps every delta assembled here bit-equal to
+    the ``object_cost`` the naive scan would have computed.
+    """
+    dist = getattr(metric, "dist", None)
+    if dist is not None:
+        return np.ascontiguousarray(dist[:, idx].T)
+    return np.asarray(metric.rows(idx))
+
+
+def _target_distance_vector(metric, u: int) -> np.ndarray:
+    """``d(., u)`` with the same orientation as :func:`_copy_distance_vectors`."""
+    dist = getattr(metric, "dist", None)
+    if dist is not None:
+        return dist[:, u]
+    return np.asarray(metric.row(u))
+
+
+class _ObjectRepairState:
+    """Cached cost state of one object's current copy set.
+
+    Everything a repair candidate needs is derived from the sorted copy
+    list once per object *version* (the state is rebuilt from scratch when
+    a move touches the object): the copy rows, the nearest-copy distance
+    vector, the request-weight vector and the base bill.  Candidate deltas
+    are then memoized per evicted node ``v`` (``delete``) and per
+    ``(v, target u)`` (``relocate``) until the next invalidation.
+    """
+
+    __slots__ = (
+        "nodes", "rows", "d1", "weights", "base", "size", "total_writes",
+        "_alt", "_delete", "_reloc",
+    )
+
+    def __init__(self, instance: DataManagementInstance, obj: int, copies: set[int]):
+        self.nodes = sorted(copies)
+        metric = instance.metric
+        idx = np.asarray(self.nodes, dtype=int)
+        self.rows = _copy_distance_vectors(metric, idx)  # (k, n)
+        self.d1 = self.rows.min(axis=0)
+        self.weights = instance.read_freq[obj] + instance.write_freq[obj]
+        self.size = instance.object_size(obj)
+        self.total_writes = instance.total_writes(obj)
+        self.base = self._bill(instance, self.nodes, self.d1)
+        self._alt: dict[int, np.ndarray] = {}
+        self._delete: dict[int, float] = {}
+        self._reloc: dict[tuple[int, int], float] = {}
+
+    def _bill(self, instance: DataManagementInstance, nodes, d_to_set) -> float:
+        """``object_cost(...).total`` replayed from cached pieces: same
+        storage sum, same read dot product, same MST kernel, same
+        breakdown/scaling order -- bit-identical to the full recompute."""
+        storage = float(instance.storage_costs[np.asarray(nodes)].sum())
+        read = float(self.weights @ d_to_set)
+        update = self.total_writes * mst_cost(instance.metric, nodes)
+        return CostBreakdown(storage, read, update).scaled(self.size).total
+
+    def _alt_without(self, v: int) -> np.ndarray:
+        """Nearest-copy distances once ``v`` is gone (``inf`` if lone copy)."""
+        alt = self._alt.get(v)
+        if alt is None:
+            mask = [i for i, u in enumerate(self.nodes) if u != v]
+            if mask:
+                alt = self.rows[mask].min(axis=0)
+            else:
+                alt = np.full(self.rows.shape[1], np.inf)
+            self._alt[v] = alt
+        return alt
+
+    def delete_delta(self, instance: DataManagementInstance, v: int) -> float:
+        delta = self._delete.get(v)
+        if delta is None:
+            nodes = [u for u in self.nodes if u != v]
+            delta = self._bill(instance, nodes, self._alt_without(v)) - self.base
+            self._delete[v] = delta
+        return delta
+
+    def relocate_delta(
+        self, instance: DataManagementInstance, v: int, u: int
+    ) -> float:
+        delta = self._reloc.get((v, u))
+        if delta is None:
+            nodes = sorted([w for w in self.nodes if w != v] + [u])
+            d_new = np.minimum(
+                self._alt_without(v), _target_distance_vector(instance.metric, u)
+            )
+            delta = self._bill(instance, nodes, d_new) - self.base
+            self._reloc[(v, u)] = delta
+        return delta
+
+
+class _GenericRepairState:
+    """Memoized repair deltas under the non-``mst`` update policies.
+
+    The Steiner policies price each write by its own tree, so there is no
+    shared incremental structure to exploit; candidate bills fall back to
+    :func:`~repro.core.costs.object_cost`, but stay memoized across rounds
+    exactly like the fast path.
+    """
+
+    __slots__ = ("nodes", "base", "policy", "_delete", "_reloc")
+
+    def __init__(self, instance: DataManagementInstance, obj: int, copies: set[int], policy: str):
+        self.nodes = sorted(copies)
+        self.policy = policy
+        self.base = object_cost(instance, obj, self.nodes, policy=policy).total
+        self._delete: dict[int, float] = {}
+        self._reloc: dict[tuple[int, int], float] = {}
+
+    def delta(self, instance: DataManagementInstance, obj: int, v: int, u: int | None) -> float:
+        key_reloc = None if u is None else (v, u)
+        if u is None:
+            delta = self._delete.get(v)
+        else:
+            delta = self._reloc.get(key_reloc)
+        if delta is None:
+            nodes = set(self.nodes) - {v}
+            if u is not None:
+                nodes.add(u)
+            delta = object_cost(instance, obj, nodes, policy=self.policy).total - self.base
+            if u is None:
+                self._delete[v] = delta
+            else:
+                self._reloc[key_reloc] = delta
+        return delta
+
+
 def enforce_capacities(
     instance: DataManagementInstance,
     placement: Placement,
@@ -59,9 +205,10 @@ def enforce_capacities(
 ) -> Placement:
     """Repair a placement until no node holds more than its capacity.
 
-    Deterministic greedy (smallest cost increase first; ties by object
-    then node index).  Raises when capacities are infeasible or when no
-    repair move exists (every node full and nothing deletable).
+    Deterministic greedy (smallest cost increase first; ties by object,
+    evicted node, then delete-before-relocate and ascending target).
+    Raises when capacities are infeasible or when no repair move exists
+    (every node full and nothing deletable).
     """
     caps = np.asarray(capacities, dtype=int)
     if caps.shape != (instance.num_nodes,):
@@ -77,12 +224,31 @@ def enforce_capacities(
 
     sets = [set(copies) for copies in placement]
     counts = np.zeros(instance.num_nodes, dtype=int)
-    for copies in sets:
+    holders: dict[int, set[int]] = {}
+    for obj, copies in enumerate(sets):
         for v in copies:
             counts[v] += 1
+            holders.setdefault(v, set()).add(obj)
 
-    def cost_of(obj: int, copies: set[int]) -> float:
-        return object_cost(instance, obj, copies, policy=policy).total
+    states: dict[int, _ObjectRepairState | _GenericRepairState] = {}
+
+    def state_of(obj: int):
+        st = states.get(obj)
+        if st is None:
+            if policy == "mst":
+                st = _ObjectRepairState(instance, obj, sets[obj])
+            else:
+                st = _GenericRepairState(instance, obj, sets[obj], policy)
+            states[obj] = st
+        return st
+
+    def candidate_delta(obj: int, v: int, u: int | None) -> float:
+        st = state_of(obj)
+        if isinstance(st, _ObjectRepairState):
+            if u is None:
+                return st.delete_delta(instance, v)
+            return st.relocate_delta(instance, v, u)
+        return st.delta(instance, obj, v, u)
 
     steps = 0
     limit = max_steps if max_steps is not None else 4 * sum(len(s) for s in sets) + 16
@@ -95,17 +261,15 @@ def enforce_capacities(
             raise RuntimeError("capacity repair did not converge")
 
         slack_nodes = np.flatnonzero(counts < caps)
-        best: tuple[float, int, int, int | None] | None = None  # (delta, obj, from, to)
+        # (delta, obj, from, to); to = -1 encodes deletion, so exact ties
+        # stay totally ordered (delete preferred over any relocation).
+        best: tuple[float, int, int, int] | None = None
         for v in overflowing:
             v = int(v)
-            for obj in range(instance.num_objects):
-                if v not in sets[obj]:
-                    continue
-                base = cost_of(obj, sets[obj])
+            for obj in sorted(holders.get(v, ())):
                 # option 1: delete (object must keep a copy)
                 if len(sets[obj]) >= 2:
-                    delta = cost_of(obj, sets[obj] - {v}) - base
-                    cand = (delta, obj, v, None)
+                    cand = (candidate_delta(obj, v, None), obj, v, -1)
                     if best is None or cand < best:
                         best = cand
                 # option 2: relocate to a node with slack
@@ -113,8 +277,7 @@ def enforce_capacities(
                     u = int(u)
                     if u in sets[obj]:
                         continue
-                    delta = cost_of(obj, (sets[obj] - {v}) | {u}) - base
-                    cand = (delta, obj, v, u)
+                    cand = (candidate_delta(obj, v, u), obj, v, u)
                     if best is None or cand < best:
                         best = cand
         if best is None:
@@ -125,8 +288,11 @@ def enforce_capacities(
         _, obj, v_from, v_to = best
         sets[obj].discard(v_from)
         counts[v_from] -= 1
-        if v_to is not None:
+        holders[v_from].discard(obj)
+        if v_to >= 0:
             sets[obj].add(v_to)
             counts[v_to] += 1
+            holders.setdefault(v_to, set()).add(obj)
+        states.pop(obj, None)  # only the touched object's deltas invalidate
 
     return Placement(tuple(tuple(sorted(s)) for s in sets))

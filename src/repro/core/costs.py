@@ -52,6 +52,12 @@ UPDATE_POLICIES = ("mst", "steiner", "steiner_mst")
 #: path is no worse and avoids holding a large ``(k, n)`` row block.
 _BATCH_UNION_LIMIT = 1024
 
+#: Catalogs whose total copy-node union exceeds the row-block limit are
+#: billed in object chunks of this size: each chunk's union is typically
+#: far below the limit (tail objects share few nodes), so the batched
+#: kernel still serves almost every object.
+_BATCH_OBJECT_CHUNK = 1024
+
 
 @dataclass(frozen=True)
 class CostBreakdown:
@@ -147,30 +153,56 @@ def placement_cost(
     Under the ``"mst"`` policy the per-object loop is batched: one row
     fetch for the union of all copy nodes (a single multi-source block on
     a lazy backend), then each object's read/update kernels are numpy
-    slices of that block.  The Steiner policies keep the per-object path
-    (their update cost is per-writer anyway).
+    slices of that block.  Catalogs whose total union outgrows the row
+    block are billed in object chunks, each with its own (small) union, so
+    a 100k-object catalog still takes the batched path end to end.  The
+    Steiner policies keep the per-object path (their update cost is
+    per-writer anyway).
     """
     placement.validate(instance)
+    if policy != "mst":
+        total = ZERO_COST
+        for obj in range(instance.num_objects):
+            total = total + object_cost(
+                instance, obj, placement.copies(obj), policy=policy
+            )
+        return total
+
     union = sorted({v for copies in placement for v in copies})
-    if policy == "mst" and len(union) <= _BATCH_UNION_LIMIT:
-        return _placement_cost_mst_batched(instance, placement, union)
+    if len(union) <= _BATCH_UNION_LIMIT:
+        return _placement_cost_mst_batched(
+            instance, placement, union, range(instance.num_objects)
+        )
     total = ZERO_COST
-    for obj in range(instance.num_objects):
-        total = total + object_cost(instance, obj, placement.copies(obj), policy=policy)
+    for start in range(0, instance.num_objects, _BATCH_OBJECT_CHUNK):
+        objs = range(start, min(start + _BATCH_OBJECT_CHUNK, instance.num_objects))
+        chunk_union = sorted({v for obj in objs for v in placement.copies(obj)})
+        if len(chunk_union) <= _BATCH_UNION_LIMIT:
+            total = total + _placement_cost_mst_batched(
+                instance, placement, chunk_union, objs
+            )
+        else:  # pathological chunk (near-full replication): per-object path
+            for obj in objs:
+                total = total + object_cost(
+                    instance, obj, placement.copies(obj), policy="mst"
+                )
     return total
 
 
 def _placement_cost_mst_batched(
-    instance: DataManagementInstance, placement: Placement, union: list[int]
+    instance: DataManagementInstance,
+    placement: Placement,
+    union: list[int],
+    objects,
 ) -> CostBreakdown:
-    """All-object MST-policy accounting from one shared row block."""
+    """MST-policy accounting for a set of objects from one shared row block."""
     metric = instance.metric
     rows = np.asarray(metric.rows(union))  # (k, n)
     pair = rows[:, union]  # (k, k) for the update MSTs
     pos = {v: i for i, v in enumerate(union)}
 
     total = ZERO_COST
-    for obj in range(instance.num_objects):
+    for obj in objects:
         nodes = placement.copies(obj)
         ids = np.asarray([pos[v] for v in nodes], dtype=int)
         d_to_set = rows[ids].min(axis=0)

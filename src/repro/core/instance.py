@@ -169,6 +169,23 @@ class DataManagementInstance:
         """
         return self.read_freq[obj] + self.write_freq[obj]
 
+    # -- columnar (whole-catalog) accessors ----------------------------
+    def demand_matrix(self) -> np.ndarray:
+        """``fr + fw`` for every object at once: shape ``(m, n)``."""
+        return self.read_freq + self.write_freq
+
+    def total_requests_all(self) -> np.ndarray:
+        """Per-object total request counts, shape ``(m,)``."""
+        return self.read_freq.sum(axis=1) + self.write_freq.sum(axis=1)
+
+    def total_writes_all(self) -> np.ndarray:
+        """Per-object total write counts ``W``, shape ``(m,)``."""
+        return self.write_freq.sum(axis=1)
+
+    def demand_support(self, obj: int) -> np.ndarray:
+        """Nodes with positive demand for one object (sorted indices)."""
+        return np.flatnonzero(self.demand(obj) > 0)
+
     def total_writes(self, obj: int) -> float:
         """``W = sum_v fw(v)`` -- the total write count for one object."""
         return float(self.write_freq[obj].sum())

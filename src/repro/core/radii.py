@@ -38,6 +38,18 @@ the ``O(n^2)`` a full-matrix argsort would need.  :class:`RequestProfile`
 offers the same quantities as a per-node oracle, computing and caching one
 row at a time.
 
+Catalog note: the sorted order of each distance row depends only on the
+metric, never on the workload, so a multi-object catalog can share one
+row fetch *and one argsort* per node block across every object
+(:func:`radii_for_objects`).  For integer request counts -- the model's
+semantics -- the sweep additionally restricts each object's prefix-sum
+state to the nodes that actually issue requests (its *demand support*):
+zero-weight entries contribute exactly ``0.0`` to every cumulative sum
+and are provably skipped by the breakpoint searches, so the restricted
+state yields bit-identical radii at a fraction of the work.  Fractional
+weights fall back to the shared-argsort dense path, which replays the
+per-object arithmetic verbatim.
+
 Degenerate cases, all unit-tested:
 
 * ``W = 0`` (read-only): ``rw(v) = d(v, 0) = 0``.
@@ -54,12 +66,22 @@ import math
 
 import numpy as np
 
-__all__ = ["RequestProfile", "radii_for_object", "DEFAULT_RADII_BLOCK"]
+__all__ = [
+    "RequestProfile",
+    "radii_for_object",
+    "radii_for_objects",
+    "DEFAULT_RADII_BLOCK",
+]
 
 #: Nodes per batched row fetch in :func:`radii_for_object`.  Peak scratch
 #: memory is a handful of ``(block, n)`` arrays; 128 keeps a 10k-node sweep
 #: under ~60 MB while still amortizing the per-call Dijkstra overhead.
 DEFAULT_RADII_BLOCK = 128
+
+#: :func:`radii_for_objects` handles a sparse object in one whole-network
+#: pass (instead of the node-block loop) while its ``(n, nnz)`` state
+#: stays under this many elements (~32 MB of float64 scratch).
+_SINGLE_SWEEP_ELEMS = 4_000_000
 
 
 def _sorted_cums(
@@ -206,7 +228,10 @@ def radii_for_object(
 
     Nodes are processed in blocks of ``block_size``: one batched distance
     row fetch per block, then vectorized sorting and prefix sums, so the
-    sweep never holds more than ``O(block_size * n)`` scratch.
+    sweep never holds more than ``O(block_size * n)`` scratch.  The
+    breakpoint searches run as vectorized per-row kernels
+    (:func:`_storage_radii_rows`), replaying the scalar
+    :func:`_storage_radius_from_cums` arithmetic exactly.
     """
     if block_size < 1:
         raise ValueError("block_size must be positive")
@@ -216,6 +241,8 @@ def radii_for_object(
     total = float(weights.sum())
     total_writes = float(np.asarray(write_freq, dtype=float).sum())
     storage_costs = np.asarray(storage_costs, dtype=float)
+    if np.any(storage_costs < 0):
+        raise ValueError("storage cost must be non-negative")
 
     n = metric.n
     rw = np.empty(n)
@@ -233,33 +260,235 @@ def radii_for_object(
         del D
         SW = weights[order]
         del order
-        CWD = SW * SD
-        np.cumsum(CWD, axis=1, out=CWD)
-        CW = np.cumsum(SW, axis=1, out=SW)
-        del SW
-
-        if total_writes > 0:
-            rw[block] = _prefix_block(SD, CW, CWD, total_writes, total) / total_writes
-        else:
-            rw[block] = 0.0
-        for j, v in enumerate(block):
-            rs[v], zs[v] = _storage_radius_from_cums(
-                SD[j], CW[j], CWD[j], float(storage_costs[v]), total
-            )
+        rw[block], rs[block], zs[block] = _radii_from_sorted(
+            SD, SW, storage_costs[block], total_writes, total
+        )
     return rw, rs, zs
+
+
+def radii_for_objects(
+    metric,
+    storage_costs: np.ndarray,
+    read_freq: np.ndarray,
+    write_freq: np.ndarray,
+    *,
+    block_size: int = DEFAULT_RADII_BLOCK,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Radii for a whole object batch: ``(rw, rs, zs)`` of shape ``(m, n)``.
+
+    One shared backend sweep serves every object: each node block's
+    distance rows are fetched once (one compiled Dijkstra call on a lazy
+    backend, a view on a dense one) and, where the full sort is needed,
+    argsorted once -- instead of once *per object* as the naive
+    ``[radii_for_object(...) for obj in ...]`` loop does.
+
+    Per object the prefix-sum state is then built either
+
+    * on the object's *demand support* (the nodes with ``fr + fw > 0``)
+      when every frequency is an integer count -- bit-identical to the
+      full-width state (zero weights add exactly ``0.0`` to every
+      cumulative sum and the crossing searches provably never land on
+      them) at ``O(block * nnz)`` instead of ``O(block * n)``, or
+    * on the shared full argsort otherwise (fractional weights), which is
+      the per-object computation verbatim.
+
+    Returns arrays indexed ``[obj, node]``; callers placing huge catalogs
+    should chunk objects and call this per chunk (see
+    :class:`repro.engine.PlacementEngine`) so only ``O(chunk * n)`` radii
+    are live at once.
+    """
+    if block_size < 1:
+        raise ValueError("block_size must be positive")
+    FR = np.atleast_2d(np.asarray(read_freq, dtype=float))
+    FW = np.atleast_2d(np.asarray(write_freq, dtype=float))
+    if FR.shape != FW.shape:
+        raise ValueError("read_freq and write_freq must have equal shapes")
+    weights = FR + FW
+    if np.any(weights < 0):
+        raise ValueError("request weights must be non-negative")
+    storage_costs = np.asarray(storage_costs, dtype=float)
+    if np.any(storage_costs < 0):
+        raise ValueError("storage cost must be non-negative")
+    m, n = weights.shape
+    if n != metric.n:
+        raise ValueError(f"frequency arrays must have {metric.n} columns")
+
+    # Per-object totals via the exact same reductions as radii_for_object
+    # (1-D row sums), so every downstream comparison sees the same floats.
+    totals = [float(weights[i].sum()) for i in range(m)]
+    wtotals = [float(FW[i].sum()) for i in range(m)]
+    integral = bool(
+        np.all(np.floor(FR) == FR) and np.all(np.floor(FW) == FW)
+    )
+    supports = [np.flatnonzero(weights[i]) if integral else None for i in range(m)]
+
+    def use_support(i: int) -> bool:
+        supp = supports[i]
+        return supp is not None and 0 < supp.size < n
+
+    RW = np.empty((m, n))
+    RS = np.empty((m, n))
+    ZS = np.empty((m, n), dtype=int)
+    live = [i for i in range(m) if totals[i] > 0]
+    # Zero-demand objects never consult the sweep: rw = 0, rs = inf, zs = 1
+    # (the radii_for_object degenerate case).
+    for i in range(m):
+        if totals[i] <= 0:
+            RW[i] = 0.0
+            RS[i] = np.inf
+            ZS[i] = 1
+
+    # Sparse objects on a dense backend skip the node-block loop entirely:
+    # the (n, nnz) column slice is small, so one whole-network pass per
+    # object avoids per-block Python overhead.  Blocking never changes
+    # values (every kernel is an independent per-row computation), so this
+    # is purely a batching choice.
+    dense = getattr(metric, "dist", None)
+    if dense is not None:
+        single = [
+            i for i in live
+            if use_support(i) and n * supports[i].size <= _SINGLE_SWEEP_ELEMS
+        ]
+        for i in single:
+            supp = supports[i]
+            Ds = dense[:, supp]
+            order = np.argsort(Ds, axis=1, kind="stable")
+            SD = np.take_along_axis(Ds, order, axis=1)
+            SW = weights[i, supp][order]
+            RW[i], RS[i], ZS[i] = _radii_from_sorted(
+                SD, SW, storage_costs, wtotals[i], totals[i]
+            )
+        done = set(single)
+        live = [i for i in live if i not in done]
+        if not live:
+            return RW, RS, ZS
+    need_full = any(not use_support(i) for i in live)
+
+    for start in range(0, n, block_size):
+        stop = min(start + block_size, n)
+        block = np.arange(start, stop)
+        D = np.asarray(metric.rows(block))  # (b, n), fetched once per block
+        cs_block = storage_costs[block]
+        if need_full:
+            order_full = np.argsort(D, axis=1, kind="stable")
+            SD_full = np.take_along_axis(D, order_full, axis=1)
+        for i in live:
+            if use_support(i):
+                supp = supports[i]
+                Ds = D[:, supp]
+                order = np.argsort(Ds, axis=1, kind="stable")
+                SD = np.take_along_axis(Ds, order, axis=1)
+                SW = weights[i, supp][order]
+            else:
+                SD = SD_full
+                SW = weights[i][order_full]
+            RW[i, block], RS[i, block], ZS[i, block] = _radii_from_sorted(
+                SD, SW, cs_block, wtotals[i], totals[i]
+            )
+    return RW, RS, ZS
+
+
+def _radii_from_sorted(
+    SD: np.ndarray,
+    SW: np.ndarray,
+    costs: np.ndarray,
+    total_writes: float,
+    total: float,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """``(rw, rs, zs)`` rows from distance-sorted block state.
+
+    The one shared kernel behind :func:`radii_for_object` and both
+    :func:`radii_for_objects` sweeps: cumulative sums (in place, ``SW``
+    is consumed), the write-radius prefix and the storage-radius search.
+    Keeping it single-sourced is what keeps the bit-parity contract
+    between the per-object and batched paths a structural property.
+    """
+    CWD = SW * SD
+    np.cumsum(CWD, axis=1, out=CWD)
+    CW = np.cumsum(SW, axis=1, out=SW)
+    if total_writes > 0:
+        rw = _prefix_block(SD, CW, CWD, total_writes, total) / total_writes
+    else:
+        rw = np.zeros(SD.shape[0])
+    rs, zs = _storage_radii_rows(SD, CW, CWD, costs, total)
+    return rw, rs, zs
+
+
+def _prefix_rows(
+    SD: np.ndarray, CW: np.ndarray, CWD: np.ndarray, z: np.ndarray, total: float
+) -> np.ndarray:
+    """Vectorized ``P_v(z)`` with a per-row ``z``: exactly
+    :func:`_prefix_from_cums` replayed on every row of a block."""
+    b, size = SD.shape
+    z = np.minimum(np.asarray(z, dtype=float), total)
+    # searchsorted(cw, z, 'left') per row == count of entries < z
+    i = np.minimum((CW < z[:, None]).sum(axis=1), size - 1)
+    r = np.arange(b)
+    prev_w = np.where(i > 0, CW[r, np.maximum(i - 1, 0)], 0.0)
+    prev_wd = np.where(i > 0, CWD[r, np.maximum(i - 1, 0)], 0.0)
+    out = prev_wd + (z - prev_w) * SD[r, i]
+    return np.where(z <= 0, 0.0, out)
 
 
 def _prefix_block(
     SD: np.ndarray, CW: np.ndarray, CWD: np.ndarray, z: float, total: float
 ) -> np.ndarray:
     """Vectorized ``P_v(z)`` for a block of nodes at one common ``z``."""
-    b, n = SD.shape
+    b = SD.shape[0]
     if z <= 0:
         return np.zeros(b)
-    z = min(z, total)
-    # searchsorted(cw, z, 'left') per row == count of entries < z
-    i = np.minimum((CW < z).sum(axis=1), n - 1)
-    r = np.arange(b)
-    prev_w = np.where(i > 0, CW[r, np.maximum(i - 1, 0)], 0.0)
-    prev_wd = np.where(i > 0, CWD[r, np.maximum(i - 1, 0)], 0.0)
-    return prev_wd + (z - prev_w) * SD[r, i]
+    return _prefix_rows(SD, CW, CWD, np.full(b, float(z)), total)
+
+
+def _storage_radii_rows(
+    SD: np.ndarray,
+    CW: np.ndarray,
+    CWD: np.ndarray,
+    costs: np.ndarray,
+    total: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized ``(rs, zs)`` over a block of nodes.
+
+    Bit-faithful to :func:`_storage_radius_from_cums` per row: the same
+    early-outs, the same binary-search trajectory (per-row ``lo``/``hi``
+    with the identical probe arithmetic) and the same interval formulas,
+    just evaluated for every row of the block at once instead of through
+    one Python call per node.
+    """
+    b = SD.shape[0]
+    n_req = int(math.ceil(total))
+    if n_req == 0:
+        return np.full(b, np.inf), np.full(b, max(n_req, 1), dtype=int)
+
+    p_total = _prefix_rows(SD, CW, CWD, np.full(b, float(total)), total)
+    never = p_total <= costs  # storage never amortizes on these rows
+
+    # binary search the smallest integer z >= 1 with P_v(z) > cs, exactly
+    # as the scalar loop does; converged (and `never`) rows stay inactive.
+    lo = np.ones(b, dtype=np.int64)
+    hi = np.full(b, n_req, dtype=np.int64)
+    hi[never] = 1
+    while True:
+        active = lo < hi
+        if not active.any():
+            break
+        mid = (lo + hi) // 2
+        pm = _prefix_rows(SD, CW, CWD, mid.astype(float), total)
+        go_hi = active & (pm > costs)
+        hi = np.where(go_hi, mid, hi)
+        lo = np.where(active & ~go_hi, mid + 1, lo)
+    zs = lo
+
+    zm1 = np.maximum(zs - 1, 1)
+    p_lo = _prefix_rows(SD, CW, CWD, (zs - 1).astype(float), total)
+    d_lo = np.where(zs > 1, p_lo / zm1, 0.0)
+    z_hi = np.minimum(zs.astype(float), total)
+    d_hi = _prefix_rows(SD, CW, CWD, z_hi, total) / z_hi
+    lower = np.maximum(d_lo, costs / zs)
+    upper = np.where(zs > 1, np.minimum(d_hi, costs / zm1), d_hi)
+    # The intersection is provably non-empty; guard against float slack.
+    upper = np.maximum(upper, lower)
+    rs = np.where(upper > lower, 0.5 * (lower + upper), lower)
+    rs = np.where(never, np.inf, rs)
+    zs = np.where(never, max(n_req, 1), zs)
+    return rs, zs.astype(int)

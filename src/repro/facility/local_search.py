@@ -16,6 +16,11 @@ loop):
   (one ``bincount``);
 * *swap* gains are evaluated per open facility with one vectorized pass
   over all in-candidates, ``O(k * nf * nc)`` per round for ``k`` open;
+  when the ``(nf, nc)`` slab fits the scratch budget all ``k``
+  out-candidates run through one batched reshape + matmul (each output
+  element is the same length-``nc`` row reduction either way) -- the
+  catalog regime, where ``nc`` is an object's small demand support and
+  per-call overhead would otherwise dominate;
 * moves are prioritized: the best add/drop move is taken when one
   improves, and the ``O(k * nf * nc)`` swap scan only runs in rounds
   where neither does.  The search still terminates only when *no* move of
@@ -37,33 +42,43 @@ from .problem import FacilityLocationProblem
 
 __all__ = ["local_search_ufl"]
 
-#: Facility rows per chunk in the big (nf, nc) kernels -- bounds scratch
-#: memory to ``chunk * nc`` floats instead of a full matrix-sized temp.
-_CHUNK = 64
+#: Scratch budget (in floats) of the big (nf, nc) kernels: facility rows
+#: are processed in chunks of ``max(64, _CHUNK_ELEMS // nc)`` rows, so the
+#: temporary stays ~4 MB while narrow client sets (sparse-demand catalog
+#: objects) run in one numpy call instead of one per 64 rows.  Chunking
+#: only bounds scratch: every output element is the same per-row
+#: reduction regardless of the chunk split.
+_CHUNK_ELEMS = 512 * 1024
 
 
-def _chunked_saving(dist: np.ndarray, d1: np.ndarray, w: np.ndarray) -> np.ndarray:
-    """``save[i] = sum_j w_j * max(d1_j - dist_ij, 0)`` without an
-    ``(nf, nc)`` temporary."""
-    nf = dist.shape[0]
-    save = np.empty(nf)
-    for c0 in range(0, nf, _CHUNK):
-        blk = slice(c0, min(c0 + _CHUNK, nf))
-        tmp = d1[None, :] - dist[blk]
-        np.maximum(tmp, 0.0, out=tmp)
-        save[blk] = tmp @ w
-    return save
+def _row_chunk(nc: int) -> int:
+    return max(64, _CHUNK_ELEMS // max(nc, 1))
 
 
 def _chunked_min_cost(dist: np.ndarray, alt: np.ndarray, w: np.ndarray) -> np.ndarray:
     """``out[i] = sum_j w_j * min(dist_ij, alt_j)`` without an
     ``(nf, nc)`` temporary."""
-    nf = dist.shape[0]
+    nf, nc = dist.shape
+    chunk = _row_chunk(nc)
     out = np.empty(nf)
-    for c0 in range(0, nf, _CHUNK):
-        blk = slice(c0, min(c0 + _CHUNK, nf))
+    for c0 in range(0, nf, chunk):
+        blk = slice(c0, min(c0 + chunk, nf))
         out[blk] = np.minimum(dist[blk], alt[None, :]) @ w
     return out
+
+
+def _chunked_saving(dist: np.ndarray, d1: np.ndarray, w: np.ndarray) -> np.ndarray:
+    """``save[i] = sum_j w_j * max(d1_j - dist_ij, 0)`` without an
+    ``(nf, nc)`` temporary."""
+    nf, nc = dist.shape
+    chunk = _row_chunk(nc)
+    save = np.empty(nf)
+    for c0 in range(0, nf, chunk):
+        blk = slice(c0, min(c0 + chunk, nf))
+        tmp = d1[None, :] - dist[blk]
+        np.maximum(tmp, 0.0, out=tmp)
+        save[blk] = tmp @ w
+    return save
 
 
 def local_search_ufl(
@@ -149,15 +164,36 @@ def local_search_ufl(
         closed_mask = np.ones(nf, dtype=bool)
         closed_mask[idx] = False
         if best_move is None and closed_mask.any():
-            for out in idx:
-                # nearest open distance once `out` is gone
-                alt = np.where(assign == out, d2, d1)  # (nc,)
-                if not np.all(np.isfinite(alt)):
+            # All k out-candidates share one batched kernel: ALT[t] is the
+            # nearest-open-distance vector once idx[t] is gone, and the
+            # (k, nf) new-cost matrix is one einsum over min(dist, ALT) --
+            # each entry the same per-row reduction the one-facility-at-a-
+            # time scan computes.
+            ALT = np.where(assign[None, :] == idx[:, None], d2[None, :], d1[None, :])
+            finite = np.all(np.isfinite(ALT), axis=1)
+            base_read = w @ d1
+            k = idx.size
+            new_cost = np.empty((k, nf))
+            chunk = _CHUNK_ELEMS // max(nf * nc, 1)
+            if chunk >= 1:
+                # Small (nf, nc) slabs: batch all k out-candidates through
+                # one reshape + matmul per slab group (each output row is
+                # the same length-nc dot the per-candidate kernel computes).
+                for t0 in range(0, k, chunk):
+                    t1 = min(t0 + chunk, k)
+                    tmp = np.minimum(dist[None, :, :], ALT[t0:t1, None, :])
+                    new_cost[t0:t1] = (tmp.reshape(-1, nc) @ w).reshape(t1 - t0, nf)
+            else:
+                # Big problems keep the scratch-bounded per-candidate pass.
+                for t in range(k):
+                    new_cost[t] = _chunked_min_cost(dist, ALT[t], w)
+            for t, out in enumerate(idx):
+                if not finite[t]:
                     # dropping the only facility: swap target must cover all
                     new_cost_rows = dist @ w
                 else:
-                    new_cost_rows = _chunked_min_cost(dist, alt, w)
-                gain = (w @ d1 - new_cost_rows) + f[out] - f
+                    new_cost_rows = new_cost[t]
+                gain = (base_read - new_cost_rows) + f[out] - f
                 gain[~closed_mask] = -np.inf
                 i_in = int(np.argmax(gain))
                 if gain[i_in] > best_gain:

@@ -65,12 +65,17 @@ class FacilityLocationProblem:
         Optional shape ``(nf,)`` map from facility index to an external
         node id (set when facilities are a restricted candidate subset of
         a network's nodes).  ``None`` means facility ``i`` *is* node ``i``.
+    client_nodes:
+        Optional shape ``(nc,)`` map from client index to an external node
+        id (set when clients are restricted to the nodes that actually
+        issue requests).  ``None`` means client ``j`` *is* node ``j``.
     """
 
     open_costs: np.ndarray
     demands: np.ndarray
     dist: np.ndarray
     facility_nodes: np.ndarray | None = field(default=None)
+    client_nodes: np.ndarray | None = field(default=None)
 
     def __post_init__(self) -> None:
         f = np.asarray(self.open_costs, dtype=float)
@@ -91,6 +96,13 @@ class FacilityLocationProblem:
             if fn.shape != (f.shape[0],):
                 raise ValueError(
                     f"facility_nodes must have shape ({f.shape[0]},), got {fn.shape}"
+                )
+        if self.client_nodes is not None:
+            cn = np.asarray(self.client_nodes, dtype=int)
+            object.__setattr__(self, "client_nodes", cn)
+            if cn.shape != (d.shape[0],):
+                raise ValueError(
+                    f"client_nodes must have shape ({d.shape[0]},), got {cn.shape}"
                 )
 
     # ------------------------------------------------------------------
@@ -194,6 +206,7 @@ def related_facility_problem(
     obj: int,
     *,
     max_facilities: int | None = None,
+    drop_zero_clients: bool = False,
 ) -> FacilityLocationProblem:
     """The phase-1 UFL instance: writes recast as reads, updates ignored.
 
@@ -202,6 +215,15 @@ def related_facility_problem(
     :data:`DEFAULT_FACILITY_CANDIDATES`).  With a cap in effect the
     returned problem carries ``facility_nodes``; feed solver output
     through :meth:`FacilityLocationProblem.to_nodes`.
+
+    ``drop_zero_clients`` restricts the client set to the nodes with
+    positive demand (the object's *demand support*), carried in
+    ``client_nodes``.  Zero-demand clients contribute exactly nothing to
+    any UFL objective, connection cost or solver gain, so the restricted
+    problem is equivalent -- but its connection matrix has ``nnz`` columns
+    instead of ``n``, which is what makes phase 1 affordable across a
+    sparse-demand catalog.  The facility candidate set is still derived
+    from the full demand vector, so the cap composition is unchanged.
     """
     metric = instance.metric
     n = metric.n
@@ -213,16 +235,28 @@ def related_facility_problem(
     if max_facilities < 1:
         raise ValueError("max_facilities must be >= 1")
 
+    clients: np.ndarray | None = None
+    if drop_zero_clients:
+        clients = np.flatnonzero(demand > 0)
+        # Restrict only when the support is genuinely sparse: slicing the
+        # connection matrix copies it, which near-dense demand does not
+        # repay (the restriction never changes any objective either way).
+        if clients.size == 0 or 2 * clients.size > n:
+            clients = None
+
     if max_facilities >= n:
         # All nodes are candidates; reuse the dense matrix when one exists
         # instead of copying n rows.
         dist = getattr(metric, "dist", None)
         if dist is None:
             dist = np.asarray(metric.rows(np.arange(n)))
+        if clients is not None:
+            dist = dist[:, clients]
         return FacilityLocationProblem(
             open_costs=instance.storage_costs,
-            demands=demand,
+            demands=demand if clients is None else demand[clients],
             dist=dist,
+            client_nodes=clients,
         )
 
     nodes = facility_candidate_set(
@@ -232,13 +266,14 @@ def related_facility_problem(
     # Pin the hot set's rows on backends that support it: phases 2/3 and
     # later objects revisit these exact nodes (copy holders come out of
     # the candidate set), and pinned rows survive LRU churn.  The pins
-    # are views into the connection matrix we hold anyway -- no copy.
+    # are views into the full-width row block -- no copy.
     precompute = getattr(metric, "precompute", None)
     if precompute is not None:
         precompute(nodes, rows=dist)
     return FacilityLocationProblem(
         open_costs=instance.storage_costs[nodes],
-        demands=demand,
-        dist=dist,
+        demands=demand if clients is None else demand[clients],
+        dist=dist if clients is None else dist[:, clients],
         facility_nodes=nodes,
+        client_nodes=clients,
     )

@@ -297,6 +297,29 @@ class LazyMetric:
         return out
 
     # ------------------------------------------------------------------
+    # pickling (worker processes)
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        """Ship only the adjacency and configuration to worker processes.
+
+        The LRU cache, pinned rows and counters are per-process working
+        state: they can be large (each row is ``8n`` bytes) and are cheap
+        to regrow, so a pickled ``LazyMetric`` -- e.g. the one-time
+        per-worker payload of :class:`repro.engine.PlacementEngine` --
+        carries ``O(n + m)`` bytes, not the cache contents.
+        """
+        return {"adj": self._adj, "cache_rows": self._cache_rows}
+
+    def __setstate__(self, state) -> None:
+        self._adj = state["adj"]
+        self.n = self._adj.shape[0]
+        self._cache = OrderedDict()
+        self._cache_rows = int(state["cache_rows"])
+        self._pinned = {}
+        self.rows_computed = 0
+        self.cache_hits = 0
+
+    # ------------------------------------------------------------------
     def as_dense(self, *, max_nodes: int = DENSE_MATERIALIZE_LIMIT) -> Metric:
         """Materialize the full closure as a dense :class:`Metric`.
 

@@ -2,14 +2,17 @@
 
 from .request_models import (
     heterogeneous_storage_costs,
+    hotspot_node_probs,
     hotspot_requests,
     make_instance,
     split_read_write,
     uniform_requests,
     uniform_storage_costs,
+    zipf_catalog,
     zipf_object_popularity,
 )
 from .scenarios import (
+    CATALOG_AUTO_THRESHOLD,
     Scenario,
     distributed_file_system,
     tree_network,
@@ -22,10 +25,13 @@ __all__ = [
     "heterogeneous_storage_costs",
     "uniform_requests",
     "zipf_object_popularity",
+    "zipf_catalog",
+    "hotspot_node_probs",
     "hotspot_requests",
     "split_read_write",
     "make_instance",
     "Scenario",
+    "CATALOG_AUTO_THRESHOLD",
     "www_content_provider",
     "distributed_file_system",
     "virtual_shared_memory",

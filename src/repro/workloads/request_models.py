@@ -24,6 +24,8 @@ __all__ = [
     "heterogeneous_storage_costs",
     "uniform_requests",
     "zipf_object_popularity",
+    "zipf_catalog",
+    "hotspot_node_probs",
     "hotspot_requests",
     "split_read_write",
     "make_instance",
@@ -70,6 +72,85 @@ def zipf_object_popularity(
         if total > 0:
             out[i] = rng.multinomial(total, np.full(n, 1.0 / n))
     return out
+
+
+def zipf_catalog(
+    n: int,
+    m: int,
+    *,
+    seed: int,
+    total_requests: float | None = None,
+    exponent: float = 0.8,
+    node_probs: np.ndarray | None = None,
+) -> np.ndarray:
+    """Columnar Zipf catalog: the whole ``(m, n)`` demand matrix at once.
+
+    The catalog-scale sibling of :func:`zipf_object_popularity`: instead of
+    one multinomial *per object* (a Python loop that dominates generation
+    beyond a few thousand objects), a single request budget is split across
+    objects by Zipf popularity (one multinomial over objects), every
+    request draws its home node (one vectorized draw), and the matrix is
+    assembled with one ``bincount``.  Generation is ``O(T + m n)`` for
+    ``T = total_requests``, so 100k-object catalogs build in seconds.
+
+    Parameters
+    ----------
+    total_requests:
+        Catalog-wide request budget; defaults to ``100 * m`` (the same
+        mean load per object as :func:`zipf_object_popularity`).  Under a
+        fixed per-object mean the tail of a large catalog is *sparse* --
+        most objects are requested from a handful of nodes -- which is
+        exactly the regime the batched placement engine exploits.
+    exponent:
+        Zipf popularity exponent (the classic WWW curve is ``~0.8``).
+    node_probs:
+        Optional ``(n,)`` distribution of request homes (e.g. from
+        :func:`hotspot_node_probs`); uniform when ``None``.
+    """
+    if m < 1 or n < 1:
+        raise ValueError("need at least one object and one node")
+    rng = np.random.default_rng(seed)
+    if total_requests is None:
+        total_requests = 100.0 * m
+    total = int(round(total_requests))
+    if total < 0:
+        raise ValueError("total_requests must be non-negative")
+    ranks = np.arange(1, m + 1, dtype=float) ** (-exponent)
+    ranks /= ranks.sum()
+    per_object = rng.multinomial(total, ranks)
+    if node_probs is None:
+        homes = rng.integers(0, n, size=total)
+    else:
+        probs = np.asarray(node_probs, dtype=float)
+        if probs.shape != (n,) or np.any(probs < 0) or probs.sum() <= 0:
+            raise ValueError("node_probs must be a non-negative (n,) distribution")
+        homes = rng.choice(n, size=total, p=probs / probs.sum())
+    obj_of_request = np.repeat(np.arange(m), per_object)
+    flat = np.bincount(obj_of_request * n + homes, minlength=m * n)
+    return flat.reshape(m, n).astype(float)
+
+
+def hotspot_node_probs(
+    n: int, *, seed: int, hot_fraction: float = 0.2, hot_share: float = 0.8
+) -> np.ndarray:
+    """A request-home distribution where a few hot nodes issue most
+    requests -- the catalog-wide analogue of :func:`hotspot_requests`'
+    per-object hot sets."""
+    if not 0 < hot_fraction <= 1 or not 0 <= hot_share <= 1:
+        raise ValueError("fractions must lie in (0,1] and [0,1]")
+    rng = np.random.default_rng(seed)
+    k = max(1, int(round(hot_fraction * n)))
+    hot = rng.choice(n, size=k, replace=False)
+    probs = np.full(n, (1.0 - hot_share) / max(n - k, 1))
+    if n == k:
+        probs[:] = 0.0
+    probs[hot] = hot_share / k
+    if probs.sum() <= 0:
+        raise ValueError(
+            "degenerate hotspot distribution: every node is hot "
+            "(hot_fraction ~ 1) with hot_share = 0 leaves no request mass"
+        )
+    return probs / probs.sum()
 
 
 def hotspot_requests(
@@ -125,13 +206,24 @@ def make_instance(
     write_fraction: float = 0.2,
     storage_price: float | None = None,
     mean_demand: float = 4.0,
+    total_requests: float | None = None,
 ) -> DataManagementInstance:
     """One-stop instance factory used by tests and benchmarks.
 
-    ``demand_model`` is ``"uniform"``, ``"zipf"`` or ``"hotspot"``;
-    ``storage_price=None`` draws heterogeneous prices.
+    ``demand_model`` is ``"uniform"``, ``"zipf"``, ``"hotspot"``,
+    ``"catalog"`` or ``"catalog_hotspot"``; ``storage_price=None`` draws
+    heterogeneous prices.  The ``catalog*`` models build the whole demand
+    matrix columnar via :func:`zipf_catalog` under one catalog-wide
+    ``total_requests`` budget (default ``100 * num_objects``) -- the
+    scalable path for 10k+-object catalogs; the other models scale demand
+    per object via ``mean_demand``.
     """
     n = metric.n
+    if total_requests is not None and demand_model not in ("catalog", "catalog_hotspot"):
+        raise ValueError(
+            f"total_requests only applies to the catalog demand models, "
+            f"not {demand_model!r} (its demand scales via mean_demand)"
+        )
     if demand_model == "uniform":
         demand = uniform_requests(n, num_objects, seed=seed, mean=mean_demand)
     elif demand_model == "zipf":
@@ -141,6 +233,16 @@ def make_instance(
     elif demand_model == "hotspot":
         demand = hotspot_requests(
             n, num_objects, seed=seed, total_per_object=mean_demand * n
+        )
+    elif demand_model in ("catalog", "catalog_hotspot"):
+        probs = (
+            hotspot_node_probs(n, seed=seed + 3)
+            if demand_model == "catalog_hotspot"
+            else None
+        )
+        demand = zipf_catalog(
+            n, num_objects, seed=seed, total_requests=total_requests,
+            node_probs=probs,
         )
     else:
         raise ValueError(f"unknown demand model {demand_model!r}")

@@ -12,6 +12,15 @@ ready :class:`~repro.core.instance.DataManagementInstance`:
   write-heavy cache-line traffic.
 * :func:`tree_network` -- a random tree instance for the Section 3
   optimum (also the shape used in E2/E9).
+
+Every scenario accepts ``num_objects``.  The WWW and file-system
+scenarios switch from their per-object generators to the columnar
+Zipf-catalog path (:func:`~repro.workloads.request_models.zipf_catalog`,
+one request budget split across the catalog by popularity) once the
+catalog exceeds :data:`CATALOG_AUTO_THRESHOLD` objects -- or immediately
+with ``catalog=True`` -- so ``www_content_provider(num_objects=100_000)``
+builds in seconds and feeds straight into
+:class:`repro.engine.PlacementEngine`.
 """
 
 from __future__ import annotations
@@ -27,11 +36,21 @@ from .request_models import make_instance
 
 __all__ = [
     "Scenario",
+    "CATALOG_AUTO_THRESHOLD",
     "www_content_provider",
     "distributed_file_system",
     "virtual_shared_memory",
     "tree_network",
 ]
+
+#: Scenarios switch to the columnar catalog generators at this many
+#: objects: the per-object multinomial loop is fine below it and a
+#: visible build-time cost beyond it.
+CATALOG_AUTO_THRESHOLD = 256
+
+
+def _use_catalog(num_objects: int, catalog: bool | None) -> bool:
+    return catalog if catalog is not None else num_objects >= CATALOG_AUTO_THRESHOLD
 
 
 @dataclass(frozen=True)
@@ -52,8 +71,15 @@ def www_content_provider(
     num_objects: int = 8,
     write_fraction: float = 0.05,
     storage_price: float = 6.0,
+    catalog: bool | None = None,
+    total_requests: float | None = None,
 ) -> Scenario:
-    """Content provider renting bandwidth/storage on an Internet-like net."""
+    """Content provider renting bandwidth/storage on an Internet-like net.
+
+    ``catalog=None`` auto-selects the columnar Zipf-catalog workload for
+    large ``num_objects`` (see :data:`CATALOG_AUTO_THRESHOLD`);
+    ``total_requests`` overrides the catalog's request budget.
+    """
     g = transit_stub_graph(
         transit, stubs_per_transit, stub_size, seed=seed
     )
@@ -62,10 +88,11 @@ def www_content_provider(
         metric,
         seed=seed + 1,
         num_objects=num_objects,
-        demand_model="zipf",
+        demand_model="catalog" if _use_catalog(num_objects, catalog) else "zipf",
         write_fraction=write_fraction,
         storage_price=storage_price,
         mean_demand=6.0,
+        total_requests=total_requests,
     )
     return Scenario("www_content_provider", g, inst)
 
@@ -76,18 +103,26 @@ def distributed_file_system(
     n: int = 24,
     num_objects: int = 6,
     write_fraction: float = 0.3,
+    catalog: bool | None = None,
+    total_requests: float | None = None,
 ) -> Scenario:
-    """Ethernet-connected workstations sharing files (hotspot access)."""
+    """Ethernet-connected workstations sharing files (hotspot access).
+
+    Large catalogs use the columnar generator with a shared hot-node
+    request-home distribution (``catalog_hotspot``)."""
     g = transit_stub_graph(2, 2, max(n // 4 - 1, 1), seed=seed, transit_weight=4.0)
     metric = Metric.from_graph(g)
     inst = make_instance(
         metric,
         seed=seed + 1,
         num_objects=num_objects,
-        demand_model="hotspot",
+        demand_model=(
+            "catalog_hotspot" if _use_catalog(num_objects, catalog) else "hotspot"
+        ),
         write_fraction=write_fraction,
         storage_price=None,
         mean_demand=5.0,
+        total_requests=total_requests,
     )
     return Scenario("distributed_file_system", g, inst)
 

@@ -192,3 +192,26 @@ class TestRemainingRunnersSmoke:
         assert all(row[-1] for row in res.rows)
         loose, tight = res.rows[0], res.rows[-1]
         assert tight[4] >= loose[4]  # tighter caps move at least as many copies
+
+    def test_e14_engine_parity_and_speed_columns(self):
+        from repro.analysis import run_e14_catalog_throughput
+
+        res = run_e14_catalog_throughput(
+            num_objects=24, n=40, chunk_size=8, jobs=(2,), compare_loop=True
+        )
+        modes = [row[0] for row in res.rows]
+        assert modes == ["per-object loop", "engine serial", "engine jobs=2"]
+        # identical copy sets across every mode
+        assert all(row[-1] is True for row in res.rows)
+        # one total-copies value for all modes
+        assert len({row[6] for row in res.rows}) == 1
+        assert all(row[3] > 0 for row in res.rows)
+
+    def test_e14_without_loop_baseline(self):
+        from repro.analysis import run_e14_catalog_throughput
+
+        res = run_e14_catalog_throughput(
+            num_objects=12, n=30, chunk_size=4, jobs=(), compare_loop=False
+        )
+        assert [row[0] for row in res.rows] == ["engine serial"]
+        assert res.rows[0][5] == "--"

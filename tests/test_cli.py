@@ -23,7 +23,7 @@ class TestList:
 
 class TestExperimentCommand:
     def test_registry_covers_all_runners(self):
-        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 14)} | {"E10B"}
+        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 15)} | {"E10B"}
 
     def test_unknown_experiment(self, capsys):
         out = io.StringIO()
@@ -76,3 +76,33 @@ class TestScenarioCommand:
 
     def test_registry_names(self):
         assert set(SCENARIOS) == {"www", "dfs", "vsm", "tree"}
+
+
+class TestPlaceCommand:
+    def test_place_runs_and_writes_summary(self, tmp_path):
+        out = io.StringIO()
+        path = tmp_path / "place.json"
+        rc = main(
+            ["place", "--scenario", "tree", "--num-objects", "4",
+             "--chunk-size", "2", "--compare-loop", "--cost",
+             "--out", str(path)],
+            out=out,
+        )
+        assert rc == 0
+        text = out.getvalue()
+        assert "engine:" in text and "identical copy sets: True" in text
+        import json
+
+        summary = json.loads(path.read_text())
+        assert summary["objects"] == 4
+        assert summary["matches_loop"] is True
+        assert summary["cost"]["total"] > 0
+
+    def test_place_rejects_bad_jobs(self):
+        out = io.StringIO()
+        assert main(["place", "--jobs", "0"], out=out) == 2
+
+    def test_scenario_num_objects_wiring(self):
+        out = io.StringIO()
+        assert main(["scenario", "tree", "--num-objects", "3"], out=out) == 0
+        assert "3 objects" in out.getvalue()

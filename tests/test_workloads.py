@@ -137,3 +137,73 @@ class TestScenarios:
     def test_tree_scenario_graph_is_tree(self):
         sc = tree_network()
         assert sc.graph.number_of_edges() == sc.graph.number_of_nodes() - 1
+
+
+class TestZipfCatalog:
+    def test_budget_and_shape(self):
+        from repro.workloads import zipf_catalog
+
+        d = zipf_catalog(20, 500, seed=3, total_requests=5000)
+        assert d.shape == (500, 20)
+        assert d.sum() == 5000
+        assert np.all(d >= 0) and np.all(d == np.floor(d))
+
+    def test_popularity_is_zipf_ordered(self):
+        from repro.workloads import zipf_catalog
+
+        d = zipf_catalog(30, 200, seed=4)
+        totals = d.sum(axis=1)
+        # head objects receive (statistically) far more than tail objects
+        assert totals[:10].mean() > 5 * totals[-50:].mean()
+
+    def test_deterministic(self):
+        from repro.workloads import zipf_catalog
+
+        assert np.array_equal(
+            zipf_catalog(15, 100, seed=9), zipf_catalog(15, 100, seed=9)
+        )
+
+    def test_hotspot_node_probs(self):
+        from repro.workloads import hotspot_node_probs, zipf_catalog
+
+        probs = hotspot_node_probs(40, seed=5)
+        assert probs.shape == (40,)
+        assert probs.sum() == pytest.approx(1.0)
+        d = zipf_catalog(40, 300, seed=6, node_probs=probs)
+        hot = np.argsort(probs)[-8:]
+        share = d.sum(axis=0)[hot].sum() / d.sum()
+        assert share > 0.5  # hot nodes issue most requests
+
+    def test_make_instance_catalog_models(self, metric):
+        inst = make_instance(metric, seed=7, num_objects=300,
+                             demand_model="catalog", total_requests=3000)
+        assert inst.num_objects == 300
+        assert inst.read_freq.sum() + inst.write_freq.sum() == 3000
+        inst2 = make_instance(metric, seed=7, num_objects=50,
+                              demand_model="catalog_hotspot")
+        assert inst2.num_objects == 50
+
+
+class TestScenarioCatalogs:
+    def test_scenarios_accept_num_objects(self):
+        from repro.workloads import (
+            distributed_file_system,
+            tree_network,
+            virtual_shared_memory,
+            www_content_provider,
+        )
+
+        for fn in (www_content_provider, distributed_file_system,
+                   virtual_shared_memory, tree_network):
+            sc = fn(num_objects=5)
+            assert sc.instance.num_objects == 5
+
+    def test_catalog_auto_threshold(self):
+        from repro.workloads import CATALOG_AUTO_THRESHOLD, www_content_provider
+
+        big = www_content_provider(num_objects=CATALOG_AUTO_THRESHOLD)
+        assert big.instance.num_objects == CATALOG_AUTO_THRESHOLD
+        # explicit opt-out keeps the per-object zipf generator
+        small = www_content_provider(num_objects=CATALOG_AUTO_THRESHOLD, catalog=False)
+        assert small.instance.num_objects == CATALOG_AUTO_THRESHOLD
+        assert not np.array_equal(big.instance.read_freq, small.instance.read_freq)
