@@ -41,7 +41,8 @@ def main() -> None:
         g, inst.storage_costs, inst.read_freq, inst.write_freq
     )
     sim = NetworkSimulator(g, inst, update_policy="mst")
-    static_bill = sim.run(placement, log)
+    # hop-by-hop replay (track_edge_load) so per-link loads are attributed
+    static_bill = sim.run(placement, log, track_edge_load=True)
     print("static optimum (tree DP), simulated:")
     print(f"  storage {static_bill.storage_cost:8.1f}   "
           f"read traffic {static_bill.read_traffic_cost:8.1f}   "

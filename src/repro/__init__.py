@@ -39,8 +39,9 @@ Package layout
 ``repro.workloads``
     request/price generators and named scenarios.
 ``repro.simulate``
-    event-level replay of request logs on the real network, plus an
-    online dynamic strategy.
+    columnar request logs replayed against the real network (vectorized
+    or hop-by-hop), an online dynamic strategy, and epoch-wise
+    re-placement with migration costs.
 ``repro.analysis``
     experiment runners, ratio statistics, table formatting.
 """

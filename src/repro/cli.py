@@ -10,15 +10,19 @@ Usage::
         --jobs 4 --chunk-size 512            # batched catalog placement
     python -m repro backend-sweep --sizes 1000 4000 10000 \\
         --out BENCH_backend_sweep.json       # dense-vs-lazy scaling sweep
+    python -m repro dynamic --scenario drift --epochs 5 \\
+        --num-objects 60                     # dynamic-layer comparison
     python -m repro list                     # what is available
 
-Experiments are the E1--E14 validations mapped to the paper in
+Experiments are the E1--E15 validations mapped to the paper in
 docs/EXPERIMENTS.md; scenarios place a full object catalogue with every
 strategy and print the bill comparison; ``place`` runs the batched
 :class:`~repro.engine.PlacementEngine` over a scenario's catalog (with
 optional per-object-loop parity check and JSON summary);
 ``backend-sweep`` measures the dense vs lazy distance backends at chosen
-network sizes and can persist a ``BENCH_*.json`` artifact.
+network sizes and can persist a ``BENCH_*.json`` artifact; ``dynamic``
+replays an epoch-structured workload and compares clairvoyant-static,
+epoch-replanned and online-counting strategies (E15).
 """
 
 from __future__ import annotations
@@ -61,6 +65,7 @@ EXPERIMENTS: dict[str, Callable[[], "analysis.ExperimentResult"]] = {
     "E12": analysis.run_e12_online_vs_static,
     "E13": analysis.run_e13_capacity_price,
     "E14": analysis.run_e14_catalog_throughput,
+    "E15": analysis.run_e15_dynamic_replay,
 }
 
 SCENARIOS = {
@@ -195,6 +200,36 @@ def _run_place(args, out=sys.stdout) -> int:
     return 0
 
 
+def _run_dynamic(args, out=sys.stdout) -> int:
+    if args.epochs < 1 or args.requests_per_epoch < 0:
+        print("dynamic: --epochs must be >= 1 and --requests-per-epoch >= 0",
+              file=sys.stderr)
+        return 2
+    try:
+        result = analysis.run_e15_dynamic_replay(
+            n=args.nodes,
+            num_objects=args.num_objects,
+            epochs=args.epochs,
+            requests_per_epoch=args.requests_per_epoch,
+            scenario=args.scenario,
+            drift=args.drift,
+            write_fraction=args.write_fraction,
+            threshold=args.threshold,
+            seed=args.seed,
+            fl_solver=args.fl_solver,
+            jobs=args.jobs,
+            compare_loop=not args.no_loop,
+        )
+    except ValueError as exc:
+        print(f"dynamic: {exc}", file=sys.stderr)
+        return 2
+    print(result.render(), file=out)
+    if args.out_path:
+        result.save_json(args.out_path)
+        print(f"wrote {args.out_path}", file=out)
+    return 0
+
+
 def _run_backend_sweep(args, out=sys.stdout) -> int:
     try:
         result = analysis.run_e10_backend_sweep(
@@ -222,7 +257,7 @@ def main(argv: Sequence[str] | None = None, out=sys.stdout) -> int:
     sub = parser.add_subparsers(dest="command")
 
     p_exp = sub.add_parser("experiment", help="run evaluation experiments")
-    p_exp.add_argument("names", nargs="+", help="E1..E13 or 'all'")
+    p_exp.add_argument("names", nargs="+", help="E1..E15 or 'all'")
 
     p_sc = sub.add_parser("scenario", help="run a named scenario bake-off")
     p_sc.add_argument("name", choices=sorted(SCENARIOS))
@@ -264,6 +299,32 @@ def main(argv: Sequence[str] | None = None, out=sys.stdout) -> int:
     p_bs.add_argument("--out", dest="out_path", default=None,
                       help="also write a BENCH_*.json artifact here")
 
+    p_dy = sub.add_parser(
+        "dynamic",
+        help="replay an epoch-structured workload: static vs replan vs online",
+    )
+    p_dy.add_argument("--scenario", choices=("drift", "flash"), default="drift",
+                      help="popularity churn or a one-epoch flash crowd")
+    p_dy.add_argument("--nodes", type=int, default=200,
+                      help="target network size (transit-stub)")
+    p_dy.add_argument("--num-objects", type=int, default=24)
+    p_dy.add_argument("--epochs", type=int, default=4)
+    p_dy.add_argument("--requests-per-epoch", type=int, default=1200)
+    p_dy.add_argument("--drift", type=float, default=0.2,
+                      help="fraction of objects swapping popularity per epoch")
+    p_dy.add_argument("--write-fraction", type=float, default=0.1)
+    p_dy.add_argument("--threshold", type=int, default=3,
+                      help="online strategy's replication threshold")
+    p_dy.add_argument("--fl-solver", choices=sorted(FL_SOLVERS),
+                      default="local_search")
+    p_dy.add_argument("--jobs", type=int, default=1,
+                      help="engine worker processes per (re)placement")
+    p_dy.add_argument("--seed", type=int, default=29)
+    p_dy.add_argument("--no-loop", action="store_true",
+                      help="skip the (slow) hop-by-hop replay baseline")
+    p_dy.add_argument("--out", dest="out_path", default=None,
+                      help="write the experiment table as JSON here")
+
     sub.add_parser("list", help="list experiments and scenarios")
 
     args = parser.parse_args(argv)
@@ -275,6 +336,8 @@ def main(argv: Sequence[str] | None = None, out=sys.stdout) -> int:
         return _run_place(args, out=out)
     if args.command == "backend-sweep":
         return _run_backend_sweep(args, out=out)
+    if args.command == "dynamic":
+        return _run_dynamic(args, out=out)
     if args.command == "list":
         print("experiments:", ", ".join(EXPERIMENTS), file=out)
         print("scenarios:  ", ", ".join(SCENARIOS), file=out)

@@ -119,6 +119,23 @@ class PlacementEngine:
         self.radii_block = int(radii_block)
 
     # ------------------------------------------------------------------
+    def for_instance(self, instance: DataManagementInstance) -> "PlacementEngine":
+        """A new engine with this engine's configuration over another
+        instance -- the epoch-replanning hook: re-solving a drifted
+        billing period reuses solver/chunking/parallelism choices
+        without re-spelling them."""
+        return PlacementEngine(
+            instance,
+            fl_solver=self.fl_solver,
+            phase2=self.phase2,
+            phase3=self.phase3,
+            facility_candidates=self.facility_candidates,
+            chunk_size=self.chunk_size,
+            jobs=self.jobs,
+            radii_block=self.radii_block,
+        )
+
+    # ------------------------------------------------------------------
     def place_objects(self, objects: Sequence[int]) -> list[tuple[int, ...]]:
         """Place one chunk of objects; returns their copy tuples in order.
 

@@ -18,10 +18,15 @@ optimum on the same request stream (Experiment E12):
   invalidation itself is free, like dropping rented storage).
 
 Accounting matches the static simulator: per-link fees per traversal,
-``cs(v)`` paid every time a copy is (re)materialized on ``v``.  Online
-strategies can beat the best *static* placement in hindsight (they adapt
-between phases), and they can lose badly when writes thrash replicas --
-both regimes show up in E12.
+``cs(v)`` paid every time a copy is (re)materialized on ``v``, and a
+request served by a local copy ships no message.  Routing state is the
+same bounded :class:`~repro.simulate.paths.PathCache` of predecessor
+arrays the simulator uses (and can literally be the same instance --
+pass ``path_cache=``), so replaying long streams on large networks never
+builds per-source path dictionaries.  Online strategies can beat the
+best *static* placement in hindsight (they adapt between phases), and
+they can lose badly when writes thrash replicas -- both regimes show up
+in E12.
 """
 
 from __future__ import annotations
@@ -33,7 +38,8 @@ import numpy as np
 
 from ..core.instance import DataManagementInstance
 from ..graphs.mst import mst_edges
-from .events import READ, WRITE, Request
+from .events import RequestLog
+from .paths import PathCache
 from .simulator import SimulationReport
 
 __all__ = ["OnlineCountingStrategy"]
@@ -51,13 +57,22 @@ class OnlineCountingStrategy:
     Parameters
     ----------
     graph:
-        Network with per-object link fees in ``weight``.
+        Network with per-object link fees in ``weight``.  Must be
+        connected (validated at construction).
     instance:
         Storage prices + metric (closure of ``graph``).
     replication_threshold:
         Reads from a node (since the last write) before it buys a copy.
         The ski-rental flavour: with threshold ``k``, wasted transfer cost
         is bounded by ``k`` reads' worth.
+    path_cache:
+        Optional shared :class:`~repro.simulate.paths.PathCache` over the
+        same graph (e.g. the simulator's, when both replay one stream);
+        built internally when omitted.
+    cache_sources:
+        LRU capacity of the internally-built path cache (``None``: sized
+        from the :data:`~repro.simulate.paths.DEFAULT_PATH_CACHE_BYTES`
+        budget).
     """
 
     def __init__(
@@ -66,26 +81,34 @@ class OnlineCountingStrategy:
         instance: DataManagementInstance,
         *,
         replication_threshold: int = 3,
+        path_cache: PathCache | None = None,
+        cache_sources: int | None = None,
     ) -> None:
         if replication_threshold < 1:
             raise ValueError("replication_threshold must be >= 1")
+        n = instance.num_nodes
+        if graph.number_of_nodes() != n or set(graph.nodes()) != set(range(n)):
+            raise ValueError("graph must have nodes 0..n-1 matching the instance")
+        if n > 1 and not nx.is_connected(graph):
+            raise ValueError(
+                "graph must be connected: some nodes could never reach a "
+                "copy (no finite metric closure exists)"
+            )
         self.graph = graph
         self.instance = instance
         self.threshold = replication_threshold
-        # per-source shortest-path trees, computed on demand (the online
-        # strategy only routes from request homes and copy holders, so
-        # the all-pairs structure would be O(n^2) waste on large networks)
-        self._path_cache: dict[int, dict[int, list[int]]] = {}
-
-    def _paths_from(self, u: int) -> dict[int, list[int]]:
-        paths = self._path_cache.get(u)
-        if paths is None:
-            paths = nx.single_source_dijkstra_path(self.graph, u, weight="weight")
-            self._path_cache[u] = paths
-        return paths
+        # bounded per-source predecessor arrays, shared machinery (and
+        # optionally the same instance) with NetworkSimulator
+        if path_cache is not None and path_cache.n != n:
+            raise ValueError("path_cache was built for a different graph")
+        self._paths = path_cache or PathCache(graph, max_sources=cache_sources)
 
     # ------------------------------------------------------------------
     def _send(self, path: list[int], report: SimulationReport, *, write: bool) -> None:
+        """Route one message, accruing fees and load; a single-node path
+        (local service) ships nothing and counts no message."""
+        if len(path) < 2:
+            return
         cost = 0.0
         for a, b in zip(path[:-1], path[1:]):
             w = self.graph[a][b]["weight"]
@@ -103,13 +126,17 @@ class OnlineCountingStrategy:
         return min(copies, key=lambda c: (metric.d(node, c), c))
 
     # ------------------------------------------------------------------
-    def run(self, log: list[Request]) -> tuple[SimulationReport, list[set[int]]]:
+    def run(self, log) -> tuple[SimulationReport, list[set[int]]]:
         """Process the log; returns (bill, final copy sets per object).
 
-        Every object starts with one copy on its cheapest storage node
-        (the zero-knowledge initial placement).
+        ``log`` is a :class:`~repro.simulate.events.RequestLog` (or any
+        iterable of :class:`~repro.simulate.events.Request`).  Every
+        object starts with one copy on its cheapest storage node (the
+        zero-knowledge initial placement).
         """
         inst = self.instance
+        log = RequestLog.coerce(log)
+        log.validate_for(inst.num_objects, inst.num_nodes)
         report = SimulationReport()
         start = int(np.argmin(inst.storage_costs))
         states = []
@@ -117,26 +144,26 @@ class OnlineCountingStrategy:
             states.append(_ObjectState(copies={start}))
             report.storage_cost += float(inst.storage_costs[start])
 
-        for req in log:
-            state = states[req.obj]
-            serving = self._nearest(state.copies, req.node)
-            if req.kind == READ:
-                self._send(self._paths_from(req.node)[serving], report, write=False)
-                if req.node not in state.copies:
-                    count = state.read_counts.get(req.node, 0) + 1
-                    state.read_counts[req.node] = count
+        for is_write, node, obj in log.iter_events():
+            state = states[obj]
+            serving = self._nearest(state.copies, node)
+            if not is_write:
+                self._send(self._paths.path(node, serving), report, write=False)
+                if node not in state.copies:
+                    count = state.read_counts.get(node, 0) + 1
+                    state.read_counts[node] = count
                     if count >= self.threshold:
                         # buy a copy: transfer from the nearest replica,
                         # then pay the storage price
-                        self._send(self._paths_from(serving)[req.node], report, write=False)
-                        report.storage_cost += float(inst.storage_costs[req.node])
-                        state.copies.add(req.node)
-                        state.read_counts[req.node] = 0
-            elif req.kind == WRITE:
+                        self._send(self._paths.path(serving, node), report, write=False)
+                        report.storage_cost += float(inst.storage_costs[node])
+                        state.copies.add(node)
+                        state.read_counts[node] = 0
+            else:
                 # attach + multicast over the current copy MST
-                self._send(self._paths_from(req.node)[serving], report, write=True)
+                self._send(self._paths.path(node, serving), report, write=True)
                 for u, v, _ in mst_edges(inst.metric, sorted(state.copies)):
-                    self._send(self._paths_from(u)[v], report, write=True)
+                    self._send(self._paths.path(u, v), report, write=True)
                 # invalidate down to the copy nearest the writer
                 state.copies = {serving}
                 state.read_counts.clear()

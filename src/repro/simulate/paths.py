@@ -1,0 +1,145 @@
+"""Bounded shortest-path routing state shared by the simulators.
+
+Hop-by-hop replay needs actual node paths, not just distances.  The
+original simulators kept one *materialized path dict* per source --
+``O(n)`` paths of average length ``O(diameter)`` each, so a replay whose
+requests touch many sources silently built an ``O(n^2)``-ish structure on
+large networks.  :class:`PathCache` replaces that with the compact
+single-source representation: one distance + predecessor array pair
+(``12n`` bytes: float64 distances and int32 predecessors) per source,
+computed by scipy's compiled Dijkstra and kept in a *bounded* LRU, with
+paths reconstructed on demand by walking predecessors.  Both
+:class:`~repro.simulate.simulator.NetworkSimulator` and
+:class:`~repro.simulate.online.OnlineCountingStrategy` route through one
+of these (and can share a single instance when they replay the same
+graph).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import networkx as nx
+import numpy as np
+from scipy.sparse.csgraph import dijkstra
+
+from ..graphs.metric import graph_to_adjacency
+
+__all__ = ["PathCache", "DEFAULT_PATH_CACHE_BYTES", "MIN_PATH_CACHE_SOURCES"]
+
+#: Soft memory budget behind the *default* LRU capacity: sources are
+#: cached up to ``budget / 12n`` (each entry is ~``12n`` bytes).  On a
+#: 1k-node network this covers every possible source (no thrash -- one
+#: Dijkstra per distinct request home, like the old unbounded dict); on
+#: a 10k-node network it caps the routing state at ~the budget instead
+#: of the ``~120 MB`` an unbounded per-source structure would grow to.
+DEFAULT_PATH_CACHE_BYTES = 64 * 1024 * 1024
+
+#: Floor for the default capacity (tiny graphs get at least this many).
+MIN_PATH_CACHE_SOURCES = 256
+
+
+class PathCache:
+    """Cheapest paths over a weighted graph via cached predecessor arrays.
+
+    Parameters
+    ----------
+    graph:
+        Undirected network with nodes ``0..n-1``; edge attribute
+        ``weight`` holds the per-object transmission fee.
+    max_sources:
+        LRU capacity in *sources*.  Each cached source stores one
+        distance array and one predecessor array (``~12n`` bytes
+        together), never materialized path lists.  ``None`` (default)
+        sizes the capacity from :data:`DEFAULT_PATH_CACHE_BYTES` --
+        every source fits on networks up to a few thousand nodes, and
+        memory stays bounded beyond that.
+    """
+
+    __slots__ = ("n", "_adj", "_max_sources", "_cache", "sources_computed", "cache_hits")
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        *,
+        max_sources: int | None = None,
+        weight: str = "weight",
+    ) -> None:
+        adj, index, _ = graph_to_adjacency(graph, weight=weight)
+        if any(index[u] != u for u in graph.nodes()):
+            raise ValueError("graph nodes must be 0..n-1; relabel first")
+        self._adj = adj
+        self.n = adj.shape[0]
+        if max_sources is None:
+            max_sources = max(
+                MIN_PATH_CACHE_SOURCES,
+                DEFAULT_PATH_CACHE_BYTES // (12 * max(self.n, 1)),
+            )
+        if max_sources < 1:
+            raise ValueError("max_sources must be positive")
+        self._max_sources = int(max_sources)
+        self._cache: OrderedDict[int, tuple[np.ndarray, np.ndarray]] = OrderedDict()
+        self.sources_computed = 0
+        self.cache_hits = 0
+
+    # ------------------------------------------------------------------
+    def _entry(self, u: int) -> tuple[np.ndarray, np.ndarray]:
+        """(distances, predecessors) from one source, LRU-cached."""
+        u = int(u)
+        entry = self._cache.get(u)
+        if entry is not None:
+            self._cache.move_to_end(u)
+            self.cache_hits += 1
+            return entry
+        dist, pred = dijkstra(
+            self._adj, directed=False, indices=[u], return_predecessors=True
+        )
+        entry = (dist[0], pred[0])
+        self._cache[u] = entry
+        while len(self._cache) > self._max_sources:
+            self._cache.popitem(last=False)
+        self.sources_computed += 1
+        return entry
+
+    # ------------------------------------------------------------------
+    def distance(self, u: int, v: int) -> float:
+        """Cheapest-path distance between two nodes."""
+        return float(self._entry(u)[0][int(v)])
+
+    def path(self, u: int, v: int) -> list[int]:
+        """Cheapest ``u -> v`` node path (``[u]`` when ``u == v``).
+
+        Raises a clear :class:`ValueError` when ``v`` is unreachable
+        (disconnected graph) instead of a bare ``KeyError``.
+        """
+        u, v = int(u), int(v)
+        if u == v:
+            return [u]
+        dist, pred = self._entry(u)
+        if not np.isfinite(dist[v]):
+            raise ValueError(
+                f"node {v} is unreachable from node {u}: the network graph "
+                "is disconnected"
+            )
+        path = [v]
+        cur = v
+        while cur != u:
+            cur = int(pred[cur])
+            path.append(cur)
+        path.reverse()
+        return path
+
+    @property
+    def cached_sources(self) -> int:
+        """Number of sources currently held in the LRU."""
+        return len(self._cache)
+
+    @property
+    def max_sources(self) -> int:
+        return self._max_sources
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PathCache(n={self.n}, cached={len(self._cache)}/"
+            f"{self._max_sources}, computed={self.sources_computed})"
+        )

@@ -1,0 +1,176 @@
+"""Epoch-wise re-placement with explicit migration cost.
+
+The bridge between the paper's static optimum and the online setting its
+related work studies: split the horizon into epochs, re-run the static
+Section 2 pipeline (:class:`~repro.engine.PlacementEngine`) on each
+epoch's frequencies, and *pay for the transition* -- every newly
+materialized copy is transferred from the nearest copy of the previous
+epoch (the migration model of "A Paradigm for Channel Assignment and
+Data Migration in Distributed Systems"), on top of each epoch's normal
+storage + traffic bill.
+
+Accounting conventions (shared with Experiment E15's comparison):
+
+* each epoch is one billing period -- copies held during an epoch pay
+  their storage price for that epoch;
+* epoch traffic is billed by the vectorized
+  :class:`~repro.simulate.simulator.NetworkSimulator` replay of the
+  epoch's request log against that epoch's placement;
+* migration into epoch ``e`` charges ``d(v, S_{e-1}(x))`` for every node
+  ``v`` that holds a copy of object ``x`` in epoch ``e`` but not in
+  epoch ``e-1`` (transfer from the nearest old copy); dropping a copy is
+  free, like releasing rented storage.  Before epoch 0 every object has
+  one copy on the cheapest storage node -- the same zero-knowledge start
+  as :class:`~repro.simulate.online.OnlineCountingStrategy`, so the two
+  strategies' transfer accounting is comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+import numpy as np
+
+from ..core.placement import Placement
+from ..engine import PlacementEngine
+from .paths import PathCache
+from .simulator import NetworkSimulator, SimulationReport
+
+__all__ = ["EpochReport", "ReplanResult", "EpochReplanner"]
+
+
+@dataclass(frozen=True)
+class EpochReport:
+    """One epoch's outcome: the serving bill plus the transition cost."""
+
+    epoch: int
+    report: SimulationReport
+    migration_cost: float
+    copies_added: int
+    copies_dropped: int
+    placement: Placement
+
+    @property
+    def total_cost(self) -> float:
+        return self.report.total_cost + self.migration_cost
+
+
+@dataclass
+class ReplanResult:
+    """All epoch reports of one replanned horizon."""
+
+    epochs: list[EpochReport] = field(default_factory=list)
+
+    @property
+    def total_cost(self) -> float:
+        return sum(e.total_cost for e in self.epochs)
+
+    @property
+    def serve_cost(self) -> float:
+        """Storage + traffic across all epochs, migration excluded."""
+        return sum(e.report.total_cost for e in self.epochs)
+
+    @property
+    def migration_cost(self) -> float:
+        return sum(e.migration_cost for e in self.epochs)
+
+    @property
+    def final_placement(self) -> Placement:
+        if not self.epochs:
+            raise ValueError("no epochs were replanned")
+        return self.epochs[-1].placement
+
+
+class EpochReplanner:
+    """Re-solves the static placement per epoch, paying migration.
+
+    Parameters
+    ----------
+    graph:
+        The network (nodes ``0..n-1``, fees in ``weight``).
+    metric:
+        Its distance backend (dense or lazy closure of ``graph``).
+    storage_costs:
+        Per-node storage prices, shared by every epoch.
+    engine_kwargs:
+        Forwarded to :class:`~repro.engine.PlacementEngine` (e.g.
+        ``fl_solver``, ``chunk_size``, ``jobs``); the per-epoch solves
+        share one configuration via
+        :meth:`~repro.engine.PlacementEngine.for_instance`.
+    """
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        metric,
+        storage_costs: np.ndarray,
+        **engine_kwargs,
+    ) -> None:
+        self.graph = graph
+        self.metric = metric
+        self.storage_costs = np.asarray(storage_costs, dtype=float)
+        self.engine_kwargs = engine_kwargs
+        # one routing/path state for all per-epoch simulators
+        self._path_cache = PathCache(graph)
+
+    # ------------------------------------------------------------------
+    def _migration(
+        self, old: tuple[int, ...], new: tuple[int, ...]
+    ) -> tuple[float, int, int]:
+        """Transfer cost into a new copy set from the nearest old copies."""
+        old_set = set(old)
+        gained = [v for v in new if v not in old_set]
+        dropped = len(old_set.difference(new))
+        if not gained:
+            return 0.0, 0, dropped
+        dist = self.metric.dist_to_set(sorted(old_set))
+        return float(dist[np.asarray(gained, dtype=int)].sum()), len(gained), dropped
+
+    # ------------------------------------------------------------------
+    def run(self, workload, *, log_seed: int | None = None) -> ReplanResult:
+        """Replan and bill every epoch of a
+        :class:`~repro.workloads.dynamic.DynamicWorkload`.
+
+        ``log_seed`` shuffles each epoch's replayed log (``log_seed +
+        epoch``); the static bill is order-independent, so this only
+        matters when comparing against order-sensitive strategies on the
+        same stream.
+        """
+        engine: PlacementEngine | None = None
+        result = ReplanResult()
+        start = int(np.argmin(self.storage_costs))
+        prev: list[tuple[int, ...]] = [
+            (start,) for _ in range(workload.num_objects)
+        ]
+        for e in range(workload.num_epochs):
+            inst = workload.epoch_instance(self.metric, self.storage_costs, e)
+            if engine is None:
+                engine = PlacementEngine(inst, **self.engine_kwargs)
+            else:
+                engine = engine.for_instance(inst)
+            placement = engine.place()
+
+            migration = 0.0
+            added = dropped = 0
+            for obj in range(workload.num_objects):
+                cost, gained, lost = self._migration(
+                    prev[obj], placement.copies(obj)
+                )
+                migration += cost
+                added += gained
+                dropped += lost
+
+            sim = NetworkSimulator(
+                self.graph, inst, update_policy="mst",
+                path_cache=self._path_cache,
+            )
+            log = workload.epoch_log(
+                e, seed=None if log_seed is None else log_seed + e
+            )
+            report = sim.run(placement, log)
+            result.epochs.append(
+                EpochReport(e, report, migration, added, dropped, placement)
+            )
+            prev = [placement.copies(obj) for obj in range(workload.num_objects)]
+        return result

@@ -2,21 +2,41 @@
 
 The analytic cost functions in :mod:`repro.core.costs` charge a placement
 in closed form.  This simulator instead *executes* a billing period on the
-actual network: every read is routed hop-by-hop along a cheapest path to
-its nearest replica, every write ships an attach message plus a multicast
-along the update tree, and every traversed link accrues its per-object
-fee.  The output additionally exposes per-link load -- connecting the
-commercial model back to the *total communication load* view the paper
-generalizes (Section 1).
+actual network: every read is billed to its nearest replica, every write
+ships an attach message plus a multicast along the update tree, and every
+traversed link accrues its per-object fee.
+
+Two execution modes share one accounting model:
+
+**Vectorized replay** (the default for the ``"mst"`` policy)
+    The columnar :class:`~repro.simulate.events.RequestLog` is grouped
+    per (object, kind, node) with one ``bincount``; reads and write
+    attach messages are billed through one batched ``nearest_in_set``
+    distance vector per object, and each write's multicast through the
+    per-object metric-MST cost.  This replays a million-event catalog
+    log in milliseconds and charges *the same bill* as routing every
+    event hop by hop -- each cheapest path realizes exactly the metric
+    distance, and each MST edge embeds as a cheapest path of the same
+    total fee.
+
+**Hop-by-hop routing** (``track_edge_load=True``, or the ``"kmb"``
+    policy)
+    Every message walks an explicit cheapest path and every traversed
+    link accrues load -- exposing the *per-link* view (the total
+    communication load the paper generalizes, Section 1) that the
+    closed form hides.  Paths come from a *bounded* LRU of predecessor
+    arrays (:class:`~repro.simulate.paths.PathCache`) shared with the
+    online strategy, so replay memory stays ``O(cache * n)`` even on
+    10k-node networks.
 
 Agreement between the simulator and the closed-form accounting is itself
 a reproduction result (Experiment E11): under the ``"mst"`` update policy
 the simulated bill equals ``object_cost(..., policy="mst")`` to floating-
-point precision, because
+point precision.
 
-* a cheapest path realizes exactly the metric distance ``ct(u, v)``, and
-* each metric-closure MST edge embeds as a cheapest path of the same
-  total fee (multiset semantics allow the double-counted edges).
+Message accounting: a request served by a *local* copy (the serving node
+is the request home) ships nothing and counts no message; every routed
+path with at least one hop counts one message.
 
 Supported update policies:
 
@@ -27,7 +47,8 @@ Supported update policies:
 ``"kmb"``
     one Kou--Markowsky--Berman Steiner tree over writer + copies, each
     graph edge paid once.  A within-factor-2 executable stand-in for the
-    exact Steiner policy (which is NP-hard to route).
+    exact Steiner policy (which is NP-hard to route).  Always routed
+    hop by hop (its update tree is per-writer).
 """
 
 from __future__ import annotations
@@ -39,17 +60,22 @@ import numpy as np
 
 from ..core.instance import DataManagementInstance
 from ..core.placement import Placement
-from ..graphs.metric import Metric
-from ..graphs.mst import mst_edges
+from ..graphs.mst import mst_cost, mst_edges
 from ..graphs.steiner import steiner_kmb
-from .events import READ, WRITE, Request
+from .events import RequestLog
+from .paths import PathCache
 
 __all__ = ["SimulationReport", "NetworkSimulator"]
 
 
 @dataclass
 class SimulationReport:
-    """Accrued bill and traffic statistics for one simulated period."""
+    """Accrued bill and traffic statistics for one simulated period.
+
+    ``edge_load`` is populated only by hop-by-hop replay
+    (``track_edge_load=True`` or the ``"kmb"`` policy); the vectorized
+    fast path bills identically but does not attribute traffic to links.
+    """
 
     storage_cost: float = 0.0
     read_traffic_cost: float = 0.0
@@ -82,11 +108,21 @@ class NetworkSimulator:
     ----------
     graph:
         The network; edge attribute ``weight`` is the per-object fee.
+        Must be connected (validated at construction -- a disconnected
+        graph has no finite metric closure to replay against).
     instance:
         Supplies storage prices and the metric (must be the closure of
         ``graph``; checked cheaply on a few samples).
     update_policy:
         ``"mst"`` or ``"kmb"`` (see module docstring).
+    path_cache:
+        Optional shared :class:`~repro.simulate.paths.PathCache` over the
+        same graph (e.g. reused across epoch simulators or with an
+        online strategy); built internally when omitted.
+    cache_sources:
+        LRU capacity of the internally-built path cache (``None``: sized
+        from the :data:`~repro.simulate.paths.DEFAULT_PATH_CACHE_BYTES`
+        budget).
     """
 
     def __init__(
@@ -95,26 +131,34 @@ class NetworkSimulator:
         instance: DataManagementInstance,
         *,
         update_policy: str = "mst",
+        path_cache: PathCache | None = None,
+        cache_sources: int | None = None,
     ) -> None:
         if update_policy not in ("mst", "kmb"):
             raise ValueError("update_policy must be 'mst' or 'kmb'")
         n = instance.num_nodes
         if graph.number_of_nodes() != n or set(graph.nodes()) != set(range(n)):
             raise ValueError("graph must have nodes 0..n-1 matching the instance")
+        if n > 1 and not nx.is_connected(graph):
+            raise ValueError(
+                "graph must be connected: some nodes could never reach a "
+                "copy (no finite metric closure exists)"
+            )
         self.graph = graph
         self.instance = instance
         self.update_policy = update_policy
-        # hop-by-hop routing: per-source shortest-path trees, computed on
-        # demand and cached -- a replay only ever routes from nodes that
-        # actually issue requests (plus copy holders), so the all-pairs
-        # O(n^2) path structure is never built.
-        self._path_cache: dict[int, dict[int, list[int]]] = {}
+        # hop-by-hop routing: bounded LRU of per-source predecessor
+        # arrays (paths reconstructed on demand), shareable with the
+        # online strategy -- never one materialized path dict per source.
+        if path_cache is not None and path_cache.n != n:
+            raise ValueError("path_cache was built for a different graph")
+        self._paths = path_cache or PathCache(graph, max_sources=cache_sources)
         # consistency spot-check against the instance metric
         metric = instance.metric
         rng = np.random.default_rng(0)
         for _ in range(min(10, n * n)):
             u, v = int(rng.integers(0, n)), int(rng.integers(0, n))
-            got = self._path_cost(self._paths_from(u)[v])
+            got = self._path_cost(self._paths.path(u, v))
             if abs(got - metric.d(u, v)) > 1e-6 * (1.0 + got):
                 raise ValueError(
                     "instance metric is not the closure of the given graph "
@@ -122,21 +166,19 @@ class NetworkSimulator:
                 )
 
     # ------------------------------------------------------------------
-    def _paths_from(self, u: int) -> dict[int, list[int]]:
-        """Cheapest paths from one source (cached single-source Dijkstra)."""
-        paths = self._path_cache.get(u)
-        if paths is None:
-            paths = nx.single_source_dijkstra_path(self.graph, u, weight="weight")
-            self._path_cache[u] = paths
-        return paths
-
     def _path_cost(self, path: list[int]) -> float:
         return sum(
             self.graph[a][b]["weight"] for a, b in zip(path[:-1], path[1:])
         )
 
     def _send(self, path: list[int], report: SimulationReport, *, write: bool) -> None:
-        """Route one message along a node path, accruing fees and load."""
+        """Route one message along a node path, accruing fees and load.
+
+        A single-node path (request served by a local copy) ships
+        nothing: no fee, no load, **no message**.
+        """
+        if len(path) < 2:
+            return
         cost = 0.0
         for a, b in zip(path[:-1], path[1:]):
             w = self.graph[a][b]["weight"]
@@ -150,49 +192,104 @@ class NetworkSimulator:
         report.messages += 1
 
     # ------------------------------------------------------------------
-    def run(self, placement: Placement, log: list[Request]) -> SimulationReport:
-        """Replay a log against a static placement; returns the bill."""
+    def run(
+        self,
+        placement: Placement,
+        log,
+        *,
+        track_edge_load: bool = False,
+    ) -> SimulationReport:
+        """Replay a log against a static placement; returns the bill.
+
+        ``log`` is a :class:`~repro.simulate.events.RequestLog` (or any
+        iterable of :class:`~repro.simulate.events.Request`).  Under the
+        ``"mst"`` policy the replay is vectorized unless
+        ``track_edge_load=True`` forces hop-by-hop routing (the only mode
+        that can attribute traffic to individual links); the two bill
+        identically.  The ``"kmb"`` policy always routes hop by hop.
+        """
         placement.validate(self.instance)
+        log = RequestLog.coerce(log)
+        log.validate_for(self.instance.num_objects, self.instance.num_nodes)
+        if self.update_policy == "mst" and not track_edge_load:
+            return self._run_vectorized(placement, log)
+        return self._run_events(placement, log)
+
+    def _storage_bill(self, placement: Placement, report: SimulationReport) -> None:
+        """Each copy is bought once for the billing period."""
+        cs = self.instance.storage_costs
+        for obj in range(self.instance.num_objects):
+            for v in placement.copies(obj):
+                report.storage_cost += float(cs[v])
+
+    # ------------------------------------------------------------------
+    def _run_vectorized(
+        self, placement: Placement, log: RequestLog
+    ) -> SimulationReport:
+        """Columnar fast path: bill the grouped log per object.
+
+        Reads (and write attach messages) pay the batched nearest-copy
+        distance times their count; each write additionally pays the
+        copy-set MST.  Equal to the hop-by-hop bill because cheapest
+        paths realize metric distances exactly.
+        """
         inst = self.instance
         metric = inst.metric
         report = SimulationReport()
+        self._storage_bill(placement, report)
 
-        # storage: each copy is bought once for the billing period
-        for obj in range(inst.num_objects):
-            for v in placement.copies(obj):
-                report.storage_cost += float(inst.storage_costs[v])
-
-        # per-object routing state
-        nearest: list[np.ndarray] = []
-        update_trees: list[list[tuple[int, int, float]]] = []
-        for obj in range(inst.num_objects):
+        reads, writes = log.counts(inst.num_objects, inst.num_nodes)
+        node_ids = np.arange(inst.num_nodes)
+        for obj in np.unique(log.obj):
+            obj = int(obj)
+            r = reads[obj]
+            w = writes[obj]
             copies = placement.copies(obj)
-            near, _ = metric.nearest_in_set(copies)
-            nearest.append(near)
-            if self.update_policy == "mst":
-                update_trees.append(mst_edges(metric, copies))
-            else:
-                update_trees.append([])  # KMB trees are per-writer
+            nearest, dist = metric.nearest_in_set(copies)
+            report.read_traffic_cost += float(r @ dist)
+            report.write_traffic_cost += float(w @ dist)
+            num_writes = int(w.sum())
+            if num_writes and len(copies) > 1:
+                report.write_traffic_cost += num_writes * mst_cost(metric, copies)
+                # each MST edge is one multicast message per write
+                report.messages += num_writes * (len(copies) - 1)
+            # reads/attaches served by a local copy ship no message
+            remote = nearest != node_ids
+            report.messages += int(r[remote].sum() + w[remote].sum())
+        return report
 
-        for req in log:
-            if not 0 <= req.obj < inst.num_objects:
-                raise ValueError(f"request for unknown object {req.obj}")
-            copies = placement.copies(req.obj)
-            target = int(nearest[req.obj][req.node])
-            if req.kind == READ:
-                self._send(self._paths_from(req.node)[target], report, write=False)
-            elif req.kind == WRITE:
-                if self.update_policy == "mst":
-                    # attach message + multicast along the copy MST
-                    self._send(self._paths_from(req.node)[target], report, write=True)
-                    for u, v, _ in update_trees[req.obj]:
-                        self._send(self._paths_from(u)[v], report, write=True)
-                else:  # kmb: one embedded Steiner tree over writer + copies
-                    edges, _ = steiner_kmb(
-                        self.graph, set(copies) | {req.node}
-                    )
-                    for u, v in edges:
-                        self._send([u, v], report, write=True)
-            else:  # pragma: no cover - Request validates kind
-                raise ValueError(f"unknown request kind {req.kind!r}")
+    # ------------------------------------------------------------------
+    def _run_events(self, placement: Placement, log: RequestLog) -> SimulationReport:
+        """Hop-by-hop replay: route every event, accrue per-link load."""
+        inst = self.instance
+        metric = inst.metric
+        report = SimulationReport()
+        self._storage_bill(placement, report)
+
+        # per-object routing state, built lazily for objects in the log
+        nearest: dict[int, np.ndarray] = {}
+        update_trees: dict[int, list[tuple[int, int, float]]] = {}
+
+        for is_write, node, obj in log.iter_events():
+            copies = placement.copies(obj)
+            near = nearest.get(obj)
+            if near is None:
+                near, _ = metric.nearest_in_set(copies)
+                nearest[obj] = near
+            target = int(near[node])
+            if not is_write:
+                self._send(self._paths.path(node, target), report, write=False)
+            elif self.update_policy == "mst":
+                # attach message + multicast along the copy MST
+                self._send(self._paths.path(node, target), report, write=True)
+                tree = update_trees.get(obj)
+                if tree is None:
+                    tree = mst_edges(metric, copies)
+                    update_trees[obj] = tree
+                for u, v, _ in tree:
+                    self._send(self._paths.path(u, v), report, write=True)
+            else:  # kmb: one embedded Steiner tree over writer + copies
+                edges, _ = steiner_kmb(self.graph, set(copies) | {node})
+                for u, v in edges:
+                    self._send([u, v], report, write=True)
         return report

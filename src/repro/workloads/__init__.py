@@ -1,5 +1,6 @@
-"""Workload generators and named scenarios."""
+"""Workload generators, named scenarios, and time-evolving workloads."""
 
+from .dynamic import DynamicWorkload, drifting_zipf_catalog, flash_crowd
 from .request_models import (
     heterogeneous_storage_costs,
     hotspot_node_probs,
@@ -36,4 +37,7 @@ __all__ = [
     "distributed_file_system",
     "virtual_shared_memory",
     "tree_network",
+    "DynamicWorkload",
+    "drifting_zipf_catalog",
+    "flash_crowd",
 ]

@@ -1,0 +1,268 @@
+"""Time-evolving workloads: epoch-structured demand for the dynamic layer.
+
+The static model freezes one billing period; the dynamic setting the
+paper's related work studies (Awerbuch/Bartal/Fiat; the migration model
+of Khuller et al.) evolves.  This module provides the bridge
+representation -- :class:`DynamicWorkload`, a stack of per-epoch
+``fr``/``fw`` frequency matrices -- plus generators for the two classic
+churn shapes:
+
+* :func:`drifting_zipf_catalog` -- WWW popularity churn: the catalog's
+  Zipf rank assignment drifts between epochs (a fraction of objects
+  swap popularity ranks), so yesterday's hot pages cool off and cold
+  ones break out.
+* :func:`flash_crowd` -- a handful of previously-cold objects suddenly
+  draw a read burst from a localized crowd of nodes for one epoch, then
+  demand returns to baseline.
+
+Each epoch is one billing period: an
+:class:`~repro.simulate.replanner.EpochReplanner` re-solves the static
+problem per epoch (paying migration), while the clairvoyant-static and
+online strategies consume the same epochs through
+:meth:`DynamicWorkload.aggregate_instance` and
+:meth:`DynamicWorkload.full_log` (Experiment E15).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.instance import DataManagementInstance
+from ..simulate.events import RequestLog
+
+__all__ = ["DynamicWorkload", "drifting_zipf_catalog", "flash_crowd"]
+
+
+@dataclass(frozen=True)
+class DynamicWorkload:
+    """Epoch-structured demand: ``(epochs, m, n)`` frequency stacks.
+
+    ``read_freqs[e]`` / ``write_freqs[e]`` are the integer ``(m, n)``
+    read/write matrices of epoch ``e`` -- each epoch is a complete
+    static instance's billing period over the same catalog and network.
+    """
+
+    read_freqs: np.ndarray
+    write_freqs: np.ndarray
+    name: str = "dynamic"
+
+    def __post_init__(self) -> None:
+        fr = np.asarray(self.read_freqs, dtype=float)
+        fw = np.asarray(self.write_freqs, dtype=float)
+        if fr.ndim != 3 or fr.shape != fw.shape:
+            raise ValueError(
+                "read_freqs and write_freqs must be equal-shaped "
+                f"(epochs, m, n) stacks, got {fr.shape} and {fw.shape}"
+            )
+        if fr.shape[0] < 1:
+            raise ValueError("need at least one epoch")
+        if np.any(fr < 0) or np.any(fw < 0):
+            raise ValueError("frequencies must be non-negative")
+        object.__setattr__(self, "read_freqs", fr)
+        object.__setattr__(self, "write_freqs", fw)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_epochs(self) -> int:
+        return self.read_freqs.shape[0]
+
+    @property
+    def num_objects(self) -> int:
+        return self.read_freqs.shape[1]
+
+    @property
+    def num_nodes(self) -> int:
+        return self.read_freqs.shape[2]
+
+    def total_events(self) -> int:
+        """Total request count across all epochs."""
+        return int(round(float(self.read_freqs.sum() + self.write_freqs.sum())))
+
+    # ------------------------------------------------------------------
+    def epoch_instance(
+        self, metric, storage_costs, epoch: int
+    ) -> DataManagementInstance:
+        """One epoch as a static instance (shared metric and prices)."""
+        return DataManagementInstance(
+            metric, storage_costs, self.read_freqs[epoch], self.write_freqs[epoch]
+        )
+
+    def aggregate_instance(self, metric, storage_costs) -> DataManagementInstance:
+        """All epochs summed into one instance -- what a clairvoyant
+        static strategy optimizes for (total traffic over the horizon)."""
+        return DataManagementInstance(
+            metric,
+            storage_costs,
+            self.read_freqs.sum(axis=0),
+            self.write_freqs.sum(axis=0),
+        )
+
+    def epoch_log(self, epoch: int, *, seed: int | None = None) -> RequestLog:
+        """One epoch's event stream (vectorized columnar expansion)."""
+        return RequestLog.from_frequencies(
+            self.read_freqs[epoch], self.write_freqs[epoch], seed=seed
+        )
+
+    def full_log(self, *, seed: int | None = None) -> RequestLog:
+        """The whole horizon as one stream: epochs in order, each epoch
+        internally shuffled (``seed + epoch``) when a seed is given."""
+        return RequestLog.concat([
+            self.epoch_log(e, seed=None if seed is None else seed + e)
+            for e in range(self.num_epochs)
+        ])
+
+
+# ----------------------------------------------------------------------
+# generators
+# ----------------------------------------------------------------------
+def _catalog_demand(
+    rng: np.random.Generator,
+    n: int,
+    m: int,
+    total: int,
+    obj_probs: np.ndarray,
+    node_probs: np.ndarray | None,
+) -> np.ndarray:
+    """One epoch's ``(m, n)`` demand matrix: a request budget split over
+    objects by popularity and over nodes by the home distribution --
+    the columnar kernel of :func:`~repro.workloads.request_models.zipf_catalog`."""
+    per_object = rng.multinomial(total, obj_probs)
+    if node_probs is None:
+        homes = rng.integers(0, n, size=total)
+    else:
+        homes = rng.choice(n, size=total, p=node_probs)
+    obj_of_request = np.repeat(np.arange(m), per_object)
+    flat = np.bincount(obj_of_request * n + homes, minlength=m * n)
+    return flat.reshape(m, n).astype(float)
+
+
+def _split_writes(
+    rng: np.random.Generator, demand: np.ndarray, write_fraction: float
+) -> tuple[np.ndarray, np.ndarray]:
+    writes = rng.binomial(demand.astype(int), write_fraction).astype(float)
+    return demand - writes, writes
+
+
+def _zipf_probs(m: int, exponent: float) -> np.ndarray:
+    ranks = np.arange(1, m + 1, dtype=float) ** (-exponent)
+    return ranks / ranks.sum()
+
+
+def drifting_zipf_catalog(
+    n: int,
+    m: int,
+    *,
+    epochs: int,
+    seed: int,
+    exponent: float = 0.8,
+    drift: float = 0.15,
+    requests_per_epoch: int | None = None,
+    write_fraction: float = 0.05,
+    node_probs: np.ndarray | None = None,
+) -> DynamicWorkload:
+    """Zipf catalog whose popularity ranking churns between epochs.
+
+    Epoch 0 assigns Zipf ranks to objects at random; each later epoch
+    swaps the ranks of ``round(drift * m)`` random object pairs before
+    drawing its demand -- so a ``drift`` of 0.15 relabels ~30% of the
+    catalog's popularity mass per epoch while the *shape* of the
+    popularity curve stays fixed.  Every epoch spends the same request
+    budget (``requests_per_epoch``, default ``100 * m``) and splits each
+    request into a write with probability ``write_fraction``.
+    """
+    if epochs < 1:
+        raise ValueError("epochs must be >= 1")
+    if not 0.0 <= drift <= 1.0:
+        raise ValueError("drift must lie in [0, 1]")
+    if not 0.0 <= write_fraction <= 1.0:
+        raise ValueError("write_fraction must lie in [0, 1]")
+    rng = np.random.default_rng(seed)
+    total = int(requests_per_epoch if requests_per_epoch is not None else 100 * m)
+    if total < 0:
+        raise ValueError("requests_per_epoch must be non-negative")
+    if node_probs is not None:
+        node_probs = np.asarray(node_probs, dtype=float)
+        if node_probs.shape != (n,) or np.any(node_probs < 0) or node_probs.sum() <= 0:
+            raise ValueError("node_probs must be a non-negative (n,) distribution")
+        node_probs = node_probs / node_probs.sum()
+
+    ranks = _zipf_probs(m, exponent)
+    rank_of = rng.permutation(m)  # object -> popularity rank
+    swaps = int(round(drift * m))
+
+    fr = np.empty((epochs, m, n))
+    fw = np.empty((epochs, m, n))
+    for e in range(epochs):
+        if e > 0 and swaps:
+            a = rng.integers(0, m, size=swaps)
+            b = rng.integers(0, m, size=swaps)
+            for i, j in zip(a.tolist(), b.tolist()):
+                rank_of[i], rank_of[j] = rank_of[j], rank_of[i]
+        demand = _catalog_demand(rng, n, m, total, ranks[rank_of], node_probs)
+        fr[e], fw[e] = _split_writes(rng, demand, write_fraction)
+    return DynamicWorkload(fr, fw, name="drifting_zipf")
+
+
+def flash_crowd(
+    n: int,
+    m: int,
+    *,
+    epochs: int,
+    seed: int,
+    crowd_epoch: int | None = None,
+    crowd_objects: int | None = None,
+    crowd_node_fraction: float = 0.1,
+    crowd_multiplier: float = 20.0,
+    exponent: float = 0.8,
+    requests_per_epoch: int | None = None,
+    write_fraction: float = 0.05,
+) -> DynamicWorkload:
+    """A stable Zipf catalog hit by a one-epoch read burst.
+
+    Baseline epochs draw from a *fixed* Zipf popularity (no churn).  In
+    ``crowd_epoch`` (default: the middle epoch), ``crowd_objects``
+    previously-cold tail objects each receive an extra read burst of
+    ``crowd_multiplier`` times the mean per-object epoch demand, issued
+    from a random crowd of ``crowd_node_fraction * n`` nodes -- the
+    flash-crowd / slashdot shape that makes static placements stale and
+    re-planning (or online adaptation) worthwhile.  Bursts are pure
+    reads; the baseline's ``write_fraction`` is untouched.
+    """
+    if epochs < 1:
+        raise ValueError("epochs must be >= 1")
+    if not 0.0 < crowd_node_fraction <= 1.0:
+        raise ValueError("crowd_node_fraction must lie in (0, 1]")
+    if crowd_multiplier < 0:
+        raise ValueError("crowd_multiplier must be non-negative")
+    rng = np.random.default_rng(seed)
+    total = int(requests_per_epoch if requests_per_epoch is not None else 100 * m)
+    if crowd_epoch is None:
+        crowd_epoch = epochs // 2
+    if not 0 <= crowd_epoch < epochs:
+        raise ValueError(f"crowd_epoch must lie in [0, {epochs})")
+    if crowd_objects is None:
+        crowd_objects = max(1, m // 50)
+    if not 1 <= crowd_objects <= m:
+        raise ValueError(f"crowd_objects must lie in [1, {m}]")
+
+    probs = _zipf_probs(m, exponent)
+    # the crowd hits the coldest tail objects: the ones a demand-driven
+    # placement has no reason to replicate beforehand
+    burst_objects = np.arange(m - crowd_objects, m)
+    crowd_size = max(1, int(round(crowd_node_fraction * n)))
+    crowd_nodes = rng.choice(n, size=crowd_size, replace=False)
+    burst_per_object = int(round(crowd_multiplier * total / max(m, 1)))
+
+    fr = np.empty((epochs, m, n))
+    fw = np.empty((epochs, m, n))
+    for e in range(epochs):
+        demand = _catalog_demand(rng, n, m, total, probs, None)
+        reads, writes = _split_writes(rng, demand, write_fraction)
+        if e == crowd_epoch and burst_per_object > 0:
+            for obj in burst_objects.tolist():
+                homes = crowd_nodes[rng.integers(0, crowd_size, size=burst_per_object)]
+                reads[obj] += np.bincount(homes, minlength=n)
+        fr[e], fw[e] = reads, writes
+    return DynamicWorkload(fr, fw, name="flash_crowd")

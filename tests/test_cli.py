@@ -23,7 +23,7 @@ class TestList:
 
 class TestExperimentCommand:
     def test_registry_covers_all_runners(self):
-        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 15)} | {"E10B"}
+        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 16)} | {"E10B"}
 
     def test_unknown_experiment(self, capsys):
         out = io.StringIO()
@@ -106,3 +106,27 @@ class TestPlaceCommand:
         out = io.StringIO()
         assert main(["scenario", "tree", "--num-objects", "3"], out=out) == 0
         assert "3 objects" in out.getvalue()
+
+
+class TestDynamicCommand:
+    def test_dynamic_runs_and_writes_json(self, tmp_path):
+        out = io.StringIO()
+        path = tmp_path / "dynamic.json"
+        rc = main(
+            ["dynamic", "--nodes", "30", "--num-objects", "5", "--epochs", "2",
+             "--requests-per-epoch", "150", "--out", str(path)],
+            out=out,
+        )
+        assert rc == 0
+        text = out.getvalue()
+        assert "[E15]" in text and "epoch-replan" in text
+        import json
+
+        data = json.loads(path.read_text())
+        assert data["exp_id"] == "E15"
+        labels = {row[1] for row in data["rows"]}
+        assert {"vectorized", "clairvoyant-static", "online-counting"} <= labels
+
+    def test_dynamic_rejects_bad_epochs(self):
+        out = io.StringIO()
+        assert main(["dynamic", "--epochs", "0"], out=out) == 2

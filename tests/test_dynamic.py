@@ -1,0 +1,185 @@
+"""Tests for the dynamic layer: time-evolving workloads, the epoch
+replanner's migration accounting, and the E15 runner."""
+
+import numpy as np
+import pytest
+
+from repro.engine import PlacementEngine
+from repro.graphs.generators import sized_transit_stub_graph, transit_stub_graph
+from repro.graphs.metric import Metric
+from repro.simulate import EpochReplanner, NetworkSimulator
+from repro.workloads import DynamicWorkload, drifting_zipf_catalog, flash_crowd
+
+
+def _network(seed: int = 3, size: int = 30):
+    g = transit_stub_graph(2, 2, max(size // 6, 1), seed=seed)
+    return g, Metric.from_graph(g)
+
+
+class TestDynamicWorkload:
+    def test_shapes_and_validation(self):
+        wl = DynamicWorkload(np.ones((3, 2, 5)), np.zeros((3, 2, 5)))
+        assert (wl.num_epochs, wl.num_objects, wl.num_nodes) == (3, 2, 5)
+        assert wl.total_events() == 30
+        with pytest.raises(ValueError, match="equal-shaped"):
+            DynamicWorkload(np.ones((3, 2, 5)), np.zeros((3, 2, 4)))
+        with pytest.raises(ValueError, match="non-negative"):
+            DynamicWorkload(np.full((1, 1, 2), -1.0), np.zeros((1, 1, 2)))
+
+    def test_aggregate_sums_epochs(self):
+        g, metric = _network()
+        wl = drifting_zipf_catalog(
+            metric.n, 6, epochs=4, seed=1, requests_per_epoch=200
+        )
+        cs = np.ones(metric.n)
+        agg = wl.aggregate_instance(metric, cs)
+        assert np.array_equal(agg.read_freq, wl.read_freqs.sum(axis=0))
+        assert np.array_equal(agg.write_freq, wl.write_freqs.sum(axis=0))
+        e0 = wl.epoch_instance(metric, cs, 0)
+        assert np.array_equal(e0.read_freq, wl.read_freqs[0])
+
+    def test_epoch_and_full_logs(self):
+        g, metric = _network()
+        wl = drifting_zipf_catalog(
+            metric.n, 5, epochs=3, seed=2, requests_per_epoch=150
+        )
+        per_epoch = [len(wl.epoch_log(e)) for e in range(3)]
+        assert per_epoch == [150, 150, 150]  # fixed budget per epoch
+        full = wl.full_log(seed=7)
+        assert len(full) == 450
+        # epoch boundaries preserved: first epoch's slice realizes epoch 0
+        head = full[:150]
+        r, w = head.counts(wl.num_objects, wl.num_nodes)
+        assert np.array_equal(r + w, wl.read_freqs[0] + wl.write_freqs[0])
+
+
+class TestGenerators:
+    def test_drift_changes_popularity(self):
+        g, metric = _network()
+        wl = drifting_zipf_catalog(
+            metric.n, 12, epochs=4, seed=5, drift=0.5, requests_per_epoch=600
+        )
+        per_obj = (wl.read_freqs + wl.write_freqs).sum(axis=2)  # (E, m)
+        # popularity ranking must differ somewhere across epochs
+        assert any(
+            not np.array_equal(
+                np.argsort(-per_obj[0]), np.argsort(-per_obj[e])
+            )
+            for e in range(1, 4)
+        )
+
+    def test_zero_drift_keeps_budget_and_shape(self):
+        g, metric = _network()
+        wl = drifting_zipf_catalog(
+            metric.n, 8, epochs=3, seed=6, drift=0.0, requests_per_epoch=400
+        )
+        totals = (wl.read_freqs + wl.write_freqs).sum(axis=(1, 2))
+        assert np.all(totals == 400)
+
+    def test_flash_crowd_spikes_tail_objects(self):
+        g, metric = _network()
+        m, epochs = 10, 5
+        wl = flash_crowd(
+            metric.n, m, epochs=epochs, seed=7, crowd_epoch=2,
+            crowd_objects=2, crowd_multiplier=30.0, requests_per_epoch=500,
+        )
+        per_obj = (wl.read_freqs + wl.write_freqs).sum(axis=2)  # (E, m)
+        tail = per_obj[:, -2:].sum(axis=1)
+        baseline = np.delete(tail, 2).max()
+        assert tail[2] > 3 * max(baseline, 1.0)  # the burst epoch stands out
+        # bursts are pure reads: tail writes stay at baseline scale
+        assert wl.write_freqs[2, -2:].sum() < 0.1 * wl.read_freqs[2, -2:].sum()
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError, match="epochs"):
+            drifting_zipf_catalog(5, 3, epochs=0, seed=1)
+        with pytest.raises(ValueError, match="drift"):
+            drifting_zipf_catalog(5, 3, epochs=2, seed=1, drift=1.5)
+        with pytest.raises(ValueError, match="crowd_epoch"):
+            flash_crowd(5, 3, epochs=2, seed=1, crowd_epoch=5)
+
+
+class TestEpochReplanner:
+    def test_static_workload_migrates_once(self):
+        """Identical epochs re-solve to identical placements: all
+        migration happens into epoch 0 (from the zero-knowledge start)."""
+        g, metric = _network(seed=9)
+        cs = np.full(metric.n, 4.0)
+        fr = np.tile(
+            drifting_zipf_catalog(
+                metric.n, 4, epochs=1, seed=11, requests_per_epoch=300,
+                write_fraction=0.2,
+            ).read_freqs[0],
+            (3, 1, 1),
+        )
+        fw = np.zeros_like(fr)
+        wl = DynamicWorkload(fr, fw)
+        result = EpochReplanner(g, metric, cs).run(wl)
+        assert len(result.epochs) == 3
+        assert result.epochs[1].migration_cost == 0.0
+        assert result.epochs[2].migration_cost == 0.0
+        assert result.epochs[1].placement.copy_sets == result.epochs[0].placement.copy_sets
+        # epoch 0 pays transfers from the cheapest-storage start node
+        start = int(np.argmin(cs))
+        expected = sum(
+            metric.d(start, v)
+            for obj in range(4)
+            for v in result.epochs[0].placement.copies(obj)
+            if v != start
+        )
+        assert result.epochs[0].migration_cost == pytest.approx(expected)
+
+    def test_totals_decompose(self):
+        g, metric = _network(seed=13)
+        cs = np.full(metric.n, 3.0)
+        wl = drifting_zipf_catalog(
+            metric.n, 5, epochs=3, seed=14, drift=0.4, requests_per_epoch=250,
+            write_fraction=0.1,
+        )
+        result = EpochReplanner(g, metric, cs).run(wl, log_seed=1)
+        assert result.total_cost == pytest.approx(
+            result.serve_cost + result.migration_cost
+        )
+        assert result.final_placement.num_objects == 5
+        # each epoch's serving bill equals an independent simulator replay
+        for e, er in enumerate(result.epochs):
+            inst = wl.epoch_instance(metric, cs, e)
+            sim = NetworkSimulator(g, inst)
+            ref = sim.run(er.placement, wl.epoch_log(e, seed=1 + e))
+            assert er.report.total_cost == pytest.approx(ref.total_cost, rel=1e-9)
+
+    def test_replanner_matches_engine_per_epoch(self):
+        g, metric = _network(seed=15)
+        cs = np.full(metric.n, 5.0)
+        wl = drifting_zipf_catalog(
+            metric.n, 3, epochs=2, seed=16, requests_per_epoch=200
+        )
+        result = EpochReplanner(g, metric, cs, fl_solver="greedy").run(wl)
+        for e, er in enumerate(result.epochs):
+            inst = wl.epoch_instance(metric, cs, e)
+            expected = PlacementEngine(inst, fl_solver="greedy").place()
+            assert er.placement.copy_sets == expected.copy_sets
+
+
+class TestE15Runner:
+    def test_smoke_parity_and_sections(self):
+        from repro.analysis import run_e15_dynamic_replay
+
+        res = run_e15_dynamic_replay(
+            n=40, num_objects=6, epochs=3, requests_per_epoch=200, seed=3
+        )
+        by_label = {row[1]: row for row in res.rows}
+        assert by_label["vectorized"][-1] is True  # bills agree
+        assert by_label["clairvoyant-static"][6] == pytest.approx(1.0)
+        assert {"hop-by-hop", "epoch-replan", "online-counting"} <= set(by_label)
+
+    def test_flash_scenario_and_unknown_scenario(self):
+        from repro.analysis import run_e15_dynamic_replay
+
+        res = run_e15_dynamic_replay(
+            n=30, num_objects=5, epochs=2, requests_per_epoch=120,
+            scenario="flash", seed=4, compare_loop=False,
+        )
+        assert any(row[1] == "vectorized" for row in res.rows)
+        with pytest.raises(ValueError, match="scenario"):
+            run_e15_dynamic_replay(n=20, num_objects=3, epochs=2, scenario="nope")

@@ -1,0 +1,130 @@
+"""Tests for the columnar RequestLog: parity with per-event expansion,
+grouping kernels, and the sequence back-compat surface."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.generators import erdos_renyi_graph
+from repro.graphs.metric import Metric
+from repro.simulate import READ, WRITE, Request, RequestLog, request_log_from_instance
+from repro.workloads import make_instance
+
+
+def _instance(seed: int, *, n: int = 8, objects: int = 3, write_fraction: float = 0.3):
+    g = erdos_renyi_graph(n, 0.5, seed=seed)
+    return make_instance(
+        Metric.from_graph(g), seed=seed + 50, num_objects=objects,
+        write_fraction=write_fraction,
+    )
+
+
+def _reference_expansion(instance, seed=None):
+    """The original per-event loop, kept as the specification."""
+    fr, fw = instance.read_freq, instance.write_freq
+    log = []
+    for obj in range(instance.num_objects):
+        for node in range(instance.num_nodes):
+            log.extend(Request(READ, node, obj) for _ in range(int(round(fr[obj, node]))))
+            log.extend(Request(WRITE, node, obj) for _ in range(int(round(fw[obj, node]))))
+    if seed is not None:
+        rng = np.random.default_rng(seed)
+        log = [log[i] for i in rng.permutation(len(log))]
+    return log
+
+
+class TestVectorizedExpansion:
+    @given(st.integers(min_value=0, max_value=60))
+    @settings(max_examples=15, deadline=None)
+    def test_matches_per_event_loop_bit_for_bit(self, seed):
+        inst = _instance(seed % 7)
+        for shuffle in (None, seed + 1):
+            log = request_log_from_instance(inst, seed=shuffle)
+            ref = _reference_expansion(inst, seed=shuffle)
+            assert list(log) == ref  # same events, same order, same shuffle
+
+    def test_counts_invert_from_frequencies(self):
+        inst = _instance(4)
+        log = request_log_from_instance(inst, seed=9)
+        reads, writes = log.counts(inst.num_objects, inst.num_nodes)
+        assert np.array_equal(reads, np.rint(inst.read_freq).astype(int))
+        assert np.array_equal(writes, np.rint(inst.write_freq).astype(int))
+
+    def test_shuffle_is_deterministic_permutation(self):
+        inst = _instance(5)
+        base = request_log_from_instance(inst)
+        shuffled = request_log_from_instance(inst, seed=2)
+        assert len(base) == len(shuffled)
+        assert base.counts(inst.num_objects, inst.num_nodes)[0].sum() == \
+            shuffled.counts(inst.num_objects, inst.num_nodes)[0].sum()
+        assert request_log_from_instance(inst, seed=2) == shuffled
+
+    def test_fractional_frequencies_rejected(self):
+        with pytest.raises(ValueError, match="integer"):
+            RequestLog.from_frequencies(np.full((1, 4), 0.5), np.zeros((1, 4)))
+
+    def test_empty_frequencies_give_empty_log(self):
+        log = RequestLog.from_frequencies(np.zeros((2, 5)), np.zeros((2, 5)))
+        assert len(log) == 0
+        reads, writes = log.counts(2, 5)
+        assert reads.sum() == 0 and writes.sum() == 0
+
+
+class TestSequenceSurface:
+    def test_iterates_as_request_objects(self):
+        log = RequestLog.from_frequencies([[2.0, 0]], [[0.0, 1.0]])
+        events = list(log)
+        assert events == [
+            Request(READ, 0, 0), Request(READ, 0, 0), Request(WRITE, 1, 0)
+        ]
+
+    def test_indexing_and_slicing(self):
+        log = RequestLog.from_frequencies([[1.0, 1.0]], [[1.0, 0.0]])
+        assert log[0] == Request(READ, 0, 0)
+        tail = log[1:]
+        assert isinstance(tail, RequestLog)
+        assert len(tail) == 2
+
+    def test_equality_with_lists_and_logs(self):
+        log = RequestLog.from_frequencies([[1.0]], [[1.0]])
+        assert log == [Request(READ, 0, 0), Request(WRITE, 0, 0)]
+        assert log == RequestLog.from_requests(list(log))
+        assert log != log[:1]
+
+    def test_round_trip_through_requests(self):
+        inst = _instance(6)
+        log = request_log_from_instance(inst, seed=3)
+        assert RequestLog.from_requests(list(log)) == log
+
+    def test_coerce(self):
+        events = [Request(WRITE, 1, 0), Request(READ, 0, 2)]
+        log = RequestLog.coerce(events)
+        assert isinstance(log, RequestLog)
+        assert RequestLog.coerce(log) is log
+        assert log.num_reads == 1 and log.num_writes == 1
+
+    def test_concat(self):
+        a = RequestLog.from_frequencies([[1.0]], [[0.0]])
+        b = RequestLog.from_frequencies([[0.0]], [[2.0]])
+        both = RequestLog.concat([a, b])
+        assert len(both) == 3
+        assert list(both) == list(a) + list(b)
+        assert len(RequestLog.concat([])) == 0
+
+
+class TestValidation:
+    def test_mismatched_columns_rejected(self):
+        with pytest.raises(ValueError, match="equal lengths"):
+            RequestLog([0, 1], [0], [0])
+
+    def test_bad_kind_codes_rejected(self):
+        with pytest.raises(ValueError, match="kind codes"):
+            RequestLog([0, 7], [0, 0], [0, 0])
+
+    def test_unknown_object_and_node(self):
+        log = RequestLog([0], [3], [1])
+        with pytest.raises(ValueError, match="unknown object"):
+            log.validate_for(1, 10)
+        with pytest.raises(ValueError, match="unknown node"):
+            log.validate_for(5, 2)

@@ -100,9 +100,19 @@ class TestSimulatorAgreement:
         g, inst = _setup(8)
         placement = Placement.single([0])
         sim = NetworkSimulator(g, inst)
-        report = sim.run(placement, request_log_from_instance(inst))
+        report = sim.run(
+            placement, request_log_from_instance(inst), track_edge_load=True
+        )
         assert report.total_load() == pytest.approx(report.transmission_cost)
         assert report.max_edge_load() <= report.total_load() + 1e-9
+
+    def test_fast_path_skips_edge_load(self):
+        g, inst = _setup(8)
+        placement = Placement.single([0])
+        sim = NetworkSimulator(g, inst)
+        report = sim.run(placement, request_log_from_instance(inst))
+        assert report.edge_load == {}
+        assert report.total_load() == 0.0
 
     def test_message_count(self, line_metric):
         inst = DataManagementInstance.single_object(
@@ -133,7 +143,169 @@ class TestSimulatorAgreement:
         assert report.write_traffic_cost == pytest.approx(2.0)
 
 
+class TestVectorizedReplay:
+    """The tentpole invariant: vectorized bill == hop-by-hop bill ==
+    the closed-form `mst` cost, on dense and lazy backends alike."""
+
+    @staticmethod
+    def _lazy_clone(g, inst):
+        from repro.graphs.backend import LazyMetric
+
+        metric = LazyMetric.from_graph(g)
+        return DataManagementInstance(
+            metric, inst.storage_costs, inst.read_freq, inst.write_freq
+        )
+
+    @given(st.integers(min_value=0, max_value=100))
+    @settings(max_examples=12, deadline=None)
+    def test_vectorized_equals_hop_by_hop_and_closed_form(self, seed):
+        g, inst = _setup(seed, objects=2)
+        from repro.core.approx import approximate_placement
+
+        placement = approximate_placement(inst)
+        log = request_log_from_instance(inst, seed=seed + 1)
+        for instance in (inst, self._lazy_clone(g, inst)):
+            sim = NetworkSimulator(g, instance, update_policy="mst")
+            fast = sim.run(placement, log)
+            slow = sim.run(placement, log, track_edge_load=True)
+            assert fast.total_cost == pytest.approx(slow.total_cost, rel=1e-9)
+            assert fast.read_traffic_cost == pytest.approx(
+                slow.read_traffic_cost, rel=1e-9
+            )
+            assert fast.write_traffic_cost == pytest.approx(
+                slow.write_traffic_cost, rel=1e-9
+            )
+            assert fast.storage_cost == pytest.approx(slow.storage_cost, rel=1e-9)
+            assert fast.messages == slow.messages  # integers: exactly equal
+            analytic = placement_cost(inst, placement, policy="mst")
+            assert fast.total_cost == pytest.approx(analytic.total, rel=1e-9)
+
+    def test_vectorized_matches_per_object_closed_form(self):
+        from repro.core.costs import object_cost
+
+        g, inst = _setup(9, objects=3)
+        placement = Placement.from_sets(
+            [[0], [0, inst.num_nodes - 1], list(range(inst.num_nodes))]
+        )
+        sim = NetworkSimulator(g, inst)
+        report = sim.run(placement, request_log_from_instance(inst))
+        total = sum(
+            object_cost(inst, o, placement.copies(o), policy="mst").total
+            for o in range(3)
+        )
+        assert report.total_cost == pytest.approx(total, rel=1e-9)
+
+    def test_local_read_counts_no_message(self, line_metric):
+        import networkx as nx
+
+        # all reads issued at the copy holder: zero traffic, zero messages
+        inst = DataManagementInstance.single_object(
+            line_metric, np.ones(5), np.array([3.0, 0, 0, 0, 0]), np.zeros(5)
+        )
+        g = nx.path_graph(5)
+        for u, v in g.edges():
+            g[u][v]["weight"] = 1.0
+        sim = NetworkSimulator(g, inst)
+        for kwargs in ({}, {"track_edge_load": True}):
+            report = sim.run(
+                Placement.single([0]), request_log_from_instance(inst), **kwargs
+            )
+            assert report.messages == 0
+            assert report.read_traffic_cost == 0.0
+
+    def test_local_write_counts_only_multicast_messages(self, line_metric):
+        import networkx as nx
+
+        inst = DataManagementInstance.single_object(
+            line_metric, np.zeros(5), np.zeros(5), np.array([2.0, 0, 0, 0, 0])
+        )
+        g = nx.path_graph(5)
+        for u, v in g.edges():
+            g[u][v]["weight"] = 1.0
+        sim = NetworkSimulator(g, inst)
+        for kwargs in ({}, {"track_edge_load": True}):
+            report = sim.run(
+                Placement.single([0, 2]), request_log_from_instance(inst), **kwargs
+            )
+            # per write: free local attach + one MST-edge multicast message
+            assert report.messages == 2
+            assert report.write_traffic_cost == pytest.approx(4.0)
+
+    def test_accepts_plain_request_lists(self):
+        from repro.simulate import RequestLog
+
+        g, inst = _setup(5)
+        placement = Placement.single([0])
+        sim = NetworkSimulator(g, inst)
+        events = [Request(READ, inst.num_nodes - 1, 0), Request(WRITE, 1, 0)]
+        a = sim.run(placement, events)
+        b = sim.run(placement, RequestLog.from_requests(events))
+        assert a.total_cost == pytest.approx(b.total_cost, rel=1e-12)
+        assert a.messages == b.messages
+
+
+class TestPathCacheBounds:
+    def test_path_cache_is_bounded(self):
+        from repro.simulate import PathCache
+
+        g, inst = _setup(7, n=16)
+        cache = PathCache(g, max_sources=4)
+        sim = NetworkSimulator(g, inst, path_cache=cache)
+        log = request_log_from_instance(inst, seed=3)
+        sim.run(Placement.single([0]), log, track_edge_load=True)
+        assert cache.cached_sources <= 4
+
+    def test_shared_cache_between_simulator_and_online(self):
+        from repro.simulate import PathCache
+
+        g, inst = _setup(11)
+        cache = PathCache(g)
+        sim = NetworkSimulator(g, inst, path_cache=cache)
+        online = OnlineCountingStrategy(g, inst, path_cache=cache)
+        log = request_log_from_instance(inst, seed=4)
+        sim.run(Placement.single([0]), log, track_edge_load=True)
+        before = cache.sources_computed
+        online.run(log)  # mostly reuses the simulator's sources
+        assert cache.sources_computed >= before
+        assert cache.cache_hits > 0
+
+    def test_path_reconstruction_matches_metric(self):
+        from repro.simulate import PathCache
+
+        g, inst = _setup(13)
+        cache = PathCache(g)
+        metric = inst.metric
+        for u in range(inst.num_nodes):
+            path = cache.path(0, u)
+            cost = sum(g[a][b]["weight"] for a, b in zip(path[:-1], path[1:]))
+            assert cost == pytest.approx(metric.d(0, u), rel=1e-9)
+
+    def test_unreachable_target_raises_value_error(self):
+        import networkx as nx
+        from repro.simulate import PathCache
+
+        g = nx.Graph()
+        g.add_edge(0, 1, weight=1.0)
+        g.add_node(2)
+        cache = PathCache(g)
+        with pytest.raises(ValueError, match="unreachable"):
+            cache.path(0, 2)
+
+
 class TestSimulatorValidation:
+    def test_disconnected_graph_rejected(self):
+        import networkx as nx
+
+        _, inst = _setup(10, n=4)
+        g = nx.Graph()
+        g.add_nodes_from(range(inst.num_nodes))
+        g.add_edge(0, 1, weight=1.0)
+        g.add_edge(2, 3, weight=1.0)
+        with pytest.raises(ValueError, match="connected"):
+            NetworkSimulator(g, inst)
+        with pytest.raises(ValueError, match="connected"):
+            OnlineCountingStrategy(g, inst)
+
     def test_mismatched_graph_rejected(self):
         g, inst = _setup(10)
         import networkx as nx
@@ -214,3 +386,51 @@ class TestOnlineStrategy:
         _, finals = online.run(request_log_from_instance(inst))
         readers = set(np.flatnonzero(inst.read_freq[0] > 0).tolist())
         assert readers <= finals[0]
+
+    def test_local_read_is_free_and_messageless(self, line_metric):
+        """Reads served by the node's own copy ship nothing: no traffic,
+        no message, no replication-counter movement."""
+        import networkx as nx
+
+        start = 0  # cheapest storage node holds the initial copy
+        cs = np.array([0.5, 1, 1, 1, 1])
+        inst = DataManagementInstance.single_object(
+            line_metric, cs, np.array([10.0, 0, 0, 0, 0]), np.zeros(5)
+        )
+        g = nx.path_graph(5)
+        for u, v in g.edges():
+            g[u][v]["weight"] = 1.0
+        online = OnlineCountingStrategy(g, inst, replication_threshold=1)
+        report, finals = online.run(request_log_from_instance(inst))
+        assert finals[0] == {start}
+        assert report.messages == 0
+        assert report.transmission_cost == 0.0
+        assert report.storage_cost == pytest.approx(0.5)  # initial copy only
+
+    def test_write_resets_replication_counters(self, line_metric):
+        """After a write invalidates, a reader needs `threshold` *fresh*
+        reads before it buys a copy again."""
+        import networkx as nx
+        from repro.simulate import RequestLog
+
+        cs = np.array([0.5, 1, 1, 1, 1])
+        inst = DataManagementInstance.single_object(
+            line_metric, cs, np.zeros(5), np.zeros(5)
+        )
+        g = nx.path_graph(5)
+        for u, v in g.edges():
+            g[u][v]["weight"] = 1.0
+        online = OnlineCountingStrategy(g, inst, replication_threshold=3)
+        # two reads at node 4, a write at node 0, then two more reads at 4:
+        # the write clears the count, so node 4 never reaches threshold 3
+        log = RequestLog.from_requests([
+            Request(READ, 4, 0), Request(READ, 4, 0),
+            Request(WRITE, 0, 0),
+            Request(READ, 4, 0), Request(READ, 4, 0),
+        ])
+        _, finals = online.run(log)
+        assert 4 not in finals[0]
+        # without the intervening write, four reads cross the threshold
+        log2 = RequestLog.from_requests([Request(READ, 4, 0)] * 4)
+        _, finals2 = online.run(log2)
+        assert 4 in finals2[0]
