@@ -44,9 +44,31 @@ Package layout
     re-placement with migration costs.
 ``repro.analysis``
     experiment runners, ratio statistics, table formatting.
+``repro.config`` / ``repro.registry`` / ``repro.api``
+    the front door: the typed :class:`~repro.config.PlanConfig`, the
+    ``@register_strategy`` plug-in registry, and the
+    :class:`~repro.api.Planner` façade whose ``plan()``/``compare()``
+    return serializable :class:`~repro.api.PlanReport` artifacts.
+``repro.serialize``
+    instance/placement persistence (JSON/NPZ round trips).
 """
 
-from . import analysis, baselines, core, engine, facility, graphs, simulate, workloads
+from . import (
+    analysis,
+    api,
+    baselines,
+    config,
+    core,
+    engine,
+    facility,
+    graphs,
+    registry,
+    serialize,
+    simulate,
+    workloads,
+)
+from .api import Planner, PlanReport
+from .config import PlanConfig
 from .core import (
     DataManagementInstance,
     Placement,
@@ -57,8 +79,10 @@ from .core import (
     placement_cost,
 )
 from .engine import PlacementEngine, place_catalog
+from .registry import available_strategies, get_strategy, register_strategy
+from .serialize import load_instance, save_instance
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "core",
@@ -69,14 +93,26 @@ __all__ = [
     "workloads",
     "simulate",
     "analysis",
+    "api",
+    "config",
+    "registry",
+    "serialize",
     "DataManagementInstance",
     "Placement",
     "PlacementEngine",
+    "PlanConfig",
+    "PlanReport",
+    "Planner",
     "place_catalog",
     "approximate_placement",
     "approximate_object_placement",
     "optimal_tree_placement",
     "object_cost",
     "placement_cost",
+    "register_strategy",
+    "get_strategy",
+    "available_strategies",
+    "save_instance",
+    "load_instance",
     "__version__",
 ]

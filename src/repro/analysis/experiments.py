@@ -16,23 +16,17 @@ import json
 import time
 import tracemalloc
 from dataclasses import dataclass, field
-from typing import Any, Callable, Sequence
+from typing import Any, Sequence
 
 import networkx as nx
 import numpy as np
 
-from ..baselines.exhaustive import SteinerOracle, brute_force_object
-from ..baselines.heuristics import (
-    best_single_node,
-    full_replication,
-    greedy_add_placement,
-    local_search_placement,
-    write_blind_placement,
-)
+from ..baselines.exhaustive import brute_force_object
+from ..baselines.heuristics import best_single_node
+from ..config import PlanConfig
 from ..core.approx import approximate_object_placement, proper_placement_margins
 from ..core.costs import object_cost
 from ..core.instance import DataManagementInstance
-from ..core.restricted import is_restricted, restrict_placement
 from ..core.tree_dp import optimal_tree_placement
 from ..facility import FL_SOLVERS, related_facility_problem, solve_ufl_lp
 from ..graphs import generators
@@ -368,25 +362,20 @@ def run_e6_baselines(
         notes="Expected shape: full replication wins only at write fraction 0; "
         "single median wins at write-heavy extremes; KRW tracks the best.",
     )
-    strategies: dict[str, Callable[[DataManagementInstance, int], tuple[int, ...]]] = {
-        "krw": lambda inst, o: approximate_object_placement(inst, o),
-        "median": best_single_node,
-        "replicate": full_replication,
-        "blind": write_blind_placement,
-        "greedy": lambda inst, o: greedy_add_placement(inst, o),
-        "local": lambda inst, o: local_search_placement(inst, o),
-    }
+    # the baseline family lives in the strategy registry; E6 is just a
+    # sweep over it (the table column order is the historical one).
+    # Deferred import: the registry's strategies return PlanReports, so
+    # repro.registry -> repro.api -> (on demand) repro.analysis.
+    from ..registry import get_strategy
+
+    strategies = ("krw", "single-median", "full-replication", "write-blind",
+                  "greedy-add", "local-search")
     for wf in write_fractions:
-        sums = {k: [] for k in strategies}
+        sums: dict[str, list[float]] = {k: [] for k in strategies}
         for inst in _instances(family, n, seeds, write_fraction=wf):
-            for key, strat in strategies.items():
-                copies = strat(inst, 0)
-                sums[key].append(object_cost(inst, 0, copies, policy="mst").total)
-        result.rows.append(
-            [wf]
-            + [float(np.mean(sums[k]))
-               for k in ("krw", "median", "replicate", "blind", "greedy", "local")]
-        )
+            for name in strategies:
+                sums[name].append(get_strategy(name).plan(inst).cost.total)
+        result.rows.append([wf] + [float(np.mean(sums[k])) for k in strategies])
     return result
 
 
@@ -997,7 +986,7 @@ def run_e15_dynamic_replay(
         "epoch-replan pays migration transfers from the nearest old copy.",
     )
 
-    engine_kwargs = dict(fl_solver=fl_solver, chunk_size=chunk_size, jobs=jobs)
+    plan_config = PlanConfig(fl_solver=fl_solver, chunk_size=chunk_size, jobs=jobs)
     shared_paths = PathCache(g)
     log_seed = seed + 2
     full_log = workload.full_log(seed=log_seed)
@@ -1006,7 +995,7 @@ def run_e15_dynamic_replay(
     # -- replay section: vectorized fast path vs per-event loop ---------
     aggregate = workload.aggregate_instance(metric, cs)
     t0 = time.perf_counter()
-    static_placement = PlacementEngine(aggregate, **engine_kwargs).place()
+    static_placement = PlacementEngine.from_config(aggregate, plan_config).place()
     t_place = time.perf_counter() - t0
 
     sim_agg = NetworkSimulator(g, aggregate, path_cache=shared_paths)
@@ -1048,7 +1037,7 @@ def run_e15_dynamic_replay(
     t_static = time.perf_counter() - t0 + t_place
 
     t0 = time.perf_counter()
-    replan = EpochReplanner(g, metric, cs, **engine_kwargs).run(
+    replan = EpochReplanner(g, metric, cs, config=plan_config).run(
         workload, log_seed=log_seed
     )
     t_replan = time.perf_counter() - t0

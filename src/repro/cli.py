@@ -6,6 +6,10 @@ Usage::
     python -m repro experiment all
     python -m repro scenario www             # run a named scenario bake-off
     python -m repro scenario www --num-objects 5000
+    python -m repro plan --scenario www --config cfg.json \\
+        --save www.npz                       # one strategy -> artifact
+    python -m repro plan --load www.npz      # reload the artifact
+    python -m repro compare --scenario dfs --strategies krw online
     python -m repro place --scenario www --num-objects 100000 \\
         --jobs 4 --chunk-size 512            # batched catalog placement
     python -m repro backend-sweep --sizes 1000 4000 10000 \\
@@ -15,8 +19,12 @@ Usage::
     python -m repro list                     # what is available
 
 Experiments are the E1--E15 validations mapped to the paper in
-docs/EXPERIMENTS.md; scenarios place a full object catalogue with every
-strategy and print the bill comparison; ``place`` runs the batched
+docs/EXPERIMENTS.md; scenarios place a full object catalogue with the
+registered strategies and print the bill comparison; ``plan`` runs one
+registered strategy under a (optionally file-loaded)
+:class:`~repro.config.PlanConfig` and can persist/reload the resulting
+:class:`~repro.api.PlanReport`; ``compare`` runs many strategies on one
+scenario; ``place`` runs the batched
 :class:`~repro.engine.PlacementEngine` over a scenario's catalog (with
 optional per-object-loop parity check and JSON summary);
 ``backend-sweep`` measures the dense vs lazy distance backends at chosen
@@ -34,18 +42,14 @@ import time
 from typing import Callable, Sequence
 
 from . import analysis
-from .baselines import best_single_node, full_replication, write_blind_placement
+from .api import PlanReport, Planner, compare_table
+from .config import PlanConfig
 from .core.approx import approximate_placement
 from .core.costs import placement_cost
-from .core.placement import Placement
 from .engine import DEFAULT_CHUNK_SIZE, PlacementEngine
 from .facility import FL_SOLVERS
-from .workloads import (
-    distributed_file_system,
-    tree_network,
-    virtual_shared_memory,
-    www_content_provider,
-)
+from .registry import available_strategies
+from .workloads import DYNAMIC_SCENARIOS, SCENARIO_BUILDERS
 
 __all__ = ["main", "EXPERIMENTS", "SCENARIOS"]
 
@@ -68,12 +72,14 @@ EXPERIMENTS: dict[str, Callable[[], "analysis.ExperimentResult"]] = {
     "E15": analysis.run_e15_dynamic_replay,
 }
 
-SCENARIOS = {
-    "www": www_content_provider,
-    "dfs": distributed_file_system,
-    "vsm": virtual_shared_memory,
-    "tree": tree_network,
-}
+# the CLI surface is the workloads registry; the alias is the public name
+# this module has always exported
+SCENARIOS = SCENARIO_BUILDERS
+
+#: The scenario bake-off subset: the static strategies whose bills are
+#: comparable at a glance (the slow true-objective heuristics and the
+#: order-sensitive online strategy run via ``compare --strategies``).
+BAKEOFF_STRATEGIES = ("krw", "single-median", "full-replication", "write-blind")
 
 
 def _run_experiments(names: Sequence[str], out=sys.stdout) -> int:
@@ -108,32 +114,73 @@ def _run_scenario(name: str, out=sys.stdout, *, num_objects: int | None = None) 
     inst = sc.instance
     print(f"scenario {sc.name}: {inst.num_nodes} nodes, "
           f"{inst.num_objects} objects", file=out)
+    reports = Planner().compare(sc, BAKEOFF_STRATEGIES)
+    print(compare_table(reports), file=out)
+    return 0
 
-    strategies = {
-        # identical to approximate_placement(inst), batched across the catalog
-        "krw-approximation": PlacementEngine(inst).place(),
-        "single-median": Placement(
-            tuple(best_single_node(inst, o) for o in range(inst.num_objects))
-        ),
-        "full-replication": Placement(
-            tuple(full_replication(inst, o) for o in range(inst.num_objects))
-        ),
-        "write-blind-fl": Placement(
-            tuple(write_blind_placement(inst, o) for o in range(inst.num_objects))
-        ),
-    }
-    rows = []
-    for label, placement in strategies.items():
-        cost = placement_cost(inst, placement, policy="mst")
-        rows.append([label, placement.replication_degree(), cost.storage,
-                     cost.read, cost.update, cost.total])
-    print(
-        analysis.format_table(
-            ("strategy", "mean copies", "storage", "read", "update", "total"),
-            rows,
-        ),
-        file=out,
-    )
+
+def _load_config(args) -> PlanConfig | None:
+    """The run's PlanConfig: file base, CLI overrides on top."""
+    config = PlanConfig() if args.config is None else PlanConfig.from_file(args.config)
+    overrides = {}
+    for knob in ("jobs", "fl_solver", "seed"):
+        value = getattr(args, knob, None)
+        if value is not None:
+            overrides[knob] = value
+    return config.replace(**overrides) if overrides else config
+
+
+def _build_scenario(args):
+    sc = SCENARIOS[args.scenario](**_scenario_kwargs(args))
+    return sc
+
+
+def _run_plan(args, out=sys.stdout) -> int:
+    if args.load_path:
+        try:
+            report = PlanReport.load(args.load_path)
+        except (ValueError, OSError, KeyError) as exc:
+            print(f"plan: cannot load {args.load_path}: {exc}", file=sys.stderr)
+            return 2
+        print(f"loaded {args.load_path}", file=out)
+        print(report.render(), file=out)
+        return 0
+    try:
+        config = _load_config(args)
+    except (ValueError, TypeError, OSError) as exc:
+        print(f"plan: bad config: {exc}", file=sys.stderr)
+        return 2
+    sc = _build_scenario(args)
+    inst = sc.instance
+    print(f"scenario {sc.name}: {inst.num_nodes} nodes, "
+          f"{inst.num_objects} objects", file=out)
+    report = Planner(config).plan(sc, args.strategy)
+    print(report.render(), file=out)
+    if args.save_path:
+        report.save(args.save_path)
+        print(f"wrote {args.save_path}", file=out)
+    return 0
+
+
+def _run_compare(args, out=sys.stdout) -> int:
+    try:
+        config = _load_config(args)
+    except (ValueError, TypeError, OSError) as exc:
+        print(f"compare: bad config: {exc}", file=sys.stderr)
+        return 2
+    sc = _build_scenario(args)
+    inst = sc.instance
+    print(f"scenario {sc.name}: {inst.num_nodes} nodes, "
+          f"{inst.num_objects} objects", file=out)
+    names = args.strategies or list(available_strategies())
+    reports = Planner(config).compare(sc, names)
+    print(compare_table(reports), file=out)
+    if args.out_path:
+        payload = {"scenario": sc.name, "reports": [r.to_dict() for r in reports]}
+        with open(args.out_path, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.out_path}", file=out)
     return 0
 
 
@@ -265,6 +312,49 @@ def main(argv: Sequence[str] | None = None, out=sys.stdout) -> int:
                       help="catalog size (scenario default when omitted); "
                       "large catalogs use the Zipf-weighted columnar split")
 
+    # the problem/config options plan and compare share (the knobs
+    # _load_config reads must stay identical across the two commands)
+    planner_opts = argparse.ArgumentParser(add_help=False)
+    planner_opts.add_argument("--scenario", choices=sorted(SCENARIOS),
+                              default="www")
+    planner_opts.add_argument("--num-objects", type=int, default=None,
+                              help="catalog size (scenario default when "
+                              "omitted)")
+    planner_opts.add_argument("--config", default=None, metavar="FILE",
+                              help="PlanConfig file (*.json or *.toml)")
+    planner_opts.add_argument("--jobs", type=int, default=None,
+                              help="override the config's worker count")
+    planner_opts.add_argument("--fl-solver", choices=sorted(FL_SOLVERS),
+                              default=None,
+                              help="override the config's phase-1 solver")
+    planner_opts.add_argument("--seed", type=int, default=None,
+                              help="override the config's event-order seed")
+
+    p_plan = sub.add_parser(
+        "plan",
+        parents=[planner_opts],
+        help="run one registered strategy under a PlanConfig; save/load "
+        "the resulting PlanReport artifact",
+    )
+    p_plan.add_argument("--strategy", choices=available_strategies(),
+                        default="krw")
+    p_plan.add_argument("--save", dest="save_path", default=None,
+                        help="write the PlanReport here (*.npz or *.json)")
+    p_plan.add_argument("--load", dest="load_path", default=None,
+                        help="reload and print a saved PlanReport instead "
+                        "of planning")
+
+    p_cmp = sub.add_parser(
+        "compare",
+        parents=[planner_opts],
+        help="run several registered strategies on one scenario",
+    )
+    p_cmp.add_argument("--strategies", nargs="+", default=None,
+                       choices=available_strategies(),
+                       help="strategy names (default: every registered one)")
+    p_cmp.add_argument("--out", dest="out_path", default=None,
+                       help="also write every report as JSON here")
+
     p_pl = sub.add_parser(
         "place",
         help="place a scenario's object catalog with the batched engine",
@@ -325,13 +415,17 @@ def main(argv: Sequence[str] | None = None, out=sys.stdout) -> int:
     p_dy.add_argument("--out", dest="out_path", default=None,
                       help="write the experiment table as JSON here")
 
-    sub.add_parser("list", help="list experiments and scenarios")
+    sub.add_parser("list", help="list experiments, scenarios and strategies")
 
     args = parser.parse_args(argv)
     if args.command == "experiment":
         return _run_experiments(args.names, out=out)
     if args.command == "scenario":
         return _run_scenario(args.name, out=out, num_objects=args.num_objects)
+    if args.command == "plan":
+        return _run_plan(args, out=out)
+    if args.command == "compare":
+        return _run_compare(args, out=out)
     if args.command == "place":
         return _run_place(args, out=out)
     if args.command == "backend-sweep":
@@ -339,8 +433,10 @@ def main(argv: Sequence[str] | None = None, out=sys.stdout) -> int:
     if args.command == "dynamic":
         return _run_dynamic(args, out=out)
     if args.command == "list":
-        print("experiments:", ", ".join(EXPERIMENTS), file=out)
-        print("scenarios:  ", ", ".join(SCENARIOS), file=out)
+        print("experiments:      ", ", ".join(EXPERIMENTS), file=out)
+        print("scenarios:        ", ", ".join(SCENARIOS), file=out)
+        print("dynamic scenarios:", ", ".join(DYNAMIC_SCENARIOS), file=out)
+        print("strategies:       ", ", ".join(available_strategies()), file=out)
         return 0
     parser.print_help(out)
     return 1

@@ -1,0 +1,177 @@
+"""Typed, validated, persistable planning configuration.
+
+Every knob of the placement pipeline -- distance backend, phase-1 solver,
+phase toggles, engine chunking/parallelism, the seed for order-sensitive
+strategies -- lives in one frozen :class:`PlanConfig`.  The config is the
+*provenance record* of a plan: :class:`~repro.api.PlanReport` embeds the
+exact config that produced it, and ``to_dict`` / ``from_dict`` /
+``from_file`` round-trip it through JSON (and read-only TOML), so a
+placement artifact can always be traced back to -- and re-run from -- the
+declaration that produced it.
+
+Consumers:
+
+* :meth:`repro.engine.PlacementEngine.from_config` /
+  :func:`repro.engine.place_catalog` consume the engine knobs,
+* :class:`repro.simulate.replanner.EpochReplanner` shares one config
+  across its per-epoch solves,
+* every :mod:`repro.registry` strategy receives the config through
+  ``plan(instance, config)``,
+* ``python -m repro plan/compare --config FILE`` loads one from disk.
+
+Unknown keys are a hard :class:`TypeError` -- a typo in a config file
+must not silently fall back to a default.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, fields
+from pathlib import Path
+
+from .core.radii import DEFAULT_RADII_BLOCK
+from .engine import DEFAULT_CHUNK_SIZE
+from .facility import FL_SOLVERS
+
+__all__ = ["PlanConfig", "BACKEND_CHOICES", "COST_POLICIES"]
+
+#: Distance-backend request: ``"auto"`` keeps whatever the instance was
+#: built with (dense below, lazy above the materialization threshold when
+#: the planner builds the metric itself).
+BACKEND_CHOICES = ("auto", "dense", "lazy")
+
+#: Billing policies understood by :func:`repro.core.costs.placement_cost`.
+COST_POLICIES = ("mst", "steiner", "steiner_mst")
+
+
+@dataclass(frozen=True)
+class PlanConfig:
+    """The complete, validated knob set of one planning run.
+
+    Attributes
+    ----------
+    backend:
+        Distance-backend choice for metrics the planner builds itself
+        (``"auto"`` | ``"dense"`` | ``"lazy"``).  Instances that already
+        carry a metric are used as-is.
+    fl_solver:
+        Phase-1 facility-location algorithm
+        (:data:`repro.facility.FL_SOLVERS`).
+    phase2 / phase3:
+        The Section 2 ablation toggles; the approximation guarantee
+        requires both.
+    facility_candidates:
+        Cap on the phase-1 candidate facility set (``None``: automatic).
+    chunk_size / jobs / radii_block:
+        :class:`~repro.engine.PlacementEngine` batching and parallelism.
+    cost_policy:
+        Update-billing policy for report costs (``"mst"`` is the paper's
+        restricted policy).
+    seed:
+        Event-order seed for order-sensitive strategies (``online``);
+        recorded as provenance either way.
+    replication_threshold:
+        The ``online`` strategy's ski-rental read count.
+    """
+
+    backend: str = "auto"
+    fl_solver: str = "local_search"
+    phase2: bool = True
+    phase3: bool = True
+    facility_candidates: int | None = None
+    chunk_size: int = DEFAULT_CHUNK_SIZE
+    jobs: int = 1
+    radii_block: int = DEFAULT_RADII_BLOCK
+    cost_policy: str = "mst"
+    seed: int | None = None
+    replication_threshold: int = 3
+
+    # ------------------------------------------------------------------
+    def __post_init__(self) -> None:
+        if self.backend not in BACKEND_CHOICES:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; choose from {BACKEND_CHOICES}"
+            )
+        if self.fl_solver not in FL_SOLVERS:
+            raise ValueError(
+                f"unknown fl_solver {self.fl_solver!r}; "
+                f"choose from {sorted(FL_SOLVERS)}"
+            )
+        if self.cost_policy not in COST_POLICIES:
+            raise ValueError(
+                f"unknown cost_policy {self.cost_policy!r}; "
+                f"choose from {COST_POLICIES}"
+            )
+        for knob in ("chunk_size", "jobs", "radii_block", "replication_threshold"):
+            if int(getattr(self, knob)) < 1:
+                raise ValueError(f"{knob} must be positive")
+        if self.facility_candidates is not None and self.facility_candidates < 1:
+            raise ValueError("facility_candidates must be positive (or None)")
+
+    # ------------------------------------------------------------------
+    # derived views
+    # ------------------------------------------------------------------
+    def engine_kwargs(self) -> dict:
+        """The subset :class:`~repro.engine.PlacementEngine` consumes."""
+        return dict(
+            fl_solver=self.fl_solver,
+            phase2=self.phase2,
+            phase3=self.phase3,
+            facility_candidates=self.facility_candidates,
+            chunk_size=self.chunk_size,
+            jobs=self.jobs,
+            radii_block=self.radii_block,
+        )
+
+    def replace(self, **changes) -> "PlanConfig":
+        """A copy with the given knobs changed (re-validated)."""
+        return dataclasses.replace(self, **changes)
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PlanConfig":
+        """Build from a plain dict; unknown keys raise ``TypeError``.
+
+        The explicit check turns a config-file typo into a named error
+        instead of a silently ignored knob.
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise TypeError(
+                f"unknown PlanConfig knob(s) {unknown}; known knobs: "
+                f"{sorted(known)}"
+            )
+        return cls(**data)
+
+    @classmethod
+    def from_file(cls, path) -> "PlanConfig":
+        """Load from ``*.json`` or ``*.toml`` (chosen by suffix)."""
+        path = Path(path)
+        if path.suffix.lower() == ".toml":
+            try:
+                import tomllib
+            except ImportError:  # Python < 3.11
+                try:
+                    import tomli as tomllib  # type: ignore[no-redef]
+                except ImportError as exc:  # pragma: no cover - env-dependent
+                    raise RuntimeError(
+                        "reading TOML configs needs tomllib (Python >= 3.11) "
+                        "or the tomli package; use a .json config instead"
+                    ) from exc
+            data = tomllib.loads(path.read_text())
+        else:
+            data = json.loads(path.read_text())
+        if not isinstance(data, dict):
+            raise TypeError(f"config file {path} must hold a mapping")
+        return cls.from_dict(data)
+
+    def to_file(self, path) -> None:
+        """Persist as JSON (the write format; TOML is read-only)."""
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2) + "\n")

@@ -119,13 +119,24 @@ class PlacementEngine:
         self.radii_block = int(radii_block)
 
     # ------------------------------------------------------------------
-    def for_instance(self, instance: DataManagementInstance) -> "PlacementEngine":
-        """A new engine with this engine's configuration over another
-        instance -- the epoch-replanning hook: re-solving a drifted
-        billing period reuses solver/chunking/parallelism choices
-        without re-spelling them."""
-        return PlacementEngine(
-            instance,
+    @classmethod
+    def from_config(cls, instance: DataManagementInstance, config) -> "PlacementEngine":
+        """An engine configured by a :class:`~repro.config.PlanConfig`.
+
+        The config is duck-typed (anything with ``engine_kwargs()``)
+        because :mod:`repro.config` imports this module for its
+        defaults; the concrete class cannot be imported here.
+        """
+        return cls(instance, **config.engine_kwargs())
+
+    @property
+    def config(self):
+        """This engine's knobs as a :class:`~repro.config.PlanConfig`
+        (backend ``"auto"``: the engine works on whatever metric the
+        instance carries)."""
+        from .config import PlanConfig
+
+        return PlanConfig(
             fl_solver=self.fl_solver,
             phase2=self.phase2,
             phase3=self.phase3,
@@ -134,6 +145,13 @@ class PlacementEngine:
             jobs=self.jobs,
             radii_block=self.radii_block,
         )
+
+    def for_instance(self, instance: DataManagementInstance) -> "PlacementEngine":
+        """A new engine with this engine's configuration over another
+        instance -- the epoch-replanning hook: re-solving a drifted
+        billing period reuses solver/chunking/parallelism choices
+        without re-spelling them."""
+        return PlacementEngine.from_config(instance, self.config)
 
     # ------------------------------------------------------------------
     def place_objects(self, objects: Sequence[int]) -> list[tuple[int, ...]]:
@@ -242,9 +260,36 @@ class PlacementEngine:
         return Placement(tuple(copies for _, copies in self.stream()))
 
 
-def place_catalog(instance: DataManagementInstance, **kwargs) -> Placement:
-    """One-call convenience: ``PlacementEngine(instance, **kwargs).place()``."""
-    return PlacementEngine(instance, **kwargs).place()
+def place_catalog(
+    instance: DataManagementInstance,
+    *,
+    fl_solver: str = "local_search",
+    phase2: bool = True,
+    phase3: bool = True,
+    facility_candidates: int | None = None,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    jobs: int = 1,
+    radii_block: int = DEFAULT_RADII_BLOCK,
+) -> Placement:
+    """One-call catalog placement with an explicit, typed knob set.
+
+    The knobs are exactly the engine fields of
+    :class:`~repro.config.PlanConfig` (which this delegates through), so
+    an unknown keyword is an immediate ``TypeError`` naming the bad
+    argument instead of an untyped ``**kwargs`` passthrough.
+    """
+    from .config import PlanConfig
+
+    config = PlanConfig(
+        fl_solver=fl_solver,
+        phase2=phase2,
+        phase3=phase3,
+        facility_candidates=facility_candidates,
+        chunk_size=chunk_size,
+        jobs=jobs,
+        radii_block=radii_block,
+    )
+    return PlacementEngine.from_config(instance, config).place()
 
 
 # ----------------------------------------------------------------------

@@ -257,6 +257,12 @@ class LazyMetric:
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
+    @property
+    def adjacency(self) -> csr_matrix:
+        """The backing CSR adjacency -- the backend's whole persistent
+        state (what pickling ships and :mod:`repro.serialize` stores)."""
+        return self._adj
+
     def d(self, u: int, v: int) -> float:
         return float(self.row(u)[int(v)])
 

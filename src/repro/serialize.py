@@ -1,0 +1,209 @@
+"""Persist problem instances and placements to JSON / NPZ.
+
+The API layer's artifacts must survive a process boundary: a catalog
+placed today is billed, audited or replayed tomorrow.  This module is
+the single implementation of that persistence, shared by
+:class:`~repro.api.PlanReport` and the ``plan --save/--load`` CLI:
+
+* :func:`save_instance` / :func:`load_instance` round-trip a
+  :class:`~repro.core.instance.DataManagementInstance` *including its
+  distance backend* -- the dense :class:`~repro.graphs.metric.Metric`
+  stores its closure matrix, the :class:`~repro.graphs.backend.LazyMetric`
+  stores only its CSR adjacency -- so a reloaded instance answers every
+  distance query bit-identically and re-placing it reproduces the exact
+  copy sets (property-tested in ``tests/test_serialize.py``).
+* :func:`placement_to_arrays` / :func:`placement_from_arrays` flatten the
+  ragged copy sets into two integer arrays (concatenated nodes +
+  offsets), the NPZ-friendly columnar form.
+
+Formats are chosen by suffix: ``*.npz`` (compact, binary-exact) or
+``*.json`` (diff-able; floats round-trip exactly through ``repr``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+from scipy.sparse import csr_matrix
+
+from .core.instance import DataManagementInstance
+from .core.placement import Placement
+from .graphs.backend import LazyMetric
+from .graphs.metric import Metric
+
+__all__ = [
+    "save_instance",
+    "load_instance",
+    "instance_to_dict",
+    "instance_from_dict",
+    "placement_to_arrays",
+    "placement_from_arrays",
+]
+
+_FORMAT_VERSION = 1
+
+
+def artifact_suffix(path: Path) -> str:
+    """The normalized persistence format of ``path`` -- ``".json"`` or
+    ``".npz"``.  Anything else is a hard error: ``np.savez`` would
+    silently append ``.npz`` on save and the matching load would then
+    miss the file, breaking the round-trip contract."""
+    suffix = path.suffix.lower()
+    if suffix not in (".json", ".npz"):
+        raise ValueError(
+            f"unsupported artifact suffix {path.suffix!r} on {path}; "
+            "use .json or .npz"
+        )
+    return suffix
+
+
+# ----------------------------------------------------------------------
+# placements <-> columnar arrays
+# ----------------------------------------------------------------------
+def placement_to_arrays(placement: Placement) -> tuple[np.ndarray, np.ndarray]:
+    """Flatten ragged copy sets: ``(concatenated nodes, offsets)``.
+
+    ``offsets`` has length ``m + 1``; object ``i``'s copies are
+    ``nodes[offsets[i]:offsets[i + 1]]``.
+    """
+    sizes = [len(s) for s in placement.copy_sets]
+    offsets = np.zeros(len(sizes) + 1, dtype=np.int64)
+    np.cumsum(sizes, out=offsets[1:])
+    nodes = np.fromiter(
+        (v for s in placement.copy_sets for v in s), dtype=np.int64,
+        count=int(offsets[-1]),
+    )
+    return nodes, offsets
+
+
+def placement_from_arrays(nodes: np.ndarray, offsets: np.ndarray) -> Placement:
+    nodes = np.asarray(nodes, dtype=np.int64)
+    offsets = np.asarray(offsets, dtype=np.int64)
+    return Placement(
+        tuple(
+            tuple(int(v) for v in nodes[offsets[i]:offsets[i + 1]])
+            for i in range(offsets.size - 1)
+        )
+    )
+
+
+# ----------------------------------------------------------------------
+# metric payloads
+# ----------------------------------------------------------------------
+def _metric_payload(metric) -> dict:
+    if isinstance(metric, Metric):
+        return {"metric_kind": "dense", "dist": metric.dist}
+    if isinstance(metric, LazyMetric):
+        adj = metric.adjacency
+        return {
+            "metric_kind": "lazy",
+            "adj_data": adj.data,
+            "adj_indices": adj.indices,
+            "adj_indptr": adj.indptr,
+            "adj_n": np.int64(metric.n),
+        }
+    raise TypeError(
+        f"cannot serialize metric of type {type(metric).__name__}; "
+        "supported backends: Metric (dense), LazyMetric"
+    )
+
+
+def _metric_from_payload(kind: str, payload: dict):
+    if kind == "dense":
+        return Metric(np.asarray(payload["dist"], dtype=float), validate=False)
+    if kind == "lazy":
+        n = int(payload["adj_n"])
+        adj = csr_matrix(
+            (
+                np.asarray(payload["adj_data"], dtype=float),
+                np.asarray(payload["adj_indices"], dtype=np.int32),
+                np.asarray(payload["adj_indptr"], dtype=np.int32),
+            ),
+            shape=(n, n),
+        )
+        return LazyMetric(adj, validate=False)
+    raise ValueError(f"unknown metric_kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# instances
+# ----------------------------------------------------------------------
+def instance_to_dict(instance: DataManagementInstance) -> dict:
+    """JSON-ready dict form (nested lists; exact float round-trip)."""
+    payload = _metric_payload(instance.metric)
+    metric = {
+        k: (v.tolist() if isinstance(v, np.ndarray) else int(v))
+        for k, v in payload.items()
+        if k != "metric_kind"
+    }
+    return {
+        "format": "repro-instance",
+        "version": _FORMAT_VERSION,
+        "metric_kind": payload["metric_kind"],
+        "metric": metric,
+        "storage_costs": instance.storage_costs.tolist(),
+        "read_freq": instance.read_freq.tolist(),
+        "write_freq": instance.write_freq.tolist(),
+        "object_names": list(instance.object_names),
+        "object_sizes": instance.object_sizes.tolist(),
+    }
+
+
+def instance_from_dict(data: dict) -> DataManagementInstance:
+    if data.get("format") != "repro-instance":
+        raise ValueError("not a serialized DataManagementInstance")
+    metric = _metric_from_payload(data["metric_kind"], data["metric"])
+    return DataManagementInstance(
+        metric,
+        np.asarray(data["storage_costs"], dtype=float),
+        np.asarray(data["read_freq"], dtype=float),
+        np.asarray(data["write_freq"], dtype=float),
+        object_names=tuple(data["object_names"]),
+        object_sizes=np.asarray(data["object_sizes"], dtype=float),
+    )
+
+
+def save_instance(instance: DataManagementInstance, path) -> None:
+    """Write an instance to ``*.npz`` or ``*.json`` (by suffix)."""
+    path = Path(path)
+    if artifact_suffix(path) == ".json":
+        path.write_text(json.dumps(instance_to_dict(instance)) + "\n")
+        return
+    payload = _metric_payload(instance.metric)
+    meta = {
+        "format": "repro-instance",
+        "version": _FORMAT_VERSION,
+        "metric_kind": payload.pop("metric_kind"),
+        "object_names": list(instance.object_names),
+    }
+    np.savez_compressed(
+        path,
+        meta=np.str_(json.dumps(meta)),
+        storage_costs=instance.storage_costs,
+        read_freq=instance.read_freq,
+        write_freq=instance.write_freq,
+        object_sizes=instance.object_sizes,
+        **payload,
+    )
+
+
+def load_instance(path) -> DataManagementInstance:
+    """Read an instance written by :func:`save_instance`."""
+    path = Path(path)
+    if artifact_suffix(path) == ".json":
+        return instance_from_dict(json.loads(path.read_text()))
+    with np.load(path, allow_pickle=False) as archive:
+        meta = json.loads(str(archive["meta"]))
+        if meta.get("format") != "repro-instance":
+            raise ValueError(f"{path} is not a serialized instance")
+        metric = _metric_from_payload(meta["metric_kind"], archive)
+        return DataManagementInstance(
+            metric,
+            archive["storage_costs"],
+            archive["read_freq"],
+            archive["write_freq"],
+            object_names=tuple(meta["object_names"]),
+            object_sizes=archive["object_sizes"],
+        )

@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 import networkx as nx
 import numpy as np
 
+from ..config import PlanConfig
 from ..core.placement import Placement
 from ..engine import PlacementEngine
 from .paths import PathCache
@@ -93,11 +94,11 @@ class EpochReplanner:
         Its distance backend (dense or lazy closure of ``graph``).
     storage_costs:
         Per-node storage prices, shared by every epoch.
-    engine_kwargs:
-        Forwarded to :class:`~repro.engine.PlacementEngine` (e.g.
-        ``fl_solver``, ``chunk_size``, ``jobs``); the per-epoch solves
-        share one configuration via
-        :meth:`~repro.engine.PlacementEngine.for_instance`.
+    config:
+        A :class:`~repro.config.PlanConfig` shared by every per-epoch
+        :class:`~repro.engine.PlacementEngine` solve.  Legacy engine
+        keywords (``fl_solver=...``, ``jobs=...``) are still accepted in
+        its place and validated through the same config.
     """
 
     def __init__(
@@ -105,12 +106,19 @@ class EpochReplanner:
         graph: nx.Graph,
         metric,
         storage_costs: np.ndarray,
+        config: PlanConfig | None = None,
         **engine_kwargs,
     ) -> None:
+        if config is not None and engine_kwargs:
+            raise TypeError(
+                "pass either a PlanConfig or engine keywords, not both: "
+                f"{sorted(engine_kwargs)}"
+            )
         self.graph = graph
         self.metric = metric
         self.storage_costs = np.asarray(storage_costs, dtype=float)
-        self.engine_kwargs = engine_kwargs
+        # the legacy kwargs spelling funnels through the same validation
+        self.config = config if config is not None else PlanConfig(**engine_kwargs)
         # one routing/path state for all per-epoch simulators
         self._path_cache = PathCache(graph)
 
@@ -137,7 +145,6 @@ class EpochReplanner:
         matters when comparing against order-sensitive strategies on the
         same stream.
         """
-        engine: PlacementEngine | None = None
         result = ReplanResult()
         start = int(np.argmin(self.storage_costs))
         prev: list[tuple[int, ...]] = [
@@ -145,11 +152,7 @@ class EpochReplanner:
         ]
         for e in range(workload.num_epochs):
             inst = workload.epoch_instance(self.metric, self.storage_costs, e)
-            if engine is None:
-                engine = PlacementEngine(inst, **self.engine_kwargs)
-            else:
-                engine = engine.for_instance(inst)
-            placement = engine.place()
+            placement = PlacementEngine.from_config(inst, self.config).place()
 
             migration = 0.0
             added = dropped = 0

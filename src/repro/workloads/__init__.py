@@ -14,6 +14,8 @@ from .request_models import (
 )
 from .scenarios import (
     CATALOG_AUTO_THRESHOLD,
+    DYNAMIC_SCENARIOS,
+    SCENARIO_BUILDERS,
     Scenario,
     distributed_file_system,
     tree_network,
@@ -33,6 +35,8 @@ __all__ = [
     "make_instance",
     "Scenario",
     "CATALOG_AUTO_THRESHOLD",
+    "SCENARIO_BUILDERS",
+    "DYNAMIC_SCENARIOS",
     "www_content_provider",
     "distributed_file_system",
     "virtual_shared_memory",

@@ -37,6 +37,8 @@ from .request_models import make_instance
 __all__ = [
     "Scenario",
     "CATALOG_AUTO_THRESHOLD",
+    "SCENARIO_BUILDERS",
+    "DYNAMIC_SCENARIOS",
     "www_content_provider",
     "distributed_file_system",
     "virtual_shared_memory",
@@ -171,3 +173,17 @@ def tree_network(
         mean_demand=4.0,
     )
     return Scenario("tree_network", g, inst)
+
+
+#: The static scenario surface by CLI/API short name -- the single
+#: source the CLI, the planner examples and the tests look names up in.
+SCENARIO_BUILDERS = {
+    "www": www_content_provider,
+    "dfs": distributed_file_system,
+    "vsm": virtual_shared_memory,
+    "tree": tree_network,
+}
+
+#: The epoch-structured workload shapes of :mod:`repro.workloads.dynamic`
+#: (consumed by ``python -m repro dynamic --scenario ...``).
+DYNAMIC_SCENARIOS = ("drift", "flash")

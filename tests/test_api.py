@@ -1,0 +1,109 @@
+"""Tests for repro.api: the Planner façade and PlanReport artifacts."""
+
+import numpy as np
+import pytest
+
+from repro.api import PlanReport, Planner, compare_table
+from repro.config import PlanConfig
+from repro.core.approx import approximate_placement
+from repro.graphs.backend import LazyMetric
+from repro.graphs.metric import Metric
+from repro.workloads import tree_network, www_content_provider
+
+
+class TestPlanner:
+    def test_plan_carries_provenance_config(self):
+        cfg = PlanConfig(fl_solver="greedy", chunk_size=4)
+        report = Planner(cfg).plan(tree_network(num_objects=3))
+        assert report.config == cfg
+        # re-running from the recorded provenance reproduces the artifact
+        again = Planner(report.config).plan(tree_network(num_objects=3))
+        assert again.placement.copy_sets == report.placement.copy_sets
+
+    def test_plan_accepts_bare_instance(self):
+        inst = tree_network(num_objects=2).instance
+        report = Planner().plan(inst)
+        assert report.placement.copy_sets == approximate_placement(inst).copy_sets
+
+    def test_plan_rejects_non_instances(self):
+        with pytest.raises(TypeError, match="Scenario"):
+            Planner().plan({"not": "an instance"})
+
+    def test_compare_preserves_request_order(self):
+        names = ["full-replication", "krw", "single-median"]
+        reports = Planner().compare(tree_network(num_objects=2), names)
+        assert [r.strategy for r in reports] == names
+
+    def test_compare_table_lists_strategies(self):
+        reports = Planner().compare(
+            tree_network(num_objects=2), ["krw", "single-median"]
+        )
+        table = compare_table(reports)
+        assert "krw" in table and "single-median" in table
+        assert "total" in table
+
+
+class TestBackendResolution:
+    def test_scenario_rebuilt_on_requested_backend(self):
+        sc = www_content_provider(num_objects=2)
+        dense = Planner(PlanConfig(backend="dense")).resolve_instance(sc)
+        lazy = Planner(PlanConfig(backend="lazy")).resolve_instance(sc)
+        assert isinstance(dense.metric, Metric)
+        assert isinstance(lazy.metric, LazyMetric)
+        # identical problems -> identical placements across backends
+        a = Planner(PlanConfig(backend="dense")).plan(sc)
+        b = Planner(PlanConfig(backend="lazy")).plan(sc)
+        assert a.placement.copy_sets == b.placement.copy_sets
+
+    def test_auto_keeps_instance_metric(self):
+        sc = www_content_provider(num_objects=2)
+        assert Planner().resolve_instance(sc) is sc.instance
+
+    def test_matching_backend_is_a_no_op(self):
+        inst = tree_network(num_objects=2).instance
+        assert Planner(PlanConfig(backend="dense")).resolve_instance(inst) is inst
+
+    def test_bare_instance_can_densify_but_not_lazify(self):
+        sc = www_content_provider(num_objects=2)
+        lazy_inst = Planner(PlanConfig(backend="lazy")).resolve_instance(sc)
+        densified = Planner(PlanConfig(backend="dense")).resolve_instance(lazy_inst)
+        assert isinstance(densified.metric, Metric)
+        dense_inst = sc.instance
+        with pytest.raises(ValueError, match="lazy"):
+            Planner(PlanConfig(backend="lazy")).resolve_instance(dense_inst)
+
+
+class TestPlanReportArtifacts:
+    def _report(self) -> PlanReport:
+        return Planner(PlanConfig(seed=5)).plan(tree_network(num_objects=3))
+
+    def test_dict_round_trip(self):
+        report = self._report()
+        assert PlanReport.from_dict(report.to_dict()) == report
+
+    @pytest.mark.parametrize("suffix", [".json", ".npz"])
+    def test_file_round_trip(self, tmp_path, suffix):
+        report = self._report()
+        path = tmp_path / f"report{suffix}"
+        report.save(path)
+        assert PlanReport.load(path) == report
+
+    def test_unknown_suffix_rejected_up_front(self, tmp_path):
+        """No silent np.savez '.npz' appending: a suffix save cannot
+        round-trip through load must be refused at save time."""
+        report = self._report()
+        with pytest.raises(ValueError, match="suffix"):
+            report.save(tmp_path / "report.pkl")
+        with pytest.raises(ValueError, match="suffix"):
+            PlanReport.load(tmp_path / "report")
+
+    def test_load_rejects_foreign_npz(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, meta=np.str_('{"format": "something-else"}'))
+        with pytest.raises(ValueError, match="PlanReport"):
+            PlanReport.load(path)
+
+    def test_render_mentions_strategy_and_cost(self):
+        report = self._report()
+        text = report.render()
+        assert "[krw]" in text and "cost" in text

@@ -15,6 +15,16 @@ class TestList:
         assert "E1" in text and "E12" in text
         assert "www" in text and "vsm" in text
 
+    def test_list_outputs_strategies_and_dynamic_scenarios(self):
+        from repro.registry import available_strategies
+
+        out = io.StringIO()
+        assert main(["list"], out=out) == 0
+        text = out.getvalue()
+        for name in available_strategies():
+            assert name in text
+        assert "drift" in text and "flash" in text
+
     def test_no_command_prints_help(self):
         out = io.StringIO()
         assert main([], out=out) == 1
@@ -70,7 +80,7 @@ class TestScenarioCommand:
         out = io.StringIO()
         assert main(["scenario", "vsm"], out=out) == 0
         text = out.getvalue()
-        assert "krw-approximation" in text
+        assert "krw" in text
         assert "full-replication" in text
         assert "total" in text
 
@@ -106,6 +116,115 @@ class TestPlaceCommand:
         out = io.StringIO()
         assert main(["scenario", "tree", "--num-objects", "3"], out=out) == 0
         assert "3 objects" in out.getvalue()
+
+
+class TestPlanCommand:
+    def test_plan_save_load_reproduces_legacy_place(self, tmp_path):
+        """The acceptance loop: plan --config --save, then --load, must
+        reproduce the legacy engine placement's copy sets exactly."""
+        import json
+
+        from repro.api import PlanReport
+        from repro.engine import PlacementEngine
+        from repro.workloads import www_content_provider
+
+        cfg = tmp_path / "cfg.json"
+        cfg.write_text(json.dumps({"fl_solver": "local_search", "chunk_size": 4}))
+        saved = tmp_path / "out.npz"
+        out = io.StringIO()
+        rc = main(
+            ["plan", "--scenario", "www", "--config", str(cfg),
+             "--save", str(saved)],
+            out=out,
+        )
+        assert rc == 0 and "wrote" in out.getvalue()
+
+        out = io.StringIO()
+        assert main(["plan", "--load", str(saved)], out=out) == 0
+        assert "[krw]" in out.getvalue()
+
+        report = PlanReport.load(saved)
+        legacy = PlacementEngine(
+            www_content_provider().instance, chunk_size=4
+        ).place()
+        assert report.placement.copy_sets == legacy.copy_sets
+        assert report.config.chunk_size == 4
+
+    def test_plan_json_artifact(self, tmp_path):
+        from repro.api import PlanReport
+
+        saved = tmp_path / "report.json"
+        out = io.StringIO()
+        rc = main(
+            ["plan", "--scenario", "tree", "--strategy", "single-median",
+             "--save", str(saved)],
+            out=out,
+        )
+        assert rc == 0
+        report = PlanReport.load(saved)
+        assert report.strategy == "single-median"
+        assert report.placement.replication_degree() == 1.0
+
+    def test_plan_load_missing_file_is_clean_error(self, tmp_path):
+        out = io.StringIO()
+        assert main(["plan", "--load", str(tmp_path / "nope.npz")], out=out) == 2
+
+    def test_plan_rejects_unknown_config_knob(self, tmp_path):
+        import json
+
+        cfg = tmp_path / "cfg.json"
+        cfg.write_text(json.dumps({"chunk_sze": 4}))
+        out = io.StringIO()
+        assert main(["plan", "--config", str(cfg)], out=out) == 2
+
+    def test_plan_cli_overrides_config_file(self, tmp_path):
+        import json
+
+        from repro.api import PlanReport
+
+        cfg = tmp_path / "cfg.json"
+        cfg.write_text(json.dumps({"fl_solver": "local_search"}))
+        saved = tmp_path / "out.json"
+        out = io.StringIO()
+        rc = main(
+            ["plan", "--scenario", "tree", "--config", str(cfg),
+             "--fl-solver", "greedy", "--save", str(saved)],
+            out=out,
+        )
+        assert rc == 0
+        assert PlanReport.load(saved).config.fl_solver == "greedy"
+
+
+class TestCompareCommand:
+    def test_compare_runs_every_registered_strategy(self, tmp_path):
+        """Acceptance: every registry name runs through the CLI."""
+        import json
+
+        from repro.registry import available_strategies
+
+        path = tmp_path / "compare.json"
+        out = io.StringIO()
+        rc = main(
+            ["compare", "--scenario", "tree", "--out", str(path)], out=out
+        )
+        assert rc == 0
+        text = out.getvalue()
+        data = json.loads(path.read_text())
+        ran = {r["strategy"] for r in data["reports"]}
+        assert ran == set(available_strategies())
+        for name in available_strategies():
+            assert name in text
+
+    def test_compare_subset(self):
+        out = io.StringIO()
+        rc = main(
+            ["compare", "--scenario", "vsm", "--strategies", "krw", "online"],
+            out=out,
+        )
+        assert rc == 0
+        text = out.getvalue()
+        assert "krw" in text and "online" in text
+        assert "full-replication" not in text
 
 
 class TestDynamicCommand:

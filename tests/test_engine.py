@@ -134,6 +134,65 @@ class TestEngineStreaming:
         with pytest.raises(ValueError, match="jobs"):
             PlacementEngine(inst, jobs=0)
 
+    def test_stream_early_exit_parallel_drains_window_and_shuts_down(self):
+        """A consumer that stops mid-iteration with jobs > 1 must only
+        drain the bounded in-flight window (the ``finally: fut.cancel()``
+        path) and leave the pool cleanly shut down."""
+        inst = _catalog_instance(8, num_objects=24)
+        engine = PlacementEngine(inst, chunk_size=2, jobs=2)
+        expected = approximate_placement(inst)
+
+        stream = engine.stream()
+        head = [next(stream) for _ in range(5)]
+        # closing the generator mid-flight raises GeneratorExit inside it:
+        # the finally block cancels the pending window and the pool's
+        # context manager joins the workers
+        stream.close()
+        assert [obj for obj, _ in head] == list(range(5))
+        for obj, copies in head:
+            assert copies == expected.copy_sets[obj]
+
+        # the engine object stays usable: a fresh stream starts a fresh
+        # pool and still produces the full, identical catalog
+        assert engine.place().copy_sets == expected.copy_sets
+
+    def test_stream_early_exit_serial(self):
+        inst = _catalog_instance(9, num_objects=9)
+        engine = PlacementEngine(inst, chunk_size=3)
+        stream = engine.stream()
+        assert next(stream)[0] == 0
+        stream.close()
+        assert engine.place().copy_sets == \
+            approximate_placement(inst).copy_sets
+
+
+class TestPlaceCatalogSignature:
+    def test_unknown_knob_is_a_typeerror(self):
+        inst = _catalog_instance(11)
+        with pytest.raises(TypeError, match="chunk_sze"):
+            place_catalog(inst, chunk_sze=4)
+
+    def test_positional_knobs_rejected(self):
+        inst = _catalog_instance(11)
+        with pytest.raises(TypeError):
+            place_catalog(inst, "greedy")
+
+    def test_explicit_knobs_delegate_to_config(self):
+        inst = _catalog_instance(12)
+        direct = PlacementEngine(inst, fl_solver="greedy", chunk_size=2).place()
+        assert place_catalog(inst, fl_solver="greedy", chunk_size=2).copy_sets \
+            == direct.copy_sets
+
+    def test_bad_value_still_validated(self):
+        inst = _catalog_instance(12)
+        with pytest.raises(ValueError, match="fl_solver"):
+            place_catalog(inst, fl_solver="nope")
+
+    def test_version_bumped_for_the_api_layer(self):
+        import repro
+
+        assert repro.__version__ == "1.2.0"
+
 
 class TestBatchedRadii:
     @given(seeds)

@@ -1,0 +1,170 @@
+"""Tests for repro.registry: the strategy protocol and the built-ins."""
+
+import numpy as np
+import pytest
+
+from repro.api import PlanReport, Planner
+from repro.baselines.heuristics import best_single_node, write_blind_placement
+from repro.config import PlanConfig
+from repro.core.approx import approximate_placement
+from repro.core.costs import placement_cost
+from repro.core.placement import Placement
+from repro.graphs.metric import Metric
+from repro.registry import (
+    PlacementStrategy,
+    Strategy,
+    _STRATEGIES,
+    available_strategies,
+    get_strategy,
+    register_strategy,
+)
+from repro.workloads import make_instance, tree_network, www_content_provider
+
+BUILTINS = {
+    "krw", "single-median", "full-replication", "write-blind",
+    "greedy-add", "local-search", "epoch-replan", "online",
+}
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert BUILTINS <= set(available_strategies())
+
+    def test_unknown_name_lists_alternatives(self):
+        with pytest.raises(KeyError, match="krw"):
+            get_strategy("nope")
+
+    def test_builtins_satisfy_protocol(self):
+        for name in BUILTINS:
+            assert isinstance(get_strategy(name), Strategy)
+
+    def test_register_and_override_custom_strategy(self):
+        @register_strategy
+        class Cheapest(PlacementStrategy):
+            name = "test-cheapest"
+
+            def place(self, instance, config):
+                v = int(np.argmin(instance.storage_costs))
+                return Placement(
+                    tuple((v,) for _ in range(instance.num_objects))
+                )
+
+        try:
+            sc = tree_network(num_objects=2)
+            report = Planner().plan(sc, "test-cheapest")
+            cheapest = int(np.argmin(sc.instance.storage_costs))
+            assert report.placement.copy_sets == ((cheapest,), (cheapest,))
+
+            # a second registration under the taken name must be explicit
+            with pytest.raises(ValueError, match="already registered"):
+                register_strategy(Cheapest)
+            register_strategy(Cheapest, override=True)
+        finally:
+            _STRATEGIES.pop("test-cheapest", None)
+
+    def test_register_requires_name_and_plan(self):
+        class Nameless(PlacementStrategy):
+            name = ""
+
+        with pytest.raises(ValueError, match="name"):
+            register_strategy(Nameless)
+        with pytest.raises(TypeError, match="plan"):
+            register_strategy(object(), name="test-no-plan")
+
+
+class TestBuiltinStrategies:
+    def test_krw_equals_per_object_loop(self):
+        sc = tree_network(num_objects=3)
+        report = get_strategy("krw").plan(sc.instance)
+        assert report.placement.copy_sets == \
+            approximate_placement(sc.instance).copy_sets
+        assert report.strategy == "krw"
+
+    def test_reports_bill_with_placement_cost(self):
+        sc = tree_network(num_objects=2)
+        report = get_strategy("single-median").plan(sc.instance)
+        bill = placement_cost(sc.instance, report.placement, policy="mst")
+        assert report.cost.total == pytest.approx(bill.total)
+        assert report.num_nodes == sc.instance.num_nodes
+        assert report.num_objects == 2
+        assert report.wall_time_s >= 0.0
+
+    def test_single_median_and_write_blind_match_helpers(self):
+        sc = www_content_provider(num_objects=3)
+        inst = sc.instance
+        median = get_strategy("single-median").plan(inst).placement
+        blind = get_strategy("write-blind").plan(inst).placement
+        for o in range(3):
+            assert median.copies(o) == best_single_node(inst, o)
+            assert blind.copies(o) == tuple(sorted(write_blind_placement(inst, o)))
+
+    def test_full_replication_everywhere(self):
+        sc = tree_network(num_objects=2)
+        placement = get_strategy("full-replication").plan(sc.instance).placement
+        assert placement.copies(0) == tuple(range(sc.instance.num_nodes))
+
+    def test_epoch_replan_extras_record_migration(self):
+        sc = tree_network(num_objects=3)
+        report = get_strategy("epoch-replan").plan(sc.instance)
+        krw = get_strategy("krw").plan(sc.instance)
+        assert report.placement.copy_sets == krw.placement.copy_sets
+        start = int(np.argmin(sc.instance.storage_costs))
+        assert report.extras["initial_node"] == start
+        # migration = transfers from the start copy to every other copy
+        expected = sum(
+            sc.instance.metric.d(start, v)
+            for copies in report.placement.copy_sets
+            for v in copies
+            if v != start
+        )
+        assert report.extras["migration_cost"] == pytest.approx(expected)
+
+
+class TestOnlineStrategyParity:
+    def test_final_copies_match_hop_by_hop_simulation(self):
+        """The registry's online strategy must land on exactly the copy
+        sets the full hop-by-hop OnlineCountingStrategy reaches on the
+        same event stream."""
+        from repro.simulate.events import RequestLog
+        from repro.simulate.online import OnlineCountingStrategy
+
+        sc = tree_network(num_objects=3, write_fraction=0.3)
+        inst = sc.instance
+        for seed, threshold in ((1, 3), (2, 1), (3, 5)):
+            config = PlanConfig(seed=seed, replication_threshold=threshold)
+            report = get_strategy("online").plan(inst, config)
+            log = RequestLog.from_frequencies(
+                inst.read_freq, inst.write_freq, seed=seed
+            )
+            _, finals = OnlineCountingStrategy(
+                sc.graph, inst, replication_threshold=threshold
+            ).run(log)
+            assert report.placement.copy_sets == tuple(
+                tuple(sorted(s)) for s in finals
+            )
+            assert report.extras["events"] == len(log)
+
+    def test_online_rejects_fractional_frequencies(self):
+        rng = np.random.default_rng(0)
+        metric = Metric.from_points(rng.uniform(size=(6, 2)))
+        inst = make_instance(metric, seed=1, num_objects=1)
+        frac = inst.read_freq.copy()
+        frac[0, 0] += 0.5
+        from repro.core.instance import DataManagementInstance
+
+        bad = DataManagementInstance(
+            metric, inst.storage_costs, frac, inst.write_freq
+        )
+        with pytest.raises(ValueError, match="integer"):
+            get_strategy("online").plan(bad)
+
+
+class TestAcceptanceSweep:
+    def test_every_registered_strategy_through_planner_compare(self):
+        sc = tree_network(num_objects=2)
+        reports = Planner().compare(sc)
+        assert [r.strategy for r in reports] == list(available_strategies())
+        for r in reports:
+            assert isinstance(r, PlanReport)
+            assert r.placement.num_objects == 2
+            assert r.cost.total > 0

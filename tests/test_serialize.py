@@ -1,0 +1,131 @@
+"""Round-trip property tests for repro.serialize and PlanReport.
+
+The contract: persistence is exact.  A reloaded instance answers every
+distance query like the original (dense matrix or CSR adjacency stored
+verbatim), so re-running the engine gives bit-identical copy sets; a
+reloaded PlanReport compares equal to the saved one, field for field.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import PlanReport, Planner
+from repro.config import PlanConfig
+from repro.core.instance import DataManagementInstance
+from repro.core.placement import Placement
+from repro.engine import PlacementEngine
+from repro.graphs import generators
+from repro.graphs.backend import LazyMetric
+from repro.graphs.metric import Metric
+from repro.serialize import (
+    instance_from_dict,
+    instance_to_dict,
+    load_instance,
+    placement_from_arrays,
+    placement_to_arrays,
+    save_instance,
+)
+from repro.workloads.request_models import make_instance
+
+seeds = st.integers(min_value=0, max_value=120)
+
+
+def _instance(seed: int, backend: str) -> DataManagementInstance:
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(5, 24))
+    g = generators.erdos_renyi_graph(n, 0.4, seed=seed)
+    metric = Metric.from_graph(g) if backend == "dense" else LazyMetric.from_graph(g)
+    return make_instance(
+        metric,
+        seed=seed + 1,
+        num_objects=int(rng.integers(1, 5)),
+        demand_model=["uniform", "zipf", "hotspot"][seed % 3],
+        write_fraction=float(rng.choice([0.0, 0.2, 0.5])),
+    )
+
+
+class TestInstanceRoundTrip:
+    @given(seed=seeds)
+    @settings(max_examples=12, deadline=None)
+    def test_npz_round_trip_places_identically_dense(self, seed, tmp_path_factory):
+        self._check(seed, "dense", ".npz", tmp_path_factory)
+
+    @given(seed=seeds)
+    @settings(max_examples=8, deadline=None)
+    def test_npz_round_trip_places_identically_lazy(self, seed, tmp_path_factory):
+        self._check(seed, "lazy", ".npz", tmp_path_factory)
+
+    @given(seed=seeds)
+    @settings(max_examples=8, deadline=None)
+    def test_json_round_trip_places_identically(self, seed, tmp_path_factory):
+        self._check(seed, ["dense", "lazy"][seed % 2], ".json", tmp_path_factory)
+
+    def _check(self, seed, backend, suffix, tmp_path_factory):
+        inst = _instance(seed, backend)
+        path = tmp_path_factory.mktemp("ser") / f"inst{suffix}"
+        save_instance(inst, path)
+        clone = load_instance(path)
+        # the backend kind survives
+        assert type(clone.metric) is type(inst.metric)
+        # problem data survives bit for bit
+        assert np.array_equal(clone.storage_costs, inst.storage_costs)
+        assert np.array_equal(clone.read_freq, inst.read_freq)
+        assert np.array_equal(clone.write_freq, inst.write_freq)
+        assert clone.object_names == inst.object_names
+        # and so does the engine's decision sequence
+        assert PlacementEngine(clone, chunk_size=3).place().copy_sets == \
+            PlacementEngine(inst, chunk_size=3).place().copy_sets
+
+    def test_dict_round_trip_preserves_metadata(self):
+        inst = _instance(3, "dense")
+        named = DataManagementInstance(
+            inst.metric, inst.storage_costs, inst.read_freq, inst.write_freq,
+            object_names=tuple(f"page-{i}" for i in range(inst.num_objects)),
+            object_sizes=np.linspace(1.0, 2.0, inst.num_objects),
+        )
+        clone = instance_from_dict(instance_to_dict(named))
+        assert clone.object_names == named.object_names
+        assert np.array_equal(clone.object_sizes, named.object_sizes)
+
+    def test_load_rejects_foreign_payload(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text('{"format": "other"}')
+        with pytest.raises(ValueError, match="serialized"):
+            load_instance(path)
+
+
+class TestPlacementArrays:
+    @given(seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_arrays_round_trip(self, seed):
+        rng = np.random.default_rng(seed)
+        m, n = int(rng.integers(1, 8)), int(rng.integers(2, 20))
+        sets = tuple(
+            tuple(sorted(rng.choice(n, size=int(rng.integers(1, n + 1)),
+                                    replace=False).tolist()))
+            for _ in range(m)
+        )
+        placement = Placement(sets)
+        nodes, offsets = placement_to_arrays(placement)
+        assert placement_from_arrays(nodes, offsets) == placement
+
+
+class TestPlanReportRoundTrip:
+    @given(seed=seeds,
+           strategy=st.sampled_from(["krw", "online", "epoch-replan"]),
+           suffix=st.sampled_from([".json", ".npz"]))
+    @settings(max_examples=10, deadline=None)
+    def test_report_load_equals_saved(self, seed, strategy, suffix,
+                                      tmp_path_factory):
+        inst = _instance(seed, "dense")
+        config = PlanConfig(seed=seed % 5, chunk_size=2)
+        report = Planner(config).plan(inst, strategy)
+        path = tmp_path_factory.mktemp("rep") / f"r{suffix}"
+        report.save(path)
+        loaded = PlanReport.load(path)
+        assert loaded == report
+        # strategy extras (migration bills, event counts) survive exactly
+        assert loaded.extras == report.extras
+        assert loaded.config == config
