@@ -1,0 +1,43 @@
+"""E16: incremental epoch re-placement -- solve only the drifted objects.
+
+Headline configuration: 48-object catalogs over a ~200-node transit-stub
+network, 5 epochs, sparse-drift workloads (``redraw="changed"``: only
+churned objects' frequency rows differ between epochs).  The artifact
+records, for ``drifting_zipf_catalog`` (drift 0.15) and ``flash_crowd``
+on the dense *and* lazy distance backends:
+
+* the per-epoch re-placement speedup of ``replan_mode="incremental"``
+  over the full per-epoch re-solve -- must be >= 5x at ``tolerance=0``
+  on the drifting workload, and
+* cost identity -- at ``tolerance=0`` the incremental placements and
+  total bills must be bit-identical to the full re-solve (costs within
+  1e-9 relative), plus a ``tolerance>0`` row showing the documented
+  speed-for-bounded-billing-error trade.
+"""
+
+from repro.analysis import run_e16_incremental_replan
+
+from .conftest import emit, emit_json
+
+
+def test_e16_incremental_replan(benchmark):
+    result = benchmark.pedantic(
+        run_e16_incremental_replan,
+        kwargs=dict(
+            n=200, num_objects=48, epochs=5, drift=0.15, tolerance=0.05,
+            backends=("dense", "lazy"), scenarios=("drift", "flash"),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+    emit_json(result, "e16_incremental")
+    rows = {(r[0], r[1], r[2], r[3]): r for r in result.rows}
+    for backend in ("dense", "lazy"):
+        exact = rows[("drifting_zipf", backend, "incremental", 0.0)]
+        assert exact[6] >= 5.0      # >= 5x per-epoch solve speedup
+        assert exact[-1] is True    # bit-identical placements and bills
+        assert abs(exact[8] - 1.0) <= 1e-9  # total cost ratio vs full
+        flash = rows[("flash_crowd", backend, "incremental", 0.0)]
+        assert flash[-1] is True
+        assert flash[6] >= 5.0      # quiet epochs replan almost nothing

@@ -41,7 +41,9 @@ Package layout
 ``repro.simulate``
     columnar request logs replayed against the real network (vectorized
     or hop-by-hop), an online dynamic strategy, and epoch-wise
-    re-placement with migration costs.
+    re-placement with migration costs -- full per-epoch re-solves or
+    incremental ones over only the drifted objects
+    (``PlanConfig(replan_mode="incremental")``).
 ``repro.analysis``
     experiment runners, ratio statistics, table formatting.
 ``repro.config`` / ``repro.registry`` / ``repro.api``
@@ -82,7 +84,7 @@ from .engine import PlacementEngine, place_catalog
 from .registry import available_strategies, get_strategy, register_strategy
 from .serialize import load_instance, save_instance
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "core",

@@ -54,6 +54,7 @@ __all__ = [
     "run_e13_capacity_price",
     "run_e14_catalog_throughput",
     "run_e15_dynamic_replay",
+    "run_e16_incremental_replan",
     "GRAPH_FAMILIES",
 ]
 
@@ -917,6 +918,9 @@ def run_e15_dynamic_replay(
     chunk_size: int = 512,
     jobs: int = 1,
     compare_loop: bool = True,
+    replan_mode: str = "full",
+    replan_tolerance: float = 0.0,
+    redraw: str | None = None,
 ) -> "ExperimentResult":
     """Dynamic layer at scale: replay throughput + strategy comparison.
 
@@ -944,6 +948,15 @@ def run_e15_dynamic_replay(
 
     ``storage_price=None`` scales a uniform price to half the mean
     per-object epoch volume (the E14 regime: moderate replication).
+    ``replan_mode``/``replan_tolerance`` configure the epoch-replan
+    strategy (``"incremental"`` re-places only drifted objects per
+    epoch; see Experiment E16 for the dedicated full-vs-incremental
+    comparison).  ``redraw=None`` picks the workload's resampling mode
+    to match: ``"changed"`` (only churned objects' rows differ between
+    epochs) under incremental replanning -- full multinomial resampling
+    would mark every object dirty at tolerance 0 and the incremental
+    mode could never skip anything -- and the historical ``"all"``
+    otherwise; pass an explicit mode to override.
     """
     from ..engine import PlacementEngine
     from ..simulate import EpochReplanner, NetworkSimulator, OnlineCountingStrategy
@@ -960,17 +973,19 @@ def run_e15_dynamic_replay(
         storage_price = max(2.0, 0.5 * requests_per_epoch / num_objects)
     cs = uniform_storage_costs(n_real, storage_price)
 
+    if redraw is None:
+        redraw = "changed" if replan_mode == "incremental" else "all"
     if scenario == "drift":
         workload = drifting_zipf_catalog(
             n_real, num_objects, epochs=epochs, seed=seed + 1, drift=drift,
             requests_per_epoch=requests_per_epoch,
-            write_fraction=write_fraction,
+            write_fraction=write_fraction, redraw=redraw,
         )
     elif scenario == "flash":
         workload = flash_crowd(
             n_real, num_objects, epochs=epochs, seed=seed + 1,
             requests_per_epoch=requests_per_epoch,
-            write_fraction=write_fraction,
+            write_fraction=write_fraction, redraw=redraw,
         )
     else:
         raise ValueError(f"unknown scenario {scenario!r}; use 'drift' or 'flash'")
@@ -986,7 +1001,10 @@ def run_e15_dynamic_replay(
         "epoch-replan pays migration transfers from the nearest old copy.",
     )
 
-    plan_config = PlanConfig(fl_solver=fl_solver, chunk_size=chunk_size, jobs=jobs)
+    plan_config = PlanConfig(
+        fl_solver=fl_solver, chunk_size=chunk_size, jobs=jobs,
+        replan_mode=replan_mode, replan_tolerance=replan_tolerance,
+    )
     shared_paths = PathCache(g)
     log_seed = seed + 2
     full_log = workload.full_log(seed=log_seed)
@@ -1063,4 +1081,151 @@ def run_e15_dynamic_replay(
          replan.migration_cost,
          replan.migration_cost / max(replan.total_cost, 1e-12), "--"]
     )
+    return result
+
+
+# ----------------------------------------------------------------------
+# E16: incremental epoch re-placement -- solve only the drifted objects
+# ----------------------------------------------------------------------
+def run_e16_incremental_replan(
+    *,
+    n: int = 200,
+    num_objects: int = 48,
+    epochs: int = 5,
+    requests_per_epoch: int | None = None,
+    drift: float = 0.15,
+    write_fraction: float = 0.05,
+    tolerance: float = 0.05,
+    storage_price: float | None = None,
+    seed: int = 33,
+    fl_solver: str = "local_search",
+    chunk_size: int = 512,
+    jobs: int = 1,
+    backends: Sequence[str] = ("dense", "lazy"),
+    scenarios: Sequence[str] = ("drift", "flash"),
+) -> "ExperimentResult":
+    """Full vs incremental epoch re-placement on sparse-drift workloads.
+
+    Theorem 7 places objects independently, so an epoch transition only
+    invalidates the placements of objects whose demand changed.  This
+    experiment builds the two churn shapes in their sparse-drift form
+    (``redraw="changed"``: only the churned objects' frequency rows
+    differ between epochs) and replans each horizon twice per backend:
+
+    * ``full`` -- :class:`~repro.simulate.replanner.EpochReplanner`
+      re-solving the whole catalog every epoch (the E15 behavior), and
+    * ``incremental`` at ``tolerance=0`` -- re-solving only
+      :meth:`~repro.workloads.dynamic.DynamicWorkload.drifted_objects`,
+      which must reproduce the full re-solve's placements, serving
+      bills and migration bills **bit-identically** ("identical"
+      column; total costs within 1e-9 relative), plus
+    * ``incremental`` at ``tolerance > 0`` -- the documented
+      speed-for-bounded-billing-error trade, whose cost delta the
+      "vs full" column records.
+
+    The headline column is the per-epoch solve speedup: mean wall time
+    of one epoch's re-placement (placement + batched migration diff)
+    over epochs after the first (epoch 0 is a full solve in every mode),
+    full over incremental.  The committed artifact
+    ``benchmarks/BENCH_e16_incremental.json`` records >= 5x at
+    ``drift=0.15`` / ``tolerance=0`` on both backends.
+
+    ``storage_price=None`` scales a uniform price to half the mean
+    per-object epoch volume (the E14/E15 regime: moderate replication).
+    """
+    from ..simulate import EpochReplanner
+    from ..workloads.dynamic import drifting_zipf_catalog, flash_crowd
+    from ..workloads.request_models import uniform_storage_costs
+
+    if epochs < 2:
+        raise ValueError("epochs must be >= 2 (epoch 0 is always a full solve)")
+    for b in backends:
+        if b not in ("dense", "lazy"):
+            raise ValueError(f"unknown backend {b!r}; use 'dense' and/or 'lazy'")
+    for s in scenarios:
+        if s not in ("drift", "flash"):
+            raise ValueError(f"unknown scenario {s!r}; use 'drift' and/or 'flash'")
+
+    g = generators.sized_transit_stub_graph(n, seed=seed)
+    n_real = g.number_of_nodes()
+    if requests_per_epoch is None:
+        requests_per_epoch = 100 * num_objects
+    if storage_price is None:
+        storage_price = max(2.0, 0.5 * requests_per_epoch / num_objects)
+    cs = uniform_storage_costs(n_real, storage_price)
+
+    workloads = {}
+    if "drift" in scenarios:
+        workloads["drift"] = drifting_zipf_catalog(
+            n_real, num_objects, epochs=epochs, seed=seed + 1, drift=drift,
+            requests_per_epoch=requests_per_epoch,
+            write_fraction=write_fraction, redraw="changed",
+        )
+    if "flash" in scenarios:
+        workloads["flash"] = flash_crowd(
+            n_real, num_objects, epochs=epochs, seed=seed + 2,
+            requests_per_epoch=requests_per_epoch,
+            write_fraction=write_fraction, redraw="changed",
+        )
+
+    result = ExperimentResult(
+        "E16",
+        f"incremental epoch re-placement (drift={drift}, m={num_objects})",
+        ("workload", "backend", "mode", "tolerance", "replaced/epoch",
+         "epoch solve (s)", "speedup", "total cost", "vs full", "identical"),
+        notes="'epoch solve (s)' is the mean per-epoch re-placement time "
+        "(placement + batched migration diff) over epochs after the first; "
+        "'speedup' is full/incremental on that quantity.  'identical' "
+        "checks bit-equal copy sets every epoch and total costs within "
+        "1e-9 relative -- required at tolerance 0, best-effort above it.  "
+        "Workloads use redraw='changed' (only churned objects' rows "
+        "differ between epochs).",
+    )
+
+    modes = [("full", None), ("incremental", 0.0)]
+    if tolerance > 0:
+        modes.append(("incremental", float(tolerance)))
+
+    metrics = {
+        backend: (
+            Metric.from_graph(g) if backend == "dense"
+            else LazyMetric.from_graph(g)
+        )
+        for backend in dict.fromkeys(backends)
+    }
+    for wl_name, workload in workloads.items():
+        for backend in backends:
+            metric = metrics[backend]
+            runs = {}
+            for mode, tol in modes:
+                config = PlanConfig(
+                    fl_solver=fl_solver, chunk_size=chunk_size, jobs=jobs,
+                    replan_mode=mode, replan_tolerance=tol or 0.0,
+                )
+                replanner = EpochReplanner(g, metric, cs, config=config)
+                runs[(mode, tol)] = replanner.run(workload, log_seed=seed + 3)
+
+            full = runs[("full", None)]
+            full_solve = sum(e.solve_time_s for e in full.epochs[1:])
+            for (mode, tol), res in runs.items():
+                solve = sum(e.solve_time_s for e in res.epochs[1:])
+                per_epoch = solve / (epochs - 1)
+                replaced = sum(e.replaced_objects for e in res.epochs[1:]) / (
+                    epochs - 1
+                )
+                identical = all(
+                    f.placement.copy_sets == r.placement.copy_sets
+                    for f, r in zip(full.epochs, res.epochs)
+                ) and abs(res.total_cost - full.total_cost) <= 1e-9 * max(
+                    abs(full.total_cost), 1e-12
+                )
+                result.rows.append([
+                    workload.name, backend, mode,
+                    "--" if tol is None else tol,
+                    replaced, per_epoch,
+                    full_solve / solve if solve > 0 else float("inf"),
+                    res.total_cost,
+                    res.total_cost / max(full.total_cost, 1e-12),
+                    identical,
+                ])
     return result

@@ -22,7 +22,11 @@ placement, per-component costs, wall time, provenance config) that
 :class:`~repro.core.instance.DataManagementInstance` or a
 :class:`~repro.workloads.scenarios.Scenario`; with a scenario the
 config's ``backend`` knob can rebuild the metric (dense or lazy) from
-the scenario's graph, because the graph is still at hand.
+the scenario's graph, because the graph is still at hand.  ``replan()``
+is the dynamic-layer front door: it runs an
+:class:`~repro.simulate.replanner.EpochReplanner` over a
+:class:`~repro.workloads.dynamic.DynamicWorkload`, honoring the
+config's ``replan_mode``/``replan_tolerance`` incremental knobs.
 
 The registry is imported lazily inside the methods: strategies produce
 ``PlanReport`` objects, so :mod:`repro.registry` imports this module at
@@ -42,7 +46,7 @@ from .config import PlanConfig
 from .core.costs import CostBreakdown
 from .core.instance import DataManagementInstance
 from .core.placement import Placement
-from .graphs.backend import LazyMetric
+from .graphs.backend import DENSE_MATERIALIZE_LIMIT, LazyMetric
 from .graphs.metric import Metric
 from .serialize import artifact_suffix as _artifact_suffix
 from .serialize import placement_from_arrays, placement_to_arrays
@@ -271,3 +275,45 @@ class Planner:
         )
         instance = self.resolve_instance(problem)
         return [get_strategy(name).plan(instance, self.config) for name in names]
+
+    # ------------------------------------------------------------------
+    def replan(
+        self,
+        graph,
+        workload,
+        storage_costs,
+        *,
+        metric=None,
+        log_seed: int | None = None,
+    ):
+        """Epoch-replan a dynamic workload under this planner's config.
+
+        The front door to the dynamic layer: builds the distance backend
+        from ``graph`` per the config's ``backend`` knob (``"auto"``:
+        dense up to :data:`~repro.graphs.backend.DENSE_MATERIALIZE_LIMIT`
+        nodes, lazy beyond; an explicit ``metric`` short-circuits the
+        choice) and runs a
+        :class:`~repro.simulate.replanner.EpochReplanner` over the
+        :class:`~repro.workloads.dynamic.DynamicWorkload` -- the
+        config's ``replan_mode`` / ``replan_tolerance`` knobs decide
+        whether each epoch is a full catalog re-solve or an incremental
+        one over the drifted objects only.  Returns the
+        :class:`~repro.simulate.replanner.ReplanResult` with per-epoch
+        serving bills, migration costs and solve times.
+        """
+        from .simulate.replanner import EpochReplanner
+
+        if metric is None:
+            backend = self.config.backend
+            if backend == "auto":
+                backend = (
+                    "dense"
+                    if graph.number_of_nodes() <= DENSE_MATERIALIZE_LIMIT
+                    else "lazy"
+                )
+            metric = (
+                Metric.from_graph(graph) if backend == "dense"
+                else LazyMetric.from_graph(graph)
+            )
+        replanner = EpochReplanner(graph, metric, storage_costs, config=self.config)
+        return replanner.run(workload, log_seed=log_seed)

@@ -16,9 +16,11 @@ Usage::
         --out BENCH_backend_sweep.json       # dense-vs-lazy scaling sweep
     python -m repro dynamic --scenario drift --epochs 5 \\
         --num-objects 60                     # dynamic-layer comparison
+    python -m repro dynamic --incremental --tolerance 0.0 \\
+        --epochs 5                           # re-place only drifted objects
     python -m repro list                     # what is available
 
-Experiments are the E1--E15 validations mapped to the paper in
+Experiments are the E1--E16 validations mapped to the paper in
 docs/EXPERIMENTS.md; scenarios place a full object catalogue with the
 registered strategies and print the bill comparison; ``plan`` runs one
 registered strategy under a (optionally file-loaded)
@@ -30,7 +32,9 @@ optional per-object-loop parity check and JSON summary);
 ``backend-sweep`` measures the dense vs lazy distance backends at chosen
 network sizes and can persist a ``BENCH_*.json`` artifact; ``dynamic``
 replays an epoch-structured workload and compares clairvoyant-static,
-epoch-replanned and online-counting strategies (E15).
+epoch-replanned and online-counting strategies (E15);
+``--incremental/--tolerance`` switch the replanner to incremental
+re-placement of only the drifted objects (E16).
 """
 
 from __future__ import annotations
@@ -70,6 +74,7 @@ EXPERIMENTS: dict[str, Callable[[], "analysis.ExperimentResult"]] = {
     "E13": analysis.run_e13_capacity_price,
     "E14": analysis.run_e14_catalog_throughput,
     "E15": analysis.run_e15_dynamic_replay,
+    "E16": analysis.run_e16_incremental_replan,
 }
 
 # the CLI surface is the workloads registry; the alias is the public name
@@ -252,6 +257,9 @@ def _run_dynamic(args, out=sys.stdout) -> int:
         print("dynamic: --epochs must be >= 1 and --requests-per-epoch >= 0",
               file=sys.stderr)
         return 2
+    if args.tolerance < 0:
+        print("dynamic: --tolerance must be non-negative", file=sys.stderr)
+        return 2
     try:
         result = analysis.run_e15_dynamic_replay(
             n=args.nodes,
@@ -266,6 +274,9 @@ def _run_dynamic(args, out=sys.stdout) -> int:
             fl_solver=args.fl_solver,
             jobs=args.jobs,
             compare_loop=not args.no_loop,
+            replan_mode="incremental" if args.incremental else "full",
+            replan_tolerance=args.tolerance,
+            redraw=args.redraw,
         )
     except ValueError as exc:
         print(f"dynamic: {exc}", file=sys.stderr)
@@ -409,6 +420,18 @@ def main(argv: Sequence[str] | None = None, out=sys.stdout) -> int:
                       default="local_search")
     p_dy.add_argument("--jobs", type=int, default=1,
                       help="engine worker processes per (re)placement")
+    p_dy.add_argument("--incremental", action="store_true",
+                      help="epoch-replan re-places only drifted objects "
+                      "(replan_mode='incremental'); full catalog re-solve "
+                      "when omitted")
+    p_dy.add_argument("--tolerance", type=float, default=0.0,
+                      help="normalized L1 demand-drift threshold below "
+                      "which an object keeps its copies (0: exact, "
+                      "bit-identical to the full re-solve)")
+    p_dy.add_argument("--redraw", choices=("all", "changed"), default=None,
+                      help="per-epoch demand resampling: 'all' redraws "
+                      "every row, 'changed' only churned objects' rows "
+                      "(default: 'changed' with --incremental, else 'all')")
     p_dy.add_argument("--seed", type=int, default=29)
     p_dy.add_argument("--no-loop", action="store_true",
                       help="skip the (slow) hop-by-hop replay baseline")

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import math
 from dataclasses import dataclass, fields
 from pathlib import Path
 
@@ -34,7 +35,7 @@ from .core.radii import DEFAULT_RADII_BLOCK
 from .engine import DEFAULT_CHUNK_SIZE
 from .facility import FL_SOLVERS
 
-__all__ = ["PlanConfig", "BACKEND_CHOICES", "COST_POLICIES"]
+__all__ = ["PlanConfig", "BACKEND_CHOICES", "COST_POLICIES", "REPLAN_MODES"]
 
 #: Distance-backend request: ``"auto"`` keeps whatever the instance was
 #: built with (dense below, lazy above the materialization threshold when
@@ -43,6 +44,12 @@ BACKEND_CHOICES = ("auto", "dense", "lazy")
 
 #: Billing policies understood by :func:`repro.core.costs.placement_cost`.
 COST_POLICIES = ("mst", "steiner", "steiner_mst")
+
+#: Epoch re-placement modes of the dynamic layer
+#: (:class:`repro.simulate.replanner.EpochReplanner`): ``"full"`` re-solves
+#: the whole catalog every epoch, ``"incremental"`` re-solves only the
+#: objects whose demand drifted beyond ``replan_tolerance``.
+REPLAN_MODES = ("full", "incremental")
 
 
 @dataclass(frozen=True)
@@ -73,6 +80,21 @@ class PlanConfig:
         recorded as provenance either way.
     replication_threshold:
         The ``online`` strategy's ski-rental read count.
+    replan_mode:
+        Dynamic-layer epoch re-placement mode (``"full"`` |
+        ``"incremental"``): whether
+        :class:`~repro.simulate.replanner.EpochReplanner` re-solves the
+        whole catalog each epoch or only the objects whose demand
+        drifted.
+    replan_tolerance:
+        Normalized per-object L1 demand-drift threshold below which an
+        incremental replan carries an object's copy set forward
+        unchanged; drift is measured against the object's demand at its
+        last re-place, so slow drift accumulates instead of hiding
+        under a per-epoch threshold.  ``0.0`` (default) re-places
+        exactly the objects whose frequency rows changed at all --
+        bit-identical to a full re-solve; larger values trade a bounded
+        billing error for fewer re-solves.
     """
 
     backend: str = "auto"
@@ -86,6 +108,8 @@ class PlanConfig:
     cost_policy: str = "mst"
     seed: int | None = None
     replication_threshold: int = 3
+    replan_mode: str = "full"
+    replan_tolerance: float = 0.0
 
     # ------------------------------------------------------------------
     def __post_init__(self) -> None:
@@ -108,6 +132,14 @@ class PlanConfig:
                 raise ValueError(f"{knob} must be positive")
         if self.facility_candidates is not None and self.facility_candidates < 1:
             raise ValueError("facility_candidates must be positive (or None)")
+        if self.replan_mode not in REPLAN_MODES:
+            raise ValueError(
+                f"unknown replan_mode {self.replan_mode!r}; "
+                f"choose from {REPLAN_MODES}"
+            )
+        tol = float(self.replan_tolerance)
+        if not (math.isfinite(tol) and tol >= 0.0):
+            raise ValueError("replan_tolerance must be a finite non-negative number")
 
     # ------------------------------------------------------------------
     # derived views

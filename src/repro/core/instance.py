@@ -66,6 +66,13 @@ class DataManagementInstance:
 
     # ------------------------------------------------------------------
     def __post_init__(self) -> None:
+        if isinstance(self.metric, tuple):
+            raise TypeError(
+                "metric is a tuple -- metric_from_graph()/"
+                "lazy_metric_from_graph() return (metric, index, nodes); "
+                "pass the metric element, or build one directly with "
+                "Metric.from_graph()/LazyMetric.from_graph()"
+            )
         cs = np.asarray(self.storage_costs, dtype=float)
         fr = np.atleast_2d(np.asarray(self.read_freq, dtype=float))
         fw = np.atleast_2d(np.asarray(self.write_freq, dtype=float))

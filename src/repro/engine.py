@@ -34,6 +34,11 @@ around that observation without changing a single placement decision:
   ``(object, copies)`` pairs chunk by chunk for callers that persist or
   bill placements incrementally and never want the whole catalog's
   intermediate state in memory.
+* **Sparse subsets.**  :meth:`PlacementEngine.place_subset` (and
+  ``stream(objects=...)``) run the identical chunked/parallel pipeline
+  over an arbitrary object subset -- what the incremental epoch
+  replanner feeds with only the objects whose demand drifted, instead
+  of re-solving a whole near-unchanged catalog.
 
 Quickstart::
 
@@ -204,19 +209,63 @@ class PlacementEngine:
         return results  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
-    def _chunk_bounds(self) -> list[tuple[int, int]]:
-        m = self.instance.num_objects
-        return [(s, min(s + self.chunk_size, m)) for s in range(0, m, self.chunk_size)]
+    def _chunked(self, objects: Sequence[int]) -> list[Sequence[int]]:
+        """Slice an object sequence into ``chunk_size`` pieces.
 
-    def stream(self) -> Iterator[tuple[int, tuple[int, ...]]]:
-        """Yield ``(object index, copy tuple)`` in object order, chunk by
-        chunk -- only one chunk's temporaries are ever live, so a huge
-        catalog streams through bounded memory."""
-        bounds = self._chunk_bounds()
-        if self.jobs == 1 or len(bounds) <= 1:
-            for start, stop in bounds:
-                chunk = self.place_objects(range(start, stop))
-                yield from zip(range(start, stop), chunk)
+        Ranges slice to ranges (the full-catalog case ships two ints per
+        chunk to the workers); explicit subsets slice to lists.
+        """
+        return [
+            objects[s:s + self.chunk_size]
+            for s in range(0, len(objects), self.chunk_size)
+        ]
+
+    def place_subset(
+        self, objects: Sequence[int]
+    ) -> dict[int, tuple[int, ...]]:
+        """Place a sparse object subset; returns ``{object: copy tuple}``.
+
+        The subset rides the exact chunking/parallelism plumbing of
+        :meth:`place` -- same chunked shared radii sweep, same process
+        pool -- so placing the ``k`` drifted objects of an epoch costs
+        what a ``k``-object catalog would, not an ``m``-object one.
+        Each object's copies equal what a full :meth:`place` would
+        assign it (objects are placed independently).  Duplicates are
+        collapsed to their first occurrence; unknown indices raise.
+        """
+        unique = list(dict.fromkeys(int(o) for o in objects))
+        return dict(self.stream(objects=unique))
+
+    def stream(
+        self, objects: Sequence[int] | None = None
+    ) -> Iterator[tuple[int, tuple[int, ...]]]:
+        """Yield ``(object index, copy tuple)`` chunk by chunk -- only one
+        chunk's temporaries are ever live, so a huge catalog streams
+        through bounded memory.
+
+        ``objects`` restricts (and orders) the stream to an explicit
+        subset; the default covers the whole catalog in object order.
+        Unknown indices raise immediately (at the call, not at first
+        iteration).
+        """
+        if objects is None:
+            objs: Sequence[int] = range(self.instance.num_objects)
+        else:
+            m = self.instance.num_objects
+            objs = [int(o) for o in objects]
+            for o in objs:
+                if not 0 <= o < m:
+                    raise ValueError(
+                        f"object index {o} out of range for a {m}-object catalog"
+                    )
+        return self._stream_chunks(self._chunked(objs))
+
+    def _stream_chunks(
+        self, chunks: list[Sequence[int]]
+    ) -> Iterator[tuple[int, tuple[int, ...]]]:
+        if self.jobs == 1 or len(chunks) <= 1:
+            for chunk in chunks:
+                yield from zip(chunk, self.place_objects(chunk))
             return
         kwargs = dict(
             fl_solver=self.fl_solver,
@@ -227,7 +276,7 @@ class PlacementEngine:
             radii_block=self.radii_block,
         )
         with ProcessPoolExecutor(
-            max_workers=min(self.jobs, len(bounds)),
+            max_workers=min(self.jobs, len(chunks)),
             initializer=_engine_worker_init,
             initargs=(self.instance, kwargs),
         ) as pool:
@@ -236,21 +285,21 @@ class PlacementEngine:
             # deterministic, at most a window's worth of results is ever
             # buffered, and a caller that stops iterating early leaves
             # only the in-flight window to drain -- not the whole catalog.
-            window = 2 * min(self.jobs, len(bounds))
+            window = 2 * min(self.jobs, len(chunks))
             pending: deque = deque()
-            it = iter(bounds)
+            it = iter(chunks)
             try:
-                for b in it:
-                    pending.append((b, pool.submit(_engine_worker_place, b)))
+                for c in it:
+                    pending.append((c, pool.submit(_engine_worker_place, c)))
                     if len(pending) >= window:
                         break
                 while pending:
-                    (start, stop), fut = pending.popleft()
+                    chunk_objs, fut = pending.popleft()
                     chunk = fut.result()
                     nxt = next(it, None)
                     if nxt is not None:
                         pending.append((nxt, pool.submit(_engine_worker_place, nxt)))
-                    yield from zip(range(start, stop), chunk)
+                    yield from zip(chunk_objs, chunk)
             finally:
                 for _, fut in pending:
                     fut.cancel()
@@ -294,7 +343,8 @@ def place_catalog(
 
 # ----------------------------------------------------------------------
 # worker plumbing: the instance ships once per worker (initializer), each
-# chunk task carries only its index bounds.
+# chunk task carries only its object indices (a range for full catalogs,
+# an explicit list for sparse subsets).
 # ----------------------------------------------------------------------
 _WORKER_ENGINE: PlacementEngine | None = None
 
@@ -304,7 +354,6 @@ def _engine_worker_init(instance: DataManagementInstance, kwargs: dict) -> None:
     _WORKER_ENGINE = PlacementEngine(instance, jobs=1, **kwargs)
 
 
-def _engine_worker_place(bounds: tuple[int, int]) -> list[tuple[int, ...]]:
-    start, stop = bounds
+def _engine_worker_place(objects: Sequence[int]) -> list[tuple[int, ...]]:
     assert _WORKER_ENGINE is not None, "worker pool not initialized"
-    return _WORKER_ENGINE.place_objects(range(start, stop))
+    return _WORKER_ENGINE.place_objects(objects)

@@ -260,7 +260,11 @@ class EpochReplanStrategy(PlacementStrategy):
     :class:`~repro.simulate.replanner.EpochReplanner` would charge to
     reach it from the zero-knowledge start (every object one copy on the
     cheapest storage node): each new copy transfers from the nearest old
-    one, dropping is free.
+    one, dropping is free.  The config's ``replan_mode`` /
+    ``replan_tolerance`` knobs are recorded as provenance -- a single
+    static instance is one all-dirty epoch, so full and incremental
+    re-placement coincide here (multi-epoch horizons go through
+    :meth:`repro.api.Planner.replan`).
     """
 
     name = "epoch-replan"
@@ -277,6 +281,8 @@ class EpochReplanStrategy(PlacementStrategy):
         return placement, {
             "migration_cost": migration,
             "initial_node": start,
+            "replan_mode": config.replan_mode,
+            "replan_tolerance": config.replan_tolerance,
         }
 
 

@@ -156,10 +156,21 @@ class RequestLog:
 
     @staticmethod
     def concat(logs: Sequence["RequestLog"]) -> "RequestLog":
-        """Concatenate logs in order (e.g. epoch streams into one run)."""
+        """Concatenate logs in order (e.g. epoch streams into one run).
+
+        ``concat([])`` is a well-typed empty log (``uint8`` kind codes,
+        ``int64`` node/object columns -- the same dtypes every non-empty
+        log carries), so zero-demand horizons flow through
+        :meth:`~repro.workloads.dynamic.DynamicWorkload.full_log` and
+        the simulators without special-casing.
+        """
         logs = list(logs)
         if not logs:
-            return RequestLog([], [], [])
+            return RequestLog(
+                np.zeros(0, dtype=np.uint8),
+                np.zeros(0, dtype=np.int64),
+                np.zeros(0, dtype=np.int64),
+            )
         return RequestLog(
             np.concatenate([lg.kind for lg in logs]),
             np.concatenate([lg.node for lg in logs]),

@@ -1,6 +1,11 @@
 """Workload generators, named scenarios, and time-evolving workloads."""
 
-from .dynamic import DynamicWorkload, drifting_zipf_catalog, flash_crowd
+from .dynamic import (
+    DynamicWorkload,
+    drifted_rows,
+    drifting_zipf_catalog,
+    flash_crowd,
+)
 from .request_models import (
     heterogeneous_storage_costs,
     hotspot_node_probs,
@@ -42,6 +47,7 @@ __all__ = [
     "virtual_shared_memory",
     "tree_network",
     "DynamicWorkload",
+    "drifted_rows",
     "drifting_zipf_catalog",
     "flash_crowd",
 ]

@@ -32,7 +32,57 @@ import numpy as np
 from ..core.instance import DataManagementInstance
 from ..simulate.events import RequestLog
 
-__all__ = ["DynamicWorkload", "drifting_zipf_catalog", "flash_crowd"]
+__all__ = [
+    "DynamicWorkload",
+    "drifted_rows",
+    "drifting_zipf_catalog",
+    "flash_crowd",
+]
+
+
+def drifted_rows(
+    base_fr: np.ndarray,
+    base_fw: np.ndarray,
+    fr: np.ndarray,
+    fw: np.ndarray,
+    *,
+    tolerance: float = 0.0,
+) -> np.ndarray:
+    """Objects whose ``(fr, fw)`` rows drifted from a baseline.
+
+    The shared detection kernel: :meth:`DynamicWorkload.drifted_objects`
+    applies it with the *previous epoch* as the baseline, while
+    :class:`~repro.simulate.replanner.EpochReplanner`'s incremental mode
+    applies it with each object's demand *at its last re-place* -- so a
+    slow per-epoch drift accumulates against the snapshot the current
+    placement was actually solved for and cannot stay under a positive
+    tolerance forever.
+
+    ``tolerance=0.0`` is an exact bitwise row-change test (no float
+    thresholding); ``tolerance>0`` compares the normalized L1 delta
+    (see :meth:`DynamicWorkload.demand_delta`) against the threshold.
+    """
+    if tolerance < 0:
+        raise ValueError("tolerance must be non-negative")
+    if tolerance == 0.0:
+        changed = np.any(fr != base_fr, axis=1) | np.any(fw != base_fw, axis=1)
+        return np.flatnonzero(changed)
+    return np.flatnonzero(_normalized_l1(base_fr, base_fw, fr, fw) > tolerance)
+
+
+def _normalized_l1(
+    base_fr: np.ndarray,
+    base_fw: np.ndarray,
+    fr: np.ndarray,
+    fw: np.ndarray,
+) -> np.ndarray:
+    """Per-object L1 demand change between two row stacks, normalized by
+    the larger of the two volumes -- the one delta metric shared by
+    :meth:`DynamicWorkload.demand_delta` and :func:`drifted_rows`."""
+    l1 = np.abs(fr - base_fr).sum(axis=1) + np.abs(fw - base_fw).sum(axis=1)
+    base = base_fr.sum(axis=1) + base_fw.sum(axis=1)
+    curr = fr.sum(axis=1) + fw.sum(axis=1)
+    return l1 / np.maximum(np.maximum(base, curr), 1.0)
 
 
 @dataclass(frozen=True)
@@ -76,9 +126,73 @@ class DynamicWorkload:
     def num_nodes(self) -> int:
         return self.read_freqs.shape[2]
 
+    @property
     def total_events(self) -> int:
         """Total request count across all epochs."""
         return int(round(float(self.read_freqs.sum() + self.write_freqs.sum())))
+
+    # ------------------------------------------------------------------
+    # drift detection (the incremental replanner's dirty-object oracle)
+    # ------------------------------------------------------------------
+    def demand_delta(self, epoch: int) -> np.ndarray:
+        """Normalized per-object L1 demand change entering ``epoch``.
+
+        For object ``x`` with per-node frequency rows ``fr_e[x]`` /
+        ``fw_e[x]``::
+
+            delta[x] = (|fr_e[x] - fr_{e-1}[x]| + |fw_e[x] - fw_{e-1}[x]|).sum()
+                       / max(T_{e-1}[x], T_e[x], 1)
+
+        where ``T_e[x]`` is the object's total request count in epoch
+        ``e`` -- i.e. the fraction of the object's demand that moved,
+        measured against the larger of the two epochs' volumes so the
+        delta lies in ``[0, 2]`` and a zero-demand pair scores ``0``.
+        Epoch ``0`` has no predecessor and is rejected.
+        """
+        if not 1 <= epoch < self.num_epochs:
+            raise ValueError(
+                f"demand_delta needs an epoch in [1, {self.num_epochs}), "
+                f"got {epoch}"
+            )
+        return _normalized_l1(
+            self.read_freqs[epoch - 1], self.write_freqs[epoch - 1],
+            self.read_freqs[epoch], self.write_freqs[epoch],
+        )
+
+    def drifted_objects(self, epoch: int, *, tolerance: float = 0.0) -> np.ndarray:
+        """Objects whose demand drifted into ``epoch`` beyond ``tolerance``.
+
+        The consecutive-epoch dirty-object detector: epoch ``0`` returns
+        every object (there is no previous epoch to carry placements
+        from).  At ``tolerance=0.0`` the set is *exactly* the objects
+        whose ``fr``/``fw`` rows changed at all (compared bitwise, no
+        float thresholding), so re-placing only these objects reproduces
+        the full per-epoch re-solve bit-identically -- objects are
+        placed independently, and an unchanged row yields an unchanged
+        copy set.  ``tolerance > 0`` additionally keeps objects whose
+        :meth:`demand_delta` is at most the tolerance.
+
+        Note: the incremental replanner measures positive tolerances
+        against each object's demand *at its last re-place* (via
+        :func:`drifted_rows`), not against epoch ``epoch - 1`` -- a slow
+        drift accumulates there instead of slipping under the threshold
+        epoch after epoch.  At ``tolerance=0`` the two baselines
+        coincide (an unchanged-row object's last-re-place snapshot *is*
+        the previous epoch's row).
+        """
+        if tolerance < 0:
+            raise ValueError("tolerance must be non-negative")
+        if not 0 <= epoch < self.num_epochs:
+            raise ValueError(
+                f"epoch must lie in [0, {self.num_epochs}), got {epoch}"
+            )
+        if epoch == 0:
+            return np.arange(self.num_objects)
+        return drifted_rows(
+            self.read_freqs[epoch - 1], self.write_freqs[epoch - 1],
+            self.read_freqs[epoch], self.write_freqs[epoch],
+            tolerance=tolerance,
+        )
 
     # ------------------------------------------------------------------
     def epoch_instance(
@@ -127,15 +241,36 @@ def _catalog_demand(
 ) -> np.ndarray:
     """One epoch's ``(m, n)`` demand matrix: a request budget split over
     objects by popularity and over nodes by the home distribution --
-    the columnar kernel of :func:`~repro.workloads.request_models.zipf_catalog`."""
+    the columnar kernel of :func:`~repro.workloads.request_models.zipf_catalog`.
+    Delegates to :func:`_catalog_demand_rows` over every row (bit-identical
+    RNG stream: same multinomial, then same full-budget home draw)."""
+    return _catalog_demand_rows(rng, n, total, obj_probs, node_probs, np.arange(m))
+
+
+def _catalog_demand_rows(
+    rng: np.random.Generator,
+    n: int,
+    total: int,
+    obj_probs: np.ndarray,
+    node_probs: np.ndarray | None,
+    rows: np.ndarray,
+) -> np.ndarray:
+    """Demand for a subset of object rows only: the ``redraw="changed"``
+    kernel.  Budgets are still split over the *whole* catalog by
+    popularity (so each touched row's marginal matches a full
+    :func:`_catalog_demand` draw), but request homes are sampled and
+    binned only for the touched objects -- ``O(k * n)`` scratch instead
+    of ``O(m * n)`` for ``k`` churned rows."""
     per_object = rng.multinomial(total, obj_probs)
+    k = rows.size
+    budget = int(per_object[rows].sum())
     if node_probs is None:
-        homes = rng.integers(0, n, size=total)
+        homes = rng.integers(0, n, size=budget)
     else:
-        homes = rng.choice(n, size=total, p=node_probs)
-    obj_of_request = np.repeat(np.arange(m), per_object)
-    flat = np.bincount(obj_of_request * n + homes, minlength=m * n)
-    return flat.reshape(m, n).astype(float)
+        homes = rng.choice(n, size=budget, p=node_probs)
+    row_of_request = np.repeat(np.arange(k), per_object[rows])
+    flat = np.bincount(row_of_request * n + homes, minlength=k * n)
+    return flat.reshape(k, n).astype(float)
 
 
 def _split_writes(
@@ -161,6 +296,7 @@ def drifting_zipf_catalog(
     requests_per_epoch: int | None = None,
     write_fraction: float = 0.05,
     node_probs: np.ndarray | None = None,
+    redraw: str = "all",
 ) -> DynamicWorkload:
     """Zipf catalog whose popularity ranking churns between epochs.
 
@@ -171,11 +307,34 @@ def drifting_zipf_catalog(
     popularity curve stays fixed.  Every epoch spends the same request
     budget (``requests_per_epoch``, default ``100 * m``) and splits each
     request into a write with probability ``write_fraction``.
+
+    ``redraw`` controls how much of the demand matrix is resampled per
+    epoch:
+
+    ``"all"`` (default)
+        Every epoch redraws the full multinomial demand, so sampling
+        noise touches every object's rows even when its rank is
+        unchanged -- the historical behavior.
+    ``"changed"``
+        Each later epoch redraws demand for *exactly*
+        ``round(drift * m)`` randomly chosen objects (``drift`` is then
+        the exact fraction of the catalog whose demand changes per
+        epoch): with two or more touched objects their ranks rotate
+        cyclically first, with exactly one its demand is redrawn from
+        its unchanged popularity (a rank rotation needs a pair); every
+        other object's ``fr``/``fw`` rows carry forward bit-identically.  This is the sparse-drift
+        regime the incremental replanner exploits: at ``tolerance=0``
+        its dirty set is exactly the rotated objects.  Per-epoch
+        request budgets are then only approximately
+        ``requests_per_epoch`` (carried rows keep their realized
+        counts).
     """
     if epochs < 1:
         raise ValueError("epochs must be >= 1")
     if not 0.0 <= drift <= 1.0:
         raise ValueError("drift must lie in [0, 1]")
+    if redraw not in ("all", "changed"):
+        raise ValueError(f"redraw must be 'all' or 'changed', got {redraw!r}")
     if not 0.0 <= write_fraction <= 1.0:
         raise ValueError("write_fraction must lie in [0, 1]")
     rng = np.random.default_rng(seed)
@@ -195,13 +354,35 @@ def drifting_zipf_catalog(
     fr = np.empty((epochs, m, n))
     fw = np.empty((epochs, m, n))
     for e in range(epochs):
-        if e > 0 and swaps:
-            a = rng.integers(0, m, size=swaps)
-            b = rng.integers(0, m, size=swaps)
-            for i, j in zip(a.tolist(), b.tolist()):
-                rank_of[i], rank_of[j] = rank_of[j], rank_of[i]
-        demand = _catalog_demand(rng, n, m, total, ranks[rank_of], node_probs)
-        fr[e], fw[e] = _split_writes(rng, demand, write_fraction)
+        touched: np.ndarray | None = None
+        if e > 0:
+            if redraw == "all":
+                if swaps:
+                    a = rng.integers(0, m, size=swaps)
+                    b = rng.integers(0, m, size=swaps)
+                    for i, j in zip(a.tolist(), b.tolist()):
+                        rank_of[i], rank_of[j] = rank_of[j], rank_of[i]
+            elif swaps >= 1:
+                touched = np.sort(rng.choice(m, size=swaps, replace=False))
+                if swaps >= 2:
+                    rank_of[touched] = rank_of[np.roll(touched, 1)]
+                # swaps == 1: a rank rotation needs a pair, but the single
+                # touched object still gets its demand redrawn below
+            else:
+                touched = np.empty(0, dtype=int)
+        if touched is None:
+            demand = _catalog_demand(rng, n, m, total, ranks[rank_of], node_probs)
+            fr[e], fw[e] = _split_writes(rng, demand, write_fraction)
+        else:
+            # sparse-drift mode: untouched rows carry forward
+            # bit-identically; only the churned rows are sampled
+            fr[e], fw[e] = fr[e - 1], fw[e - 1]
+            if touched.size:
+                demand = _catalog_demand_rows(
+                    rng, n, total, ranks[rank_of], node_probs, touched
+                )
+                reads, writes = _split_writes(rng, demand, write_fraction)
+                fr[e][touched], fw[e][touched] = reads, writes
     return DynamicWorkload(fr, fw, name="drifting_zipf")
 
 
@@ -218,6 +399,7 @@ def flash_crowd(
     exponent: float = 0.8,
     requests_per_epoch: int | None = None,
     write_fraction: float = 0.05,
+    redraw: str = "all",
 ) -> DynamicWorkload:
     """A stable Zipf catalog hit by a one-epoch read burst.
 
@@ -229,9 +411,18 @@ def flash_crowd(
     flash-crowd / slashdot shape that makes static placements stale and
     re-planning (or online adaptation) worthwhile.  Bursts are pure
     reads; the baseline's ``write_fraction`` is untouched.
+
+    ``redraw="all"`` (default) resamples the baseline demand every
+    epoch; ``redraw="changed"`` draws the baseline once and carries it
+    forward bit-identically, so only the burst objects' rows change --
+    into the crowd epoch and back out of it.  The incremental
+    replanner's dirty set is then empty on quiet epochs and exactly the
+    burst objects around the crowd.
     """
     if epochs < 1:
         raise ValueError("epochs must be >= 1")
+    if redraw not in ("all", "changed"):
+        raise ValueError(f"redraw must be 'all' or 'changed', got {redraw!r}")
     if not 0.0 < crowd_node_fraction <= 1.0:
         raise ValueError("crowd_node_fraction must lie in (0, 1]")
     if crowd_multiplier < 0:
@@ -257,10 +448,18 @@ def flash_crowd(
 
     fr = np.empty((epochs, m, n))
     fw = np.empty((epochs, m, n))
+    base: tuple[np.ndarray, np.ndarray] | None = None
     for e in range(epochs):
-        demand = _catalog_demand(rng, n, m, total, probs, None)
-        reads, writes = _split_writes(rng, demand, write_fraction)
+        if base is None or redraw == "all":
+            demand = _catalog_demand(rng, n, m, total, probs, None)
+            reads, writes = _split_writes(rng, demand, write_fraction)
+            if base is None:
+                base = (reads, writes)
+        else:
+            reads, writes = base[0].copy(), base[1].copy()
         if e == crowd_epoch and burst_per_object > 0:
+            if redraw == "changed" and reads is base[0]:
+                reads = reads.copy()
             for obj in burst_objects.tolist():
                 homes = crowd_nodes[rng.integers(0, crowd_size, size=burst_per_object)]
                 reads[obj] += np.bincount(homes, minlength=n)

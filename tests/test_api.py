@@ -43,6 +43,48 @@ class TestPlanner:
         assert "total" in table
 
 
+class TestPlannerReplan:
+    def _workload(self, n):
+        from repro.workloads import drifting_zipf_catalog
+
+        return drifting_zipf_catalog(
+            n, 5, epochs=3, seed=8, drift=0.4, requests_per_epoch=250,
+            redraw="changed",
+        )
+
+    def test_replan_honors_incremental_knobs(self):
+        import networkx as nx
+
+        from repro.graphs.generators import transit_stub_graph
+
+        g = transit_stub_graph(2, 2, 5, seed=6)
+        assert nx.is_connected(g)
+        n = g.number_of_nodes()
+        wl = self._workload(n)
+        cs = np.full(n, 4.0)
+        full = Planner(PlanConfig()).replan(g, wl, cs, log_seed=1)
+        incr = Planner(PlanConfig(replan_mode="incremental")).replan(
+            g, wl, cs, log_seed=1
+        )
+        assert incr.total_cost == pytest.approx(full.total_cost, rel=1e-9)
+        assert incr.epochs[1].replaced_objects < full.epochs[1].replaced_objects
+        assert [e.placement.copy_sets for e in incr.epochs] == [
+            e.placement.copy_sets for e in full.epochs
+        ]
+
+    def test_replan_builds_backend_from_config(self):
+        from repro.graphs.generators import transit_stub_graph
+        from repro.simulate.replanner import ReplanResult
+
+        g = transit_stub_graph(2, 2, 4, seed=7)
+        n = g.number_of_nodes()
+        wl = self._workload(n)
+        cs = np.full(n, 4.0)
+        res = Planner(PlanConfig(backend="lazy")).replan(g, wl, cs)
+        assert isinstance(res, ReplanResult)
+        assert len(res.epochs) == wl.num_epochs
+
+
 class TestBackendResolution:
     def test_scenario_rebuilt_on_requested_backend(self):
         sc = www_content_provider(num_objects=2)

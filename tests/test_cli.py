@@ -33,7 +33,7 @@ class TestList:
 
 class TestExperimentCommand:
     def test_registry_covers_all_runners(self):
-        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 16)} | {"E10B"}
+        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 17)} | {"E10B"}
 
     def test_unknown_experiment(self, capsys):
         out = io.StringIO()
@@ -249,3 +249,18 @@ class TestDynamicCommand:
     def test_dynamic_rejects_bad_epochs(self):
         out = io.StringIO()
         assert main(["dynamic", "--epochs", "0"], out=out) == 2
+
+    def test_dynamic_incremental_flags(self):
+        out = io.StringIO()
+        rc = main(
+            ["dynamic", "--nodes", "30", "--num-objects", "5", "--epochs", "2",
+             "--requests-per-epoch", "150", "--no-loop",
+             "--incremental", "--tolerance", "0.1"],
+            out=out,
+        )
+        assert rc == 0
+        assert "epoch-replan" in out.getvalue()
+
+    def test_dynamic_rejects_negative_tolerance(self):
+        out = io.StringIO()
+        assert main(["dynamic", "--tolerance", "-0.5"], out=out) == 2

@@ -26,6 +26,9 @@ class TestValidation:
             (dict(radii_block=0), "radii_block"),
             (dict(replication_threshold=0), "replication_threshold"),
             (dict(facility_candidates=0), "facility_candidates"),
+            (dict(replan_mode="partial"), "replan_mode"),
+            (dict(replan_tolerance=-0.1), "replan_tolerance"),
+            (dict(replan_tolerance=float("nan")), "replan_tolerance"),
         ],
     )
     def test_bad_knobs_rejected(self, kwargs, match):
@@ -45,11 +48,23 @@ class TestValidation:
     def test_backend_choices_exported(self):
         assert set(BACKEND_CHOICES) == {"auto", "dense", "lazy"}
 
+    def test_replan_knobs(self):
+        from repro.config import REPLAN_MODES
+
+        assert set(REPLAN_MODES) == {"full", "incremental"}
+        cfg = PlanConfig(replan_mode="incremental", replan_tolerance=0.25)
+        assert cfg.replan_mode == "incremental"
+        assert cfg.replan_tolerance == 0.25
+        assert PlanConfig().replan_mode == "full"  # full re-solve by default
+        # the replan knobs steer the replanner, never the engine
+        assert "replan_mode" not in cfg.engine_kwargs()
+
 
 class TestSerialization:
     def test_dict_round_trip(self):
         cfg = PlanConfig(fl_solver="greedy", jobs=3, seed=11,
-                         facility_candidates=7)
+                         facility_candidates=7, replan_mode="incremental",
+                         replan_tolerance=0.1)
         assert PlanConfig.from_dict(cfg.to_dict()) == cfg
 
     def test_from_dict_rejects_unknown_keys(self):

@@ -166,6 +166,68 @@ class TestEngineStreaming:
             approximate_placement(inst).copy_sets
 
 
+class TestPlaceSubset:
+    """The sparse-object entry point: subset results must equal the full
+    catalog solve restricted to the subset (objects are independent)."""
+
+    @given(seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_subset_matches_full_place(self, seed):
+        inst = _catalog_instance(seed, num_objects=7)
+        full = PlacementEngine(inst, chunk_size=3).place()
+        subset = [5, 1, 3]
+        solved = PlacementEngine(inst, chunk_size=2).place_subset(subset)
+        assert sorted(solved) == [1, 3, 5]
+        for obj, copies in solved.items():
+            assert copies == full.copies(obj)
+
+    def test_subset_lazy_backend(self):
+        inst = _catalog_instance(8, backend="lazy", num_objects=6)
+        full = PlacementEngine(inst).place()
+        solved = PlacementEngine(inst, chunk_size=2).place_subset([0, 4])
+        assert solved == {0: full.copies(0), 4: full.copies(4)}
+
+    def test_subset_parallel_jobs(self):
+        g = generators.sized_transit_stub_graph(80, seed=13)
+        inst = make_instance(
+            Metric.from_graph(g), seed=14, num_objects=16, write_fraction=0.1
+        )
+        serial = PlacementEngine(inst, chunk_size=3).place_subset(range(1, 12))
+        par = PlacementEngine(inst, chunk_size=3, jobs=2).place_subset(range(1, 12))
+        assert par == serial
+
+    def test_duplicates_collapse_and_order_preserved(self):
+        inst = _catalog_instance(9, num_objects=5)
+        engine = PlacementEngine(inst, chunk_size=2)
+        solved = engine.place_subset([4, 2, 4, 2, 0])
+        assert list(solved) == [4, 2, 0]
+
+    def test_stream_subset_in_given_order(self):
+        inst = _catalog_instance(10, num_objects=6)
+        engine = PlacementEngine(inst, chunk_size=2)
+        pairs = list(engine.stream(objects=[5, 0, 3]))
+        assert [obj for obj, _ in pairs] == [5, 0, 3]
+        full = engine.place()
+        assert all(copies == full.copies(obj) for obj, copies in pairs)
+
+    def test_empty_subset(self):
+        inst = _catalog_instance(11)
+        assert PlacementEngine(inst).place_subset([]) == {}
+
+    def test_out_of_range_rejected(self):
+        inst = _catalog_instance(12, num_objects=4)
+        engine = PlacementEngine(inst)
+        with pytest.raises(ValueError, match="out of range"):
+            engine.place_subset([0, 4])
+        with pytest.raises(ValueError, match="out of range"):
+            engine.place_subset([-1])
+        # stream validates eagerly too -- at the call, not at first next()
+        with pytest.raises(ValueError, match="out of range"):
+            engine.stream(objects=[-1])
+        with pytest.raises(ValueError, match="out of range"):
+            engine.stream(objects=[4])
+
+
 class TestPlaceCatalogSignature:
     def test_unknown_knob_is_a_typeerror(self):
         inst = _catalog_instance(11)
@@ -188,10 +250,10 @@ class TestPlaceCatalogSignature:
         with pytest.raises(ValueError, match="fl_solver"):
             place_catalog(inst, fl_solver="nope")
 
-    def test_version_bumped_for_the_api_layer(self):
+    def test_version_bumped_for_the_incremental_replanner(self):
         import repro
 
-        assert repro.__version__ == "1.2.0"
+        assert repro.__version__ == "1.3.0"
 
 
 class TestBatchedRadii:

@@ -63,6 +63,27 @@ class TestValidation:
                 object_names=("only-one",),
             )
 
+    def test_metric_factory_tuple_rejected_by_name(self):
+        """metric_from_graph returns (metric, index, nodes); passing the
+        whole tuple must raise a TypeError naming that convention, not
+        die later with a bare AttributeError on .n."""
+        from repro.graphs.backend import lazy_metric_from_graph
+        from repro.graphs.metric import metric_from_graph
+
+        g = random_tree(5, seed=3)
+        for factory in (metric_from_graph, lazy_metric_from_graph):
+            bundle = factory(g)
+            with pytest.raises(TypeError, match=r"\(metric, index, nodes\)"):
+                DataManagementInstance(
+                    bundle, np.ones(5), np.ones((1, 5)), np.zeros((1, 5))
+                )
+        # the unpacked metric element works as documented
+        metric, _, _ = metric_from_graph(g)
+        inst = DataManagementInstance(
+            metric, np.ones(5), np.ones((1, 5)), np.zeros((1, 5))
+        )
+        assert inst.num_nodes == 5
+
     def test_one_dim_frequencies_promoted(self, line_metric):
         inst = DataManagementInstance(line_metric, np.ones(5), np.ones(5), np.zeros(5))
         assert inst.num_objects == 1

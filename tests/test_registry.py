@@ -118,6 +118,9 @@ class TestBuiltinStrategies:
             if v != start
         )
         assert report.extras["migration_cost"] == pytest.approx(expected)
+        # the replan knobs travel as provenance
+        assert report.extras["replan_mode"] == "full"
+        assert report.extras["replan_tolerance"] == 0.0
 
 
 class TestOnlineStrategyParity:

@@ -112,6 +112,20 @@ class TestSequenceSurface:
         assert list(both) == list(a) + list(b)
         assert len(RequestLog.concat([])) == 0
 
+    def test_concat_empty_is_well_typed(self):
+        """concat([]) must carry the same dtypes as a populated log, so
+        zero-demand horizons concatenate and group without upcasting."""
+        empty = RequestLog.concat([])
+        assert empty.kind.dtype == np.uint8
+        assert empty.node.dtype == np.int64
+        assert empty.obj.dtype == np.int64
+        # still concatenable with real logs and groupable
+        real = RequestLog.from_frequencies([[2.0]], [[1.0]])
+        rejoined = RequestLog.concat([empty, real])
+        assert rejoined == real
+        reads, writes = empty.counts(2, 3)
+        assert reads.sum() == 0 and writes.sum() == 0
+
 
 class TestValidation:
     def test_mismatched_columns_rejected(self):
