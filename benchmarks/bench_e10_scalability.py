@@ -1,9 +1,15 @@
 """E10: runtime scaling of the two headline algorithms, plus the
 dense-vs-lazy distance-backend sweep (E10b) with its BENCH JSON artifact."""
 
-from repro.analysis import run_e10_backend_sweep, run_e10_scalability
+from repro.analysis import run_e10_scalability
+from repro.bench import TrialConfig, run_trial
 
-from .conftest import emit, emit_json
+from .conftest import emit, emit_artifact
+
+#: E10b headline configuration the committed artifact was generated from.
+E10B_HEADLINE = TrialConfig.make(
+    "E10B", sizes=[500, 1500, 4000], dense_limit=4000,
+)
 
 
 def test_e10_scalability(benchmark):
@@ -23,11 +29,8 @@ def test_e10_backend_sweep(benchmark):
     """Dense vs lazy backend: wall time + peak RSS-style (tracemalloc)
     memory, persisted as BENCH_e10_backend_sweep.json."""
     result = benchmark.pedantic(
-        run_e10_backend_sweep,
-        kwargs=dict(sizes=(500, 1500, 4000), dense_limit=4000),
-        rounds=1,
-        iterations=1,
+        run_trial, args=(E10B_HEADLINE,), rounds=1, iterations=1,
     )
     emit(result)
-    path = emit_json(result, "e10_backend_sweep")
+    path = emit_artifact(result, "e10_backend_sweep")
     print(f"artifact: {path}")

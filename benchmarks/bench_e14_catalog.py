@@ -9,23 +9,25 @@ speedup requires > 1 free core -- on a single-CPU host the ``jobs=2`` row
 measures pool overhead, not parallelism.
 """
 
-from repro.analysis import run_e14_catalog_throughput
+from repro.bench import TrialConfig, run_trial
 
-from .conftest import emit, emit_json
+from .conftest import emit, emit_artifact
+
+#: The headline configuration the committed artifact was generated from;
+#: ``repro bench run --experiment E14 --params '{...}'`` with the same
+#: knobs hits the same trial hash.
+HEADLINE = TrialConfig.make(
+    "E14",
+    num_objects=10_000, n=1100, chunk_size=512, jobs=[2], compare_loop=True,
+)
 
 
 def test_e14_catalog_throughput(benchmark):
     result = benchmark.pedantic(
-        run_e14_catalog_throughput,
-        kwargs=dict(
-            num_objects=10_000, n=1100, chunk_size=512, jobs=(2,),
-            compare_loop=True,
-        ),
-        rounds=1,
-        iterations=1,
+        run_trial, args=(HEADLINE,), rounds=1, iterations=1,
     )
     emit(result)
-    emit_json(result, "e14_catalog")
+    emit_artifact(result, "e14_catalog")
     by_mode = {row[0]: row for row in result.rows}
     for label, row in by_mode.items():
         if label != "per-object loop":

@@ -9,23 +9,24 @@ strategy comparison: clairvoyant-static vs epoch-replanned (with
 migration) vs the count-based online strategy on the same stream.
 """
 
-from repro.analysis import run_e15_dynamic_replay
+from repro.bench import TrialConfig, run_trial
 
-from .conftest import emit, emit_json
+from .conftest import emit, emit_artifact
+
+#: The headline configuration the committed artifact was generated from.
+HEADLINE = TrialConfig.make(
+    "E15",
+    n=1000, num_objects=60, epochs=5, requests_per_epoch=2500,
+    scenario="drift", compare_loop=True,
+)
 
 
 def test_e15_dynamic_replay(benchmark):
     result = benchmark.pedantic(
-        run_e15_dynamic_replay,
-        kwargs=dict(
-            n=1000, num_objects=60, epochs=5, requests_per_epoch=2500,
-            scenario="drift", compare_loop=True,
-        ),
-        rounds=1,
-        iterations=1,
+        run_trial, args=(HEADLINE,), rounds=1, iterations=1,
     )
     emit(result)
-    emit_json(result, "e15_dynamic")
+    emit_artifact(result, "e15_dynamic")
     by_label = {row[1]: row for row in result.rows}
     vec = by_label["vectorized"]
     assert vec[-1] is True  # vectorized bill == hop-by-hop bill

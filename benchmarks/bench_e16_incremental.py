@@ -15,23 +15,24 @@ on the dense *and* lazy distance backends:
   speed-for-bounded-billing-error trade.
 """
 
-from repro.analysis import run_e16_incremental_replan
+from repro.bench import TrialConfig, run_trial
 
-from .conftest import emit, emit_json
+from .conftest import emit, emit_artifact
+
+#: The headline configuration the committed artifact was generated from.
+HEADLINE = TrialConfig.make(
+    "E16",
+    n=200, num_objects=48, epochs=5, drift=0.15, tolerance=0.05,
+    backends=["dense", "lazy"], scenarios=["drift", "flash"],
+)
 
 
 def test_e16_incremental_replan(benchmark):
     result = benchmark.pedantic(
-        run_e16_incremental_replan,
-        kwargs=dict(
-            n=200, num_objects=48, epochs=5, drift=0.15, tolerance=0.05,
-            backends=("dense", "lazy"), scenarios=("drift", "flash"),
-        ),
-        rounds=1,
-        iterations=1,
+        run_trial, args=(HEADLINE,), rounds=1, iterations=1,
     )
     emit(result)
-    emit_json(result, "e16_incremental")
+    emit_artifact(result, "e16_incremental")
     rows = {(r[0], r[1], r[2], r[3]): r for r in result.rows}
     for backend in ("dense", "lazy"):
         exact = rows[("drifting_zipf", backend, "incremental", 0.0)]

@@ -2,15 +2,23 @@
 
 Each ``bench_e*.py`` regenerates one experiment; docs/EXPERIMENTS.md maps
 every file to the paper result it validates and records how to run the
-suite.  The benchmark times the core computation while the rendered result
-table is printed to stdout (run with ``-s`` to see it); sweeps that
-measure scaling additionally persist a machine-readable ``BENCH_*.json``
-artifact next to this file via ``ExperimentResult.save_json``.
+suite.  The gated headline configurations (E10b/E14/E15/E16) are declared
+as frozen :class:`repro.bench.TrialConfig` objects and executed through
+:func:`repro.bench.run_trial` -- the same entry point ``repro bench run``
+uses -- so the committed artifact and a harness sweep of the identical
+config are the same computation.  The benchmark times the core
+computation while the rendered result table is printed to stdout (run
+with ``-s`` to see it); sweeps that measure scaling additionally persist
+a machine-readable ``BENCH_*.json`` artifact next to this file via
+:func:`emit_artifact`, which schema-validates against the gate spec
+before writing.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
+
+from repro.bench import GATES, validate_schema
 
 #: Where BENCH_*.json artifacts land (the benchmarks directory itself).
 ARTIFACT_DIR = Path(__file__).resolve().parent
@@ -28,3 +36,20 @@ def emit_json(result, name: str) -> Path:
     path = ARTIFACT_DIR / f"BENCH_{name}.json"
     result.save_json(path)
     return path
+
+
+def emit_artifact(result, name: str) -> Path:
+    """Schema-validate against the gate spec, then persist the artifact.
+
+    Refreshing a gated ``BENCH_*.json`` goes through here so a result
+    whose table shape drifted from the :data:`repro.bench.GATES` spec
+    fails loudly at generation time instead of at the next gate run.
+    """
+    artifact = f"BENCH_{name}.json"
+    for spec in GATES.values():
+        if spec.artifact == artifact:
+            validate_schema(spec, result.to_json())
+            break
+    else:
+        raise ValueError(f"{artifact} has no gate spec; use emit_json")
+    return emit_json(result, name)

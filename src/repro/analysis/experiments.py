@@ -12,7 +12,6 @@ configuration; results can be persisted as machine-readable JSON via
 
 from __future__ import annotations
 
-import json
 import time
 import tracemalloc
 from dataclasses import dataclass, field
@@ -77,29 +76,35 @@ class ExperimentResult:
 
     def to_json(self) -> dict:
         """Machine-readable form (plain python types, numpy coerced)."""
+        from ..serialize import canonical_payload
 
-        def coerce(x):
-            if isinstance(x, (np.floating,)):
-                return float(x)
-            if isinstance(x, (np.integer,)):
-                return int(x)
-            if isinstance(x, (np.bool_,)):
-                return bool(x)
-            return x
+        return canonical_payload(
+            {
+                "exp_id": self.exp_id,
+                "title": self.title,
+                "headers": list(self.headers),
+                "rows": [list(row) for row in self.rows],
+                "notes": self.notes,
+            }
+        )
 
-        return {
-            "exp_id": self.exp_id,
-            "title": self.title,
-            "headers": list(self.headers),
-            "rows": [[coerce(x) for x in row] for row in self.rows],
-            "notes": self.notes,
-        }
+    def save_json(self, path, *, generated_at: str | None = None) -> None:
+        """Write the ``BENCH_*.json``-style artifact for this experiment.
 
-    def save_json(self, path) -> None:
-        """Write the ``BENCH_*.json``-style artifact for this experiment."""
+        The bytes are deterministic -- sorted keys, canonical float
+        ``repr``, no wall-clock reads -- so identical results produce
+        identical artifacts the regression gate can diff.  A timestamp
+        is recorded only when the *caller* injects one via
+        ``generated_at`` (e.g. an ISO-8601 string); the writer itself
+        never consults the clock.
+        """
+        from ..serialize import canonical_json_dumps
+
+        payload = self.to_json()
+        if generated_at is not None:
+            payload["generated_at"] = str(generated_at)
         with open(path, "w") as fh:
-            json.dump(self.to_json(), fh, indent=2)
-            fh.write("\n")
+            fh.write(canonical_json_dumps(payload) + "\n")
 
 
 def _graph_family(name: str, n: int, seed: int) -> nx.Graph:

@@ -300,9 +300,28 @@ class Planner:
         one over the drifted objects only.  Returns the
         :class:`~repro.simulate.replanner.ReplanResult` with per-epoch
         serving bills, migration costs and solve times.
+
+        The workload, the graph and any explicit metric must agree on
+        the node count -- a mismatch means the demand matrices index
+        nodes that do not exist (or miss nodes that do), so it is a
+        :class:`ValueError` here rather than an index error several
+        layers down.
         """
         from .simulate.replanner import EpochReplanner
 
+        n_graph = graph.number_of_nodes()
+        if workload.num_nodes != n_graph:
+            raise ValueError(
+                f"workload built for {workload.num_nodes} nodes cannot be "
+                f"replanned on a {n_graph}-node graph; regenerate the "
+                "workload for this network"
+            )
+        if metric is not None and metric.n != n_graph:
+            raise ValueError(
+                f"metric covers {metric.n} nodes but the graph has "
+                f"{n_graph}; pass the graph's own distance backend (or "
+                "metric=None to build one)"
+            )
         if metric is None:
             backend = self.config.backend
             if backend == "auto":

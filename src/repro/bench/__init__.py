@@ -1,0 +1,55 @@
+"""``repro.bench``: the declarative experiment harness and its gate.
+
+Three layers, bottom-up:
+
+* :mod:`~repro.bench.trials` -- frozen :class:`TrialConfig` /
+  :class:`SweepConfig` declarations with canonical config hashes;
+* :mod:`~repro.bench.store` / :mod:`~repro.bench.runner` -- the disk
+  cache and the cached, resumable, process-parallel sweep executor over
+  the E1--E16 runners (:data:`EXPERIMENT_RUNNERS`);
+* :mod:`~repro.bench.gate` -- the BENCH regression gate: committed
+  ``benchmarks/BENCH_*.json`` artifacts validated by schema and
+  tolerance-banded checks, plus budgeted smoke re-runs.
+
+CLI surface: ``python -m repro bench run | gate | list``.
+"""
+
+from .gate import (
+    EXIT_MISSING_ARTIFACT,
+    EXIT_OK,
+    EXIT_REGRESSION,
+    GATES,
+    Check,
+    Finding,
+    GateReport,
+    GateSpec,
+    check_payload,
+    run_gate,
+    validate_schema,
+)
+from .runner import EXPERIMENT_RUNNERS, TrialOutcome, run_sweep, run_trial
+from .store import TrialRecord, TrialStore
+from .trials import SweepConfig, TrialConfig, config_hash
+
+__all__ = [
+    "TrialConfig",
+    "SweepConfig",
+    "config_hash",
+    "TrialRecord",
+    "TrialStore",
+    "EXPERIMENT_RUNNERS",
+    "TrialOutcome",
+    "run_trial",
+    "run_sweep",
+    "Check",
+    "GateSpec",
+    "Finding",
+    "GateReport",
+    "GATES",
+    "check_payload",
+    "validate_schema",
+    "run_gate",
+    "EXIT_OK",
+    "EXIT_REGRESSION",
+    "EXIT_MISSING_ARTIFACT",
+]

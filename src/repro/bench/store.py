@@ -1,0 +1,163 @@
+"""The trial cache: one canonical JSON file per completed trial.
+
+Layout: ``<root>/<config_hash>.json``, each file a self-describing
+record holding the trial's config, its result table
+(:meth:`~repro.analysis.experiments.ExperimentResult.to_json` form) and
+run metadata.  Records are written atomically (tempfile +
+``os.replace``), so a sweep killed mid-trial never leaves a torn file --
+every record present is complete, and a rerun resumes by loading it
+byte-for-byte instead of re-running the trial.
+
+Determinism contract: the record's ``result`` payload is canonical JSON
+of a deterministic experiment run, so for seeded runners the *result*
+bytes of a resumed sweep equal those of an uninterrupted one exactly.
+Wall-clock metadata (``elapsed_s``, caller-injected ``generated_at``)
+lives outside the result payload precisely so that comparison stays
+meaningful.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..serialize import canonical_json_dumps
+from .trials import TrialConfig
+
+__all__ = ["TrialRecord", "TrialStore"]
+
+_FORMAT = "repro-bench-trial"
+_VERSION = 1
+
+
+@dataclass(frozen=True)
+class TrialRecord:
+    """One cached trial: config, result payload and run metadata."""
+
+    config: TrialConfig
+    result: dict
+    elapsed_s: float
+    generated_at: str | None = None
+
+    @property
+    def result_bytes(self) -> bytes:
+        """The canonical bytes of the result payload alone -- the part
+        of a record that is bit-identical across (deterministic)
+        re-runs, wall-clock metadata excluded."""
+        return canonical_json_dumps(self.result, indent=None).encode("utf-8")
+
+    def to_experiment_result(self):
+        """Rebuild an :class:`~repro.analysis.ExperimentResult` for
+        rendering (JSON loses tuple-ness, nothing else)."""
+        from ..analysis import ExperimentResult
+
+        return ExperimentResult(
+            exp_id=self.result["exp_id"],
+            title=self.result["title"],
+            headers=tuple(self.result["headers"]),
+            rows=[list(row) for row in self.result["rows"]],
+            notes=self.result.get("notes", ""),
+        )
+
+
+class TrialStore:
+    """Disk-backed, resumable cache of trial results keyed by config hash."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------
+    def path_for(self, config: TrialConfig) -> Path:
+        return self.root / f"{config.hash}.json"
+
+    def __contains__(self, config: TrialConfig) -> bool:
+        return self.path_for(config).is_file()
+
+    def __len__(self) -> int:
+        return len(list(self.root.glob("*.json"))) if self.root.is_dir() else 0
+
+    # ------------------------------------------------------------------
+    def save(self, record: TrialRecord) -> Path:
+        """Atomically persist ``record``; returns its path.
+
+        The write goes to a sibling tempfile first and lands via
+        ``os.replace``, so a concurrent or interrupted writer can never
+        expose a half-written record to a resuming run.
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(record.config)
+        payload = {
+            "format": _FORMAT,
+            "version": _VERSION,
+            "config": record.config.to_dict(),
+            "config_hash": record.config.hash,
+            "result": record.result,
+            "elapsed_s": float(record.elapsed_s),
+            "generated_at": record.generated_at,
+        }
+        fd, tmp = tempfile.mkstemp(
+            dir=self.root, prefix=f".{record.config.hash}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(canonical_json_dumps(payload) + "\n")
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        return path
+
+    # ------------------------------------------------------------------
+    def load(self, config: TrialConfig) -> TrialRecord | None:
+        """The cached record for ``config``, or ``None`` when absent.
+
+        A present-but-inconsistent record (wrong format, or a stored
+        config that no longer hashes to its own filename -- a hand-edit
+        or corruption) raises ``ValueError`` instead of being silently
+        trusted or re-run.
+        """
+        path = self.path_for(config)
+        if not path.is_file():
+            return None
+        record = self._read(path)
+        if record.config != config:
+            raise ValueError(
+                f"trial store record {path} holds config "
+                f"{record.config.label()}, not the requested "
+                f"{config.label()}; the store is corrupt"
+            )
+        return record
+
+    def records(self) -> list[TrialRecord]:
+        """Every cached record, sorted by config hash (for listings)."""
+        if not self.root.is_dir():
+            return []
+        return [self._read(p) for p in sorted(self.root.glob("*.json"))]
+
+    # ------------------------------------------------------------------
+    def _read(self, path: Path) -> TrialRecord:
+        data = json.loads(path.read_text())
+        if not isinstance(data, dict) or data.get("format") != _FORMAT:
+            raise ValueError(f"{path} is not a {_FORMAT} record")
+        if data.get("version") != _VERSION:
+            raise ValueError(
+                f"{path} has record version {data.get('version')!r}; "
+                f"this build reads version {_VERSION}"
+            )
+        config = TrialConfig.from_dict(data["config"])
+        if data.get("config_hash") != config.hash:
+            raise ValueError(
+                f"{path}: stored config hashes to {config.hash}, not the "
+                f"recorded {data.get('config_hash')!r}; the record was "
+                "edited or corrupted"
+            )
+        return TrialRecord(
+            config=config,
+            result=data["result"],
+            elapsed_s=float(data["elapsed_s"]),
+            generated_at=data.get("generated_at"),
+        )

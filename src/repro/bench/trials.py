@@ -1,0 +1,235 @@
+"""Declarative experiment trials: frozen configs behind canonical hashes.
+
+A *trial* is one call of one experiment runner (:data:`E1..E16
+<repro.bench.runner.EXPERIMENT_RUNNERS>`) with one fully-expanded kwargs
+set; a *sweep* is a declared grid of them.  Both are plain frozen
+declarations in the style of :class:`~repro.config.PlanConfig` -- they
+ride the same ``to_dict`` / ``from_dict`` / ``from_file`` machinery
+(:func:`repro.config.load_mapping` is the shared JSON/TOML loader) with
+the same hard ``TypeError`` on unknown keys, so a typo in a sweep file
+names itself instead of silently running a default.
+
+The load-bearing piece is :func:`config_hash`: the disk cache of
+:class:`~repro.bench.store.TrialStore` keys every result by the SHA-256
+of the trial's *canonical JSON* form
+(:func:`repro.serialize.canonical_json_dumps`: sorted keys, tuples
+collapsed onto lists, numpy scalars unwrapped, ``-0.0`` folded onto
+``0.0``).  The digest therefore depends only on the declared values --
+never on dict insertion order, ``repr`` formatting, ``id()`` or the
+process's hash seed -- which is what makes interrupted sweeps resumable
+with bit-identical results (property-tested in
+``tests/test_bench_trials.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from dataclasses import dataclass
+
+from ..config import load_mapping
+from ..serialize import canonical_json_dumps, canonical_payload
+
+__all__ = ["TrialConfig", "SweepConfig", "config_hash"]
+
+#: Length of the hex digest prefix used as the trial cache key.  64 bits
+#: of SHA-256: collisions need ~2**32 distinct configs in one store, and
+#: the store re-verifies the stored config on load anyway.
+HASH_LEN = 16
+
+
+def config_hash(data) -> str:
+    """SHA-256 (first :data:`HASH_LEN` hex chars) of canonical JSON.
+
+    ``data`` is any JSON-serializable value (typically a config dict);
+    it is canonicalized first, so two equal values always digest
+    identically regardless of key order, tuple/list spelling or numpy
+    scalar types, in every process.
+    """
+    text = canonical_json_dumps(data, indent=None)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:HASH_LEN]
+
+
+@dataclass(frozen=True)
+class TrialConfig:
+    """One experiment runner call, frozen in canonical form.
+
+    ``params`` is stored as a sorted tuple of ``(name, value)`` pairs
+    with every value already in canonical JSON form -- build instances
+    through :meth:`make` (keyword spelling) or :meth:`from_dict`
+    (serialized spelling) rather than the raw constructor, which
+    enforces exactly that normal form.  Equality is value equality;
+    identity for caching purposes is :attr:`hash`.
+    """
+
+    experiment: str
+    params: tuple = ()
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.experiment, str) or not self.experiment:
+            raise ValueError("experiment must be a non-empty string id")
+        names = [name for name, _ in self.params]
+        if names != sorted(names):
+            raise ValueError("params must be sorted by name; use make()")
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise ValueError(f"duplicate param(s) {dupes}")
+        for name, value in self.params:
+            if not isinstance(name, str) or not name:
+                raise ValueError(f"param name {name!r} must be a string")
+            if canonical_payload(value) != value:
+                raise ValueError(
+                    f"param {name}={value!r} is not in canonical form; "
+                    "use make()"
+                )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def make(cls, experiment: str, **params) -> "TrialConfig":
+        """Build from keyword params, canonicalizing every value."""
+        canon = canonical_payload(params)
+        return cls(
+            experiment=str(experiment).upper(),
+            params=tuple(sorted(canon.items())),
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def params_dict(self) -> dict:
+        """The params as a plain kwargs dict (values canonical)."""
+        return {name: value for name, value in self.params}
+
+    @property
+    def hash(self) -> str:
+        """The canonical config hash -- the trial's cache key."""
+        return config_hash(self.to_dict())
+
+    def label(self) -> str:
+        """Short human identity: ``E14[a1b2c3d4e5f6a7b8]``."""
+        return f"{self.experiment}[{self.hash}]"
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {"experiment": self.experiment, "params": self.params_dict}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TrialConfig":
+        unknown = sorted(set(data) - {"experiment", "params"})
+        if unknown:
+            raise TypeError(
+                f"unknown TrialConfig key(s) {unknown}; known keys: "
+                "['experiment', 'params']"
+            )
+        if "experiment" not in data:
+            raise TypeError("TrialConfig needs an 'experiment' key")
+        return cls.make(data["experiment"], **dict(data.get("params") or {}))
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """A named grid of trials, loadable from the same JSON/TOML formats
+    as :class:`~repro.config.PlanConfig`.
+
+    Serialized form::
+
+        {
+          "name": "nightly",
+          "experiments": [
+            {"experiment": "E14",
+             "params": {"n": 60, "compare_loop": true},
+             "grid": {"num_objects": [48, 96], "chunk_size": [16, 32]}}
+          ]
+        }
+
+    ``params`` are fixed kwargs shared by every grid point; ``grid``
+    maps param names to value lists and is expanded as a cartesian
+    product.  Expansion order is deterministic (entries in declaration
+    order, grid keys sorted, values in declaration order), so a sweep's
+    trial sequence -- and therefore the resume behavior of an
+    interrupted run -- is a pure function of the file.
+    """
+
+    name: str
+    entries: tuple = ()
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            raise ValueError("sweep name must be a non-empty string")
+        for entry in self.entries:
+            experiment, params, grid = entry
+            if not isinstance(experiment, str) or not experiment:
+                raise ValueError("each sweep entry needs an experiment id")
+            overlap = sorted(set(dict(params)) & set(dict(grid)))
+            if overlap:
+                raise ValueError(
+                    f"{experiment}: param(s) {overlap} appear in both "
+                    "'params' and 'grid'"
+                )
+            for key, values in grid:
+                if not isinstance(values, list) or not values:
+                    raise ValueError(
+                        f"{experiment}: grid key {key!r} must map to a "
+                        "non-empty list of values"
+                    )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dict(cls, data: dict) -> "SweepConfig":
+        unknown = sorted(set(data) - {"name", "experiments"})
+        if unknown:
+            raise TypeError(
+                f"unknown SweepConfig key(s) {unknown}; known keys: "
+                "['experiments', 'name']"
+            )
+        entries = []
+        for raw in data.get("experiments", ()):
+            extra = sorted(set(raw) - {"experiment", "params", "grid"})
+            if extra:
+                raise TypeError(
+                    f"unknown sweep entry key(s) {extra}; known keys: "
+                    "['experiment', 'grid', 'params']"
+                )
+            if "experiment" not in raw:
+                raise TypeError("every sweep entry needs an 'experiment' key")
+            params = canonical_payload(dict(raw.get("params") or {}))
+            grid = canonical_payload(dict(raw.get("grid") or {}))
+            entries.append(
+                (
+                    str(raw["experiment"]).upper(),
+                    tuple(sorted(params.items())),
+                    tuple(sorted(grid.items())),
+                )
+            )
+        return cls(name=str(data.get("name", "sweep")), entries=tuple(entries))
+
+    @classmethod
+    def from_file(cls, path) -> "SweepConfig":
+        """Load from ``*.json`` or ``*.toml`` (shared config loader)."""
+        return cls.from_dict(load_mapping(path))
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "experiments": [
+                {
+                    "experiment": experiment,
+                    "params": dict(params),
+                    "grid": dict(grid),
+                }
+                for experiment, params, grid in self.entries
+            ],
+        }
+
+    # ------------------------------------------------------------------
+    def trials(self) -> list[TrialConfig]:
+        """Expand every entry's grid into concrete trial configs."""
+        out: list[TrialConfig] = []
+        for experiment, params, grid in self.entries:
+            fixed = dict(params)
+            keys = [key for key, _ in grid]
+            value_lists = [values for _, values in grid]
+            for combo in itertools.product(*value_lists):
+                kwargs = dict(fixed)
+                kwargs.update(zip(keys, combo))
+                out.append(TrialConfig.make(experiment, **kwargs))
+        return out

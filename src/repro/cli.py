@@ -18,6 +18,10 @@ Usage::
         --num-objects 60                     # dynamic-layer comparison
     python -m repro dynamic --incremental --tolerance 0.0 \\
         --epochs 5                           # re-place only drifted objects
+    python -m repro bench run --sweep sweep.json --store .repro-bench \\
+        --jobs 2                             # cached, resumable trial sweep
+    python -m repro bench gate --tier smoke  # BENCH_*.json regression gate
+    python -m repro bench list               # experiments, gates, cache
     python -m repro list                     # what is available
 
 Experiments are the E1--E16 validations mapped to the paper in
@@ -34,7 +38,13 @@ network sizes and can persist a ``BENCH_*.json`` artifact; ``dynamic``
 replays an epoch-structured workload and compares clairvoyant-static,
 epoch-replanned and online-counting strategies (E15);
 ``--incremental/--tolerance`` switch the replanner to incremental
-re-placement of only the drifted objects (E16).
+re-placement of only the drifted objects (E16); ``bench`` is the
+declarative experiment harness (:mod:`repro.bench`): ``run`` executes a
+sweep of trials with results cached on disk by canonical config hash
+(interrupted sweeps resume), ``gate`` validates the committed
+``benchmarks/BENCH_*.json`` artifacts and re-runs a budgeted smoke tier
+of each gated experiment, exiting ``1`` on regression and ``3`` on a
+missing artifact, and ``list`` shows experiments, gates and the cache.
 """
 
 from __future__ import annotations
@@ -47,6 +57,7 @@ from typing import Callable, Sequence
 
 from . import analysis
 from .api import PlanReport, Planner, compare_table
+from .bench import EXPERIMENT_RUNNERS
 from .config import PlanConfig
 from .core.approx import approximate_placement
 from .core.costs import placement_cost
@@ -57,25 +68,11 @@ from .workloads import DYNAMIC_SCENARIOS, SCENARIO_BUILDERS
 
 __all__ = ["main", "EXPERIMENTS", "SCENARIOS"]
 
-EXPERIMENTS: dict[str, Callable[[], "analysis.ExperimentResult"]] = {
-    "E1": analysis.run_e1_approx_ratio,
-    "E2": analysis.run_e2_tree_dp,
-    "E3": analysis.run_e3_restricted_gap,
-    "E4": analysis.run_e4_proper_invariants,
-    "E5": analysis.run_e5_phase_ablation,
-    "E6": analysis.run_e6_baselines,
-    "E7": analysis.run_e7_storage_sweep,
-    "E8": analysis.run_e8_facility_choice,
-    "E9": analysis.run_e9_load_model,
-    "E10": analysis.run_e10_scalability,
-    "E10B": analysis.run_e10_backend_sweep,
-    "E11": analysis.run_e11_simulation_agreement,
-    "E12": analysis.run_e12_online_vs_static,
-    "E13": analysis.run_e13_capacity_price,
-    "E14": analysis.run_e14_catalog_throughput,
-    "E15": analysis.run_e15_dynamic_replay,
-    "E16": analysis.run_e16_incremental_replan,
-}
+#: The CLI's experiment registry rides the bench harness's -- one table
+#: of E-series runners for ``experiment``, ``bench run`` and the gate.
+EXPERIMENTS: dict[str, Callable[[], "analysis.ExperimentResult"]] = dict(
+    EXPERIMENT_RUNNERS
+)
 
 # the CLI surface is the workloads registry; the alias is the public name
 # this module has always exported
@@ -306,6 +303,106 @@ def _run_backend_sweep(args, out=sys.stdout) -> int:
     return 0
 
 
+def _bench_sweep_from_args(args):
+    """The declared trial set of ``bench run`` (sweep file or one-off)."""
+    from .bench import SweepConfig, TrialConfig
+
+    if args.sweep_path:
+        return SweepConfig.from_file(args.sweep_path).trials()
+    if args.experiment:
+        params = json.loads(args.params) if args.params else {}
+        if not isinstance(params, dict):
+            raise TypeError("--params must hold a JSON object")
+        return [TrialConfig.make(args.experiment, **params)]
+    raise TypeError("bench run needs --sweep FILE or --experiment ID")
+
+
+def _run_bench_run(args, out=sys.stdout) -> int:
+    from .bench import EXPERIMENT_RUNNERS, TrialStore, run_sweep
+
+    try:
+        trials = _bench_sweep_from_args(args)
+    except (TypeError, ValueError, OSError, json.JSONDecodeError) as exc:
+        print(f"bench run: bad sweep: {exc}", file=sys.stderr)
+        return 2
+    unknown = sorted({t.experiment for t in trials} - set(EXPERIMENT_RUNNERS))
+    if unknown:
+        print(f"bench run: unknown experiment(s) {unknown}; choose from "
+              f"{', '.join(EXPERIMENT_RUNNERS)}", file=sys.stderr)
+        return 2
+    store = TrialStore(args.store)
+    outcomes = run_sweep(
+        trials, store, jobs=args.jobs, limit=args.limit,
+        generated_at=args.timestamp,
+        progress=lambda msg: print(msg, file=out),
+    )
+    ran = sum(1 for o in outcomes if o.status == "ran")
+    cached = sum(1 for o in outcomes if o.status == "cached")
+    pending = sum(1 for o in outcomes if o.status == "pending")
+    print(f"bench run: {len(outcomes)} trial(s): {ran} ran, {cached} cached, "
+          f"{pending} pending (store: {store.root})", file=out)
+    if args.show:
+        for outcome in outcomes:
+            if outcome.record is not None:
+                print(outcome.record.to_experiment_result().render(), file=out)
+                print(file=out)
+    return 0
+
+
+def _run_bench_gate(args, out=sys.stdout) -> int:
+    from .bench import TrialStore, run_gate
+
+    try:
+        report = run_gate(
+            tier=args.tier,
+            artifact_dir=args.artifact_dir,
+            store=TrialStore(args.store),
+            only=args.only,
+            jobs=args.jobs,
+            generated_at=args.timestamp,
+            progress=lambda msg: print(msg, file=out),
+        )
+    except ValueError as exc:
+        print(f"bench gate: {exc}", file=sys.stderr)
+        return 2
+    text = report.render()
+    print(text, file=out)
+    if args.report_path:
+        with open(args.report_path, "w") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {args.report_path}", file=out)
+    return report.exit_code
+
+
+def _run_bench_list(args, out=sys.stdout) -> int:
+    from .bench import EXPERIMENT_RUNNERS, GATES, TrialStore
+
+    print("experiments:", ", ".join(EXPERIMENT_RUNNERS), file=out)
+    print("gated:", file=out)
+    for spec in GATES.values():
+        print(f"  {spec.exp_id:5s} {spec.artifact}  "
+              f"({len(spec.checks)} checks)", file=out)
+    store = TrialStore(args.store)
+    records = store.records()
+    print(f"trial store {store.root}: {len(records)} cached trial(s)",
+          file=out)
+    for record in records:
+        print(f"  {record.config.label()}  {record.elapsed_s:.2f}s",
+              file=out)
+    return 0
+
+
+def _run_bench(args, out=sys.stdout) -> int:
+    if args.bench_command == "run":
+        return _run_bench_run(args, out=out)
+    if args.bench_command == "gate":
+        return _run_bench_gate(args, out=out)
+    if args.bench_command == "list":
+        return _run_bench_list(args, out=out)
+    print("bench: choose a subcommand: run, gate or list", file=sys.stderr)
+    return 2
+
+
 def main(argv: Sequence[str] | None = None, out=sys.stdout) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -438,6 +535,71 @@ def main(argv: Sequence[str] | None = None, out=sys.stdout) -> int:
     p_dy.add_argument("--out", dest="out_path", default=None,
                       help="write the experiment table as JSON here")
 
+    p_bench = sub.add_parser(
+        "bench",
+        help="experiment harness: cached resumable sweeps + BENCH gate",
+    )
+    bench_sub = p_bench.add_subparsers(dest="bench_command")
+    bench_store = argparse.ArgumentParser(add_help=False)
+    bench_store.add_argument("--store", default=".repro-bench",
+                             metavar="DIR",
+                             help="trial cache directory (results keyed by "
+                             "canonical config hash)")
+
+    pb_run = bench_sub.add_parser(
+        "run", parents=[bench_store],
+        help="run a sweep of trials; cached trials are loaded, not re-run",
+    )
+    pb_run.add_argument("--sweep", dest="sweep_path", default=None,
+                        metavar="FILE",
+                        help="SweepConfig file (*.json or *.toml)")
+    pb_run.add_argument("--experiment", default=None,
+                        help="run a single experiment instead of a sweep "
+                        "file (E1..E16)")
+    pb_run.add_argument("--params", default=None, metavar="JSON",
+                        help="runner kwargs for --experiment as a JSON "
+                        "object")
+    pb_run.add_argument("--jobs", type=int, default=1,
+                        help="trials run in parallel (1 = in-process)")
+    pb_run.add_argument("--limit", type=int, default=None,
+                        help="execute at most this many new trials "
+                        "(cached loads are free); the rest stay pending")
+    pb_run.add_argument("--timestamp", default=None,
+                        help="record this string as the trials' "
+                        "generated-at stamp (never read from the clock)")
+    pb_run.add_argument("--show", action="store_true",
+                        help="print every completed trial's result table")
+
+    pb_gate = bench_sub.add_parser(
+        "gate", parents=[bench_store],
+        help="validate BENCH_*.json artifacts and smoke-run each gated "
+        "experiment; exit 1 on regression, 3 on missing artifact",
+    )
+    pb_gate.add_argument("--tier", choices=("smoke", "artifact"),
+                         default="smoke",
+                         help="'artifact' validates committed artifacts "
+                         "only; 'smoke' also re-runs each gate's budgeted "
+                         "smoke trial")
+    pb_gate.add_argument("--artifact-dir", default=None, metavar="DIR",
+                         help="where the BENCH_*.json artifacts live "
+                         "(default: the committed benchmarks/ directory)")
+    pb_gate.add_argument("--only", nargs="+", default=None,
+                         metavar="EXP",
+                         help="gate only these experiments (e.g. E14 E16)")
+    pb_gate.add_argument("--jobs", type=int, default=1,
+                         help="smoke trials run in parallel")
+    pb_gate.add_argument("--timestamp", default=None,
+                         help="generated-at stamp for fresh smoke trials")
+    pb_gate.add_argument("--report", dest="report_path", default=None,
+                         metavar="FILE",
+                         help="also write the findings report here (the "
+                         "CI failure artifact)")
+
+    bench_sub.add_parser(
+        "list", parents=[bench_store],
+        help="list experiments, gate specs and the trial cache",
+    )
+
     sub.add_parser("list", help="list experiments, scenarios and strategies")
 
     args = parser.parse_args(argv)
@@ -455,6 +617,8 @@ def main(argv: Sequence[str] | None = None, out=sys.stdout) -> int:
         return _run_backend_sweep(args, out=out)
     if args.command == "dynamic":
         return _run_dynamic(args, out=out)
+    if args.command == "bench":
+        return _run_bench(args, out=out)
     if args.command == "list":
         print("experiments:      ", ", ".join(EXPERIMENTS), file=out)
         print("scenarios:        ", ", ".join(SCENARIOS), file=out)

@@ -35,7 +35,42 @@ from .core.radii import DEFAULT_RADII_BLOCK
 from .engine import DEFAULT_CHUNK_SIZE
 from .facility import FL_SOLVERS
 
-__all__ = ["PlanConfig", "BACKEND_CHOICES", "COST_POLICIES", "REPLAN_MODES"]
+__all__ = [
+    "PlanConfig",
+    "BACKEND_CHOICES",
+    "COST_POLICIES",
+    "REPLAN_MODES",
+    "load_mapping",
+]
+
+
+def load_mapping(path) -> dict:
+    """Load a ``*.json`` / ``*.toml`` config file as a plain mapping.
+
+    The one declarative-config loader of the package:
+    :meth:`PlanConfig.from_file` and
+    :meth:`repro.bench.trials.SweepConfig.from_file` both ride it, so
+    every config surface accepts the same two formats with the same
+    errors.  TOML is read-only (JSON is the write format throughout).
+    """
+    path = Path(path)
+    if path.suffix.lower() == ".toml":
+        try:
+            import tomllib
+        except ImportError:  # Python < 3.11
+            try:
+                import tomli as tomllib  # type: ignore[no-redef]
+            except ImportError as exc:  # pragma: no cover - env-dependent
+                raise RuntimeError(
+                    "reading TOML configs needs tomllib (Python >= 3.11) "
+                    "or the tomli package; use a .json config instead"
+                ) from exc
+        data = tomllib.loads(path.read_text())
+    else:
+        data = json.loads(path.read_text())
+    if not isinstance(data, dict):
+        raise TypeError(f"config file {path} must hold a mapping")
+    return data
 
 #: Distance-backend request: ``"auto"`` keeps whatever the instance was
 #: built with (dense below, lazy above the materialization threshold when
@@ -185,24 +220,7 @@ class PlanConfig:
     @classmethod
     def from_file(cls, path) -> "PlanConfig":
         """Load from ``*.json`` or ``*.toml`` (chosen by suffix)."""
-        path = Path(path)
-        if path.suffix.lower() == ".toml":
-            try:
-                import tomllib
-            except ImportError:  # Python < 3.11
-                try:
-                    import tomli as tomllib  # type: ignore[no-redef]
-                except ImportError as exc:  # pragma: no cover - env-dependent
-                    raise RuntimeError(
-                        "reading TOML configs needs tomllib (Python >= 3.11) "
-                        "or the tomli package; use a .json config instead"
-                    ) from exc
-            data = tomllib.loads(path.read_text())
-        else:
-            data = json.loads(path.read_text())
-        if not isinstance(data, dict):
-            raise TypeError(f"config file {path} must hold a mapping")
-        return cls.from_dict(data)
+        return cls.from_dict(load_mapping(path))
 
     def to_file(self, path) -> None:
         """Persist as JSON (the write format; TOML is read-only)."""

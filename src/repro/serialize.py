@@ -40,9 +40,67 @@ __all__ = [
     "instance_from_dict",
     "placement_to_arrays",
     "placement_from_arrays",
+    "canonical_payload",
+    "canonical_json_dumps",
 ]
 
 _FORMAT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# canonical JSON: the byte-deterministic artifact form
+# ----------------------------------------------------------------------
+def canonical_payload(data):
+    """Recursively normalize ``data`` into plain JSON types.
+
+    The canonical form is what :func:`canonical_json_dumps` serializes
+    and what :func:`repro.bench.trials.config_hash` digests, so every
+    ambiguity a Python value could smuggle into the bytes is resolved
+    here: numpy scalars become Python scalars, tuples become lists
+    (JSON has no tuple, so a round-trip would otherwise change the
+    value), mapping keys are coerced to ``str`` and negative zero
+    collapses onto ``0.0``.  Anything without a JSON form (objects,
+    sets, byte strings) is a hard ``TypeError`` -- a trial config that
+    cannot round-trip must not silently hash by ``repr``.
+    """
+    if isinstance(data, dict):
+        out = {}
+        for key, value in data.items():
+            skey = key if isinstance(key, str) else str(key)
+            if skey in out:
+                raise ValueError(f"duplicate canonical key {skey!r}")
+            out[skey] = canonical_payload(value)
+        return out
+    if isinstance(data, (list, tuple)):
+        return [canonical_payload(v) for v in data]
+    if isinstance(data, np.ndarray):
+        return [canonical_payload(v) for v in data.tolist()]
+    if isinstance(data, (bool, np.bool_)):
+        return bool(data)
+    if isinstance(data, (int, np.integer)):
+        return int(data)
+    if isinstance(data, (float, np.floating)):
+        value = float(data)
+        return 0.0 if value == 0.0 else value  # -0.0 -> 0.0
+    if data is None or isinstance(data, str):
+        return data
+    raise TypeError(
+        f"{type(data).__name__} value {data!r} has no canonical JSON form"
+    )
+
+
+def canonical_json_dumps(data, *, indent: int | None = 2) -> str:
+    """Serialize ``data`` as byte-deterministic JSON.
+
+    Keys are sorted, floats use Python's shortest round-trip ``repr``
+    (identical on every IEEE-754 platform since 3.1), and the payload is
+    normalized through :func:`canonical_payload` first -- so two equal
+    values always produce identical bytes, regardless of dict insertion
+    order, tuple-vs-list spelling or numpy scalar types.  This is the
+    writer behind ``BENCH_*.json`` artifacts and the trial cache, whose
+    regression gates diff bytes.
+    """
+    return json.dumps(canonical_payload(data), indent=indent, sort_keys=True)
 
 
 def artifact_suffix(path: Path) -> str:

@@ -83,6 +83,46 @@ class TestRatios:
             summarize_ratios([])
 
 
+class TestExperimentResultJSON:
+    def _result(self):
+        return ExperimentResult(
+            "E0", "a deterministic table",
+            ("name", "value", "flag"),
+            rows=[["x", np.float64(-0.0), np.bool_(True)],
+                  ["y", 1.5, False]],
+            notes="notes",
+        )
+
+    def test_save_json_is_byte_deterministic(self, tmp_path):
+        """Two saves of the same result are identical files: sorted keys,
+        canonical float text, no timestamps unless the caller injects one."""
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        self._result().save_json(a)
+        self._result().save_json(b)
+        assert a.read_bytes() == b.read_bytes()
+        text = a.read_text()
+        assert '"generated_at"' not in text
+        # numpy scalars land as plain JSON; -0.0 folds onto 0.0
+        assert "-0.0" not in text and "true" in text
+
+    def test_save_json_sorts_keys(self, tmp_path):
+        import json
+
+        path = tmp_path / "r.json"
+        self._result().save_json(path)
+        data = json.loads(path.read_text())
+        assert list(data) == sorted(data)
+        assert data["rows"][0] == ["x", 0.0, True]
+
+    def test_generated_at_is_caller_injected(self, tmp_path):
+        import json
+
+        path = tmp_path / "r.json"
+        self._result().save_json(path, generated_at="2026-08-08T00:00:00Z")
+        data = json.loads(path.read_text())
+        assert data["generated_at"] == "2026-08-08T00:00:00Z"
+
+
 class TestExperimentRunners:
     """Tiny-scale versions of the benchmark experiments; shapes plus the
     headline assertions each experiment exists to check."""

@@ -84,6 +84,47 @@ class TestPlannerReplan:
         assert isinstance(res, ReplanResult)
         assert len(res.epochs) == wl.num_epochs
 
+    def test_replan_rejects_mismatched_workload(self):
+        from repro.graphs.generators import transit_stub_graph
+
+        g = transit_stub_graph(2, 2, 4, seed=7)
+        n = g.number_of_nodes()
+        wl = self._workload(n - 3)  # built for a smaller network
+        cs = np.full(n, 4.0)
+        with pytest.raises(ValueError, match=f"workload built for {n - 3}"):
+            Planner().replan(g, wl, cs)
+
+    def test_replan_rejects_mismatched_metric(self):
+        import networkx as nx
+
+        from repro.graphs.generators import transit_stub_graph
+
+        g = transit_stub_graph(2, 2, 4, seed=7)
+        n = g.number_of_nodes()
+        wl = self._workload(n)
+        cs = np.full(n, 4.0)
+        other = nx.path_graph(n + 2)
+        nx.set_edge_attributes(other, 1.0, "weight")
+        wrong = Metric.from_graph(other)
+        with pytest.raises(ValueError, match="distance backend"):
+            Planner().replan(g, wl, cs, metric=wrong)
+
+    def test_unknown_replan_mode_names_itself(self):
+        import networkx as nx
+
+        from repro.simulate.replanner import EpochReplanner
+
+        with pytest.raises(ValueError, match="unknown replan_mode"):
+            PlanConfig(replan_mode="bogus")
+        # the legacy engine-kwargs spelling funnels through the same check
+        g = nx.path_graph(4)
+        nx.set_edge_attributes(g, 1.0, "weight")
+        metric = Metric.from_graph(g)
+        with pytest.raises(ValueError, match="unknown replan_mode"):
+            EpochReplanner(
+                g, metric, np.full(4, 2.0), replan_mode="bogus"
+            )
+
 
 class TestBackendResolution:
     def test_scenario_rebuilt_on_requested_backend(self):

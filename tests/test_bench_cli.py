@@ -1,0 +1,133 @@
+"""Exit-code contract of ``python -m repro bench run | gate | list``."""
+
+import io
+import json
+import shutil
+
+import pytest
+
+from repro.bench import GATES
+from repro.bench.gate import DEFAULT_ARTIFACT_DIR
+from repro.cli import main
+
+RUN_E1 = ["--experiment", "E1",
+          "--params", '{"families": ["tree"], "n": 6, "seeds": [0]}']
+
+
+def bench(args):
+    out = io.StringIO()
+    code = main(["bench", *args], out=out)
+    return code, out.getvalue()
+
+
+@pytest.fixture
+def artifact_dir(tmp_path):
+    """A private copy of the committed artifacts, safe to perturb."""
+    for spec in GATES.values():
+        shutil.copy(DEFAULT_ARTIFACT_DIR / spec.artifact, tmp_path)
+    return tmp_path
+
+
+class TestBenchRun:
+    def test_run_then_cached_rerun(self, tmp_path):
+        store = str(tmp_path / "cache")
+        code, text = bench(["run", *RUN_E1, "--store", store, "--show"])
+        assert code == 0
+        assert "1 ran, 0 cached" in text
+        assert "approximation ratio" in text  # --show rendered the table
+
+        code, text = bench(["run", *RUN_E1, "--store", store])
+        assert code == 0
+        assert "0 ran, 1 cached" in text
+
+    def test_sweep_file_with_limit_reports_pending(self, tmp_path):
+        sweep = tmp_path / "sweep.json"
+        sweep.write_text(json.dumps({
+            "name": "tiny",
+            "experiments": [{
+                "experiment": "E1",
+                "params": {"families": ["tree"], "seeds": [0]},
+                "grid": {"n": [6, 7]},
+            }],
+        }))
+        store = str(tmp_path / "cache")
+        code, text = bench(["run", "--sweep", str(sweep), "--store", store,
+                            "--limit", "1"])
+        assert code == 0
+        assert "1 ran, 0 cached, 1 pending" in text
+
+    def test_usage_errors_exit_2(self, tmp_path, capsys):
+        store = str(tmp_path / "cache")
+        assert bench(["run", "--store", store])[0] == 2  # no trial source
+        assert bench(["run", "--experiment", "E99", "--store", store])[0] == 2
+        assert bench(["run", "--experiment", "E1", "--params", "[1]",
+                      "--store", store])[0] == 2  # not a JSON object
+        assert bench(["run", "--experiment", "E1", "--params", "{nope",
+                      "--store", store])[0] == 2  # not JSON at all
+        assert bench(["run", "--sweep", str(tmp_path / "nope.json"),
+                      "--store", store])[0] == 2
+        assert bench([])[0] == 2  # bench with no subcommand
+        assert "choose a subcommand" in capsys.readouterr().err
+
+
+class TestBenchGate:
+    def test_artifact_tier_passes_exit_0(self):
+        code, text = bench(["gate", "--tier", "artifact"])
+        assert code == 0
+        assert "all checks passed" in text
+
+    def test_missing_artifact_exit_3(self, tmp_path):
+        code, text = bench(["gate", "--tier", "artifact",
+                            "--artifact-dir", str(tmp_path / "empty")])
+        assert code == 3
+        assert "missing" in text
+
+    def test_regression_exit_1_with_diff_and_report(self, artifact_dir,
+                                                    tmp_path):
+        spec = GATES["E14"]
+        payload = json.loads((artifact_dir / spec.artifact).read_text())
+        col = spec.headers.index("matches loop")
+        for r, row in enumerate(payload["rows"]):
+            if row[col] is True:
+                payload["rows"][r][col] = False
+        (artifact_dir / spec.artifact).write_text(json.dumps(payload))
+
+        report_path = tmp_path / "gate-report.txt"
+        code, text = bench(["gate", "--tier", "artifact",
+                            "--artifact-dir", str(artifact_dir),
+                            "--report", str(report_path)])
+        assert code == 1
+        assert "[E14] FAIL" in text and "expected True" in text
+        assert report_path.read_text().strip() in text
+
+    def test_only_restricts_and_validates(self, capsys):
+        code, text = bench(["gate", "--tier", "artifact", "--only", "E16"])
+        assert code == 0
+        assert "[E16]" in text and "[E14]" not in text
+
+        assert bench(["gate", "--only", "E99"])[0] == 2
+        assert "no gate for" in capsys.readouterr().err
+
+    def test_smoke_tier_caches_between_runs(self, tmp_path):
+        store = str(tmp_path / "cache")
+        code, text = bench(["gate", "--only", "E15", "--store", store,
+                            "--timestamp", "t0"])
+        assert code == 0
+        assert "smoke trial ran" in text
+
+        code, text = bench(["gate", "--only", "E15", "--store", store])
+        assert code == 0
+        assert "smoke trial cached" in text
+
+
+class TestBenchList:
+    def test_lists_experiments_gates_and_store(self, tmp_path):
+        store = str(tmp_path / "cache")
+        bench(["run", *RUN_E1, "--store", store])
+        code, text = bench(["list", "--store", store])
+        assert code == 0
+        assert "E16" in text
+        for spec in GATES.values():
+            assert spec.artifact in text
+        assert "1 cached trial(s)" in text
+        assert "E1[" in text

@@ -1,0 +1,182 @@
+"""Golden tests for the BENCH regression gate.
+
+Every committed ``benchmarks/BENCH_*.json`` artifact must satisfy its
+gate spec (schema + tolerance-banded checks), and the gate must *fail*
+-- loudly, with an expected-vs-actual diff -- on a perturbed copy of the
+same artifact.  A gate that cannot catch the regression it was written
+for is just a slow no-op.
+"""
+
+import json
+import shutil
+
+import pytest
+
+from repro.bench import (
+    EXIT_MISSING_ARTIFACT,
+    EXIT_OK,
+    EXIT_REGRESSION,
+    GATES,
+    TrialStore,
+    check_payload,
+    run_gate,
+    validate_schema,
+)
+from repro.bench.gate import DEFAULT_ARTIFACT_DIR, mutate_payload
+
+GATE_IDS = sorted(GATES)
+
+
+def load_artifact(spec):
+    return json.loads((DEFAULT_ARTIFACT_DIR / spec.artifact).read_text())
+
+
+#: op -> a value guaranteed to violate the check (schema-legal numbers /
+#: bools, so only the metric check fails, never the schema).
+BAD_VALUES = {
+    "is_true": False,
+    "approx": 123456.0,
+    "ge": -1e18,
+    "le": 1e18,
+    "gt": -1e18,
+    "min_le": 1e18,
+}
+
+
+def perturb(spec, payload, check):
+    """Payload with every cell the check selects forced to a bad value."""
+    col = spec.headers.index(check.column)
+    where = [(spec.headers.index(h), v) for h, v in check.where]
+    bad = BAD_VALUES[check.op]
+    mutated = payload
+    hits = 0
+    for r, row in enumerate(payload["rows"]):
+        if all(row[i] == v for i, v in where) and row[col] != "--":
+            mutated = mutate_payload(mutated, r, col, bad)
+            hits += 1
+    assert hits, f"check {check.label!r} selected no cell to perturb"
+    return mutated
+
+
+class TestCommittedArtifacts:
+    @pytest.mark.parametrize("name", GATE_IDS)
+    def test_artifact_passes_its_gate(self, name):
+        spec = GATES[name]
+        findings = check_payload(spec, load_artifact(spec), "artifact")
+        assert all(f.ok for f in findings), [
+            (f.label, f.detail) for f in findings if not f.ok
+        ]
+        # schema plus every artifact-tier check actually ran
+        expected = 1 + sum(1 for c in spec.checks if "artifact" in c.tiers)
+        assert len(findings) == expected
+
+    @pytest.mark.parametrize("name", GATE_IDS)
+    def test_artifact_schema_validates(self, name):
+        spec = GATES[name]
+        validate_schema(spec, load_artifact(spec))  # must not raise
+
+    @pytest.mark.parametrize("name", GATE_IDS)
+    def test_every_check_fails_on_a_perturbed_copy(self, name):
+        spec = GATES[name]
+        payload = load_artifact(spec)
+        for check in spec.checks:
+            if "artifact" not in check.tiers:
+                continue
+            mutated = perturb(spec, payload, check)
+            findings = check_payload(spec, mutated, "artifact")
+            bad = [f for f in findings if not f.ok]
+            assert [f.label for f in bad] == [check.label]
+            assert bad[0].detail  # a readable expected-vs-actual diff
+
+    @pytest.mark.parametrize("name", GATE_IDS)
+    def test_schema_catches_shape_drift(self, name):
+        spec = GATES[name]
+        payload = load_artifact(spec)
+
+        missing = {k: v for k, v in payload.items() if k != "rows"}
+        with pytest.raises(ValueError, match="missing key"):
+            validate_schema(spec, missing)
+
+        renamed = dict(payload, headers=["x"] + list(payload["headers"][1:]))
+        with pytest.raises(ValueError, match="headers"):
+            validate_schema(spec, renamed)
+
+        # a numeric column holding a string is a dtype violation
+        str_cols = {spec.headers.index(h)
+                    for h, kind in spec.columns.items() if "str" in kind}
+        col = next(i for i in range(len(spec.headers)) if i not in str_cols)
+        retyped = mutate_payload(payload, 0, col, "oops")
+        findings = check_payload(spec, retyped, "artifact")
+        assert len(findings) == 1 and not findings[0].ok
+        assert "is not" in findings[0].detail
+
+        with pytest.raises(ValueError, match="non-empty"):
+            validate_schema(spec, dict(payload, rows=[]))
+
+    def test_empty_selection_fails_instead_of_passing(self):
+        """A where-filter that matches nothing must fail the check --
+        the gate may never silently check zero cells."""
+        spec = GATES["E16"]
+        payload = load_artifact(spec)
+        gutted = dict(
+            payload,
+            rows=[r for r in payload["rows"] if r[2] != "incremental"],
+        )
+        findings = check_payload(spec, gutted, "artifact")
+        bad = [f for f in findings if not f.ok]
+        assert bad and all("no usable" in f.detail for f in bad)
+
+
+class TestRunGate:
+    def test_artifact_tier_passes_on_the_committed_tree(self):
+        report = run_gate(tier="artifact")
+        assert report.passed and report.exit_code == EXIT_OK
+        assert "all checks passed" in report.render()
+
+    def test_missing_artifact_is_a_distinct_exit_code(self, tmp_path):
+        report = run_gate(tier="artifact", artifact_dir=tmp_path)
+        assert not report.passed
+        assert report.exit_code == EXIT_MISSING_ARTIFACT
+        assert "missing" in report.render()
+
+    def test_regression_exits_nonzero_with_a_readable_diff(self, tmp_path):
+        for spec in GATES.values():
+            shutil.copy(DEFAULT_ARTIFACT_DIR / spec.artifact, tmp_path)
+        spec = GATES["E14"]
+        payload = load_artifact(spec)
+        check = next(c for c in spec.checks if c.op == "ge")
+        (tmp_path / spec.artifact).write_text(
+            json.dumps(perturb(spec, payload, check))
+        )
+        report = run_gate(tier="artifact", artifact_dir=tmp_path)
+        assert report.exit_code == EXIT_REGRESSION
+        text = report.render()
+        assert "FAIL" in text and "expected >=" in text
+        # the untouched experiments still pass in the same report
+        assert "[E16] ok" in text
+
+    def test_unparseable_artifact_fails_not_crashes(self, tmp_path):
+        for spec in GATES.values():
+            shutil.copy(DEFAULT_ARTIFACT_DIR / spec.artifact, tmp_path)
+        (tmp_path / GATES["E15"].artifact).write_text("{not json")
+        report = run_gate(tier="artifact", artifact_dir=tmp_path)
+        assert report.exit_code == EXIT_REGRESSION
+        assert any("parses" in f.label for f in report.failures)
+
+    def test_only_and_tier_are_validated(self):
+        with pytest.raises(ValueError, match="no gate for"):
+            run_gate(tier="artifact", only=["E99"])
+        with pytest.raises(ValueError, match="unknown gate tier"):
+            run_gate(tier="nightly")
+
+    def test_smoke_tier_runs_and_caches_the_trial(self, tmp_path):
+        store = TrialStore(tmp_path / "cache")
+        report = run_gate(tier="smoke", only=["E15"], store=store,
+                          generated_at="t0")
+        assert report.passed, [f.detail for f in report.failures]
+        assert {f.tier for f in report.findings} == {"artifact", "smoke"}
+        assert len(store) == 1
+
+        # the second run re-checks from cache: no new trial, same verdict
+        again = run_gate(tier="smoke", only=["E15"], store=store)
+        assert again.passed and len(store) == 1

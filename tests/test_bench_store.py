@@ -1,0 +1,151 @@
+"""Trial store + sweep runner: atomic cache, bit-identical resume."""
+
+import pytest
+
+from repro.bench import TrialConfig, TrialStore, run_sweep, run_trial
+from repro.bench.runner import EXPERIMENT_RUNNERS
+from repro.bench.store import TrialRecord
+
+# Three tiny, fully-seeded (deterministic) trials.
+TRIALS = [
+    TrialConfig.make("E1", families=["tree"], n=6, seeds=[0, 1]),
+    TrialConfig.make("E1", families=["er"], n=6, seeds=[0, 1]),
+    TrialConfig.make("E4", families=["tree"], n=8, seeds=[3]),
+]
+
+
+def result_bytes(outcomes):
+    return [o.record.result_bytes for o in outcomes]
+
+
+class TestTrialStore:
+    def test_save_load_round_trip(self, tmp_path):
+        store = TrialStore(tmp_path / "cache")
+        config = TRIALS[0]
+        assert store.load(config) is None
+        assert config not in store
+
+        record = TrialRecord(
+            config=config,
+            result=run_trial(config).to_json(),
+            elapsed_s=0.5,
+            generated_at="2026-08-08T00:00:00Z",
+        )
+        path = store.save(record)
+        assert path.name == f"{config.hash}.json"
+        assert config in store and len(store) == 1
+
+        loaded = store.load(config)
+        assert loaded.config == config
+        assert loaded.result_bytes == record.result_bytes
+        assert loaded.elapsed_s == 0.5
+        assert loaded.generated_at == "2026-08-08T00:00:00Z"
+        # the rendered table survives the round trip
+        assert (
+            loaded.to_experiment_result().render()
+            == record.to_experiment_result().render()
+        )
+
+    def test_failed_save_leaves_no_file_behind(self, tmp_path):
+        store = TrialStore(tmp_path / "cache")
+        record = TrialRecord(
+            config=TRIALS[0], result={"bad": object()}, elapsed_s=0.0
+        )
+        with pytest.raises(TypeError):
+            store.save(record)
+        assert len(store) == 0
+        assert list((tmp_path / "cache").glob("*.tmp")) == []
+
+    def test_tampered_record_is_rejected(self, tmp_path):
+        store = TrialStore(tmp_path / "cache")
+        config = TRIALS[0]
+        record = TrialRecord(
+            config=config, result=run_trial(config).to_json(), elapsed_s=0.1
+        )
+        path = store.save(record)
+
+        # a record copied under another config's filename is caught
+        other = TRIALS[1]
+        store.path_for(other).write_text(path.read_text())
+        with pytest.raises(ValueError, match="corrupt"):
+            store.load(other)
+
+        # an edited config no longer hashes to its recorded digest
+        edited = path.read_text().replace('"n": 6', '"n": 7')
+        path.write_text(edited)
+        with pytest.raises(ValueError, match="edited or corrupted"):
+            store.load(config)
+
+        # arbitrary JSON in the store is not silently trusted
+        path.write_text('{"hello": 1}')
+        with pytest.raises(ValueError, match="not a repro-bench-trial"):
+            store.load(config)
+
+
+class TestRunSweep:
+    def test_limit_resumes_bit_identically(self, tmp_path):
+        """An interrupted sweep (limit-budgeted) resumed later completes
+        only the remaining trials, and every cached result comes back
+        byte-for-byte equal to an uninterrupted run's."""
+        reference = run_sweep(TRIALS, TrialStore(tmp_path / "full"))
+        assert [o.status for o in reference] == ["ran"] * 3
+
+        store = TrialStore(tmp_path / "resumed")
+        first = run_sweep(TRIALS, store, limit=1)
+        assert [o.status for o in first] == ["ran", "pending", "pending"]
+        assert len(store) == 1
+
+        second = run_sweep(TRIALS, store, limit=1)
+        assert [o.status for o in second] == ["cached", "ran", "pending"]
+
+        third = run_sweep(TRIALS, store)
+        assert [o.status for o in third] == ["cached", "cached", "ran"]
+        assert result_bytes(third) == result_bytes(reference)
+
+    def test_kill_mid_sweep_then_resume(self, tmp_path, monkeypatch):
+        """A sweep killed between trials keeps every finished trial;
+        the rerun loads them bit-identically and runs only the rest."""
+        reference = run_sweep(TRIALS, TrialStore(tmp_path / "full"))
+
+        real_e1 = EXPERIMENT_RUNNERS["E1"]
+        bomb_params = TRIALS[1].params_dict
+
+        def exploding_e1(**kwargs):
+            if kwargs == bomb_params:
+                raise KeyboardInterrupt
+            return real_e1(**kwargs)
+
+        store = TrialStore(tmp_path / "killed")
+        monkeypatch.setitem(EXPERIMENT_RUNNERS, "E1", exploding_e1)
+        with pytest.raises(KeyboardInterrupt):
+            run_sweep(TRIALS, store)
+        assert len(store) == 1  # only the trial that finished before the kill
+
+        monkeypatch.setitem(EXPERIMENT_RUNNERS, "E1", real_e1)
+        resumed = run_sweep(TRIALS, store)
+        assert [o.status for o in resumed] == ["cached", "ran", "ran"]
+        assert result_bytes(resumed) == result_bytes(reference)
+
+    def test_cached_trials_do_not_consume_the_limit(self, tmp_path):
+        store = TrialStore(tmp_path / "cache")
+        run_sweep(TRIALS[:1], store)
+        outcomes = run_sweep(TRIALS, store, limit=1)
+        assert [o.status for o in outcomes] == ["cached", "ran", "pending"]
+
+    def test_parallel_run_matches_serial(self, tmp_path):
+        serial = run_sweep(TRIALS, TrialStore(tmp_path / "serial"))
+        parallel = run_sweep(TRIALS, TrialStore(tmp_path / "pool"), jobs=2)
+        assert [o.status for o in parallel] == ["ran"] * 3
+        assert result_bytes(parallel) == result_bytes(serial)
+
+    def test_rejects_bad_budgets(self, tmp_path):
+        store = TrialStore(tmp_path / "cache")
+        with pytest.raises(ValueError, match="jobs"):
+            run_sweep(TRIALS, store, jobs=0)
+        with pytest.raises(ValueError, match="limit"):
+            run_sweep(TRIALS, store, limit=-1)
+
+    def test_unknown_experiment_names_itself(self, tmp_path):
+        store = TrialStore(tmp_path / "cache")
+        with pytest.raises(ValueError, match="unknown experiment 'E99'"):
+            run_sweep([TrialConfig.make("E99", n=4)], store)

@@ -1,0 +1,218 @@
+"""Property tests for the trial-config hash and sweep expansion.
+
+The cache contract of :mod:`repro.bench` rests on :func:`config_hash`
+being a pure function of the declared values: invariant under dict key
+order and JSON round-trips, sensitive to every knob, and identical
+across processes (no ``PYTHONHASHSEED``, ``id()`` or ``repr`` leakage).
+"""
+
+import json
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench import SweepConfig, TrialConfig, config_hash
+
+param_names = st.sampled_from(
+    ["n", "seed", "drift", "epochs", "jobs", "scenario", "compare_loop",
+     "sizes"]
+)
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-10**9, max_value=10**9),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=8),
+)
+values = st.one_of(scalars, st.lists(scalars, max_size=4))
+param_dicts = st.dictionaries(param_names, values, max_size=8)
+
+
+class TestConfigHash:
+    @given(params=param_dicts)
+    @settings(max_examples=50, deadline=None)
+    def test_invariant_under_key_order(self, params):
+        reordered = dict(reversed(list(params.items())))
+        assert config_hash(params) == config_hash(reordered)
+        assert (
+            TrialConfig.make("E1", **params).hash
+            == TrialConfig.make("E1", **reordered).hash
+        )
+
+    @given(params=param_dicts)
+    @settings(max_examples=50, deadline=None)
+    def test_invariant_under_json_round_trip(self, params):
+        config = TrialConfig.make("E1", **params)
+        revived = TrialConfig.from_dict(
+            json.loads(json.dumps(config.to_dict()))
+        )
+        assert revived == config
+        assert revived.hash == config.hash
+
+    @given(params=param_dicts, extra=values)
+    @settings(max_examples=50, deadline=None)
+    def test_changes_when_a_knob_is_added(self, params, extra):
+        base = TrialConfig.make("E1", **params)
+        grown = TrialConfig.make("E1", _new_knob=extra, **params)
+        assert grown.hash != base.hash
+
+    def test_changes_when_any_knob_changes(self):
+        base = dict(n=60, num_objects=48, chunk_size=16, jobs=[2],
+                    compare_loop=True)
+        perturbed = [
+            dict(base, n=61),
+            dict(base, num_objects=47),
+            dict(base, chunk_size=8),
+            dict(base, jobs=[2, 4]),
+            dict(base, compare_loop=False),
+        ]
+        hashes = [TrialConfig.make("E14", **p).hash for p in [base, *perturbed]]
+        assert len(set(hashes)) == len(hashes)
+        # ...and the experiment id itself is a knob
+        assert (
+            TrialConfig.make("E14", **base).hash
+            != TrialConfig.make("E15", **base).hash
+        )
+
+    def test_tuple_list_and_numpy_spellings_agree(self):
+        plain = TrialConfig.make("E14", jobs=[2], n=60)
+        assert TrialConfig.make("E14", jobs=(2,), n=60) == plain
+        assert (
+            TrialConfig.make("E14", jobs=[np.int64(2)], n=np.int32(60))
+            == plain
+        )
+        assert TrialConfig.make("e14", jobs=[2], n=60) == plain
+
+    def test_negative_zero_folds_onto_zero(self):
+        assert (
+            TrialConfig.make("E1", drift=-0.0).hash
+            == TrialConfig.make("E1", drift=0.0).hash
+        )
+
+    def test_hash_is_short_hex(self):
+        h = TrialConfig.make("E1", n=6).hash
+        assert len(h) == 16
+        int(h, 16)  # must be valid hex
+
+    def test_stable_across_processes_and_hash_seeds(self):
+        """The digest must not depend on the interpreter's hash seed --
+        the classic way ``id()``/``repr``/set-order leakage shows up."""
+        config = TrialConfig.make(
+            "E16", n=40, drift=0.34, backends=["dense", "lazy"],
+            scenarios=["drift"], tolerance=0.05,
+        )
+        snippet = (
+            "from repro.bench import TrialConfig; "
+            "print(TrialConfig.make('E16', n=40, drift=0.34, "
+            "backends=['dense', 'lazy'], scenarios=['drift'], "
+            "tolerance=0.05).hash)"
+        )
+        for hash_seed in ("0", "1", "424242"):
+            proc = subprocess.run(
+                [sys.executable, "-c", snippet],
+                capture_output=True, text=True, check=True,
+                env={"PYTHONHASHSEED": hash_seed, "PYTHONPATH": "src"},
+            )
+            assert proc.stdout.strip() == config.hash
+
+
+class TestTrialConfig:
+    def test_raw_constructor_enforces_canonical_form(self):
+        with pytest.raises(ValueError, match="sorted"):
+            TrialConfig("E1", params=(("b", 1), ("a", 2)))
+        with pytest.raises(ValueError, match="duplicate"):
+            TrialConfig("E1", params=(("a", 1), ("a", 2)))
+        with pytest.raises(ValueError, match="canonical"):
+            TrialConfig("E1", params=(("a", (1, 2)),))  # tuple, not list
+        with pytest.raises(ValueError, match="experiment"):
+            TrialConfig("")
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(TypeError, match="unknown TrialConfig key"):
+            TrialConfig.from_dict({"experiment": "E1", "paarms": {}})
+        with pytest.raises(TypeError, match="experiment"):
+            TrialConfig.from_dict({"params": {}})
+
+    def test_label_names_experiment_and_hash(self):
+        config = TrialConfig.make("E14", n=60)
+        assert config.label() == f"E14[{config.hash}]"
+
+
+class TestSweepConfig:
+    SWEEP = {
+        "name": "nightly",
+        "experiments": [
+            {
+                "experiment": "E14",
+                "params": {"n": 60, "compare_loop": True},
+                "grid": {"num_objects": [48, 96], "chunk_size": [16, 32]},
+            },
+            {"experiment": "E1", "params": {"n": 6}},
+        ],
+    }
+
+    def test_grid_expansion_is_deterministic(self):
+        trials = SweepConfig.from_dict(self.SWEEP).trials()
+        assert len(trials) == 5  # 2 x 2 grid + one fixed E1
+        assert [t.experiment for t in trials] == ["E14"] * 4 + ["E1"]
+        # grid keys sorted, values in declaration order
+        assert [t.params_dict["chunk_size"] for t in trials[:4]] == \
+            [16, 16, 32, 32]
+        assert [t.params_dict["num_objects"] for t in trials[:4]] == \
+            [48, 96, 48, 96]
+        again = SweepConfig.from_dict(self.SWEEP).trials()
+        assert [t.hash for t in again] == [t.hash for t in trials]
+
+    def test_round_trips_through_to_dict(self):
+        sweep = SweepConfig.from_dict(self.SWEEP)
+        assert SweepConfig.from_dict(sweep.to_dict()) == sweep
+
+    def test_rejects_unknown_keys(self):
+        with pytest.raises(TypeError, match="unknown SweepConfig key"):
+            SweepConfig.from_dict({"name": "x", "experiment": []})
+        bad_entry = {
+            "name": "x",
+            "experiments": [{"experiment": "E1", "gird": {}}],
+        }
+        with pytest.raises(TypeError, match="unknown sweep entry key"):
+            SweepConfig.from_dict(bad_entry)
+
+    def test_rejects_param_grid_overlap_and_empty_grid(self):
+        with pytest.raises(ValueError, match="both 'params' and 'grid'"):
+            SweepConfig.from_dict({
+                "name": "x",
+                "experiments": [{
+                    "experiment": "E1", "params": {"n": 6}, "grid": {"n": [6]},
+                }],
+            })
+        with pytest.raises(ValueError, match="non-empty list"):
+            SweepConfig.from_dict({
+                "name": "x",
+                "experiments": [{"experiment": "E1", "grid": {"n": []}}],
+            })
+
+    def test_from_file_json_and_toml(self, tmp_path):
+        jpath = tmp_path / "sweep.json"
+        jpath.write_text(json.dumps(self.SWEEP))
+        from_json = SweepConfig.from_file(jpath)
+        assert from_json == SweepConfig.from_dict(self.SWEEP)
+
+        tpath = tmp_path / "sweep.toml"
+        tpath.write_text(
+            'name = "nightly"\n'
+            "[[experiments]]\n"
+            'experiment = "E14"\n'
+            "[experiments.params]\n"
+            "n = 60\ncompare_loop = true\n"
+            "[experiments.grid]\n"
+            "num_objects = [48, 96]\nchunk_size = [16, 32]\n"
+            "[[experiments]]\n"
+            'experiment = "E1"\n'
+            "[experiments.params]\n"
+            "n = 6\n"
+        )
+        assert SweepConfig.from_file(tpath) == from_json

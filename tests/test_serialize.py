@@ -129,3 +129,41 @@ class TestPlanReportRoundTrip:
         # strategy extras (migration bills, event counts) survive exactly
         assert loaded.extras == report.extras
         assert loaded.config == config
+
+
+class TestCanonicalPayload:
+    """canonical_payload / canonical_json_dumps: the byte-determinism
+    layer under save_json and the bench trial cache."""
+
+    def test_sorts_keys_and_unwraps_numpy(self):
+        from repro.serialize import canonical_json_dumps, canonical_payload
+
+        payload = canonical_payload({
+            "b": np.int64(2), "a": np.float64(1.5),
+            "c": (np.bool_(True), [np.int32(3)]),
+        })
+        assert payload == {"a": 1.5, "b": 2, "c": [True, [3]]}
+        assert type(payload["b"]) is int
+        assert type(payload["c"][0]) is bool
+        text = canonical_json_dumps({"b": 1, "a": 2}, indent=None)
+        assert text == '{"a": 2, "b": 1}'
+
+    def test_negative_zero_folds_onto_zero(self):
+        from repro.serialize import canonical_json_dumps
+
+        assert canonical_json_dumps(-0.0) == canonical_json_dumps(0.0)
+        assert canonical_json_dumps([np.float64("-0.0")], indent=None) == "[0.0]"
+
+    def test_rejects_non_json_values(self):
+        from repro.serialize import canonical_payload
+
+        with pytest.raises(TypeError, match="no canonical JSON form"):
+            canonical_payload({"x": object()})
+        with pytest.raises(ValueError, match="duplicate canonical key"):
+            canonical_payload({1: "a", "1": "b"})
+
+    def test_ndarray_collapses_onto_lists(self):
+        from repro.serialize import canonical_payload
+
+        assert canonical_payload(np.arange(3)) == [0, 1, 2]
+        assert canonical_payload({"m": np.eye(2)}) == {"m": [[1.0, 0.0], [0.0, 1.0]]}
