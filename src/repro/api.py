@@ -236,7 +236,7 @@ class Planner:
         if graph is not None:
             metric = (
                 Metric.from_graph(graph) if backend == "dense"
-                else LazyMetric.from_graph(graph)
+                else LazyMetric.from_graph(graph, cache_rows=self.config.cache_rows)
             )
         elif backend == "dense" and isinstance(instance.metric, LazyMetric):
             metric = instance.metric.as_dense()
@@ -332,7 +332,7 @@ class Planner:
                 )
             metric = (
                 Metric.from_graph(graph) if backend == "dense"
-                else LazyMetric.from_graph(graph)
+                else LazyMetric.from_graph(graph, cache_rows=self.config.cache_rows)
             )
         replanner = EpochReplanner(graph, metric, storage_costs, config=self.config)
         return replanner.run(workload, log_seed=log_seed)

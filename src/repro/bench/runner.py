@@ -49,6 +49,7 @@ EXPERIMENT_RUNNERS = {
     "E14": analysis.run_e14_catalog_throughput,
     "E15": analysis.run_e15_dynamic_replay,
     "E16": analysis.run_e16_incremental_replan,
+    "E17": analysis.run_e17_scaling,
 }
 
 

@@ -58,7 +58,7 @@ from typing import Callable, Sequence
 from . import analysis
 from .api import PlanReport, Planner, compare_table
 from .bench import EXPERIMENT_RUNNERS
-from .config import PlanConfig
+from .config import KERNEL_MODES, PlanConfig
 from .core.approx import approximate_placement
 from .core.costs import placement_cost
 from .engine import DEFAULT_CHUNK_SIZE, PlacementEngine
@@ -125,7 +125,8 @@ def _load_config(args) -> PlanConfig | None:
     """The run's PlanConfig: file base, CLI overrides on top."""
     config = PlanConfig() if args.config is None else PlanConfig.from_file(args.config)
     overrides = {}
-    for knob in ("jobs", "fl_solver", "seed"):
+    for knob in ("jobs", "fl_solver", "seed", "kernels", "cache_rows",
+                 "shared_memory"):
         value = getattr(args, knob, None)
         if value is not None:
             overrides[knob] = value
@@ -158,6 +159,7 @@ def _run_plan(args, out=sys.stdout) -> int:
           f"{inst.num_objects} objects", file=out)
     report = Planner(config).plan(sc, args.strategy)
     print(report.render(), file=out)
+    _print_extras(report, out)
     if args.save_path:
         report.save(args.save_path)
         print(f"wrote {args.save_path}", file=out)
@@ -186,6 +188,27 @@ def _run_compare(args, out=sys.stdout) -> int:
     return 0
 
 
+def _print_extras(report, out) -> None:
+    """Run-provenance lines under a plan table (kernel dispatch, worker
+    transport, lazy-backend row-cache hit rate)."""
+    extras = report.extras or {}
+    kernels = extras.get("kernels")
+    if kernels:
+        print(f"kernels: mode={kernels['mode']} "
+              f"(numba {'available' if kernels['numba_available'] else 'absent'})",
+              file=out)
+    shm = extras.get("shared_memory")
+    if shm and shm.get("used") is not None:
+        print(f"shared memory: requested={shm['requested']} used={shm['used']}",
+              file=out)
+    cache = extras.get("row_cache")
+    if cache:
+        rate = cache["hit_rate"]
+        rate_s = "n/a" if rate is None else f"{rate:.1%}"
+        print(f"row cache: {cache['hits']} hits / {cache['misses']} misses "
+              f"(hit rate {rate_s}, cache_rows={cache['cache_rows']})", file=out)
+
+
 def _run_place(args, out=sys.stdout) -> int:
     if args.jobs < 1 or args.chunk_size < 1:
         print("place: --jobs and --chunk-size must be positive", file=sys.stderr)
@@ -197,7 +220,8 @@ def _run_place(args, out=sys.stdout) -> int:
 
     engine = PlacementEngine(
         inst, fl_solver=args.fl_solver, chunk_size=args.chunk_size,
-        jobs=args.jobs,
+        jobs=args.jobs, shared_memory=args.shared_memory,
+        kernels=args.kernels,
     )
     t0 = time.perf_counter()
     placement = engine.place()
@@ -209,6 +233,8 @@ def _run_place(args, out=sys.stdout) -> int:
         "jobs": args.jobs,
         "chunk_size": args.chunk_size,
         "fl_solver": args.fl_solver,
+        "kernels": args.kernels,
+        "shared_memory_used": engine.used_shared_memory,
         "time_s": elapsed,
         "objects_per_s": inst.num_objects / elapsed,
         "total_copies": placement.total_copies(),
@@ -437,6 +463,18 @@ def main(argv: Sequence[str] | None = None, out=sys.stdout) -> int:
                               help="override the config's phase-1 solver")
     planner_opts.add_argument("--seed", type=int, default=None,
                               help="override the config's event-order seed")
+    planner_opts.add_argument("--kernels", choices=KERNEL_MODES, default=None,
+                              help="override the config's hot-loop dispatch "
+                              "(auto | numpy | numba)")
+    planner_opts.add_argument("--shared-memory", default=None,
+                              action=argparse.BooleanOptionalAction,
+                              help="override the config's zero-copy worker "
+                              "transport (--no-shared-memory forces the "
+                              "pickle path)")
+    planner_opts.add_argument("--cache-rows", dest="cache_rows", type=int,
+                              default=None,
+                              help="override the config's lazy-backend row "
+                              "cache capacity")
 
     p_plan = sub.add_parser(
         "plan",
@@ -476,6 +514,12 @@ def main(argv: Sequence[str] | None = None, out=sys.stdout) -> int:
                       help="objects per engine chunk")
     p_pl.add_argument("--fl-solver", choices=sorted(FL_SOLVERS),
                       default="local_search")
+    p_pl.add_argument("--kernels", choices=KERNEL_MODES, default="auto",
+                      help="hot-loop dispatch (auto | numpy | numba)")
+    p_pl.add_argument("--shared-memory", default=True,
+                      action=argparse.BooleanOptionalAction,
+                      help="ship the instance to workers via shared memory "
+                      "(--no-shared-memory forces the pickle path)")
     p_pl.add_argument("--compare-loop", action="store_true",
                       help="also run the per-object loop and verify parity")
     p_pl.add_argument("--cost", action="store_true",

@@ -34,12 +34,15 @@ from pathlib import Path
 from .core.radii import DEFAULT_RADII_BLOCK
 from .engine import DEFAULT_CHUNK_SIZE
 from .facility import FL_SOLVERS
+from .graphs.backend import DEFAULT_CACHE_ROWS
+from .kernels import KERNEL_MODES
 
 __all__ = [
     "PlanConfig",
     "BACKEND_CHOICES",
     "COST_POLICIES",
     "REPLAN_MODES",
+    "KERNEL_MODES",
     "load_mapping",
 ]
 
@@ -107,6 +110,22 @@ class PlanConfig:
         Cap on the phase-1 candidate facility set (``None``: automatic).
     chunk_size / jobs / radii_block:
         :class:`~repro.engine.PlacementEngine` batching and parallelism.
+    shared_memory:
+        Zero-copy worker transport: with ``jobs > 1`` the engine
+        publishes the instance into shared memory (:mod:`repro.shm`)
+        and workers attach read-only views; disabled or unavailable,
+        the pickle path is used.  Never affects results.
+    kernels:
+        Hot-loop dispatch (:data:`repro.kernels.KERNEL_MODES`):
+        ``"auto"`` | ``"numpy"`` | ``"numba"``.  The numba twins are
+        bit-identical to the numpy reference; an explicit ``"numba"``
+        without numba installed degrades to numpy with a provenance
+        note.
+    cache_rows:
+        LRU row-cache capacity of a
+        :class:`~repro.graphs.backend.LazyMetric` the planner builds
+        itself (scenario instances, replans); instances that already
+        carry a metric keep their own setting.
     cost_policy:
         Update-billing policy for report costs (``"mst"`` is the paper's
         restricted policy).
@@ -140,6 +159,9 @@ class PlanConfig:
     chunk_size: int = DEFAULT_CHUNK_SIZE
     jobs: int = 1
     radii_block: int = DEFAULT_RADII_BLOCK
+    shared_memory: bool = True
+    kernels: str = "auto"
+    cache_rows: int = DEFAULT_CACHE_ROWS
     cost_policy: str = "mst"
     seed: int | None = None
     replication_threshold: int = 3
@@ -162,7 +184,15 @@ class PlanConfig:
                 f"unknown cost_policy {self.cost_policy!r}; "
                 f"choose from {COST_POLICIES}"
             )
-        for knob in ("chunk_size", "jobs", "radii_block", "replication_threshold"):
+        if self.kernels not in KERNEL_MODES:
+            raise ValueError(
+                f"unknown kernels mode {self.kernels!r}; "
+                f"choose from {KERNEL_MODES}"
+            )
+        for knob in (
+            "chunk_size", "jobs", "radii_block", "cache_rows",
+            "replication_threshold",
+        ):
             if int(getattr(self, knob)) < 1:
                 raise ValueError(f"{knob} must be positive")
         if self.facility_candidates is not None and self.facility_candidates < 1:
@@ -189,6 +219,8 @@ class PlanConfig:
             chunk_size=self.chunk_size,
             jobs=self.jobs,
             radii_block=self.radii_block,
+            shared_memory=self.shared_memory,
+            kernels=self.kernels,
         )
 
     def replace(self, **changes) -> "PlanConfig":

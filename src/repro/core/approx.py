@@ -54,6 +54,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..facility import FL_SOLVERS, related_facility_problem
+from ..kernels import dispatch
 from .instance import DataManagementInstance
 from .placement import Placement
 from .radii import radii_for_object
@@ -123,6 +124,13 @@ def phase2_add_copies(metric, copies, rs: np.ndarray) -> list[int]:
     # Adding a copy only shrinks nearest-copy distances, so only nodes
     # violating the threshold under the *initial* dts can ever fire;
     # scan those (in ascending node order, as before) and re-check.
+    dense = getattr(metric, "dist", None)
+    if dense is not None:
+        # Dense backends hand the whole sweep to the kernel registry
+        # (numpy reference or its bit-identical compiled twin).
+        added = dispatch("phase2_sweep")(dts, np.asarray(rs, dtype=float), dense)
+        copy_set.update(int(v) for v in added)
+        return sorted(copy_set)
     for v in np.flatnonzero(dts > 5.0 * rs):
         v = int(v)
         if dts[v] > 5.0 * rs[v]:
@@ -141,17 +149,15 @@ def phase3_delete_copies(metric, copies, rw: np.ndarray) -> list[int]:
     # materializes a (k, k) block at once; rows of holders already
     # deleted by an earlier chunk are never fetched.
     chunk = 256
+    sweep = dispatch("phase3_sweep")
     for c0 in range(0, scan.size, chunk):
         live = [i for i in range(c0, min(c0 + chunk, scan.size)) if alive[i]]
         if not live:
             continue
         rows = np.asarray(metric.rows(scan[live]))[:, scan]  # (|live|, k)
-        for r, i in enumerate(live):
-            if not alive[i]:
-                continue
-            doomed = alive & (rows[r] <= u_bound)
-            doomed[i] = False  # the scanned holder never deletes itself
-            alive[doomed] = False
+        # The in-chunk sweep (scanned holder never deletes itself,
+        # already-deleted holders stop scanning) runs as a kernel.
+        sweep(rows, np.asarray(live, dtype=np.int64), u_bound, alive)
     return sorted(int(v) for v in scan[alive])
 
 

@@ -66,6 +66,8 @@ import math
 
 import numpy as np
 
+from ..kernels import dispatch
+
 __all__ = [
     "RequestProfile",
     "radii_for_object",
@@ -229,8 +231,8 @@ def radii_for_object(
     Nodes are processed in blocks of ``block_size``: one batched distance
     row fetch per block, then vectorized sorting and prefix sums, so the
     sweep never holds more than ``O(block_size * n)`` scratch.  The
-    breakpoint searches run as vectorized per-row kernels
-    (:func:`_storage_radii_rows`), replaying the scalar
+    breakpoint searches run as per-row kernels dispatched through
+    :mod:`repro.kernels`, replaying the scalar
     :func:`_storage_radius_from_cums` arithmetic exactly.
     """
     if block_size < 1:
@@ -397,98 +399,21 @@ def _radii_from_sorted(
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """``(rw, rs, zs)`` rows from distance-sorted block state.
 
-    The one shared kernel behind :func:`radii_for_object` and both
-    :func:`radii_for_objects` sweeps: cumulative sums (in place, ``SW``
-    is consumed), the write-radius prefix and the storage-radius search.
-    Keeping it single-sourced is what keeps the bit-parity contract
-    between the per-object and batched paths a structural property.
+    The one shared kernel stack behind :func:`radii_for_object` and both
+    :func:`radii_for_objects` sweeps: cumulative sums (``SW`` may be
+    consumed), the write-radius prefix and the storage-radius search --
+    each resolved through :func:`repro.kernels.dispatch`, so the same
+    call sites run the numpy reference or its bit-identical compiled
+    twin depending on the active kernel mode.  Keeping the stack
+    single-sourced is what keeps the bit-parity contract between the
+    per-object and batched paths a structural property.
     """
-    CWD = SW * SD
-    np.cumsum(CWD, axis=1, out=CWD)
-    CW = np.cumsum(SW, axis=1, out=SW)
+    CW, CWD = dispatch("radii_cums")(SD, SW)
     if total_writes > 0:
-        rw = _prefix_block(SD, CW, CWD, total_writes, total) / total_writes
+        b = SD.shape[0]
+        z = np.full(b, float(total_writes))
+        rw = dispatch("radii_prefix")(SD, CW, CWD, z, total) / total_writes
     else:
         rw = np.zeros(SD.shape[0])
-    rs, zs = _storage_radii_rows(SD, CW, CWD, costs, total)
+    rs, zs = dispatch("radii_storage")(SD, CW, CWD, costs, total)
     return rw, rs, zs
-
-
-def _prefix_rows(
-    SD: np.ndarray, CW: np.ndarray, CWD: np.ndarray, z: np.ndarray, total: float
-) -> np.ndarray:
-    """Vectorized ``P_v(z)`` with a per-row ``z``: exactly
-    :func:`_prefix_from_cums` replayed on every row of a block."""
-    b, size = SD.shape
-    z = np.minimum(np.asarray(z, dtype=float), total)
-    # searchsorted(cw, z, 'left') per row == count of entries < z
-    i = np.minimum((CW < z[:, None]).sum(axis=1), size - 1)
-    r = np.arange(b)
-    prev_w = np.where(i > 0, CW[r, np.maximum(i - 1, 0)], 0.0)
-    prev_wd = np.where(i > 0, CWD[r, np.maximum(i - 1, 0)], 0.0)
-    out = prev_wd + (z - prev_w) * SD[r, i]
-    return np.where(z <= 0, 0.0, out)
-
-
-def _prefix_block(
-    SD: np.ndarray, CW: np.ndarray, CWD: np.ndarray, z: float, total: float
-) -> np.ndarray:
-    """Vectorized ``P_v(z)`` for a block of nodes at one common ``z``."""
-    b = SD.shape[0]
-    if z <= 0:
-        return np.zeros(b)
-    return _prefix_rows(SD, CW, CWD, np.full(b, float(z)), total)
-
-
-def _storage_radii_rows(
-    SD: np.ndarray,
-    CW: np.ndarray,
-    CWD: np.ndarray,
-    costs: np.ndarray,
-    total: float,
-) -> tuple[np.ndarray, np.ndarray]:
-    """Vectorized ``(rs, zs)`` over a block of nodes.
-
-    Bit-faithful to :func:`_storage_radius_from_cums` per row: the same
-    early-outs, the same binary-search trajectory (per-row ``lo``/``hi``
-    with the identical probe arithmetic) and the same interval formulas,
-    just evaluated for every row of the block at once instead of through
-    one Python call per node.
-    """
-    b = SD.shape[0]
-    n_req = int(math.ceil(total))
-    if n_req == 0:
-        return np.full(b, np.inf), np.full(b, max(n_req, 1), dtype=int)
-
-    p_total = _prefix_rows(SD, CW, CWD, np.full(b, float(total)), total)
-    never = p_total <= costs  # storage never amortizes on these rows
-
-    # binary search the smallest integer z >= 1 with P_v(z) > cs, exactly
-    # as the scalar loop does; converged (and `never`) rows stay inactive.
-    lo = np.ones(b, dtype=np.int64)
-    hi = np.full(b, n_req, dtype=np.int64)
-    hi[never] = 1
-    while True:
-        active = lo < hi
-        if not active.any():
-            break
-        mid = (lo + hi) // 2
-        pm = _prefix_rows(SD, CW, CWD, mid.astype(float), total)
-        go_hi = active & (pm > costs)
-        hi = np.where(go_hi, mid, hi)
-        lo = np.where(active & ~go_hi, mid + 1, lo)
-    zs = lo
-
-    zm1 = np.maximum(zs - 1, 1)
-    p_lo = _prefix_rows(SD, CW, CWD, (zs - 1).astype(float), total)
-    d_lo = np.where(zs > 1, p_lo / zm1, 0.0)
-    z_hi = np.minimum(zs.astype(float), total)
-    d_hi = _prefix_rows(SD, CW, CWD, z_hi, total) / z_hi
-    lower = np.maximum(d_lo, costs / zs)
-    upper = np.where(zs > 1, np.minimum(d_hi, costs / zm1), d_hi)
-    # The intersection is provably non-empty; guard against float slack.
-    upper = np.maximum(upper, lower)
-    rs = np.where(upper > lower, 0.5 * (lower + upper), lower)
-    rs = np.where(never, np.inf, rs)
-    zs = np.where(never, max(n_req, 1), zs)
-    return rs, zs.astype(int)

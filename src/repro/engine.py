@@ -24,12 +24,21 @@ around that observation without changing a single placement decision:
   sets are identical to the loop's -- bit-for-bit on integer request
   counts; the property suite asserts this.
 * **Parallel execution.**  ``jobs > 1`` fans object chunks out over a
-  process pool.  The instance (graph + backend) ships once per worker at
-  pool start-up (:class:`~repro.graphs.backend.LazyMetric` pickles as its
-  ``O(n + m)`` adjacency, dropping its row cache), each worker keeps its
-  own warm row cache across all chunks it processes, and results merge in
-  chunk order -- the outcome is independent of ``jobs`` and
-  ``chunk_size``.
+  process pool (pinned multiprocessing context).  The instance ships
+  once: via :mod:`repro.shm` the dense closure / CSR adjacency and
+  frequency matrices are published to shared memory and every worker
+  attaches zero-copy read-only views (a few-hundred-byte handle per
+  worker instead of an ``O(n^2)`` pickle); where shared memory is
+  unavailable the initializer pickle path of old is kept
+  (:class:`~repro.graphs.backend.LazyMetric` pickles as its ``O(n + m)``
+  adjacency, dropping its row cache).  Each worker keeps its own warm
+  row cache across all chunks it processes, and results merge in chunk
+  order -- the outcome is independent of ``jobs``, ``chunk_size`` and
+  the transport.
+* **Compiled kernels.**  The hot loops (radii prefix sums, phase 2/3
+  sweeps, backend reductions) dispatch through :mod:`repro.kernels`:
+  numba-compiled when importable, the bit-identical numpy reference
+  otherwise -- selected by the ``kernels`` knob, never changing results.
 * **Streaming.**  :meth:`PlacementEngine.stream` yields
   ``(object, copies)`` pairs chunk by chunk for callers that persist or
   bill placements incrementally and never want the whole catalog's
@@ -50,6 +59,8 @@ which equals ``approximate_placement(instance)`` on every object.
 
 from __future__ import annotations
 
+import atexit
+import multiprocessing as mp
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 from typing import Iterator, Sequence
@@ -64,6 +75,8 @@ from .core.instance import DataManagementInstance
 from .core.placement import Placement
 from .core.radii import DEFAULT_RADII_BLOCK, radii_for_objects
 from .facility import FL_SOLVERS
+from .kernels import KERNEL_MODES, kernel_mode
+from .shm import publish_instance
 
 __all__ = ["PlacementEngine", "place_catalog", "DEFAULT_CHUNK_SIZE"]
 
@@ -90,6 +103,18 @@ class PlacementEngine:
         distributes chunks over a pool.  Does not affect results.
     radii_block:
         Node-block size of the shared radii sweep (memory/batching knob).
+    shared_memory:
+        With ``jobs > 1``, publish the instance's arrays into
+        :mod:`multiprocessing.shared_memory` once (:mod:`repro.shm`) so
+        workers attach zero-copy instead of unpickling the whole
+        instance per process.  Falls back to the pickle path silently
+        when shared memory is unavailable; never affects results.
+    kernels:
+        Hot-loop dispatch mode (:data:`repro.kernels.KERNEL_MODES`):
+        ``"auto"`` uses the compiled numba kernels when importable,
+        ``"numpy"`` forces the reference implementations, ``"numba"``
+        requests the compiled path (degrading to numpy with a
+        provenance note if numba is absent).  Bit-identical either way.
     """
 
     def __init__(
@@ -103,6 +128,8 @@ class PlacementEngine:
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         jobs: int = 1,
         radii_block: int = DEFAULT_RADII_BLOCK,
+        shared_memory: bool = True,
+        kernels: str = "auto",
     ) -> None:
         if fl_solver not in FL_SOLVERS:
             raise ValueError(
@@ -114,6 +141,10 @@ class PlacementEngine:
             raise ValueError("jobs must be positive")
         if radii_block < 1:
             raise ValueError("radii_block must be positive")
+        if kernels not in KERNEL_MODES:
+            raise ValueError(
+                f"unknown kernels mode {kernels!r}; choose from {KERNEL_MODES}"
+            )
         self.instance = instance
         self.fl_solver = fl_solver
         self.phase2 = phase2
@@ -122,6 +153,11 @@ class PlacementEngine:
         self.chunk_size = int(chunk_size)
         self.jobs = int(jobs)
         self.radii_block = int(radii_block)
+        self.shared_memory = bool(shared_memory)
+        self.kernels = kernels
+        #: Whether the last parallel run shipped the instance via shared
+        #: memory (``None`` until a ``jobs > 1`` stream actually runs).
+        self.used_shared_memory: bool | None = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -149,6 +185,8 @@ class PlacementEngine:
             chunk_size=self.chunk_size,
             jobs=self.jobs,
             radii_block=self.radii_block,
+            shared_memory=self.shared_memory,
+            kernels=self.kernels,
         )
 
     def for_instance(self, instance: DataManagementInstance) -> "PlacementEngine":
@@ -165,8 +203,13 @@ class PlacementEngine:
         This is the batched kernel: phase 1 runs per object on its
         support-restricted facility problem, the radii of all live
         objects come from one shared sweep, and phases 2/3 consume those
-        rows.  Every decision matches the per-object loop.
+        rows -- dispatched under this engine's ``kernels`` mode.  Every
+        decision matches the per-object loop.
         """
+        with kernel_mode(self.kernels):
+            return self._place_objects(objects)
+
+    def _place_objects(self, objects: Sequence[int]) -> list[tuple[int, ...]]:
         inst = self.instance
         metric = inst.metric
         objs = [int(o) for o in objects]
@@ -274,35 +317,56 @@ class PlacementEngine:
             facility_candidates=self.facility_candidates,
             chunk_size=self.chunk_size,
             radii_block=self.radii_block,
+            kernels=self.kernels,
         )
-        with ProcessPoolExecutor(
-            max_workers=min(self.jobs, len(chunks)),
-            initializer=_engine_worker_init,
-            initargs=(self.instance, kwargs),
-        ) as pool:
-            # Chunks are submitted through a bounded window (2 per worker)
-            # and consumed in submission order, so the merge is
-            # deterministic, at most a window's worth of results is ever
-            # buffered, and a caller that stops iterating early leaves
-            # only the in-flight window to drain -- not the whole catalog.
-            window = 2 * min(self.jobs, len(chunks))
-            pending: deque = deque()
-            it = iter(chunks)
-            try:
-                for c in it:
-                    pending.append((c, pool.submit(_engine_worker_place, c)))
-                    if len(pending) >= window:
-                        break
-                while pending:
-                    chunk_objs, fut = pending.popleft()
-                    chunk = fut.result()
-                    nxt = next(it, None)
-                    if nxt is not None:
-                        pending.append((nxt, pool.submit(_engine_worker_place, nxt)))
-                    yield from zip(chunk_objs, chunk)
-            finally:
-                for _, fut in pending:
-                    fut.cancel()
+        # Publish the instance's arrays into shared memory once, so the
+        # pool initializer ships a few-hundred-byte handle instead of the
+        # whole pickled instance; `shared` stays None (pickle path) when
+        # shm is unavailable or the metric isn't shareable.
+        shared = publish_instance(self.instance) if self.shared_memory else None
+        self.used_shared_memory = shared is not None
+        if shared is not None:
+            initializer, initargs = _engine_worker_init_shm, (shared.handle, kwargs)
+        else:
+            initializer, initargs = _engine_worker_init, (self.instance, kwargs)
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(self.jobs, len(chunks)),
+                mp_context=_pool_context(),
+                initializer=initializer,
+                initargs=initargs,
+            ) as pool:
+                # Chunks are submitted through a bounded window (2 per worker)
+                # and consumed in submission order, so the merge is
+                # deterministic, at most a window's worth of results is ever
+                # buffered, and a caller that stops iterating early leaves
+                # only the in-flight window to drain -- not the whole catalog.
+                window = 2 * min(self.jobs, len(chunks))
+                pending: deque = deque()
+                it = iter(chunks)
+                try:
+                    for c in it:
+                        pending.append((c, pool.submit(_engine_worker_place, c)))
+                        if len(pending) >= window:
+                            break
+                    while pending:
+                        chunk_objs, fut = pending.popleft()
+                        chunk = fut.result()
+                        nxt = next(it, None)
+                        if nxt is not None:
+                            pending.append(
+                                (nxt, pool.submit(_engine_worker_place, nxt))
+                            )
+                        yield from zip(chunk_objs, chunk)
+                finally:
+                    for _, fut in pending:
+                        fut.cancel()
+        finally:
+            # The owner unlinks exactly once, after the pool has shut
+            # down (the `with` block waits), so no blocks outlive an
+            # early-exiting consumer.
+            if shared is not None:
+                shared.close()
 
     def place(self) -> Placement:
         """Place every object of the catalog; equals the per-object loop."""
@@ -319,6 +383,8 @@ def place_catalog(
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     jobs: int = 1,
     radii_block: int = DEFAULT_RADII_BLOCK,
+    shared_memory: bool = True,
+    kernels: str = "auto",
 ) -> Placement:
     """One-call catalog placement with an explicit, typed knob set.
 
@@ -337,16 +403,32 @@ def place_catalog(
         chunk_size=chunk_size,
         jobs=jobs,
         radii_block=radii_block,
+        shared_memory=shared_memory,
+        kernels=kernels,
     )
     return PlacementEngine.from_config(instance, config).place()
 
 
 # ----------------------------------------------------------------------
-# worker plumbing: the instance ships once per worker (initializer), each
-# chunk task carries only its object indices (a range for full catalogs,
-# an explicit list for sparse subsets).
+# worker plumbing: the instance ships once per worker -- as a zero-copy
+# shared-memory handle when available, as the initializer pickle
+# otherwise -- and each chunk task carries only its object indices (a
+# range for full catalogs, an explicit list for sparse subsets).
 # ----------------------------------------------------------------------
 _WORKER_ENGINE: PlacementEngine | None = None
+_WORKER_ATTACHED = None  # keeps the worker's shm segments mapped
+
+
+def _pool_context() -> mp.context.BaseContext:
+    """The pinned multiprocessing context for engine pools.
+
+    Explicit rather than platform-default so fork/spawn behavior is
+    deterministic: ``fork`` where the platform offers it (cheap worker
+    start-up, the engine ships no state through inherited globals),
+    ``spawn`` elsewhere (macOS/Windows).
+    """
+    method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+    return mp.get_context(method)
 
 
 def _engine_worker_init(instance: DataManagementInstance, kwargs: dict) -> None:
@@ -354,6 +436,23 @@ def _engine_worker_init(instance: DataManagementInstance, kwargs: dict) -> None:
     _WORKER_ENGINE = PlacementEngine(instance, jobs=1, **kwargs)
 
 
+def _engine_worker_init_shm(handle, kwargs: dict) -> None:
+    """Pool initializer for the zero-copy path: attach read-only views
+    onto the owner's shared-memory blocks instead of unpickling the
+    instance.  The attachment is kept alive for the worker's lifetime
+    and unmapped (never unlinked -- that's the owner's job) at exit."""
+    global _WORKER_ENGINE, _WORKER_ATTACHED
+    attached = handle.attach()
+    _WORKER_ATTACHED = attached
+    atexit.register(attached.close)
+    _WORKER_ENGINE = PlacementEngine(attached.instance, jobs=1, **kwargs)
+
+
 def _engine_worker_place(objects: Sequence[int]) -> list[tuple[int, ...]]:
-    assert _WORKER_ENGINE is not None, "worker pool not initialized"
+    if _WORKER_ENGINE is None:
+        raise RuntimeError(
+            "engine worker pool not initialized: _engine_worker_place must "
+            "run in a process prepared by _engine_worker_init / "
+            "_engine_worker_init_shm"
+        )
     return _WORKER_ENGINE.place_objects(objects)

@@ -45,6 +45,7 @@ import numpy as np
 from scipy.sparse import csr_matrix
 from scipy.sparse.csgraph import dijkstra
 
+from ..kernels import dispatch
 from .metric import Metric, graph_to_adjacency
 
 __all__ = [
@@ -53,7 +54,12 @@ __all__ = [
     "lazy_metric_from_graph",
     "dense_distance_matrix",
     "DENSE_MATERIALIZE_LIMIT",
+    "DEFAULT_CACHE_ROWS",
 ]
+
+#: Default LRU row-cache capacity of :class:`LazyMetric`; tunable per
+#: plan through the ``cache_rows`` knob of :class:`repro.config.PlanConfig`.
+DEFAULT_CACHE_ROWS = 128
 
 #: ``dense_distance_matrix`` refuses to materialize closures bigger than
 #: this many nodes -- the exact/exponential baselines that need the full
@@ -133,7 +139,9 @@ class LazyMetric:
         "cache_hits",
     )
 
-    def __init__(self, adjacency, *, cache_rows: int = 128, validate: bool = True) -> None:
+    def __init__(
+        self, adjacency, *, cache_rows: int = DEFAULT_CACHE_ROWS, validate: bool = True
+    ) -> None:
         adj = csr_matrix(adjacency)
         if adj.shape[0] != adj.shape[1]:
             raise ValueError(f"adjacency must be square, got {adj.shape}")
@@ -159,7 +167,8 @@ class LazyMetric:
     # ------------------------------------------------------------------
     @classmethod
     def from_graph(
-        cls, graph: nx.Graph, *, weight: str = "weight", cache_rows: int = 128
+        cls, graph: nx.Graph, *, weight: str = "weight",
+        cache_rows: int = DEFAULT_CACHE_ROWS,
     ) -> "LazyMetric":
         """Lazy closure of a connected weighted graph (nodes ``0..n-1``
         in sorted label order; see :func:`lazy_metric_from_graph` for the
@@ -263,6 +272,33 @@ class LazyMetric:
         state (what pickling ships and :mod:`repro.serialize` stores)."""
         return self._adj
 
+    @property
+    def cache_rows(self) -> int:
+        """Capacity of the LRU row cache (the ``cache_rows`` knob)."""
+        return self._cache_rows
+
+    @property
+    def cache_misses(self) -> int:
+        """Rows computed because they were not cached (the complement of
+        :attr:`cache_hits` over all row lookups)."""
+        return self.rows_computed
+
+    def cache_stats(self) -> dict:
+        """Row-cache observability: hits, misses, hit rate and capacity.
+
+        Surfaced in :class:`~repro.api.PlanReport` extras so ``repro
+        plan`` output shows whether ``cache_rows`` is sized usefully
+        without attaching a debugger.  ``hit_rate`` is ``None`` before
+        any lookup.
+        """
+        lookups = self.cache_hits + self.cache_misses
+        return {
+            "cache_rows": self._cache_rows,
+            "hits": int(self.cache_hits),
+            "misses": int(self.cache_misses),
+            "hit_rate": (self.cache_hits / lookups) if lookups else None,
+        }
+
     def d(self, u: int, v: int) -> float:
         return float(self.row(u)[int(v)])
 
@@ -275,7 +311,7 @@ class LazyMetric:
         if idx.size == 0:
             return np.full(self.n, np.inf)
         if idx.size <= _SMALL_TARGET_SET:
-            return self.rows(idx).min(axis=0)
+            return dispatch("dist_reduce")(self.rows(idx))
         return dijkstra(self._adj, directed=False, indices=idx, min_only=True)
 
     def nearest_in_set(self, targets: Iterable[int]) -> tuple[np.ndarray, np.ndarray]:
@@ -284,8 +320,8 @@ class LazyMetric:
             raise ValueError("targets must be non-empty")
         if idx.size <= _SMALL_TARGET_SET:
             sub = self.rows(idx)  # (k, n)
-            arg = sub.argmin(axis=0)  # first (= smallest index) minimiser
-            return idx[arg], sub[arg, np.arange(self.n)]
+            # column-wise argmin (first = smallest-index minimiser wins)
+            return dispatch("nearest_reduce")(sub, idx)
         dist, _, sources = dijkstra(
             self._adj, directed=False, indices=idx,
             min_only=True, return_predecessors=True,
@@ -352,7 +388,7 @@ class LazyMetric:
 
 
 def lazy_metric_from_graph(
-    graph: nx.Graph, *, weight: str = "weight", cache_rows: int = 128
+    graph: nx.Graph, *, weight: str = "weight", cache_rows: int = DEFAULT_CACHE_ROWS
 ) -> tuple[LazyMetric, dict, list]:
     """Lazy metric closure plus node <-> index maps.
 

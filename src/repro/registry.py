@@ -181,12 +181,34 @@ def available_strategies() -> tuple[str, ...]:
 # ----------------------------------------------------------------------
 @register_strategy
 class KRWStrategy(PlacementStrategy):
-    """The Section 2 approximation via the batched catalog engine."""
+    """The Section 2 approximation via the batched catalog engine.
+
+    ``extras`` records run provenance: the kernel dispatch report
+    (:func:`repro.kernels.kernel_provenance` under the config's
+    ``kernels`` mode), whether the parallel path shipped the instance
+    via shared memory, and -- on a lazy backend -- the row-cache
+    hit-rate statistics, so ``cache_rows`` sizing is observable from
+    plan output.
+    """
 
     name = "krw"
 
     def place(self, instance, config):
-        return PlacementEngine.from_config(instance, config).place()
+        from .graphs.backend import LazyMetric
+        from .kernels import kernel_provenance
+
+        engine = PlacementEngine.from_config(instance, config)
+        placement = engine.place()
+        extras = {
+            "kernels": kernel_provenance(config.kernels),
+            "shared_memory": {
+                "requested": config.shared_memory,
+                "used": engine.used_shared_memory,
+            },
+        }
+        if isinstance(instance.metric, LazyMetric):
+            extras["row_cache"] = instance.metric.cache_stats()
+        return placement, extras
 
 
 def _per_object(instance, fn) -> Placement:

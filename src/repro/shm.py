@@ -1,0 +1,310 @@
+"""Zero-copy instance sharing for worker pools via POSIX shared memory.
+
+:class:`repro.engine.PlacementEngine` historically shipped the whole
+:class:`~repro.core.instance.DataManagementInstance` to every worker
+through the ``ProcessPoolExecutor`` initializer pickle -- ``O(n^2)``
+bytes per worker for a dense metric, re-deserialized per process.  On
+catalogs where the per-chunk compute is modest, that start-up cost is
+exactly why E14 measured ``jobs=2 ≈ serial``.
+
+This module publishes the instance's arrays **once** into
+:mod:`multiprocessing.shared_memory` blocks:
+
+* the metric payload -- the dense closure matrix, or the lazy backend's
+  CSR adjacency (``data`` / ``indices`` / ``indptr``),
+* the workload arrays -- storage costs, read/write frequency matrices,
+  object sizes.
+
+Workers then receive a compact picklable :class:`SharedInstanceHandle`
+(block names, shapes, dtypes -- a few hundred bytes regardless of
+instance size) and attach **read-only, zero-copy** numpy views onto the
+same physical pages.
+
+Ownership
+---------
+::
+
+    owner (engine)                      workers (pool initializer)
+    ---------------                     --------------------------
+    SharedInstance.publish(instance)
+      |-- handle --------------------->  handle.attach()
+      |                                   `- read-only views, no copy
+      `-- close()  [unlink]  <---------  close() at worker exit [unmap]
+
+The **owner** (the process that published) is the only one that ever
+``unlink``\\ s the blocks; it does so in ``close()``, which the engine
+calls after the pool shuts down (and which is registered with
+``atexit`` as a crash guard -- ``close()`` is idempotent).  Attachers
+only ever unmap.  Unlinking while attachments exist is safe on POSIX:
+the pages live until the last unmap.
+
+Pool workers share the parent's ``resource_tracker`` (both fork and
+spawn children inherit its fd), so their attachments do not create
+extra tracker registrations and no untracking workaround is needed;
+an **unrelated** process attaching a handle (its own tracker) should
+pass ``attach(untrack=True)`` so its tracker does not unlink blocks it
+does not own at exit (CPython < 3.13 registers attachments too).
+
+Fallback
+--------
+:func:`publish_instance` returns ``None`` -- and the engine keeps
+today's pickle path -- whenever shared memory is unavailable
+(``/dev/shm`` missing or full, platform without POSIX shm) or the
+metric type is not shareable.  Degradation is silent and lossless:
+results are identical either way, only the per-worker start-up cost
+differs.
+"""
+
+from __future__ import annotations
+
+import atexit
+from dataclasses import dataclass
+from multiprocessing import shared_memory as _shm
+
+import numpy as np
+
+from .core.instance import DataManagementInstance
+from .graphs.backend import LazyMetric
+from .graphs.metric import Metric
+
+__all__ = [
+    "SharedInstance",
+    "SharedInstanceHandle",
+    "AttachedInstance",
+    "publish_instance",
+    "shm_available",
+]
+
+
+def shm_available() -> bool:
+    """True when a shared-memory block can actually be created here."""
+    try:
+        probe = _shm.SharedMemory(create=True, size=1)
+    except Exception:
+        return False
+    probe.close()
+    try:
+        probe.unlink()
+    except Exception:
+        pass
+    return True
+
+
+def _untrack(seg: _shm.SharedMemory) -> None:
+    """Deregister an attachment from this process's resource tracker.
+
+    CPython < 3.13 registers *attachments* with the tracker as if they
+    were owned, so an unrelated attacher's tracker would unlink blocks
+    it does not own when that process exits.  Best-effort by design.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(seg._name, "shared_memory")  # type: ignore[attr-defined]
+    except Exception:
+        pass
+
+
+@dataclass(frozen=True)
+class _ArraySpec:
+    """Locator of one published array: block name, shape, dtype string."""
+
+    name: str
+    shape: tuple
+    dtype: str
+
+
+@dataclass(frozen=True)
+class SharedInstanceHandle:
+    """The compact picklable locator of a published instance.
+
+    Carries only names/shapes/dtypes (plus object names), never array
+    data -- pickling one costs a few hundred bytes whatever the instance
+    size, which is the whole point of the shm worker path.
+    """
+
+    metric_kind: str  # "dense" | "lazy"
+    n: int
+    cache_rows: int | None
+    arrays: tuple[tuple[str, _ArraySpec], ...]
+    object_names: tuple[str, ...]
+
+    def attach(self, *, untrack: bool = False) -> "AttachedInstance":
+        """Rebuild the instance over read-only zero-copy views.
+
+        Opens every block and wraps it in a non-writeable
+        ``np.ndarray`` view; nothing is copied.  ``untrack=True`` is for
+        attachers outside the publishing process family (see module
+        docstring).  Close the returned object (or let the publishing
+        owner outlive it) -- it keeps the segments mapped.
+        """
+        segments: list[_shm.SharedMemory] = []
+        views: dict[str, np.ndarray] = {}
+        try:
+            for field, spec in self.arrays:
+                seg = _shm.SharedMemory(name=spec.name)
+                segments.append(seg)
+                if untrack:
+                    _untrack(seg)
+                view = np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=seg.buf)
+                view.flags.writeable = False
+                views[field] = view
+        except Exception:
+            for seg in segments:
+                seg.close()
+            raise
+
+        if self.metric_kind == "dense":
+            metric = Metric(views["dist"], validate=False)
+        else:
+            from scipy.sparse import csr_matrix
+
+            adj = csr_matrix(
+                (views["adj_data"], views["adj_indices"], views["adj_indptr"]),
+                shape=(self.n, self.n),
+            )
+            metric = LazyMetric(adj, cache_rows=self.cache_rows or 128, validate=False)
+        instance = DataManagementInstance(
+            metric,
+            views["storage_costs"],
+            views["read_freq"],
+            views["write_freq"],
+            object_names=self.object_names,
+            object_sizes=views["object_sizes"],
+        )
+        return AttachedInstance(instance, segments)
+
+
+class AttachedInstance:
+    """A worker-side attachment: the rebuilt instance plus the segment
+    handles keeping its pages mapped.  ``close()`` unmaps (never
+    unlinks); idempotent, also runs on garbage collection."""
+
+    def __init__(self, instance: DataManagementInstance, segments: list) -> None:
+        self.instance = instance
+        self._segments = segments
+
+    def close(self) -> None:
+        segments, self._segments = self._segments, []
+        for seg in segments:
+            try:
+                seg.close()
+            except Exception:
+                pass
+
+    def __enter__(self) -> "AttachedInstance":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        self.close()
+
+
+class SharedInstance:
+    """Owner side of a published instance.
+
+    Create via :meth:`publish`; hand ``.handle`` to workers; ``close()``
+    when the pool is done.  ``close()`` unlinks every block exactly once
+    and is registered with ``atexit`` as a crash guard.
+    """
+
+    def __init__(self, handle: SharedInstanceHandle, segments: list) -> None:
+        self.handle = handle
+        self._segments = segments
+        atexit.register(self.close)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def publish(cls, instance: DataManagementInstance) -> "SharedInstance":
+        """Copy the instance's arrays into fresh shared-memory blocks.
+
+        Raises ``TypeError`` for metric types without a shareable array
+        form and ``OSError`` when the platform cannot allocate; callers
+        wanting silent fallback use :func:`publish_instance`.
+        """
+        segments: list[_shm.SharedMemory] = []
+        specs: list[tuple[str, _ArraySpec]] = []
+
+        def share(field: str, arr: np.ndarray) -> None:
+            arr = np.ascontiguousarray(arr)
+            seg = _shm.SharedMemory(create=True, size=max(arr.nbytes, 1))
+            segments.append(seg)
+            view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=seg.buf)
+            view[...] = arr
+            specs.append((field, _ArraySpec(seg.name, arr.shape, arr.dtype.str)))
+
+        metric = instance.metric
+        try:
+            if isinstance(metric, Metric):
+                kind, cache_rows = "dense", None
+                share("dist", metric.dist)
+            elif isinstance(metric, LazyMetric):
+                kind = "lazy"
+                cache_rows = metric._cache_rows
+                adj = metric.adjacency
+                share("adj_data", adj.data)
+                share("adj_indices", adj.indices)
+                share("adj_indptr", adj.indptr)
+            else:
+                raise TypeError(
+                    f"cannot publish a {type(metric).__name__} metric to "
+                    "shared memory (dense Metric or LazyMetric required)"
+                )
+            share("storage_costs", instance.storage_costs)
+            share("read_freq", instance.read_freq)
+            share("write_freq", instance.write_freq)
+            share("object_sizes", instance.object_sizes)
+        except BaseException:
+            for seg in segments:
+                try:
+                    seg.close()
+                    seg.unlink()
+                except Exception:
+                    pass
+            raise
+
+        handle = SharedInstanceHandle(
+            metric_kind=kind,
+            n=metric.n,
+            cache_rows=cache_rows,
+            arrays=tuple(specs),
+            object_names=tuple(instance.object_names),
+        )
+        return cls(handle, segments)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Unmap and unlink every block (idempotent)."""
+        segments, self._segments = self._segments, []
+        for seg in segments:
+            try:
+                seg.close()
+            except Exception:
+                pass
+            try:
+                seg.unlink()
+            except Exception:
+                pass
+
+    def __enter__(self) -> "SharedInstance":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        self.close()
+
+
+def publish_instance(instance: DataManagementInstance) -> SharedInstance | None:
+    """Publish with graceful fallback: ``None`` when shared memory is
+    unavailable or the metric is not shareable -- the engine then keeps
+    the pickle path, bit-identical results either way."""
+    if not shm_available():
+        return None
+    try:
+        return SharedInstance.publish(instance)
+    except (OSError, ValueError, TypeError, MemoryError):
+        return None

@@ -152,6 +152,23 @@ class TestCache:
         lazy.row(0)  # evicted -> recompute
         assert lazy.rows_computed == before + 1
 
+    def test_cache_stats_reports_hit_rate(self):
+        g = generators.erdos_renyi_graph(20, 0.3, seed=7)
+        lazy = LazyMetric.from_graph(g, cache_rows=3)
+        stats = lazy.cache_stats()
+        assert stats["cache_rows"] == 3 and lazy.cache_rows == 3
+        lazy.row(4)
+        lazy.row(4)
+        stats = lazy.cache_stats()
+        assert stats["hits"] >= 1 and stats["misses"] == lazy.cache_misses
+        assert 0.0 < stats["hit_rate"] <= 1.0
+
+    def test_cache_stats_hit_rate_none_before_any_lookup(self):
+        g = generators.random_tree(8, seed=8)
+        adj = LazyMetric.from_graph(g).adjacency
+        fresh = LazyMetric(adj, cache_rows=2, validate=False)
+        assert fresh.cache_stats()["hit_rate"] is None
+
     def test_precompute_pins_rows(self):
         g = generators.erdos_renyi_graph(30, 0.3, seed=6)
         lazy = LazyMetric.from_graph(g, cache_rows=2)

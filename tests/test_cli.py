@@ -33,7 +33,7 @@ class TestList:
 
 class TestExperimentCommand:
     def test_registry_covers_all_runners(self):
-        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 17)} | {"E10B"}
+        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 18)} | {"E10B"}
 
     def test_unknown_experiment(self, capsys):
         out = io.StringIO()
@@ -164,6 +164,25 @@ class TestPlanCommand:
         report = PlanReport.load(saved)
         assert report.strategy == "single-median"
         assert report.placement.replication_degree() == 1.0
+
+    def test_plan_prints_kernel_and_cache_provenance(self, tmp_path):
+        """`repro plan` surfaces the dispatch mode, worker transport and
+        (lazy backend) row-cache hit rate under the report line."""
+        import json
+
+        cfg = tmp_path / "cfg.json"
+        cfg.write_text(json.dumps({"backend": "lazy", "chunk_size": 2}))
+        out = io.StringIO()
+        rc = main(
+            ["plan", "--scenario", "tree", "--config", str(cfg),
+             "--kernels", "numpy", "--cache-rows", "16", "--jobs", "2"],
+            out=out,
+        )
+        text = out.getvalue()
+        assert rc == 0
+        assert "kernels: mode=numpy" in text
+        assert "shared memory: requested=True" in text
+        assert "row cache:" in text and "cache_rows=16" in text
 
     def test_plan_load_missing_file_is_clean_error(self, tmp_path):
         out = io.StringIO()

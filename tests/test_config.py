@@ -29,6 +29,8 @@ class TestValidation:
             (dict(replan_mode="partial"), "replan_mode"),
             (dict(replan_tolerance=-0.1), "replan_tolerance"),
             (dict(replan_tolerance=float("nan")), "replan_tolerance"),
+            (dict(kernels="fortran"), "kernels"),
+            (dict(cache_rows=0), "cache_rows"),
         ],
     )
     def test_bad_knobs_rejected(self, kwargs, match):
@@ -59,12 +61,29 @@ class TestValidation:
         # the replan knobs steer the replanner, never the engine
         assert "replan_mode" not in cfg.engine_kwargs()
 
+    def test_transport_and_kernel_knobs(self):
+        from repro.config import KERNEL_MODES
+        from repro.graphs.backend import DEFAULT_CACHE_ROWS
+
+        assert set(KERNEL_MODES) == {"auto", "numpy", "numba"}
+        cfg = PlanConfig(shared_memory=False, kernels="numpy", cache_rows=7)
+        assert cfg.engine_kwargs()["shared_memory"] is False
+        assert cfg.engine_kwargs()["kernels"] == "numpy"
+        # cache_rows sizes the LazyMetric the *planner* builds; the
+        # engine never resizes an instance's own backend
+        assert "cache_rows" not in cfg.engine_kwargs()
+        defaults = PlanConfig()
+        assert defaults.shared_memory is True
+        assert defaults.kernels == "auto"
+        assert defaults.cache_rows == DEFAULT_CACHE_ROWS
+
 
 class TestSerialization:
     def test_dict_round_trip(self):
         cfg = PlanConfig(fl_solver="greedy", jobs=3, seed=11,
                          facility_candidates=7, replan_mode="incremental",
-                         replan_tolerance=0.1)
+                         replan_tolerance=0.1, shared_memory=False,
+                         kernels="numpy", cache_rows=17)
         assert PlanConfig.from_dict(cfg.to_dict()) == cfg
 
     def test_from_dict_rejects_unknown_keys(self):

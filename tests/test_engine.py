@@ -156,6 +156,26 @@ class TestEngineStreaming:
         # pool and still produces the full, identical catalog
         assert engine.place().copy_sets == expected.copy_sets
 
+    def test_uninitialized_worker_is_a_named_runtime_error(self, monkeypatch):
+        """The pool task must fail with an error naming the initializer,
+        not a bare assert, when run outside a prepared worker process."""
+        import repro.engine as engine_mod
+
+        monkeypatch.setattr(engine_mod, "_WORKER_ENGINE", None)
+        with pytest.raises(RuntimeError, match="_engine_worker_init"):
+            engine_mod._engine_worker_place([0])
+
+    def test_pool_context_is_pinned(self):
+        """The engine pins an explicit mp context (fork where available)
+        instead of inheriting the platform default."""
+        import multiprocessing as mp
+
+        import repro.engine as engine_mod
+
+        ctx = engine_mod._pool_context()
+        expected = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+        assert ctx.get_start_method() == expected
+
     def test_stream_early_exit_serial(self):
         inst = _catalog_instance(9, num_objects=9)
         engine = PlacementEngine(inst, chunk_size=3)
@@ -250,10 +270,10 @@ class TestPlaceCatalogSignature:
         with pytest.raises(ValueError, match="fl_solver"):
             place_catalog(inst, fl_solver="nope")
 
-    def test_version_bumped_for_the_incremental_replanner(self):
+    def test_version_bumped_for_the_shm_worker_path(self):
         import repro
 
-        assert repro.__version__ == "1.3.0"
+        assert repro.__version__ == "1.4.0"
 
 
 class TestBatchedRadii:

@@ -1,0 +1,220 @@
+"""Tests for repro.kernels: dispatch, mode management, bit-parity.
+
+The registry's contract is that every implementation of a kernel is
+**bit-identical** to the numpy reference -- dispatch is a pure
+wall-clock choice with zero numerical surface.  The property tests here
+generate sorted radii state, sweep inputs and row blocks (including the
+empty-demand and single-node degenerations) and assert exact array
+equality between the reference and whatever ``auto`` resolves to; on a
+numba-less host that is a self-consistency check, with numba installed
+(the CI accelerator leg) it pins the compiled twins to the reference.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels import (
+    KERNEL_MODES,
+    KERNEL_NAMES,
+    active_impl,
+    dispatch,
+    get_kernel_mode,
+    kernel_mode,
+    kernel_provenance,
+    numba_available,
+    set_kernel_mode,
+)
+
+seeds = st.integers(min_value=0, max_value=500)
+
+
+def _sorted_state(seed, *, b=None, size=None, zero_rows=False):
+    """Random presorted (SD, SW) radii state plus derived cumsums."""
+    rng = np.random.default_rng(seed)
+    b = int(rng.integers(1, 7)) if b is None else b
+    size = int(rng.integers(1, 30)) if size is None else size
+    SD = np.sort(rng.uniform(0.0, 9.0, (b, size)), axis=1)
+    SD[:, 0] = 0.0  # a node is at distance 0 from itself
+    SW = rng.uniform(0.0, 4.0, (b, size))
+    if zero_rows:
+        SW[:] = 0.0
+    CW, CWD = dispatch("radii_cums", "numpy")(SD.copy(), SW.copy())
+    return SD, SW, CW, CWD
+
+
+def _both(name, *args, copy_args=()):
+    """Run the reference and the auto-dispatch impl on equal inputs."""
+    def call(mode):
+        fresh = [a.copy() if i in copy_args else a for i, a in enumerate(args)]
+        return dispatch(name, mode)(*fresh), fresh
+    return call("numpy"), call("auto")
+
+
+def _assert_equal(ref, act):
+    (ref_ret, ref_args), (act_ret, act_args) = ref, act
+    ref_out = ref_ret if isinstance(ref_ret, tuple) else (ref_ret,)
+    act_out = act_ret if isinstance(act_ret, tuple) else (act_ret,)
+    for x, y in zip(ref_out, act_out):
+        if x is not None:
+            np.testing.assert_array_equal(x, y)
+    for x, y in zip(ref_args, act_args):  # in-place mutations too
+        np.testing.assert_array_equal(x, y)
+
+
+class TestModeManagement:
+    def test_default_mode_is_auto(self):
+        assert get_kernel_mode() in KERNEL_MODES
+
+    def test_set_and_restore(self):
+        previous = set_kernel_mode("numpy")
+        try:
+            assert get_kernel_mode() == "numpy"
+        finally:
+            set_kernel_mode(previous)
+
+    def test_context_manager_restores_on_error(self):
+        before = get_kernel_mode()
+        with pytest.raises(RuntimeError):
+            with kernel_mode("numpy"):
+                assert get_kernel_mode() == "numpy"
+                raise RuntimeError("boom")
+        assert get_kernel_mode() == before
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="kernel mode"):
+            set_kernel_mode("fortran")
+        with pytest.raises(KeyError, match="unknown kernel"):
+            dispatch("warp_drive")
+
+    def test_numba_request_degrades_not_raises(self):
+        """An explicit 'numba' without numba must still dispatch."""
+        fn = dispatch("dist_reduce", "numba")
+        out = fn(np.array([[1.0, 2.0], [0.5, 3.0]]))
+        np.testing.assert_array_equal(out, [0.5, 2.0])
+
+    def test_provenance_reports_every_kernel(self):
+        info = kernel_provenance("auto")
+        assert info["mode"] == "auto"
+        assert set(info["active"]) == set(KERNEL_NAMES)
+        assert all(v in ("numpy", "numba") for v in info["active"].values())
+        assert info["numba_available"] == numba_available()
+        numpy_info = kernel_provenance("numpy")
+        assert set(numpy_info["active"].values()) == {"numpy"}
+        if not numba_available():
+            assert "note" in kernel_provenance("numba")
+            assert active_impl("radii_cums", "numba") == "numpy"
+        else:
+            assert "note" not in kernel_provenance("numba")
+            assert active_impl("radii_cums", "numba") == "numba"
+
+
+class TestKernelParity:
+    """auto-dispatch == numpy reference, bit for bit, on every kernel."""
+
+    @given(seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_radii_cums(self, seed):
+        SD, SW, _, _ = _sorted_state(seed)
+        # whether SW is consumed in place is impl-private (callers discard
+        # it), so only the returned (CW, CWD) pair carries the contract
+        (ref_ret, _), (act_ret, _) = _both("radii_cums", SD, SW, copy_args=(1,))
+        for x, y in zip(ref_ret, act_ret):
+            np.testing.assert_array_equal(x, y)
+
+    @given(seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_radii_prefix(self, seed):
+        SD, SW, CW, CWD = _sorted_state(seed)
+        total = float(SW.sum(axis=1).max())
+        rng = np.random.default_rng(seed + 1)
+        z = rng.uniform(-1.0, total + 2.0, SD.shape[0])
+        _assert_equal(*_both("radii_prefix", SD, CW, CWD, z, total))
+
+    @given(seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_radii_storage(self, seed):
+        SD, SW, CW, CWD = _sorted_state(seed)
+        total = float(SW[0].sum())
+        rng = np.random.default_rng(seed + 2)
+        costs = rng.uniform(0.1, 5.0, SD.shape[0])
+        _assert_equal(*_both("radii_storage", SD, CW, CWD, costs, total))
+
+    def test_radii_zero_demand_and_single_node(self):
+        for kwargs in (dict(zero_rows=True), dict(b=1, size=1)):
+            SD, SW, CW, CWD = _sorted_state(3, **kwargs)
+            total = float(SW[0].sum())
+            costs = np.ones(SD.shape[0])
+            _assert_equal(*_both("radii_storage", SD, CW, CWD, costs, total))
+            z = np.full(SD.shape[0], total)
+            _assert_equal(*_both("radii_prefix", SD, CW, CWD, z, total))
+
+    @given(seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_phase2_sweep(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 25))
+        pts = rng.uniform(0.0, 10.0, n)
+        dist = np.abs(pts[:, None] - pts[None, :])
+        dts = dist[0].copy()
+        rs = rng.uniform(0.0, 1.5, n)
+        _assert_equal(*_both("phase2_sweep", dts, rs, dist, copy_args=(0,)))
+
+    @given(seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_phase3_sweep(self, seed):
+        rng = np.random.default_rng(seed)
+        k = int(rng.integers(1, 20))
+        rows = rng.uniform(0.0, 5.0, (k, k))
+        np.fill_diagonal(rows, 0.0)
+        live = np.arange(k, dtype=np.int64)
+        u_bound = rng.uniform(0.0, 3.0, k)
+        alive = np.ones(k, dtype=bool)
+        _assert_equal(
+            *_both("phase3_sweep", rows, live, u_bound, alive, copy_args=(3,))
+        )
+
+    @given(seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_row_block_reductions(self, seed):
+        rng = np.random.default_rng(seed)
+        k, n = int(rng.integers(1, 8)), int(rng.integers(1, 30))
+        sub = rng.uniform(0.0, 7.0, (k, n))
+        if seed % 3 == 0:  # exercise tie-breaking: duplicated rows
+            sub[k // 2] = sub[0]
+        idx = rng.permutation(np.arange(100, 100 + k)).astype(np.int64)
+        _assert_equal(*_both("nearest_reduce", sub, idx))
+        _assert_equal(*_both("dist_reduce", sub))
+
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32, np.int64])
+    def test_reductions_across_dtypes(self, dtype):
+        sub = np.array([[3, 1, 4], [1, 5, 9], [2, 6, 5]], dtype=dtype)
+        idx = np.array([7, 8, 9], dtype=np.int64)
+        _assert_equal(*_both("nearest_reduce", sub, idx))
+        _assert_equal(*_both("dist_reduce", sub))
+
+
+class TestEngineKernelKnob:
+    def test_explicit_modes_place_identically(self, line_metric):
+        from repro.core.instance import DataManagementInstance
+        from repro.engine import PlacementEngine
+
+        inst = DataManagementInstance(
+            line_metric, np.ones(5) * 2.0, np.ones((3, 5)), np.ones((3, 5)) * 0.2
+        )
+        results = {
+            mode: PlacementEngine(inst, kernels=mode).place().copy_sets
+            for mode in KERNEL_MODES
+        }
+        assert results["numpy"] == results["auto"] == results["numba"]
+
+    def test_bad_kernels_knob_rejected(self, line_metric):
+        from repro.core.instance import DataManagementInstance
+        from repro.engine import PlacementEngine
+
+        inst = DataManagementInstance(
+            line_metric, np.ones(5), np.ones((1, 5)), np.zeros((1, 5))
+        )
+        with pytest.raises(ValueError, match="kernels"):
+            PlacementEngine(inst, kernels="fortran")

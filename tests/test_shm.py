@@ -1,0 +1,211 @@
+"""Tests for repro.shm: publish/attach lifecycle, zero-copy views, leaks.
+
+The shm layer's contract is lifecycle discipline: the owner unlinks
+exactly once, attachers only unmap, a handle pickles small, attached
+views are read-only and rebuild an instance whose placement equals the
+original's bit for bit -- and no code path (including a consumer
+abandoning ``stream()`` mid-iteration) leaves blocks behind in
+``/dev/shm``.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.instance import DataManagementInstance
+from repro.engine import PlacementEngine
+from repro.graphs import generators
+from repro.graphs.backend import LazyMetric
+from repro.graphs.metric import Metric
+from repro.shm import (
+    SharedInstance,
+    publish_instance,
+    shm_available,
+)
+from repro.workloads.request_models import make_instance
+
+pytestmark = pytest.mark.skipif(
+    not shm_available(), reason="POSIX shared memory unavailable"
+)
+
+
+def _instance(backend: str = "dense", *, n: int = 24, num_objects: int = 5):
+    g = generators.erdos_renyi_graph(n, 0.3, seed=3)
+    metric = Metric.from_graph(g) if backend == "dense" else LazyMetric.from_graph(g)
+    return make_instance(metric, seed=4, num_objects=num_objects,
+                         write_fraction=0.2)
+
+
+def _segment_names(shared: SharedInstance) -> list[str]:
+    return [spec.name for _, spec in shared.handle.arrays]
+
+
+def _all_unlinked(names: list[str]) -> bool:
+    from multiprocessing import shared_memory as _raw
+
+    for name in names:
+        try:
+            seg = _raw.SharedMemory(name=name)
+        except FileNotFoundError:
+            continue
+        seg.close()
+        return False
+    return True
+
+
+class TestPublishAttach:
+    @pytest.mark.parametrize("backend", ["dense", "lazy"])
+    def test_round_trip_places_identically(self, backend):
+        inst = _instance(backend)
+        expected = PlacementEngine(inst).place()
+        shared = publish_instance(inst)
+        assert shared is not None
+        try:
+            with shared.handle.attach() as attached:
+                rebuilt = attached.instance
+                assert isinstance(rebuilt.metric, type(inst.metric))
+                assert rebuilt.object_names == inst.object_names
+                got = PlacementEngine(rebuilt).place()
+                assert got.copy_sets == expected.copy_sets
+        finally:
+            shared.close()
+
+    def test_attached_views_are_read_only_and_zero_copy(self):
+        inst = _instance("dense")
+        shared = publish_instance(inst)
+        try:
+            attached = shared.handle.attach()
+            rebuilt = attached.instance
+            np.testing.assert_array_equal(rebuilt.metric.dist, inst.metric.dist)
+            with pytest.raises(ValueError, match="read-only"):
+                rebuilt.metric.dist[0, 0] = 99.0
+            with pytest.raises(ValueError, match="read-only"):
+                rebuilt.read_freq[0, 0] = 99.0
+            # zero-copy: the view's buffer is the shm mapping, not a copy
+            assert not rebuilt.metric.dist.flags.owndata
+            attached.close()
+        finally:
+            shared.close()
+
+    def test_handle_pickles_small(self):
+        inst = _instance("dense", n=40)
+        shared = publish_instance(inst)
+        try:
+            handle_bytes = len(pickle.dumps(shared.handle))
+            inst_bytes = len(pickle.dumps(inst))
+            assert handle_bytes < 2048
+            assert handle_bytes < inst_bytes / 4
+            clone = pickle.loads(pickle.dumps(shared.handle))
+            assert clone == shared.handle
+        finally:
+            shared.close()
+
+    def test_owner_close_is_idempotent_and_unlinks(self):
+        shared = publish_instance(_instance("dense"))
+        names = _segment_names(shared)
+        shared.close()
+        shared.close()  # second close is a no-op, not an error
+        assert _all_unlinked(names)
+
+    def test_attacher_never_unlinks(self):
+        shared = publish_instance(_instance("lazy"))
+        try:
+            attached = shared.handle.attach()
+            attached.close()
+            attached.close()
+            # the owner still holds the blocks: attaching again works
+            shared.handle.attach().close()
+        finally:
+            shared.close()
+        assert _all_unlinked(_segment_names(shared))
+
+    def test_unshareable_metric_falls_back_to_none(self):
+        class FakeMetric:
+            n = 3
+
+        inst = DataManagementInstance.__new__(DataManagementInstance)
+        object.__setattr__(inst, "metric", FakeMetric())
+        object.__setattr__(inst, "storage_costs", np.ones(3))
+        object.__setattr__(inst, "read_freq", np.ones((1, 3)))
+        object.__setattr__(inst, "write_freq", np.zeros((1, 3)))
+        object.__setattr__(inst, "object_names", ("x0",))
+        object.__setattr__(inst, "object_sizes", np.ones(1))
+        assert publish_instance(inst) is None
+
+    def test_publish_failure_leaves_no_blocks(self, monkeypatch):
+        """A crash mid-publish must unlink the partially created blocks."""
+        created = []
+
+        import repro.shm as shm_mod
+
+        orig_shared_memory = shm_mod._shm.SharedMemory
+
+        class Tracking(orig_shared_memory):
+            def __init__(self, *a, **k):
+                super().__init__(*a, **k)
+                if k.get("create"):
+                    created.append(self.name)
+
+        monkeypatch.setattr(shm_mod._shm, "SharedMemory", Tracking)
+
+        inst = _instance("dense")
+        boom = DataManagementInstance(
+            inst.metric, inst.storage_costs, inst.read_freq, inst.write_freq,
+        )
+        # poison the last-shared array so publish raises after several
+        # blocks already exist
+        class Poison:
+            def __array__(self, *a, **k):
+                raise RuntimeError("poisoned array")
+
+        object.__setattr__(boom, "object_sizes", Poison())
+        with pytest.raises(RuntimeError, match="poisoned"):
+            SharedInstance.publish(boom)
+        assert created  # some blocks were created before the failure...
+        assert _all_unlinked(created)  # ...and every one was unlinked
+
+
+class TestEngineShmPath:
+    @pytest.mark.parametrize("backend", ["dense", "lazy"])
+    def test_parallel_shm_matches_serial(self, backend):
+        inst = _instance(backend, n=40, num_objects=10)
+        serial = PlacementEngine(inst).place()
+        engine = PlacementEngine(inst, chunk_size=3, jobs=2, shared_memory=True)
+        assert engine.place().copy_sets == serial.copy_sets
+        assert engine.used_shared_memory is True
+
+    def test_pickle_fallback_matches(self):
+        inst = _instance("dense", n=40, num_objects=8)
+        serial = PlacementEngine(inst).place()
+        engine = PlacementEngine(inst, chunk_size=3, jobs=2, shared_memory=False)
+        assert engine.place().copy_sets == serial.copy_sets
+        assert engine.used_shared_memory is False
+
+    def test_stream_early_exit_unlinks_blocks(self, monkeypatch):
+        """Abandoning a parallel stream mid-iteration must still unlink
+        the published blocks (the engine's try/finally owner path)."""
+        import repro.engine as engine_mod
+
+        published = []
+        real = engine_mod.publish_instance
+
+        def spying(instance):
+            shared = real(instance)
+            if shared is not None:
+                published.append(shared)
+            return shared
+
+        monkeypatch.setattr(engine_mod, "publish_instance", spying)
+
+        inst = _instance("dense", n=30, num_objects=12)
+        engine = PlacementEngine(inst, chunk_size=2, jobs=2, shared_memory=True)
+        stream = engine.stream()
+        head = [next(stream) for _ in range(3)]
+        stream.close()
+
+        assert [obj for obj, _ in head] == [0, 1, 2]
+        assert len(published) == 1
+        assert _all_unlinked([s.name for _, s in published[0].handle.arrays])
+        # the engine stays usable after the early exit
+        assert engine.place().copy_sets == PlacementEngine(inst).place().copy_sets
