@@ -1,0 +1,49 @@
+"""E18: hierarchical sharded placement -- approximation loss + wall clock.
+
+Headline configuration: 32-object Zipf catalogs on transit-stub networks
+from ~1.1k to ~5.2k nodes, each solved globally, sharded (8 shards, 4
+portals per shard) and through the degenerate ``num_shards=1`` path, on
+the lazy backend (plus the dense backend at the smallest size, which
+exercises the metric k-center partitioner).  One ~10.8k-node size runs
+sharded-only -- past where the global solve is worth waiting for.  The
+artifact records the environment-independent claims the gate re-checks:
+the sharded/global cost ratio (the measured approximation loss of portal
+summaries), exact parity bits for the degenerate path, and sampled
+portal-routing admissibility; wall times are provenance only.
+"""
+
+from repro.bench import TrialConfig, run_trial
+
+from .conftest import emit, emit_artifact
+
+#: The headline configuration the committed artifact was generated from;
+#: ``repro bench run --experiment E18 --params '{...}'`` with the same
+#: knobs hits the same trial hash.
+HEADLINE = TrialConfig.make(
+    "E18",
+    sizes=[1100, 2400, 5200], sharded_only_sizes=[10800],
+    num_objects=32, num_shards=8, portals_per_shard=4,
+)
+
+
+def test_e18_sharded(benchmark):
+    result = benchmark.pedantic(
+        run_trial, args=(HEADLINE,), rounds=1, iterations=1,
+    )
+    emit(result)
+    emit_artifact(result, "e18_sharded")
+    by_mode = {}
+    for row in result.rows:
+        by_mode.setdefault(row[2], []).append(row)
+    # the degenerate path is the global solve, bit for bit and on the bill
+    for row in by_mode["sharded k=1"]:
+        assert row[8] is True and row[7] == 1.0
+    # portal routing never undercuts the metric; the measured loss of
+    # solving against portal summaries stays within the committed bound
+    for row in by_mode["sharded"]:
+        assert row[9] is True
+        if row[7] != "--":
+            assert row[7] <= 1.25
+    # the sweep really reaches past the global solve: at least one
+    # sharded-only size (no global baseline) at >= 10k nodes
+    assert any(row[7] == "--" and row[0] >= 10000 for row in by_mode["sharded"])

@@ -84,7 +84,7 @@ from .engine import PlacementEngine, place_catalog
 from .registry import available_strategies, get_strategy, register_strategy
 from .serialize import load_instance, save_instance
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "core",

@@ -55,6 +55,7 @@ __all__ = [
     "run_e15_dynamic_replay",
     "run_e16_incremental_replan",
     "run_e17_scaling",
+    "run_e18_sharded",
     "GRAPH_FAMILIES",
 ]
 
@@ -1442,4 +1443,151 @@ def run_e17_scaling(
             result.rows.append(
                 ["kernel", name, impl, t_act, speedup, "--", matches]
             )
+    return result
+
+
+def run_e18_sharded(
+    *,
+    sizes: Sequence[int] = (1100, 2400, 5200),
+    sharded_only_sizes: Sequence[int] = (10800,),
+    num_objects: int = 32,
+    num_shards: int = 8,
+    portals_per_shard: int = 4,
+    seed: int = 43,
+    write_fraction: float = 0.1,
+    jobs: int = 1,
+    fl_solver: str = "local_search",
+    admissibility_sample: int = 48,
+) -> "ExperimentResult":
+    """Hierarchical sharded placement vs the global solve, measured.
+
+    For each size in ``sizes`` a transit-stub catalog instance is solved
+    three ways on the lazy backend (and, at the smallest size, on the
+    dense backend too, exercising the metric k-center partitioner):
+
+    ``global``
+        The whole-network :class:`~repro.engine.PlacementEngine` solve --
+        the cost baseline.
+    ``sharded``
+        :func:`repro.graphs.partition_instance` under the experiment's
+        ``num_shards`` / ``portals_per_shard``, then
+        :meth:`~repro.engine.PlacementEngine.place_sharded` (timing
+        includes the partitioning).  'vs global' is the total-cost ratio
+        -- the measured approximation loss of solving against portal
+        summaries; 'admissible' samples portal-routed rows against true
+        distances and asserts routing never undercuts the metric.
+    ``sharded k=1``
+        The degenerate single-shard path; 'identical' asserts bit-equal
+        copy sets against the global solve, and its cost ratio must be
+        exactly 1.
+
+    ``sharded_only_sizes`` extends the sweep past where the global solve
+    is worth waiting for: only the sharded wall clock and admissibility
+    are recorded ('vs global' is ``--``).  Cost ratios and parity bits
+    are environment-independent; times are provenance only.
+    """
+    from ..engine import PlacementEngine
+    from ..graphs.backend import PortalMetric
+    from ..graphs.partition import Partition, partition_instance
+    from ..core.costs import placement_cost
+
+    def admissible(metric, partition) -> bool:
+        rng = np.random.default_rng(seed + 5)
+        k = min(admissibility_sample, partition.n)
+        sample = np.sort(rng.choice(partition.n, size=k, replace=False))
+        routed = np.asarray(PortalMetric(metric, partition).rows(sample))
+        true = np.asarray(metric.rows(sample), dtype=float)
+        return bool(float((routed - true).min()) >= -1e-9)
+
+    def build(n_target: int, backend: str):
+        g = generators.sized_transit_stub_graph(n_target, seed=seed)
+        metric = (
+            Metric.from_graph(g) if backend == "dense"
+            else LazyMetric.from_graph(g)
+        )
+        total = 100.0 * num_objects
+        return make_instance(
+            metric, seed=seed + 1, num_objects=num_objects,
+            demand_model="catalog", write_fraction=write_fraction,
+            storage_price=max(2.0, 0.5 * total / num_objects),
+            total_requests=total,
+        )
+
+    result = ExperimentResult(
+        "E18",
+        "hierarchical sharded placement: approximation loss + wall clock",
+        ("n", "backend", "mode", "shards", "portals", "time (s)",
+         "total cost", "vs global", "identical", "admissible"),
+        notes=(
+            "'vs global' is total sharded cost / total global cost under "
+            "the mst policy (the measured loss of solving each object on "
+            "its demand shards against portal summaries); 'identical' "
+            "asserts the num_shards=1 degenerate path reproduces the "
+            "global copy sets bit-for-bit; 'admissible' samples "
+            f"{admissibility_sample} portal-routed rows and asserts they "
+            "never undercut true distances.  Sizes beyond the global "
+            "solve record sharded wall clock only ('vs global' is --). "
+            "sharded timings include the partitioning itself."
+        ),
+    )
+
+    def engine_for(inst):
+        return PlacementEngine(inst, fl_solver=fl_solver, jobs=jobs)
+
+    for i, n_target in enumerate(sorted(int(s) for s in sizes)):
+        backends = ("dense", "lazy") if i == 0 else ("lazy",)
+        for backend in backends:
+            inst = build(n_target, backend)
+            n_real = inst.num_nodes
+            engine = engine_for(inst)
+
+            t0 = time.perf_counter()
+            global_placement = engine.place()
+            t_global = time.perf_counter() - t0
+            global_cost = placement_cost(inst, global_placement).total
+            result.rows.append([
+                n_real, backend, "global", "--", "--", t_global,
+                global_cost, "--", "--", "--",
+            ])
+
+            t0 = time.perf_counter()
+            part = partition_instance(
+                inst, num_shards=num_shards,
+                portals_per_shard=portals_per_shard,
+            )
+            sharded_placement, _ = engine.place_sharded(part)
+            t_sharded = time.perf_counter() - t0
+            sharded_cost = placement_cost(inst, sharded_placement).total
+            result.rows.append([
+                n_real, backend, "sharded", part.num_shards,
+                portals_per_shard, t_sharded, sharded_cost,
+                sharded_cost / global_cost, "--",
+                admissible(inst.metric, part),
+            ])
+
+            t0 = time.perf_counter()
+            one_placement, _ = engine.place_sharded(Partition.trivial(n_real))
+            t_one = time.perf_counter() - t0
+            one_cost = placement_cost(inst, one_placement).total
+            result.rows.append([
+                n_real, backend, "sharded k=1", 1, portals_per_shard, t_one,
+                one_cost, one_cost / global_cost,
+                one_placement.copy_sets == global_placement.copy_sets, "--",
+            ])
+
+    for n_target in sorted(int(s) for s in sharded_only_sizes):
+        inst = build(n_target, "lazy")
+        engine = engine_for(inst)
+        t0 = time.perf_counter()
+        part = partition_instance(
+            inst, num_shards=num_shards, portals_per_shard=portals_per_shard,
+        )
+        sharded_placement, _ = engine.place_sharded(part)
+        t_sharded = time.perf_counter() - t0
+        result.rows.append([
+            inst.num_nodes, "lazy", "sharded", part.num_shards,
+            portals_per_shard, t_sharded,
+            placement_cost(inst, sharded_placement).total,
+            "--", "--", admissible(inst.metric, part),
+        ])
     return result

@@ -3,7 +3,7 @@
 Each committed ``benchmarks/BENCH_*.json`` artifact records one
 experiment's full-scale trajectory (E10b backend sweep, E14 catalog
 throughput, E15 dynamic replay, E16 incremental replan, E17 worker
-transport + kernel dispatch).  A
+transport + kernel dispatch, E18 sharded placement).  A
 :class:`GateSpec` turns that prose-adjacent artifact into a machine
 checked contract, in two tiers:
 
@@ -476,6 +476,35 @@ _register(GateSpec(
     ),
     smoke_params=dict(num_objects=48, n=60, chunk_size=16, jobs=[2],
                       micro_rows=24, micro_repeats=1),
+))
+
+_register(GateSpec(
+    experiment="E18",
+    exp_id="E18",
+    artifact="BENCH_e18_sharded.json",
+    headers=("n", "backend", "mode", "shards", "portals", "time (s)",
+             "total cost", "vs global", "identical", "admissible"),
+    columns={
+        "n": "number", "backend": "str", "mode": "str",
+        "shards": "number?", "portals": "number?", "time (s)": "number",
+        "total cost": "number", "vs global": "number?",
+        "identical": "bool?", "admissible": "bool?",
+    },
+    checks=(
+        Check("num_shards=1 reproduces the global copy sets bit-for-bit",
+              "identical", "is_true", where=(("mode", "sharded k=1"),)),
+        Check("the degenerate path's cost ratio is exactly 1",
+              "vs global", "approx", value=1.0, rel_tol=IDENTITY_TOL,
+              where=(("mode", "sharded k=1"),)),
+        Check("portal-routed distances never undercut the true metric",
+              "admissible", "is_true", where=(("mode", "sharded"),)),
+        Check("sharded cost stays within 1.25x of the global solve",
+              "vs global", "le", value=1.25,
+              where=(("mode", "sharded"),)),
+    ),
+    smoke_params=dict(sizes=[120], sharded_only_sizes=[], num_objects=8,
+                      num_shards=3, portals_per_shard=2,
+                      admissibility_sample=24),
 ))
 
 #: Default artifact location: the committed benchmarks directory.

@@ -50,6 +50,7 @@ EXPERIMENT_RUNNERS = {
     "E15": analysis.run_e15_dynamic_replay,
     "E16": analysis.run_e16_incremental_replan,
     "E17": analysis.run_e17_scaling,
+    "E18": analysis.run_e18_sharded,
 }
 
 

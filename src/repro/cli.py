@@ -12,6 +12,9 @@ Usage::
     python -m repro compare --scenario dfs --strategies krw online
     python -m repro place --scenario www --num-objects 100000 \\
         --jobs 4 --chunk-size 512            # batched catalog placement
+    python -m repro place --scenario www --shards 8 --portals 4 \\
+        --jobs 4                             # hierarchical sharded solve
+    python -m repro plan --scenario www --strategy krw-sharded --shards 4
     python -m repro backend-sweep --sizes 1000 4000 10000 \\
         --out BENCH_backend_sweep.json       # dense-vs-lazy scaling sweep
     python -m repro dynamic --scenario drift --epochs 5 \\
@@ -58,7 +61,7 @@ from typing import Callable, Sequence
 from . import analysis
 from .api import PlanReport, Planner, compare_table
 from .bench import EXPERIMENT_RUNNERS
-from .config import KERNEL_MODES, PlanConfig
+from .config import KERNEL_MODES, PARTITION_METHODS, PlanConfig
 from .core.approx import approximate_placement
 from .core.costs import placement_cost
 from .engine import DEFAULT_CHUNK_SIZE, PlacementEngine
@@ -126,7 +129,8 @@ def _load_config(args) -> PlanConfig | None:
     config = PlanConfig() if args.config is None else PlanConfig.from_file(args.config)
     overrides = {}
     for knob in ("jobs", "fl_solver", "seed", "kernels", "cache_rows",
-                 "shared_memory"):
+                 "shared_memory", "num_shards", "portals_per_shard",
+                 "partition"):
         value = getattr(args, knob, None)
         if value is not None:
             overrides[knob] = value
@@ -207,11 +211,32 @@ def _print_extras(report, out) -> None:
         rate_s = "n/a" if rate is None else f"{rate:.1%}"
         print(f"row cache: {cache['hits']} hits / {cache['misses']} misses "
               f"(hit rate {rate_s}, cache_rows={cache['cache_rows']})", file=out)
+    sharded = extras.get("sharded")
+    if sharded:
+        if sharded.get("degenerate"):
+            print(f"sharded: degenerate (num_shards=1, "
+                  f"partition={sharded['partition']}) -- global solve",
+                  file=out)
+        else:
+            sizes = sharded["shard_sizes"]
+            print(f"sharded: {sharded['num_shards']} shards "
+                  f"(sizes {min(sizes)}..{max(sizes)}), "
+                  f"{sharded['num_portals']} portals, "
+                  f"{sharded['spanning_objects']} spanning objects, "
+                  f"stitch dropped {sharded['stitch_dropped']} copies",
+                  file=out)
 
 
 def _run_place(args, out=sys.stdout) -> int:
     if args.jobs < 1 or args.chunk_size < 1:
         print("place: --jobs and --chunk-size must be positive", file=sys.stderr)
+        return 2
+    if args.num_shards < 1 or args.portals_per_shard < 1:
+        print("place: --shards and --portals must be positive", file=sys.stderr)
+        return 2
+    if args.compare_loop and args.num_shards > 1 and args.partition != "none":
+        print("place: --compare-loop checks global-solve parity; "
+              "drop it or use --shards 1", file=sys.stderr)
         return 2
     sc = SCENARIOS[args.scenario](**_scenario_kwargs(args))
     inst = sc.instance
@@ -223,8 +248,20 @@ def _run_place(args, out=sys.stdout) -> int:
         jobs=args.jobs, shared_memory=args.shared_memory,
         kernels=args.kernels,
     )
+    sharded = args.num_shards > 1 and args.partition != "none"
+    shard_info = None
     t0 = time.perf_counter()
-    placement = engine.place()
+    if sharded:
+        from .graphs.partition import partition_instance
+
+        part = partition_instance(
+            inst, num_shards=args.num_shards,
+            portals_per_shard=args.portals_per_shard,
+            method=args.partition,
+        )
+        placement, shard_info = engine.place_sharded(part)
+    else:
+        placement = engine.place()
     elapsed = time.perf_counter() - t0
     summary = {
         "scenario": sc.name,
@@ -244,6 +281,15 @@ def _run_place(args, out=sys.stdout) -> int:
           f"({summary['objects_per_s']:.0f} objects/s, jobs={args.jobs}), "
           f"{summary['total_copies']} copies "
           f"(mean {summary['mean_copies']:.2f}/object)", file=out)
+    if shard_info is not None:
+        summary["sharded"] = {
+            k: v for k, v in shard_info.items() if k != "row_cache"
+        }
+        print(f"sharded: {shard_info['num_shards']} shards, "
+              f"{shard_info['num_portals']} portals, "
+              f"{shard_info['spanning_objects']} spanning objects, "
+              f"stitch dropped {shard_info['stitch_dropped']} copies",
+              file=out)
 
     if args.compare_loop:
         t0 = time.perf_counter()
@@ -475,6 +521,18 @@ def main(argv: Sequence[str] | None = None, out=sys.stdout) -> int:
                               default=None,
                               help="override the config's lazy-backend row "
                               "cache capacity")
+    planner_opts.add_argument("--shards", dest="num_shards", type=int,
+                              default=None,
+                              help="override the config's shard count "
+                              "(krw-sharded: 1 = global solve)")
+    planner_opts.add_argument("--portals", dest="portals_per_shard", type=int,
+                              default=None,
+                              help="override the config's boundary portals "
+                              "per shard")
+    planner_opts.add_argument("--partition", choices=PARTITION_METHODS,
+                              default=None,
+                              help="override the config's partition method "
+                              "(auto | transit_stub | bfs | none)")
 
     p_plan = sub.add_parser(
         "plan",
@@ -520,6 +578,15 @@ def main(argv: Sequence[str] | None = None, out=sys.stdout) -> int:
                       action=argparse.BooleanOptionalAction,
                       help="ship the instance to workers via shared memory "
                       "(--no-shared-memory forces the pickle path)")
+    p_pl.add_argument("--shards", dest="num_shards", type=int, default=1,
+                      help="solve hierarchically over this many shards "
+                      "(1 = global solve)")
+    p_pl.add_argument("--portals", dest="portals_per_shard", type=int,
+                      default=4,
+                      help="boundary portals per shard for the sharded solve")
+    p_pl.add_argument("--partition", choices=PARTITION_METHODS, default="auto",
+                      help="partition method for --shards > 1 "
+                      "(auto | transit_stub | bfs | none)")
     p_pl.add_argument("--compare-loop", action="store_true",
                       help="also run the per-object loop and verify parity")
     p_pl.add_argument("--cost", action="store_true",
@@ -668,6 +735,10 @@ def main(argv: Sequence[str] | None = None, out=sys.stdout) -> int:
         print("scenarios:        ", ", ".join(SCENARIOS), file=out)
         print("dynamic scenarios:", ", ".join(DYNAMIC_SCENARIOS), file=out)
         print("strategies:       ", ", ".join(available_strategies()), file=out)
+        print("  krw-sharded knobs: partition="
+              f"{'|'.join(PARTITION_METHODS)}, num_shards (--shards), "
+              "portals_per_shard (--portals); num_shards=1 equals krw",
+              file=out)
         return 0
     parser.print_help(out)
     return 1

@@ -35,6 +35,7 @@ from .core.radii import DEFAULT_RADII_BLOCK
 from .engine import DEFAULT_CHUNK_SIZE
 from .facility import FL_SOLVERS
 from .graphs.backend import DEFAULT_CACHE_ROWS
+from .graphs.partition import PARTITION_METHODS
 from .kernels import KERNEL_MODES
 
 __all__ = [
@@ -43,6 +44,7 @@ __all__ = [
     "COST_POLICIES",
     "REPLAN_MODES",
     "KERNEL_MODES",
+    "PARTITION_METHODS",
     "load_mapping",
 ]
 
@@ -140,6 +142,13 @@ class PlanConfig:
         :class:`~repro.simulate.replanner.EpochReplanner` re-solves the
         whole catalog each epoch or only the objects whose demand
         drifted.
+    partition / num_shards / portals_per_shard:
+        Sharded-solve knobs consumed by the ``krw-sharded`` strategy:
+        the partition method (:data:`repro.graphs.partition.PARTITION_METHODS`;
+        ``"none"`` forces the global solve), the shard count, and the
+        per-shard boundary-portal cap.  ``num_shards=1`` degenerates to
+        the global solve bit-for-bit; other strategies record the knobs
+        as provenance and ignore them.
     replan_tolerance:
         Normalized per-object L1 demand-drift threshold below which an
         incremental replan carries an object's copy set forward
@@ -167,6 +176,9 @@ class PlanConfig:
     replication_threshold: int = 3
     replan_mode: str = "full"
     replan_tolerance: float = 0.0
+    partition: str = "auto"
+    num_shards: int = 1
+    portals_per_shard: int = 4
 
     # ------------------------------------------------------------------
     def __post_init__(self) -> None:
@@ -205,6 +217,21 @@ class PlanConfig:
         tol = float(self.replan_tolerance)
         if not (math.isfinite(tol) and tol >= 0.0):
             raise ValueError("replan_tolerance must be a finite non-negative number")
+        if self.partition not in PARTITION_METHODS:
+            raise ValueError(
+                f"unknown partition method {self.partition!r}; "
+                f"choose from {PARTITION_METHODS}"
+            )
+        if int(self.num_shards) < 1:
+            raise ValueError(
+                "num_shards must be >= 1 (1 solves globally; more splits "
+                "the network into that many shards)"
+            )
+        if int(self.portals_per_shard) < 1:
+            raise ValueError(
+                "portals_per_shard must be >= 1 (each shard needs at least "
+                "one boundary portal to route inter-shard distances)"
+            )
 
     # ------------------------------------------------------------------
     # derived views

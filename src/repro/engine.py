@@ -65,6 +65,8 @@ from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 from typing import Iterator, Sequence
 
+import numpy as np
+
 from .core.approx import (
     phase1_facility_copies,
     phase2_add_copies,
@@ -75,6 +77,9 @@ from .core.instance import DataManagementInstance
 from .core.placement import Placement
 from .core.radii import DEFAULT_RADII_BLOCK, radii_for_objects
 from .facility import FL_SOLVERS
+from .graphs.backend import PortalMetric
+from .graphs.metric import Metric
+from .graphs.partition import Partition
 from .kernels import KERNEL_MODES, kernel_mode
 from .shm import publish_instance
 
@@ -372,6 +377,207 @@ class PlacementEngine:
         """Place every object of the catalog; equals the per-object loop."""
         return Placement(tuple(copies for _, copies in self.stream()))
 
+    # ------------------------------------------------------------------
+    # sharded dispatch: partition -> portal-summarized shard solves ->
+    # stitch.  The second fan-out axis: tasks are (shard, chunk) pairs.
+    # ------------------------------------------------------------------
+    def place_sharded(self, partition: Partition) -> tuple[Placement, dict]:
+        """Place the catalog shard-by-shard against portal summaries.
+
+        Each object is solved only on the shards that carry its demand:
+        a shard's subproblem sees the shard's nodes plus every portal,
+        with distances from :class:`~repro.graphs.backend.PortalMetric`
+        (intra-shard exact, inter-shard routed portal-to-portal) and
+        demand masked to the shard's own nodes.  Copy sets of objects
+        spanning several shards are merged by union and re-trimmed with
+        one global phase-3 pass on the *real* metric, so the final
+        placement is billed against true distances.  With a single-shard
+        partition this degenerates to :meth:`place` exactly.
+
+        Returns ``(placement, info)`` where ``info`` summarizes the
+        decomposition (shard sizes, per-shard object counts, spanning
+        objects, copies dropped by the stitch, backend cache stats).
+        """
+        inst = self.instance
+        if partition.n != inst.num_nodes:
+            raise ValueError(
+                f"partition covers {partition.n} nodes but the instance "
+                f"has {inst.num_nodes}"
+            )
+        if partition.num_shards == 1:
+            placement = self.place()
+            return placement, {
+                "num_shards": 1,
+                "num_portals": 0,
+                "shard_sizes": [inst.num_nodes],
+                "objects_per_shard": [inst.num_objects],
+                "spanning_objects": 0,
+                "stitch_dropped": 0,
+            }
+
+        m = inst.num_objects
+        results: list[tuple[int, ...] | None] = [None] * m
+
+        # Which shards support each object's demand?  An object solves
+        # only there; demand-free objects take the global cheapest node
+        # (same rule as the per-object loop).
+        demand = inst.read_freq + inst.write_freq
+        support: list[list[int]] = [[] for _ in range(m)]
+        shard_objs: list[list[int]] = [[] for _ in range(partition.num_shards)]
+        for s in range(partition.num_shards):
+            nodes = partition.shard_array(s)
+            for o in np.flatnonzero(demand[:, nodes].sum(axis=1) > 0).tolist():
+                support[o].append(s)
+                shard_objs[s].append(o)
+        for o in range(m):
+            if not support[o]:
+                results[o] = zero_demand_copies(inst)
+
+        tasks = [
+            (s, chunk)
+            for s in range(partition.num_shards)
+            for chunk in self._chunked(shard_objs[s])
+        ]
+        outputs = self._run_shard_tasks(partition, tasks)
+
+        # Merge: single-shard objects take their shard's copies as-is;
+        # spanning objects union across shards (order-independent, so
+        # the outcome does not depend on jobs or task scheduling).
+        union: dict[int, set[int]] = {}
+        for (s, chunk), mapped in zip(tasks, outputs):
+            for o, copies in zip(chunk, mapped):
+                union.setdefault(o, set()).update(copies)
+        spanning = [o for o in range(m) if len(support[o]) > 1]
+
+        # Stitch: one global phase-3 re-trim on the real metric for the
+        # spanning objects -- their per-shard solves could not see that
+        # another shard already hosts a nearby copy.
+        dropped = 0
+        if spanning and self.phase3:
+            with kernel_mode(self.kernels):
+                for start in range(0, len(spanning), self.chunk_size):
+                    batch = spanning[start:start + self.chunk_size]
+                    RW, _, _ = radii_for_objects(
+                        inst.metric,
+                        inst.storage_costs,
+                        inst.read_freq[batch],
+                        inst.write_freq[batch],
+                        block_size=self.radii_block,
+                    )
+                    for k, o in enumerate(batch):
+                        before = sorted(union[o])
+                        after = phase3_delete_copies(inst.metric, before, RW[k])
+                        dropped += len(before) - len(after)
+                        union[o] = set(after)
+
+        for o in range(m):
+            if results[o] is None:
+                results[o] = tuple(sorted(union[o]))
+        placement = Placement(tuple(results))  # type: ignore[arg-type]
+
+        info = {
+            "num_shards": partition.num_shards,
+            "num_portals": partition.num_portals,
+            "shard_sizes": [len(s) for s in partition.shards],
+            "objects_per_shard": [len(objs) for objs in shard_objs],
+            "spanning_objects": len(spanning),
+            "stitch_dropped": dropped,
+        }
+        stats = getattr(inst.metric, "cache_stats", None)
+        if callable(stats):
+            info["row_cache"] = stats()
+        return placement, info
+
+    def _run_shard_tasks(
+        self, partition: Partition, tasks: list[tuple[int, Sequence[int]]]
+    ) -> list[list[tuple[int, ...]]]:
+        """Run ``(shard, chunk)`` subproblem solves, serially or over the
+        pool; returns per-task copy lists already mapped to global node
+        ids, in task order."""
+        if self.jobs == 1 or len(tasks) <= 1:
+            portal_metric = PortalMetric(self.instance.metric, partition)
+            cache: dict[int, tuple[PlacementEngine, np.ndarray]] = {}
+            outputs = []
+            for s, chunk in tasks:
+                if s not in cache:
+                    sub, view = _shard_subproblem(self.instance, portal_metric, s)
+                    cache[s] = (self._shard_engine(sub), view)
+                engine, view = cache[s]
+                copies = engine.place_objects(chunk)
+                outputs.append([tuple(int(view[c]) for c in cs) for cs in copies])
+            return outputs
+
+        kwargs = dict(
+            fl_solver=self.fl_solver,
+            phase2=self.phase2,
+            phase3=self.phase3,
+            facility_candidates=self.facility_candidates,
+            chunk_size=self.chunk_size,
+            radii_block=self.radii_block,
+            kernels=self.kernels,
+        )
+        shared = publish_instance(self.instance) if self.shared_memory else None
+        self.used_shared_memory = shared is not None
+        if shared is not None:
+            initializer = _engine_worker_init_shm_sharded
+            initargs = (shared.handle, kwargs, partition)
+        else:
+            initializer = _engine_worker_init_sharded
+            initargs = (self.instance, kwargs, partition)
+        outputs = [None] * len(tasks)
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(self.jobs, len(tasks)),
+                mp_context=_pool_context(),
+                initializer=initializer,
+                initargs=initargs,
+            ) as pool:
+                # Same bounded submission window as the chunk stream;
+                # tasks are shard-major so a worker's per-shard
+                # subproblem cache gets consecutive hits.
+                window = 2 * min(self.jobs, len(tasks))
+                pending: deque = deque()
+                it = iter(enumerate(tasks))
+                try:
+                    for i, (s, chunk) in it:
+                        pending.append(
+                            (i, pool.submit(_engine_worker_place_shard, s, chunk))
+                        )
+                        if len(pending) >= window:
+                            break
+                    while pending:
+                        i, fut = pending.popleft()
+                        outputs[i] = fut.result()
+                        nxt = next(it, None)
+                        if nxt is not None:
+                            j, (s, chunk) = nxt
+                            pending.append(
+                                (j, pool.submit(_engine_worker_place_shard, s, chunk))
+                            )
+                finally:
+                    for _, fut in pending:
+                        fut.cancel()
+        finally:
+            if shared is not None:
+                shared.close()
+        return outputs  # type: ignore[return-value]
+
+    def _shard_engine(self, sub: DataManagementInstance) -> "PlacementEngine":
+        """An in-process engine for one shard subproblem (the fan-out
+        already happened at the shard level)."""
+        return PlacementEngine(
+            sub,
+            fl_solver=self.fl_solver,
+            phase2=self.phase2,
+            phase3=self.phase3,
+            facility_candidates=self.facility_candidates,
+            chunk_size=self.chunk_size,
+            jobs=1,
+            radii_block=self.radii_block,
+            shared_memory=False,
+            kernels=self.kernels,
+        )
+
 
 def place_catalog(
     instance: DataManagementInstance,
@@ -409,6 +615,37 @@ def place_catalog(
     return PlacementEngine.from_config(instance, config).place()
 
 
+def _shard_subproblem(
+    instance: DataManagementInstance,
+    portal_metric: PortalMetric,
+    shard: int,
+) -> tuple[DataManagementInstance, np.ndarray]:
+    """One shard's portal-summarized subproblem.
+
+    The node view is the shard's own nodes plus *every* portal (so
+    inter-shard routes and remote placement sites stay representable);
+    distances are the portal metric's, materialized dense over the view;
+    demand is masked to the shard's own nodes -- other shards' requests
+    are theirs to serve.  Returns ``(sub_instance, view)`` where
+    ``view[i]`` is the global node id of sub-node ``i``.
+    """
+    part = portal_metric.partition
+    nodes = part.shard_array(shard)
+    pnodes = np.asarray(part.portal_nodes, dtype=np.int64)
+    view = np.unique(np.concatenate([nodes, pnodes])) if pnodes.size else nodes
+    sub_metric = Metric(portal_metric.pairwise(view), validate=False)
+    in_shard = (part.shard_of[view] == shard).astype(float)
+    sub = DataManagementInstance(
+        sub_metric,
+        instance.storage_costs[view],
+        instance.read_freq[:, view] * in_shard,
+        instance.write_freq[:, view] * in_shard,
+        object_names=instance.object_names,
+        object_sizes=instance.object_sizes,
+    )
+    return sub, view
+
+
 # ----------------------------------------------------------------------
 # worker plumbing: the instance ships once per worker -- as a zero-copy
 # shared-memory handle when available, as the initializer pickle
@@ -417,6 +654,7 @@ def place_catalog(
 # ----------------------------------------------------------------------
 _WORKER_ENGINE: PlacementEngine | None = None
 _WORKER_ATTACHED = None  # keeps the worker's shm segments mapped
+_WORKER_SHARDED: dict | None = None  # partition + per-shard subproblem cache
 
 
 def _pool_context() -> mp.context.BaseContext:
@@ -456,3 +694,47 @@ def _engine_worker_place(objects: Sequence[int]) -> list[tuple[int, ...]]:
             "_engine_worker_init_shm"
         )
     return _WORKER_ENGINE.place_objects(objects)
+
+
+def _engine_worker_init_sharded(
+    instance: DataManagementInstance, kwargs: dict, partition: Partition
+) -> None:
+    """Pickle-path initializer for the shard fan-out: the base worker
+    setup plus the partition; portal metric and per-shard subproblems
+    build lazily and stay cached for the worker's lifetime."""
+    _engine_worker_init(instance, kwargs)
+    global _WORKER_SHARDED
+    _WORKER_SHARDED = {"partition": partition, "portal_metric": None, "subs": {}}
+
+
+def _engine_worker_init_shm_sharded(handle, kwargs: dict, partition: Partition) -> None:
+    """Zero-copy initializer for the shard fan-out (shm attach + partition)."""
+    _engine_worker_init_shm(handle, kwargs)
+    global _WORKER_SHARDED
+    _WORKER_SHARDED = {"partition": partition, "portal_metric": None, "subs": {}}
+
+
+def _engine_worker_place_shard(
+    shard: int, objects: Sequence[int]
+) -> list[tuple[int, ...]]:
+    """Solve one chunk of objects on one shard's subproblem; copies come
+    back already mapped to global node ids."""
+    if _WORKER_ENGINE is None or _WORKER_SHARDED is None:
+        raise RuntimeError(
+            "engine worker pool not initialized for sharded dispatch: "
+            "_engine_worker_place_shard must run in a process prepared by "
+            "_engine_worker_init_sharded / _engine_worker_init_shm_sharded"
+        )
+    ctx = _WORKER_SHARDED
+    if ctx["portal_metric"] is None:
+        ctx["portal_metric"] = PortalMetric(
+            _WORKER_ENGINE.instance.metric, ctx["partition"]
+        )
+    if shard not in ctx["subs"]:
+        sub, view = _shard_subproblem(
+            _WORKER_ENGINE.instance, ctx["portal_metric"], shard
+        )
+        ctx["subs"][shard] = (_WORKER_ENGINE.for_instance(sub), view)
+    engine, view = ctx["subs"][shard]
+    copies = engine.place_objects(objects)
+    return [tuple(int(view[c]) for c in cs) for cs in copies]

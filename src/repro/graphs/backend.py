@@ -51,6 +51,7 @@ from .metric import Metric, graph_to_adjacency
 __all__ = [
     "DistanceBackend",
     "LazyMetric",
+    "PortalMetric",
     "lazy_metric_from_graph",
     "dense_distance_matrix",
     "DENSE_MATERIALIZE_LIMIT",
@@ -288,15 +289,17 @@ class LazyMetric:
 
         Surfaced in :class:`~repro.api.PlanReport` extras so ``repro
         plan`` output shows whether ``cache_rows`` is sized usefully
-        without attaching a debugger.  ``hit_rate`` is ``None`` before
-        any lookup.
+        without attaching a debugger.  ``hit_rate`` is a well-defined
+        ``0.0`` before any lookup (never ``None``/NaN or a
+        ``ZeroDivisionError``), so aggregating the stats of many
+        per-shard backends stays plain arithmetic.
         """
         lookups = self.cache_hits + self.cache_misses
         return {
             "cache_rows": self._cache_rows,
             "hits": int(self.cache_hits),
             "misses": int(self.cache_misses),
-            "hit_rate": (self.cache_hits / lookups) if lookups else None,
+            "hit_rate": (self.cache_hits / lookups) if lookups else 0.0,
         }
 
     def d(self, u: int, v: int) -> float:
@@ -384,6 +387,145 @@ class LazyMetric:
         return (
             f"LazyMetric(n={self.n}, cached={len(self._cache)}, "
             f"pinned={len(self._pinned)}, computed={self.rows_computed})"
+        )
+
+
+class PortalMetric:
+    """Portal-summarized distance backend over a shard decomposition.
+
+    Implements the full :class:`DistanceBackend` protocol on top of a
+    base backend and a :class:`~repro.graphs.partition.Partition`:
+
+    * **intra-shard** distances are the base metric's, exactly;
+    * **inter-shard** distances are routed through portals --
+      ``min over p in portals(shard(u)), q in portals(shard(v)) of
+      d(u, p) + d(p, q) + d(q, v)`` with every term a true base
+      distance, so the estimate is *admissible* (triangle inequality:
+      never shorter than the base metric) and **symmetric** by
+      construction.  With every boundary node a portal the routed
+      distance is exact (some shortest path crosses the boundary at a
+      portal); capping ``portals_per_shard`` trades a bounded
+      overestimate for a smaller summary.
+
+    Because the protocol surface is identical, radii sweeps, the
+    approximation phases and cost accounting run unchanged on a shard
+    view -- :meth:`repro.engine.PlacementEngine.place_sharded` takes its
+    per-shard dense submatrices from :meth:`pairwise`.
+
+    The ``(P, n)`` portal row block is fetched from the base backend
+    once at construction (``P`` portals total); every query then costs
+    base row fetches for the intra-shard part plus ``O(P)`` numpy work
+    for the routing.
+    """
+
+    __slots__ = ("n", "base", "partition", "_portal_rows", "_quotient")
+
+    def __init__(self, base, partition) -> None:
+        if partition.n != base.n:
+            raise ValueError(
+                f"partition covers {partition.n} nodes but the base backend "
+                f"has {base.n}"
+            )
+        self.base = base
+        self.partition = partition
+        self.n = base.n
+        pnodes = np.asarray(partition.portal_nodes, dtype=int)
+        if pnodes.size:
+            self._portal_rows = np.asarray(base.rows(pnodes), dtype=float)
+            self._quotient = self._portal_rows[:, pnodes]
+        else:
+            self._portal_rows = np.empty((0, self.n))
+            self._quotient = np.empty((0, 0))
+
+    # ------------------------------------------------------------------
+    def _route(self, v: int, base_row: np.ndarray) -> np.ndarray:
+        """One full portal-summarized row for source ``v``."""
+        part = self.partition
+        out = np.empty(self.n)
+        s = int(part.shard_of[v])
+        own = part.shard_array(s)
+        out[own] = base_row[own]
+        p_own = part.portal_positions(s)
+        # admissible distance from v to every portal, leaving via own portals
+        via = (
+            self._portal_rows[p_own, v][:, None] + self._quotient[p_own, :]
+        ).min(axis=0)
+        for t in range(part.num_shards):
+            if t == s:
+                continue
+            q = part.portal_positions(t)
+            nodes_t = part.shard_array(t)
+            out[nodes_t] = (
+                via[q][:, None] + self._portal_rows[np.ix_(q, nodes_t)]
+            ).min(axis=0)
+        return out
+
+    def row(self, v: int) -> np.ndarray:
+        v = int(v)
+        base_row = np.asarray(self.base.row(v), dtype=float)
+        if self.partition.num_shards == 1:
+            return base_row
+        return self._route(v, base_row)
+
+    def rows(self, nodes: Sequence[int]) -> np.ndarray:
+        idx = np.asarray(list(nodes), dtype=int)
+        base_rows = np.asarray(self.base.rows(idx), dtype=float)
+        if self.partition.num_shards == 1:
+            return base_rows
+        out = np.empty((idx.size, self.n))
+        for pos, v in enumerate(idx.tolist()):
+            out[pos] = self._route(v, base_rows[pos])
+        return out
+
+    def d(self, u: int, v: int) -> float:
+        return float(self.row(u)[int(v)])
+
+    def pairwise(self, nodes: Sequence[int]) -> np.ndarray:
+        idx = np.asarray(list(nodes), dtype=int)
+        return self.rows(idx)[:, idx]
+
+    def dist_to_set(self, targets: Iterable[int]) -> np.ndarray:
+        idx = np.fromiter(targets, dtype=int)
+        if idx.size == 0:
+            return np.full(self.n, np.inf)
+        return dispatch("dist_reduce")(self.rows(idx))
+
+    def nearest_in_set(self, targets: Iterable[int]) -> tuple[np.ndarray, np.ndarray]:
+        idx = np.unique(np.fromiter(targets, dtype=int))
+        if idx.size == 0:
+            raise ValueError("targets must be non-empty")
+        return dispatch("nearest_reduce")(self.rows(idx), idx)
+
+    def matvec(self, weights: np.ndarray, *, block_size: int = 128) -> np.ndarray:
+        weights = np.asarray(weights, dtype=float)
+        if weights.shape != (self.n,):
+            raise ValueError(f"weights must have shape ({self.n},)")
+        out = np.empty(self.n)
+        for start in range(0, self.n, block_size):
+            block = np.arange(start, min(start + block_size, self.n))
+            out[block] = self.rows(block) @ weights
+        return out
+
+    def cache_stats(self) -> dict | None:
+        """The base backend's row-cache stats (``None`` on a dense base).
+
+        Every per-shard solve routes its row fetches through the shared
+        base backend, so after a sharded run this is the *aggregate*
+        over all shard views -- what
+        :class:`~repro.engine.PlacementEngine.place_sharded` surfaces
+        into :class:`~repro.api.PlanReport` extras.
+        """
+        stats = getattr(self.base, "cache_stats", None)
+        return stats() if callable(stats) else None
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        part = self.partition
+        return (
+            f"PortalMetric(n={self.n}, shards={part.num_shards}, "
+            f"portals={part.num_portals}, base={type(self.base).__name__})"
         )
 
 

@@ -1,0 +1,501 @@
+"""Graph partitioning for hierarchical sharded placement.
+
+The KRW pipeline is metric-oblivious, so the network can be decomposed
+into regions and each object solved against a *shard view* -- its own
+region's nodes exactly, plus a portal summary of everything else --
+following the partition-and-portal scheme of doubling-metric
+decompositions (Cygan et al.).  This module produces that decomposition:
+
+:class:`Partition`
+    The frozen result: shard -> node sets, per-shard boundary **portal**
+    nodes, and the portal-to-portal *quotient* distance matrix (true
+    shortest-path distances, so portal-routed estimates are always
+    admissible -- never shorter than the real metric).
+:func:`partition_graph`
+    Works on a sparse adjacency (or :class:`networkx.Graph`):
+    transit-stub-aware *region extraction* -- cut the expensive backbone
+    edges, take the cheap connected regions, agglomerate to the
+    requested shard count -- with a METIS-style multi-source BFS/greedy
+    growth fallback when the edge weights carry no two-level structure.
+:func:`partition_metric`
+    Fallback for backends that only expose the closure (dense
+    :class:`~repro.graphs.metric.Metric`): farthest-point k-center
+    seeding and nearest-seed assignment on the metric itself.
+:func:`partition_instance`
+    Dispatches an instance's backend to the right partitioner.
+
+Every failure mode is a named :class:`PartitionError` (empty shard,
+disconnected graph, more shards than nodes, missing adjacency), so
+callers can distinguish "this graph cannot be sharded like that" from
+programming errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import connected_components, dijkstra
+
+__all__ = [
+    "Partition",
+    "PartitionError",
+    "PARTITION_METHODS",
+    "partition_graph",
+    "partition_metric",
+    "partition_instance",
+]
+
+#: Partition methods :func:`partition_graph` understands (``"none"`` is
+#: the config-level opt-out handled by the strategy, never passed here).
+PARTITION_METHODS = ("auto", "transit_stub", "bfs", "none")
+
+#: Region extraction needs a visible two-level weight structure: the
+#: heaviest edge must exceed the lightest by at least this factor.
+_HIERARCHY_RATIO = 4.0
+
+
+class PartitionError(ValueError):
+    """A graph/metric cannot be partitioned as requested (disconnected
+    input, empty shard, more shards than nodes, missing adjacency)."""
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A shard decomposition of ``n`` nodes with portal summaries.
+
+    Attributes
+    ----------
+    shards:
+        Per-shard node tuples (sorted ascending); together they cover
+        ``0..n-1`` exactly once.
+    portals:
+        Per-shard portal tuples -- boundary nodes of the shard, each a
+        subset of the shard's own nodes.  Empty only in the trivial
+        single-shard partition.
+    quotient:
+        ``(P, P)`` matrix of *true* shortest-path distances between the
+        concatenated portal nodes (see :attr:`portal_nodes`).  Using
+        true distances keeps every portal-routed estimate admissible:
+        routing ``u -> portal -> portal -> v`` can overestimate but
+        never undercut the real metric (triangle inequality).
+    """
+
+    shards: tuple
+    portals: tuple
+    quotient: np.ndarray
+    #: Concatenation of the per-shard portal tuples (quotient row order).
+    portal_nodes: tuple = field(init=False)
+    #: ``(n,)`` int array mapping node -> shard index.
+    shard_of: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        shards = tuple(tuple(int(v) for v in s) for s in self.shards)
+        portals = tuple(tuple(int(v) for v in p) for p in self.portals)
+        if not shards:
+            raise PartitionError("a partition needs at least one shard")
+        if len(portals) != len(shards):
+            raise PartitionError(
+                f"got {len(portals)} portal sets for {len(shards)} shards"
+            )
+        for s, members in enumerate(shards):
+            if not members:
+                raise PartitionError(f"shard {s} is empty")
+        n = sum(len(s) for s in shards)
+        shard_of = np.full(n, -1, dtype=np.int64)
+        for s, members in enumerate(shards):
+            idx = np.asarray(members, dtype=np.int64)
+            if idx.min() < 0 or idx.max() >= n:
+                raise PartitionError(
+                    f"shard {s} references node ids outside 0..{n - 1}"
+                )
+            if np.any(shard_of[idx] != -1):
+                raise PartitionError(
+                    f"shard {s} overlaps another shard"
+                )
+            shard_of[idx] = s
+        # coverage is implied: n ids, n slots, no overlap -> no -1 left
+        for s, (members, ports) in enumerate(zip(shards, portals)):
+            if not set(ports) <= set(members):
+                raise PartitionError(
+                    f"portals of shard {s} are not a subset of its nodes"
+                )
+            if len(shards) > 1 and not ports:
+                raise PartitionError(
+                    f"shard {s} has no portal; every shard of a multi-shard "
+                    "partition needs at least one boundary portal"
+                )
+        portal_nodes = tuple(v for p in portals for v in p)
+        quotient = np.asarray(self.quotient, dtype=float)
+        P = len(portal_nodes)
+        if P == 0 and quotient.size == 0:
+            quotient = quotient.reshape(0, 0)  # JSON loads [] as shape (0,)
+        if quotient.shape != (P, P):
+            raise PartitionError(
+                f"quotient must have shape ({P}, {P}) for {P} portals, "
+                f"got {quotient.shape}"
+            )
+        if P and (not np.all(np.isfinite(quotient)) or quotient.min() < 0):
+            raise PartitionError("quotient distances must be finite and >= 0")
+        object.__setattr__(self, "shards", shards)
+        object.__setattr__(self, "portals", portals)
+        object.__setattr__(self, "quotient", quotient)
+        object.__setattr__(self, "portal_nodes", portal_nodes)
+        object.__setattr__(self, "shard_of", shard_of)
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return int(self.shard_of.size)
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def num_portals(self) -> int:
+        return len(self.portal_nodes)
+
+    def shard_array(self, shard: int) -> np.ndarray:
+        """Shard ``shard``'s node ids as an int array (sorted)."""
+        return np.asarray(self.shards[shard], dtype=np.int64)
+
+    def portal_positions(self, shard: int) -> np.ndarray:
+        """Positions of shard ``shard``'s portals in the global portal
+        list (the quotient's row order)."""
+        start = sum(len(p) for p in self.portals[:shard])
+        return np.arange(start, start + len(self.portals[shard]))
+
+    @classmethod
+    def trivial(cls, n: int) -> "Partition":
+        """The single-shard partition (the ``num_shards=1`` degenerate
+        path: everything intra-shard, no portals, no quotient)."""
+        if n < 1:
+            raise PartitionError("n must be >= 1")
+        return cls((tuple(range(n)),), ((),), np.empty((0, 0)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        sizes = ", ".join(str(len(s)) for s in self.shards)
+        return (
+            f"Partition(n={self.n}, shards={self.num_shards} [{sizes}], "
+            f"portals={self.num_portals})"
+        )
+
+
+# ----------------------------------------------------------------------
+# graph-based partitioning
+# ----------------------------------------------------------------------
+def _as_csr(graph_or_adjacency, *, weight: str = "weight") -> csr_matrix:
+    if hasattr(graph_or_adjacency, "number_of_nodes"):  # networkx graph
+        from .metric import graph_to_adjacency
+
+        adj, _, _ = graph_to_adjacency(graph_or_adjacency, weight=weight)
+        return adj
+    adj = csr_matrix(graph_or_adjacency)
+    if adj.shape[0] != adj.shape[1]:
+        raise PartitionError(f"adjacency must be square, got {adj.shape}")
+    return adj
+
+
+def _require_connected(adj: csr_matrix) -> None:
+    pieces, _ = connected_components(adj, directed=False)
+    if pieces > 1:
+        raise PartitionError(
+            f"graph is disconnected ({pieces} components); a partition "
+            "needs a connected network"
+        )
+
+
+def _transit_stub_regions(adj: csr_matrix) -> np.ndarray:
+    """Region labels by cutting the expensive (backbone) edges.
+
+    Transit-stub topologies carry their structure in the edge weights:
+    intra-stub links are cheap, backbone/gateway links expensive.
+    Dropping every edge above the geometric midpoint of the weight range
+    leaves each stub cluster as its own connected region (backbone
+    routers become singletons).  Raises :class:`PartitionError` when the
+    weights show no such two-level hierarchy.
+    """
+    sym = adj.maximum(adj.T).tocsr()
+    if sym.nnz == 0:
+        raise PartitionError("graph has no edges; nothing to extract")
+    w_min, w_max = float(sym.data.min()), float(sym.data.max())
+    if w_min <= 0 or w_max / w_min < _HIERARCHY_RATIO:
+        raise PartitionError(
+            "edge weights carry no transit-stub hierarchy "
+            f"(max/min = {w_max / max(w_min, 1e-300):.2f} < "
+            f"{_HIERARCHY_RATIO}); use the BFS fallback"
+        )
+    threshold = float(np.sqrt(w_min * w_max))
+    keep = sym.copy()
+    keep.data = np.where(keep.data <= threshold, keep.data, 0.0)
+    keep.eliminate_zeros()
+    regions, labels = connected_components(keep, directed=False)
+    if regions < 2:
+        raise PartitionError(
+            "region extraction found a single region; use the BFS fallback"
+        )
+    return labels
+
+
+def _agglomerate(adj: csr_matrix, labels: np.ndarray, num_shards: int) -> np.ndarray:
+    """Merge fine regions into exactly ``num_shards`` groups.
+
+    Greedy METIS-flavoured coarsening: repeatedly take the smallest
+    group and merge it with the neighbour reached over the *cheapest*
+    connecting edge (ties toward the smaller merged size, then the
+    smaller group id).  On a transit-stub weight hierarchy the cheapest
+    cross-region edges are the gateway links, so each backbone router
+    collects its own stub clusters instead of one group snowballing.
+    Deterministic.
+    """
+    num_regions = int(labels.max()) + 1
+    if num_regions < num_shards:
+        raise PartitionError(
+            f"only {num_regions} regions extracted for {num_shards} shards"
+        )
+    group = np.arange(num_regions)  # region -> current group id
+    sizes = np.bincount(labels, minlength=num_regions).astype(np.int64)
+    coo = adj.maximum(adj.T).tocoo()
+    # region-level min connecting edge weight
+    cross: dict[tuple[int, int], float] = {}
+    for u, v, w in zip(labels[coo.row], labels[coo.col], coo.data):
+        if u != v:
+            key = (int(min(u, v)), int(max(u, v)))
+            w = float(w)
+            if key not in cross or w < cross[key]:
+                cross[key] = w
+    alive = set(range(num_regions))
+    while len(alive) > num_shards:
+        small = min(alive, key=lambda g: (sizes[g], g))
+        best: tuple[float, int, int] | None = None
+        for (a, b), w in cross.items():
+            if small in (a, b):
+                other = b if a == small else a
+                if other in alive:
+                    rank = (w, int(sizes[other]), other)
+                    if best is None or rank < best:
+                        best = rank
+        if best is None:  # isolated group (cannot happen when connected)
+            target = min((g for g in alive if g != small),
+                         key=lambda g: (sizes[g], g))
+        else:
+            target = best[2]
+        # merge `small` into `target`
+        group[group == small] = target
+        sizes[target] += sizes[small]
+        alive.discard(small)
+        merged: dict[tuple[int, int], float] = {}
+        for (a, b), w in cross.items():
+            a2 = target if a == small else a
+            b2 = target if b == small else b
+            if a2 != b2:
+                key = (min(a2, b2), max(a2, b2))
+                if key not in merged or w < merged[key]:
+                    merged[key] = w
+        cross = merged
+    remap = {g: i for i, g in enumerate(sorted(alive))}
+    return np.asarray([remap[group[r]] for r in labels], dtype=np.int64)
+
+
+def _farthest_point_seeds(dist_from, n: int, k: int) -> list[int]:
+    """Deterministic k-center seeding: node 0, then repeated argmax of
+    the distance to the seed set (first index wins ties)."""
+    seeds = [0]
+    dist = dist_from(0)
+    for _ in range(1, k):
+        nxt = int(np.argmax(dist))
+        seeds.append(nxt)
+        dist = np.minimum(dist, dist_from(nxt))
+    return seeds
+
+
+def _bfs_labels(adj: csr_matrix, num_shards: int) -> np.ndarray:
+    """METIS-style greedy growth: multi-source Dijkstra from
+    farthest-point seeds; each node joins its nearest seed's shard."""
+    def dist_from(v: int) -> np.ndarray:
+        return dijkstra(adj, directed=False, indices=[v], min_only=True)
+
+    seeds = _farthest_point_seeds(dist_from, adj.shape[0], num_shards)
+    _, _, sources = dijkstra(
+        adj, directed=False, indices=np.asarray(seeds),
+        min_only=True, return_predecessors=True,
+    )
+    seed_to_shard = {s: i for i, s in enumerate(seeds)}
+    return np.asarray([seed_to_shard[int(s)] for s in sources], dtype=np.int64)
+
+
+def _boundary_portals(
+    adj: csr_matrix, labels: np.ndarray, portals_per_shard: int
+) -> list[list[int]]:
+    """Per shard: boundary nodes ranked by cross-shard edge count
+    (descending, ties toward the smaller node id), capped."""
+    sym = adj.maximum(adj.T).tocsr()
+    num_shards = int(labels.max()) + 1
+    cross_degree = np.zeros(labels.size, dtype=np.int64)
+    indptr, indices = sym.indptr, sym.indices
+    for v in range(labels.size):
+        nbrs = indices[indptr[v]:indptr[v + 1]]
+        cross_degree[v] = int(np.count_nonzero(labels[nbrs] != labels[v]))
+    portals: list[list[int]] = []
+    for s in range(num_shards):
+        members = np.flatnonzero(labels == s)
+        boundary = members[cross_degree[members] > 0]
+        if boundary.size == 0 and num_shards > 1:
+            raise PartitionError(
+                f"shard {s} has no boundary node; is the graph connected?"
+            )
+        order = sorted(boundary.tolist(), key=lambda v: (-cross_degree[v], v))
+        portals.append(sorted(order[:portals_per_shard]))
+    return portals
+
+
+def _labels_to_partition(
+    labels: np.ndarray, portals: list[list[int]], quotient_rows
+) -> Partition:
+    num_shards = int(labels.max()) + 1
+    shards = tuple(
+        tuple(np.flatnonzero(labels == s).tolist()) for s in range(num_shards)
+    )
+    portal_nodes = [v for p in portals for v in p]
+    quotient = quotient_rows(portal_nodes)
+    return Partition(shards, tuple(tuple(p) for p in portals), quotient)
+
+
+def partition_graph(
+    graph_or_adjacency,
+    *,
+    num_shards: int,
+    portals_per_shard: int,
+    method: str = "auto",
+    weight: str = "weight",
+) -> Partition:
+    """Partition a connected weighted graph into portal-summarized shards.
+
+    ``method``: ``"transit_stub"`` cuts the expensive backbone edges and
+    agglomerates the cheap regions; ``"bfs"`` grows shards from
+    farthest-point seeds by multi-source Dijkstra; ``"auto"`` tries
+    region extraction and falls back to BFS growth when the weights
+    carry no two-level structure.  Portals are true boundary nodes
+    (an incident edge leaves the shard), ranked by cross-shard degree;
+    the quotient matrix holds true portal-to-portal shortest-path
+    distances, so portal-routed estimates are always admissible.
+    """
+    if method not in ("auto", "transit_stub", "bfs"):
+        raise PartitionError(
+            f"unknown partition method {method!r}; choose from "
+            "('auto', 'transit_stub', 'bfs')"
+        )
+    if num_shards < 1 or portals_per_shard < 1:
+        raise PartitionError("num_shards and portals_per_shard must be >= 1")
+    adj = _as_csr(graph_or_adjacency, weight=weight)
+    n = adj.shape[0]
+    if n == 0:
+        raise PartitionError("graph has no nodes")
+    _require_connected(adj)
+    if num_shards > n:
+        raise PartitionError(
+            f"cannot cut {n} nodes into {num_shards} non-empty shards"
+        )
+    if num_shards == 1:
+        return Partition.trivial(n)
+    if method == "transit_stub":
+        labels = _agglomerate(adj, _transit_stub_regions(adj), num_shards)
+    elif method == "bfs":
+        labels = _bfs_labels(adj, num_shards)
+    else:
+        try:
+            labels = _agglomerate(adj, _transit_stub_regions(adj), num_shards)
+        except PartitionError:
+            labels = _bfs_labels(adj, num_shards)
+    portals = _boundary_portals(adj, labels, portals_per_shard)
+
+    def quotient_rows(portal_nodes: list[int]) -> np.ndarray:
+        if not portal_nodes:
+            return np.empty((0, 0))
+        idx = np.asarray(portal_nodes, dtype=np.int64)
+        return dijkstra(adj, directed=False, indices=idx)[:, idx]
+
+    return _labels_to_partition(labels, portals, quotient_rows)
+
+
+# ----------------------------------------------------------------------
+# metric-based partitioning (dense backends: no adjacency to cut)
+# ----------------------------------------------------------------------
+def partition_metric(
+    backend, *, num_shards: int, portals_per_shard: int
+) -> Partition:
+    """Partition any :class:`~repro.graphs.backend.DistanceBackend` by
+    k-center: farthest-point seeds, nearest-seed assignment.
+
+    The closure carries no edge structure, so "boundary" is metric:
+    each shard's portals are its nodes closest to the *other* shards'
+    seeds (the likely exits).  Quotient distances are the backend's own
+    portal-to-portal distances -- true by construction, hence admissible.
+    """
+    if num_shards < 1 or portals_per_shard < 1:
+        raise PartitionError("num_shards and portals_per_shard must be >= 1")
+    n = backend.n
+    if num_shards > n:
+        raise PartitionError(
+            f"cannot cut {n} nodes into {num_shards} non-empty shards"
+        )
+    if num_shards == 1:
+        return Partition.trivial(n)
+
+    def dist_from(v: int) -> np.ndarray:
+        return np.asarray(backend.row(v), dtype=float)
+
+    seeds = _farthest_point_seeds(dist_from, n, num_shards)
+    seed_rows = np.asarray(backend.rows(seeds), dtype=float)  # (k, n)
+    labels = np.argmin(seed_rows, axis=0).astype(np.int64)  # first seed wins ties
+    labels[np.asarray(seeds)] = np.arange(num_shards)  # seeds own their shards
+    portals: list[list[int]] = []
+    for s in range(num_shards):
+        members = np.flatnonzero(labels == s)
+        if members.size == 0:  # pragma: no cover - seeds make shards non-empty
+            raise PartitionError(f"shard {s} is empty")
+        other = np.asarray([i for i in range(num_shards) if i != s])
+        exit_dist = seed_rows[np.ix_(other, members)].min(axis=0)
+        order = sorted(
+            members.tolist(), key=lambda v, d=dict(zip(members.tolist(),
+                                                       exit_dist.tolist())): (d[v], v)
+        )
+        portals.append(sorted(order[:portals_per_shard]))
+
+    def quotient_rows(portal_nodes: list[int]) -> np.ndarray:
+        if not portal_nodes:
+            return np.empty((0, 0))
+        return np.asarray(backend.pairwise(portal_nodes), dtype=float)
+
+    return _labels_to_partition(labels, portals, quotient_rows)
+
+
+def partition_instance(
+    instance, *, num_shards: int, portals_per_shard: int, method: str = "auto"
+) -> Partition:
+    """Partition an instance's network with the right partitioner.
+
+    Lazy backends expose their CSR adjacency and go through
+    :func:`partition_graph`; dense closures have no adjacency to cut,
+    so ``"auto"``/``"bfs"`` fall back to :func:`partition_metric` and an
+    explicit ``"transit_stub"`` request raises a :class:`PartitionError`
+    naming the limitation.
+    """
+    metric = instance.metric
+    adjacency = getattr(metric, "adjacency", None)
+    if adjacency is not None:
+        return partition_graph(
+            adjacency, num_shards=num_shards,
+            portals_per_shard=portals_per_shard, method=method,
+        )
+    if method == "transit_stub":
+        raise PartitionError(
+            "transit-stub region extraction needs the graph adjacency, but "
+            "this instance's metric only carries the dense closure; use the "
+            "lazy backend or method='bfs'/'auto'"
+        )
+    return partition_metric(
+        metric, num_shards=num_shards, portals_per_shard=portals_per_shard
+    )

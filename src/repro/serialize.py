@@ -32,12 +32,17 @@ from .core.instance import DataManagementInstance
 from .core.placement import Placement
 from .graphs.backend import LazyMetric
 from .graphs.metric import Metric
+from .graphs.partition import Partition
 
 __all__ = [
     "save_instance",
     "load_instance",
     "instance_to_dict",
     "instance_from_dict",
+    "partition_to_dict",
+    "partition_from_dict",
+    "save_partition",
+    "load_partition",
     "placement_to_arrays",
     "placement_from_arrays",
     "canonical_payload",
@@ -221,6 +226,88 @@ def instance_from_dict(data: dict) -> DataManagementInstance:
         object_names=tuple(data["object_names"]),
         object_sizes=np.asarray(data["object_sizes"], dtype=float),
     )
+
+
+def partition_to_dict(partition: Partition) -> dict:
+    """JSON-ready dict form of a :class:`~repro.graphs.partition.Partition`."""
+    return {
+        "format": "repro-partition",
+        "version": _FORMAT_VERSION,
+        "shards": [list(s) for s in partition.shards],
+        "portals": [list(p) for p in partition.portals],
+        "quotient": partition.quotient.tolist(),
+    }
+
+
+def partition_from_dict(data: dict) -> Partition:
+    if data.get("format") != "repro-partition":
+        raise ValueError("not a serialized Partition")
+    return Partition(
+        shards=tuple(tuple(int(v) for v in s) for s in data["shards"]),
+        portals=tuple(tuple(int(v) for v in p) for p in data["portals"]),
+        quotient=np.asarray(data["quotient"], dtype=float),
+    )
+
+
+def _ragged_to_arrays(groups) -> tuple[np.ndarray, np.ndarray]:
+    sizes = [len(g) for g in groups]
+    offsets = np.zeros(len(sizes) + 1, dtype=np.int64)
+    np.cumsum(sizes, out=offsets[1:])
+    nodes = np.fromiter(
+        (v for g in groups for v in g), dtype=np.int64, count=int(offsets[-1])
+    )
+    return nodes, offsets
+
+
+def _ragged_from_arrays(nodes, offsets) -> tuple[tuple[int, ...], ...]:
+    nodes = np.asarray(nodes, dtype=np.int64)
+    offsets = np.asarray(offsets, dtype=np.int64)
+    return tuple(
+        tuple(int(v) for v in nodes[offsets[i]:offsets[i + 1]])
+        for i in range(offsets.size - 1)
+    )
+
+
+def save_partition(partition: Partition, path) -> None:
+    """Write a partition to ``*.npz`` or ``*.json`` (by suffix) -- so an
+    expensive decomposition of a big network is computed once and reused
+    across planning runs."""
+    path = Path(path)
+    if artifact_suffix(path) == ".json":
+        path.write_text(json.dumps(partition_to_dict(partition)) + "\n")
+        return
+    shard_nodes, shard_offsets = _ragged_to_arrays(partition.shards)
+    portal_nodes, portal_offsets = _ragged_to_arrays(partition.portals)
+    meta = {"format": "repro-partition", "version": _FORMAT_VERSION}
+    np.savez_compressed(
+        path,
+        meta=np.str_(json.dumps(meta)),
+        shard_nodes=shard_nodes,
+        shard_offsets=shard_offsets,
+        portal_nodes=portal_nodes,
+        portal_offsets=portal_offsets,
+        quotient=partition.quotient,
+    )
+
+
+def load_partition(path) -> Partition:
+    """Read a partition written by :func:`save_partition`."""
+    path = Path(path)
+    if artifact_suffix(path) == ".json":
+        return partition_from_dict(json.loads(path.read_text()))
+    with np.load(path, allow_pickle=False) as archive:
+        meta = json.loads(str(archive["meta"]))
+        if meta.get("format") != "repro-partition":
+            raise ValueError(f"{path} is not a serialized partition")
+        return Partition(
+            shards=_ragged_from_arrays(
+                archive["shard_nodes"], archive["shard_offsets"]
+            ),
+            portals=_ragged_from_arrays(
+                archive["portal_nodes"], archive["portal_offsets"]
+            ),
+            quotient=np.asarray(archive["quotient"], dtype=float),
+        )
 
 
 def save_instance(instance: DataManagementInstance, path) -> None:

@@ -25,6 +25,15 @@ class TestList:
             assert name in text
         assert "drift" in text and "flash" in text
 
+    def test_list_prints_krw_sharded_knob_summary(self):
+        out = io.StringIO()
+        assert main(["list"], out=out) == 0
+        text = out.getvalue()
+        assert "krw-sharded" in text
+        assert "num_shards (--shards)" in text
+        assert "portals_per_shard (--portals)" in text
+        assert "num_shards=1 equals krw" in text
+
     def test_no_command_prints_help(self):
         out = io.StringIO()
         assert main([], out=out) == 1
@@ -33,7 +42,7 @@ class TestList:
 
 class TestExperimentCommand:
     def test_registry_covers_all_runners(self):
-        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 18)} | {"E10B"}
+        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 19)} | {"E10B"}
 
     def test_unknown_experiment(self, capsys):
         out = io.StringIO()
@@ -183,6 +192,37 @@ class TestPlanCommand:
         assert "kernels: mode=numpy" in text
         assert "shared memory: requested=True" in text
         assert "row cache:" in text and "cache_rows=16" in text
+
+    def test_plan_sharded_strategy_with_shard_flags(self, tmp_path):
+        """`plan --strategy krw-sharded --shards/--portals` threads the
+        knobs into the config and prints the sharded provenance line."""
+        from repro.api import PlanReport
+
+        saved = tmp_path / "out.json"
+        out = io.StringIO()
+        rc = main(
+            ["plan", "--scenario", "www", "--strategy", "krw-sharded",
+             "--shards", "3", "--portals", "2", "--save", str(saved)],
+            out=out,
+        )
+        text = out.getvalue()
+        assert rc == 0
+        assert "[krw-sharded]" in text
+        assert "sharded: 3 shards" in text
+        report = PlanReport.load(saved)
+        assert report.config.num_shards == 3
+        assert report.config.portals_per_shard == 2
+        assert report.extras["sharded"]["num_shards"] == 3
+
+    def test_plan_sharded_degenerate_path_matches_krw(self):
+        out = io.StringIO()
+        rc = main(
+            ["plan", "--scenario", "tree", "--strategy", "krw-sharded",
+             "--partition", "none", "--shards", "4"],
+            out=out,
+        )
+        assert rc == 0
+        assert "sharded: degenerate" in out.getvalue()
 
     def test_plan_load_missing_file_is_clean_error(self, tmp_path):
         out = io.StringIO()

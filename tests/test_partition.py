@@ -1,0 +1,192 @@
+"""Partitioner invariants: exact cover, true boundary portals, admissible
+quotient distances, named errors on degenerate inputs."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    Partition,
+    PartitionError,
+    partition_graph,
+    partition_instance,
+    partition_metric,
+)
+from repro.graphs.generators import (
+    erdos_renyi_graph,
+    sized_transit_stub_graph,
+    transit_stub_graph,
+)
+from repro.graphs.metric import Metric, graph_to_adjacency
+
+
+def dense_metric(g) -> Metric:
+    return Metric.from_graph(g)
+
+
+class TestPartitionDataclass:
+    def test_trivial_partition(self):
+        part = Partition.trivial(7)
+        assert part.n == 7 and part.num_shards == 1
+        assert part.shards == (tuple(range(7)),)
+        assert part.num_portals == 0 and part.quotient.shape == (0, 0)
+        assert np.array_equal(part.shard_of, np.zeros(7, dtype=np.int64))
+
+    def test_empty_shard_is_named_error(self):
+        with pytest.raises(PartitionError, match="shard 1 is empty"):
+            Partition(((0, 1), ()), ((0,), ()), np.zeros((1, 1)))
+
+    def test_overlapping_shards_rejected(self):
+        with pytest.raises(PartitionError, match="overlaps"):
+            Partition(
+                ((0, 1), (1, 2)), ((0,), (2,)),
+                np.zeros((2, 2)),
+            )
+
+    def test_portals_must_be_shard_members(self):
+        with pytest.raises(PartitionError, match="not a subset"):
+            Partition(((0, 1), (2, 3)), ((2,), (3,)), np.zeros((2, 2)))
+
+    def test_multi_shard_partition_needs_portals_everywhere(self):
+        with pytest.raises(PartitionError, match="no portal"):
+            Partition(((0, 1), (2, 3)), ((0,), ()), np.zeros((1, 1)))
+
+    def test_quotient_shape_checked(self):
+        with pytest.raises(PartitionError, match="quotient"):
+            Partition(((0, 1), (2, 3)), ((0,), (2,)), np.zeros((3, 3)))
+
+    def test_quotient_must_be_finite(self):
+        q = np.array([[0.0, np.inf], [np.inf, 0.0]])
+        with pytest.raises(PartitionError, match="finite"):
+            Partition(((0, 1), (2, 3)), ((0,), (2,)), q)
+
+
+class TestPartitionGraph:
+    def test_every_node_in_exactly_one_shard(self):
+        g = transit_stub_graph(4, 3, 6, seed=11)
+        part = partition_graph(g, num_shards=4, portals_per_shard=2)
+        seen = sorted(v for shard in part.shards for v in shard)
+        assert seen == list(range(g.number_of_nodes()))
+        # shard_of agrees with the shard tuples
+        for s, members in enumerate(part.shards):
+            assert all(part.shard_of[v] == s for v in members)
+
+    def test_portals_are_true_boundary_nodes(self):
+        g = transit_stub_graph(4, 3, 6, seed=11)
+        part = partition_graph(g, num_shards=4, portals_per_shard=2)
+        adj, _, _ = graph_to_adjacency(g)
+        sym = adj.maximum(adj.T).tocsr()
+        for s, ports in enumerate(part.portals):
+            assert ports, "every shard of a multi-shard partition has portals"
+            for v in ports:
+                nbrs = sym.indices[sym.indptr[v]:sym.indptr[v + 1]]
+                assert any(part.shard_of[u] != s for u in nbrs), (
+                    f"portal {v} of shard {s} has no edge leaving the shard"
+                )
+
+    def test_quotient_distances_are_true_distances(self):
+        # quotient cells are full-graph shortest paths between portals:
+        # never shorter than the true metric (here: exactly equal)
+        g = transit_stub_graph(3, 3, 5, seed=3)
+        part = partition_graph(g, num_shards=3, portals_per_shard=3)
+        metric = dense_metric(g)
+        pnodes = np.asarray(part.portal_nodes)
+        true = metric.dist[np.ix_(pnodes, pnodes)]
+        assert np.allclose(part.quotient, true)
+        assert (part.quotient - true).min() >= -1e-9
+
+    def test_transit_stub_extraction_balances_shards(self):
+        g = sized_transit_stub_graph(240, seed=7)
+        part = partition_graph(
+            g, num_shards=4, portals_per_shard=2, method="transit_stub"
+        )
+        sizes = sorted(len(s) for s in part.shards)
+        assert sizes[-1] <= 3 * sizes[0]  # no snowballed giant shard
+
+    def test_bfs_fallback_on_flat_weights(self):
+        # unit weights carry no transit-stub hierarchy: "auto" must fall
+        # back to BFS growth instead of failing
+        g = erdos_renyi_graph(40, 0.15, seed=5)
+        with pytest.raises(PartitionError, match="hierarchy"):
+            partition_graph(g, num_shards=3, portals_per_shard=2,
+                            method="transit_stub")
+        part = partition_graph(g, num_shards=3, portals_per_shard=2)
+        assert part.num_shards == 3
+        assert sorted(v for s in part.shards for v in s) == list(range(40))
+
+    def test_disconnected_graph_is_named_error(self):
+        g = nx.Graph()
+        g.add_edge(0, 1, weight=1.0)
+        g.add_edge(2, 3, weight=1.0)
+        with pytest.raises(PartitionError, match="disconnected"):
+            partition_graph(g, num_shards=2, portals_per_shard=1)
+
+    def test_more_shards_than_nodes_is_named_error(self):
+        g = nx.path_graph(3)
+        nx.set_edge_attributes(g, 1.0, "weight")
+        with pytest.raises(PartitionError, match="non-empty shards"):
+            partition_graph(g, num_shards=5, portals_per_shard=1)
+
+    def test_bad_knobs_are_named_errors(self):
+        g = nx.path_graph(4)
+        nx.set_edge_attributes(g, 1.0, "weight")
+        with pytest.raises(PartitionError):
+            partition_graph(g, num_shards=0, portals_per_shard=1)
+        with pytest.raises(PartitionError):
+            partition_graph(g, num_shards=2, portals_per_shard=0)
+        with pytest.raises(PartitionError, match="unknown partition method"):
+            partition_graph(g, num_shards=2, portals_per_shard=1,
+                            method="metis")
+
+    def test_single_shard_is_trivial(self):
+        g = erdos_renyi_graph(12, 0.4, seed=2)
+        part = partition_graph(g, num_shards=1, portals_per_shard=3)
+        assert part.num_shards == 1 and part.num_portals == 0
+
+
+class TestPartitionMetric:
+    def test_covers_and_quotient_admissible(self):
+        g = erdos_renyi_graph(30, 0.2, seed=9)
+        metric = dense_metric(g)
+        part = partition_metric(metric, num_shards=4, portals_per_shard=2)
+        assert sorted(v for s in part.shards for v in s) == list(range(30))
+        pnodes = np.asarray(part.portal_nodes)
+        true = metric.dist[np.ix_(pnodes, pnodes)]
+        assert (part.quotient - true).min() >= -1e-9
+
+    def test_too_many_shards_is_named_error(self):
+        metric = dense_metric(erdos_renyi_graph(6, 0.6, seed=1))
+        with pytest.raises(PartitionError, match="non-empty shards"):
+            partition_metric(metric, num_shards=9, portals_per_shard=1)
+
+
+class TestPartitionInstance:
+    def test_lazy_backend_uses_graph_partitioner(self):
+        from repro.core.instance import DataManagementInstance
+        from repro.graphs.backend import LazyMetric
+
+        g = sized_transit_stub_graph(120, seed=4)
+        metric = LazyMetric.from_graph(g)
+        n = metric.n
+        rng = np.random.default_rng(0)
+        inst = DataManagementInstance.single_object(
+            metric, np.ones(n), rng.integers(0, 4, n).astype(float),
+            np.zeros(n),
+        )
+        part = partition_instance(inst, num_shards=3, portals_per_shard=2)
+        assert part.num_shards == 3 and part.n == n
+
+    def test_dense_backend_rejects_transit_stub_method(self):
+        from repro.core.instance import DataManagementInstance
+
+        metric = dense_metric(erdos_renyi_graph(10, 0.5, seed=3))
+        inst = DataManagementInstance.single_object(
+            metric, np.ones(10), np.ones(10), np.zeros(10)
+        )
+        with pytest.raises(PartitionError, match="adjacency"):
+            partition_instance(inst, num_shards=2, portals_per_shard=1,
+                               method="transit_stub")
+        part = partition_instance(inst, num_shards=2, portals_per_shard=1)
+        assert part.num_shards == 2
