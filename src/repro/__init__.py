@@ -51,6 +51,12 @@ Package layout
     ``@register_strategy`` plug-in registry, and the
     :class:`~repro.api.Planner` façade whose ``plan()``/``compare()``
     return serializable :class:`~repro.api.PlanReport` artifacts.
+``repro.serve``
+    the live subsystem: a long-lived
+    :class:`~repro.serve.PlacementDaemon` ingesting request batches,
+    replanning in the background on demand drift, answering
+    placement/nearest-replica lookups from an atomically published
+    immutable generation, and warm-restarting from checkpoints.
 ``repro.serialize``
     instance/placement persistence (JSON/NPZ round trips).
 """
@@ -66,6 +72,7 @@ from . import (
     graphs,
     registry,
     serialize,
+    serve,
     simulate,
     workloads,
 )
@@ -83,8 +90,9 @@ from .core import (
 from .engine import PlacementEngine, place_catalog
 from .registry import available_strategies, get_strategy, register_strategy
 from .serialize import load_instance, save_instance
+from .serve import PlacementDaemon
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "core",
@@ -99,8 +107,10 @@ __all__ = [
     "config",
     "registry",
     "serialize",
+    "serve",
     "DataManagementInstance",
     "Placement",
+    "PlacementDaemon",
     "PlacementEngine",
     "PlanConfig",
     "PlanReport",

@@ -56,6 +56,7 @@ __all__ = [
     "run_e16_incremental_replan",
     "run_e17_scaling",
     "run_e18_sharded",
+    "run_e19_daemon",
     "GRAPH_FAMILIES",
 ]
 
@@ -1589,5 +1590,204 @@ def run_e18_sharded(
             portals_per_shard, t_sharded,
             placement_cost(inst, sharded_placement).total,
             "--", "--", admissible(inst.metric, part),
+        ])
+    return result
+
+
+# ----------------------------------------------------------------------
+# E19: the serving daemon -- parity, lookup consistency, replan lag
+# ----------------------------------------------------------------------
+def run_e19_daemon(
+    *,
+    n: int = 200,
+    num_objects: int = 48,
+    epochs: int = 5,
+    requests_per_epoch: int | None = None,
+    drift: float = 0.15,
+    write_fraction: float = 0.05,
+    tolerance: float = 0.05,
+    storage_price: float | None = None,
+    seed: int = 41,
+    fl_solver: str = "local_search",
+    chunk_size: int = 512,
+    jobs: int = 1,
+    backends: Sequence[str] = ("dense", "lazy"),
+    lag_drifts: Sequence[float] = (0.15, 0.4),
+    lookups: int = 200,
+) -> "ExperimentResult":
+    """The :class:`~repro.serve.PlacementDaemon` serving loop, measured.
+
+    Three sections:
+
+    * ``parity`` -- a tolerance-0 daemon fed a
+      :class:`~repro.workloads.dynamic.DynamicWorkload` epoch-by-epoch
+      must reproduce the :class:`~repro.simulate.replanner.EpochReplanner`'s
+      per-epoch placements and cumulative bill bit-identically
+      ("identical" column; "vs replanner" within 1e-9 relative), per
+      backend in incremental mode plus one full-mode row.  This is the
+      daemon's correctness anchor: live serving costs nothing in
+      placement quality.
+    * ``latency`` -- foreground lookups issued *while* background
+      replans run (``end_epoch(wait=False)``).  Every lookup's copy set
+      must match the placement of the generation it reports
+      ("consistent" column: a reader never observes a mix of two
+      generations), and the mean lookup wall time is recorded
+      (informational -- never gated).
+    * ``lag`` -- drift-rate sweep at the working ``tolerance``: how many
+      epochs actually triggered a replan and how many objects each
+      re-placed.  Faster drift must keep triggering replans
+      (``replans > 0``) while the tolerance keeps per-epoch work below
+      the full catalog.
+
+    The committed artifact is ``benchmarks/BENCH_e19_daemon.json``;
+    only environment-independent claims (parity, consistency, replan
+    counts) are gated.
+    """
+    from ..serve import PlacementDaemon, compare_with_replanner
+    from ..workloads.dynamic import drifting_zipf_catalog
+
+    if epochs < 2:
+        raise ValueError("epochs must be >= 2 (epoch 0 is always a full solve)")
+    for b in backends:
+        if b not in ("dense", "lazy"):
+            raise ValueError(f"unknown backend {b!r}; use 'dense' and/or 'lazy'")
+    if lookups < 1:
+        raise ValueError("lookups must be positive")
+
+    g = generators.sized_transit_stub_graph(n, seed=seed)
+    n_real = g.number_of_nodes()
+    if requests_per_epoch is None:
+        requests_per_epoch = 100 * num_objects
+    if storage_price is None:
+        storage_price = max(2.0, 0.5 * requests_per_epoch / num_objects)
+    cs = uniform_storage_costs(n_real, storage_price)
+
+    def make_workload(drift_rate: float, wl_seed: int):
+        return drifting_zipf_catalog(
+            n_real, num_objects, epochs=epochs, seed=wl_seed,
+            drift=drift_rate, requests_per_epoch=requests_per_epoch,
+            write_fraction=write_fraction, redraw="changed",
+        )
+
+    def make_metric(backend: str):
+        return (Metric.from_graph(g) if backend == "dense"
+                else LazyMetric.from_graph(g))
+
+    def make_config(mode: str, tol: float) -> PlanConfig:
+        return PlanConfig(
+            fl_solver=fl_solver, chunk_size=chunk_size, jobs=jobs,
+            replan_mode=mode, replan_tolerance=tol,
+        )
+
+    result = ExperimentResult(
+        "E19",
+        f"serving daemon: parity + consistency (drift={drift}, "
+        f"m={num_objects})",
+        ("section", "label", "backend", "epochs", "replans",
+         "replaced/epoch", "lookups", "mean lookup (ms)", "total cost",
+         "vs replanner", "identical", "consistent"),
+        notes="'parity': tolerance-0 daemon vs EpochReplanner, per-epoch "
+        "placements and bills bit-identical.  'latency': lookups during "
+        "live background replans; 'consistent' means every lookup's copy "
+        "set matched its reported generation's placement (never a mix); "
+        "lookup wall time is informational.  'lag': drift sweep at the "
+        "working tolerance -- 'replans' counts epochs that re-placed "
+        "anything.",
+    )
+
+    workload = make_workload(drift, seed + 1)
+
+    # -- parity: the daemon must be invisible in the bill
+    parity_modes = [("incremental", 0.0)]
+    for backend in backends:
+        for mode, tol in parity_modes:
+            verdict = compare_with_replanner(
+                g, make_metric(backend), cs, workload,
+                make_config(mode, tol),
+            )
+            replaced = [e["replaced"] for e in verdict["records"]]
+            result.rows.append([
+                "parity", f"{mode} t=0", backend, epochs, len(replaced),
+                sum(replaced) / len(replaced), "--", "--",
+                verdict["daemon_total"], verdict["cost_ratio"],
+                verdict["identical"], "--",
+            ])
+    # one full-mode anchor on the first backend
+    verdict = compare_with_replanner(
+        g, make_metric(backends[0]), cs, workload,
+        make_config("full", 0.0),
+    )
+    replaced = [e["replaced"] for e in verdict["records"]]
+    result.rows.append([
+        "parity", "full t=0", backends[0], epochs, len(replaced),
+        sum(replaced) / len(replaced), "--", "--",
+        verdict["daemon_total"], verdict["cost_ratio"],
+        verdict["identical"], "--",
+    ])
+
+    # -- latency: lookups racing live background replans
+    rng = np.random.default_rng(seed + 5)
+    probe_objs = rng.integers(0, num_objects, size=lookups)
+    probe_nodes = rng.integers(0, n_real, size=lookups)
+    for backend in backends:
+        daemon = PlacementDaemon(
+            cs, num_objects, metric=make_metric(backend), graph=g,
+            config=make_config("incremental", 0.0), keep_history=True,
+        )
+        try:
+            consistent = True
+            times = []
+            per_epoch = max(1, lookups // epochs)
+            done = 0
+            for e in range(epochs):
+                daemon.ingest_counts(
+                    workload.read_freqs[e], workload.write_freqs[e]
+                )
+                daemon.end_epoch(wait=False)
+                budget = per_epoch if e < epochs - 1 else lookups - done
+                for i in range(done, done + budget):
+                    obj = int(probe_objs[i])
+                    t0 = time.perf_counter()
+                    r = daemon.lookup(obj, int(probe_nodes[i]))
+                    times.append(time.perf_counter() - t0)
+                    expected = daemon.generation_placement(r.generation)[obj]
+                    if r.copies != expected or r.replica not in r.copies:
+                        consistent = False
+                done += budget
+            daemon.drain()
+            records = daemon.epoch_records
+            total = daemon.snapshot().cumulative_cost
+        finally:
+            daemon.close()
+        replaced = [rec["replaced"] for rec in records]
+        result.rows.append([
+            "latency", f"drift={drift}", backend, epochs, len(records),
+            sum(replaced) / len(replaced), done,
+            1e3 * sum(times) / len(times), total, "--", "--",
+            consistent,
+        ])
+
+    # -- lag: drift sweep at the working tolerance
+    metric = make_metric(backends[0])
+    for drift_rate in lag_drifts:
+        wl = make_workload(float(drift_rate), seed + 7)
+        daemon = PlacementDaemon(
+            cs, num_objects, metric=metric, graph=g,
+            config=make_config("incremental", tolerance),
+        )
+        try:
+            for e in range(epochs):
+                daemon.ingest_counts(wl.read_freqs[e], wl.write_freqs[e])
+                daemon.end_epoch(wait=True)
+            records = daemon.epoch_records
+            total = daemon.snapshot().cumulative_cost
+        finally:
+            daemon.close()
+        replans = sum(1 for rec in records if rec["replaced"] > 0)
+        replaced = [rec["replaced"] for rec in records]
+        result.rows.append([
+            "lag", f"drift={float(drift_rate)}", backends[0], epochs,
+            replans, sum(replaced) / len(replaced), "--", "--",
+            total, "--", "--", "--",
         ])
     return result

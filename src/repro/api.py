@@ -336,3 +336,52 @@ class Planner:
             )
         replanner = EpochReplanner(graph, metric, storage_costs, config=self.config)
         return replanner.run(workload, log_seed=log_seed)
+
+    # ------------------------------------------------------------------
+    def serve(
+        self,
+        graph,
+        storage_costs,
+        num_objects: int,
+        *,
+        metric=None,
+        checkpoint_path=None,
+        keep_history: bool = False,
+    ):
+        """A live :class:`~repro.serve.PlacementDaemon` under this
+        planner's config -- the serving counterpart of :meth:`replan`.
+
+        Builds the distance backend from ``graph`` with the same
+        ``backend`` resolution as :meth:`replan` and hands it, the
+        graph and the config to the daemon; the caller owns the
+        returned daemon (it is a context manager -- ``with
+        planner.serve(...) as daemon:``).
+        """
+        from .serve import PlacementDaemon
+
+        n_graph = graph.number_of_nodes()
+        if metric is not None and metric.n != n_graph:
+            raise ValueError(
+                f"metric covers {metric.n} nodes but the graph has "
+                f"{n_graph}; pass the graph's own distance backend (or "
+                "metric=None to build one)"
+            )
+        if metric is None:
+            backend = self.config.backend
+            if backend == "auto":
+                backend = (
+                    "dense" if n_graph <= DENSE_MATERIALIZE_LIMIT else "lazy"
+                )
+            metric = (
+                Metric.from_graph(graph) if backend == "dense"
+                else LazyMetric.from_graph(graph, cache_rows=self.config.cache_rows)
+            )
+        return PlacementDaemon(
+            storage_costs,
+            num_objects,
+            metric=metric,
+            graph=graph,
+            config=self.config,
+            checkpoint_path=checkpoint_path,
+            keep_history=keep_history,
+        )

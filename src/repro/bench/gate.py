@@ -3,7 +3,8 @@
 Each committed ``benchmarks/BENCH_*.json`` artifact records one
 experiment's full-scale trajectory (E10b backend sweep, E14 catalog
 throughput, E15 dynamic replay, E16 incremental replan, E17 worker
-transport + kernel dispatch, E18 sharded placement).  A
+transport + kernel dispatch, E18 sharded placement, E19 serving
+daemon).  A
 :class:`GateSpec` turns that prose-adjacent artifact into a machine
 checked contract, in two tiers:
 
@@ -505,6 +506,39 @@ _register(GateSpec(
     smoke_params=dict(sizes=[120], sharded_only_sizes=[], num_objects=8,
                       num_shards=3, portals_per_shard=2,
                       admissibility_sample=24),
+))
+
+_register(GateSpec(
+    experiment="E19",
+    exp_id="E19",
+    artifact="BENCH_e19_daemon.json",
+    headers=("section", "label", "backend", "epochs", "replans",
+             "replaced/epoch", "lookups", "mean lookup (ms)", "total cost",
+             "vs replanner", "identical", "consistent"),
+    columns={
+        "section": "str", "label": "str", "backend": "str",
+        "epochs": "number", "replans": "number",
+        "replaced/epoch": "number", "lookups": "number?",
+        "mean lookup (ms)": "number?", "total cost": "number",
+        "vs replanner": "number?", "identical": "bool?",
+        "consistent": "bool?",
+    },
+    checks=(
+        Check("tolerance-0 daemon reproduces the replanner's placements",
+              "identical", "is_true", where=(("section", "parity"),)),
+        Check("tolerance-0 daemon bill equals the replanner bill",
+              "vs replanner", "approx", value=1.0, rel_tol=IDENTITY_TOL,
+              where=(("section", "parity"),)),
+        Check("lookups during live replans never observe a mixed generation",
+              "consistent", "is_true", where=(("section", "latency"),)),
+        Check("consistency verdicts rest on real lookups",
+              "lookups", "gt", value=0.0, where=(("section", "latency"),)),
+        Check("drifting demand keeps triggering background replans",
+              "replans", "gt", value=0.0, where=(("section", "lag"),)),
+    ),
+    smoke_params=dict(n=40, num_objects=6, epochs=3, requests_per_epoch=240,
+                      drift=0.34, backends=["dense"],
+                      lag_drifts=[0.34, 0.67], lookups=60),
 ))
 
 #: Default artifact location: the committed benchmarks directory.

@@ -51,6 +51,7 @@ EXPERIMENT_RUNNERS = {
     "E16": analysis.run_e16_incremental_replan,
     "E17": analysis.run_e17_scaling,
     "E18": analysis.run_e18_sharded,
+    "E19": analysis.run_e19_daemon,
 }
 
 

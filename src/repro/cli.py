@@ -21,6 +21,10 @@ Usage::
         --num-objects 60                     # dynamic-layer comparison
     python -m repro dynamic --incremental --tolerance 0.0 \\
         --epochs 5                           # re-place only drifted objects
+    python -m repro serve run --instance www.npz --spool spool/ \\
+        --checkpoint warm.npz                # live daemon: stdin/stdout loop
+    python -m repro serve replay --scenario drift --epochs 4 \\
+        --incremental --tolerance 0 --compare  # daemon-vs-replanner parity
     python -m repro bench run --sweep sweep.json --store .repro-bench \\
         --jobs 2                             # cached, resumable trial sweep
     python -m repro bench gate --tier smoke  # BENCH_*.json regression gate
@@ -41,7 +45,14 @@ network sizes and can persist a ``BENCH_*.json`` artifact; ``dynamic``
 replays an epoch-structured workload and compares clairvoyant-static,
 epoch-replanned and online-counting strategies (E15);
 ``--incremental/--tolerance`` switch the replanner to incremental
-re-placement of only the drifted objects (E16); ``bench`` is the
+re-placement of only the drifted objects (E16); ``serve`` is the live
+subsystem (:mod:`repro.serve`): ``run`` keeps a
+:class:`~repro.serve.PlacementDaemon` answering placement/nearest
+lookups over stdin/stdout while ingesting spool-directory request
+batches and checkpointing warm state (resumed bit-identically on
+restart), ``replay`` drives one from a generated dynamic workload and
+``--compare`` verifies tolerance-0 parity with the epoch replanner
+(E19); ``bench`` is the
 declarative experiment harness (:mod:`repro.bench`): ``run`` executes a
 sweep of trials with results cached on disk by canonical config hash
 (interrupted sweeps resume), ``gate`` validates the committed
@@ -56,6 +67,7 @@ import argparse
 import json
 import sys
 import time
+from pathlib import Path
 from typing import Callable, Sequence
 
 from . import analysis
@@ -375,6 +387,234 @@ def _run_backend_sweep(args, out=sys.stdout) -> int:
     return 0
 
 
+def _serve_config(args) -> PlanConfig:
+    """The daemon's PlanConfig: file base plus serve-relevant overrides."""
+    config = _load_config(args)
+    overrides = {}
+    if getattr(args, "incremental", False):
+        overrides["replan_mode"] = "incremental"
+    if getattr(args, "tolerance", None) is not None:
+        overrides["replan_tolerance"] = args.tolerance
+    if getattr(args, "checkpoint_every", None) is not None:
+        overrides["serve_checkpoint_every"] = args.checkpoint_every
+    return config.replace(**overrides) if overrides else config
+
+
+def _serve_metric(graph, backend: str, config: PlanConfig):
+    from .graphs.backend import LazyMetric
+    from .graphs.metric import Metric
+
+    if backend == "lazy":
+        return LazyMetric.from_graph(graph, cache_rows=config.cache_rows)
+    return Metric.from_graph(graph)
+
+
+def _run_serve_replay(args, out=sys.stdout) -> int:
+    """Drive a daemon from a generated DynamicWorkload; optionally check
+    tolerance-0 parity against the EpochReplanner (the CI smoke)."""
+    from .graphs import generators
+    from .serve import PlacementDaemon, compare_with_replanner, replay_workload
+    from .workloads import uniform_storage_costs
+    from .workloads.dynamic import drifting_zipf_catalog, flash_crowd
+
+    try:
+        config = _serve_config(args)
+    except (ValueError, TypeError, OSError) as exc:
+        print(f"serve replay: bad config: {exc}", file=sys.stderr)
+        return 2
+    graph = generators.sized_transit_stub_graph(args.nodes, seed=args.seed)
+    n = graph.number_of_nodes()
+    rpe = args.requests_per_epoch or 100 * args.num_objects
+    make = drifting_zipf_catalog if args.scenario == "drift" else flash_crowd
+    kwargs = dict(
+        epochs=args.epochs, seed=args.seed, requests_per_epoch=rpe,
+        write_fraction=args.write_fraction, redraw="changed",
+    )
+    if args.scenario == "drift":
+        kwargs["drift"] = args.drift
+    workload = make(n, args.num_objects, **kwargs)
+    # the E16 sizing convention: prices scaled so replication is a real
+    # trade-off at this request volume
+    storage_costs = uniform_storage_costs(
+        n, max(2.0, 0.5 * rpe / args.num_objects)
+    )
+    metric = _serve_metric(graph, args.backend, config)
+
+    if args.compare:
+        verdict = compare_with_replanner(
+            graph, metric, storage_costs, workload, config
+        )
+        print(
+            f"daemon {verdict['daemon_total']:.6f} vs replanner "
+            f"{verdict['replanner_total']:.6f} "
+            f"(ratio {verdict['cost_ratio']:.12f}); "
+            f"placements {'identical' if verdict['identical'] else 'DIVERGED'}",
+            file=out,
+        )
+        if args.out_path:
+            from .serialize import canonical_json_dumps
+
+            Path(args.out_path).write_text(
+                canonical_json_dumps(verdict) + "\n"
+            )
+            print(f"wrote {args.out_path}", file=out)
+        if config.replan_tolerance == 0.0 and not verdict["identical"]:
+            print(
+                "serve replay: tolerance-0 daemon diverged from the "
+                "EpochReplanner", file=sys.stderr,
+            )
+            return 1
+        return 0
+
+    daemon = PlacementDaemon(
+        storage_costs, args.num_objects, metric=metric, graph=graph,
+        config=config, checkpoint_path=args.checkpoint,
+    )
+    try:
+        records = replay_workload(daemon, workload)
+        stats = daemon.stats()
+    finally:
+        daemon.close()
+    for rec in records:
+        print(
+            f"epoch {rec['epoch']}: generation {rec['generation']}, "
+            f"replaced {rec['replaced']}, serve {rec['serve_cost']:.3f}, "
+            f"migration {rec['migration_cost']:.3f}", file=out,
+        )
+    print(
+        f"total {stats['total_cost']:.6f} over {stats['epochs_published']} "
+        f"epochs ({stats['events_ingested']} events)", file=out,
+    )
+    if args.checkpoint:
+        print(f"warm state in {args.checkpoint}", file=out)
+    if args.out_path:
+        from .serialize import canonical_json_dumps
+
+        Path(args.out_path).write_text(
+            canonical_json_dumps({"stats": stats, "epochs": records}) + "\n"
+        )
+        print(f"wrote {args.out_path}", file=out)
+    return 0
+
+
+def _serve_command_loop(daemon, in_stream, out) -> None:
+    """The stdin/stdout request loop of ``repro serve run`` -- one
+    command per line in, one JSON object per line out."""
+    from .serve import read_spool_file
+
+    def reply(payload: dict) -> None:
+        print(json.dumps(payload), file=out, flush=True)
+
+    for line in in_stream:
+        parts = line.split()
+        if not parts:
+            continue
+        cmd, *rest = parts
+        try:
+            if cmd == "quit":
+                reply({"ok": True, "command": "quit"})
+                break
+            if cmd == "placement":
+                (obj,) = rest
+                reply({
+                    "ok": True,
+                    "copies": list(daemon.placement(int(obj))),
+                    "generation": daemon.snapshot().generation,
+                })
+            elif cmd == "nearest":
+                obj, node = rest
+                reply({"ok": True, **daemon.lookup(int(obj), int(node)).to_dict()})
+            elif cmd == "stats":
+                reply({"ok": True, **daemon.stats()})
+            elif cmd == "ingest":
+                (path,) = rest
+                reply({"ok": True, **daemon.ingest(read_spool_file(path))})
+            elif cmd == "end-epoch":
+                epoch = daemon.end_epoch(wait=not (rest and rest[0] == "async"))
+                reply({"ok": True, "epoch": epoch})
+            elif cmd == "checkpoint":
+                cp = daemon.checkpoint_now(rest[0] if rest else None)
+                reply({
+                    "ok": True, "generation": cp.generation,
+                    "epochs_published": cp.epochs_published,
+                })
+            else:
+                reply({"ok": False, "error": f"unknown command {cmd!r}"})
+        except (ValueError, RuntimeError, OSError, KeyError) as exc:
+            reply({"ok": False, "error": str(exc)})
+
+
+def _run_serve_run(args, out=sys.stdout, in_stream=None) -> int:
+    """A metric-only daemon over a saved instance: spool ingest plus the
+    stdin/stdout request loop (no network dependency)."""
+    from .serialize import load_instance
+    from .serve import PlacementDaemon, read_spool_file, spool_files
+
+    try:
+        config = _serve_config(args)
+    except (ValueError, TypeError, OSError) as exc:
+        print(f"serve run: bad config: {exc}", file=sys.stderr)
+        return 2
+    try:
+        instance = load_instance(args.instance)
+    except (ValueError, OSError, KeyError) as exc:
+        print(f"serve run: cannot load {args.instance}: {exc}", file=sys.stderr)
+        return 2
+
+    resume = args.checkpoint is not None and Path(args.checkpoint).exists()
+    if resume:
+        explicit = (
+            args.config is not None or args.incremental
+            or args.tolerance is not None or args.checkpoint_every is not None
+        )
+        daemon = PlacementDaemon.restore(
+            args.checkpoint,
+            storage_costs=instance.storage_costs,
+            metric=instance.metric,
+            config=config if explicit else None,
+        )
+    else:
+        daemon = PlacementDaemon(
+            instance.storage_costs,
+            instance.num_objects,
+            metric=instance.metric,
+            config=config,
+            checkpoint_path=args.checkpoint,
+        )
+    daemon.install_signal_handlers()
+    status = daemon.stats()
+    print(
+        f"serving {status['num_objects']} objects on "
+        f"{status['num_nodes']} nodes "
+        f"(generation {status['generation']}"
+        f"{', resumed' if resume else ''})",
+        file=sys.stderr,
+    )
+    try:
+        if args.spool:
+            for batch in spool_files(args.spool):
+                receipt = daemon.ingest(read_spool_file(batch))
+                print(
+                    f"ingested {batch.name}: {receipt['events']} events",
+                    file=sys.stderr,
+                )
+                if args.epoch_per_file:
+                    daemon.end_epoch(wait=True)
+        _serve_command_loop(daemon, in_stream or sys.stdin, out)
+    finally:
+        daemon.close()
+    return 0
+
+
+def _run_serve(args, out=sys.stdout) -> int:
+    if args.serve_command == "replay":
+        return _run_serve_replay(args, out=out)
+    if args.serve_command == "run":
+        return _run_serve_run(args, out=out)
+    print("serve: choose a subcommand (run, replay)", file=sys.stderr)
+    return 2
+
+
 def _bench_sweep_from_args(args):
     """The declared trial set of ``bench run`` (sweep file or one-off)."""
     from .bench import SweepConfig, TrialConfig
@@ -646,6 +886,77 @@ def main(argv: Sequence[str] | None = None, out=sys.stdout) -> int:
     p_dy.add_argument("--out", dest="out_path", default=None,
                       help="write the experiment table as JSON here")
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="long-lived placement daemon: live ingest, background "
+        "replans, warm restarts",
+    )
+    serve_sub = p_serve.add_subparsers(dest="serve_command")
+    serve_opts = argparse.ArgumentParser(add_help=False)
+    serve_opts.add_argument("--config", default=None, metavar="FILE",
+                            help="PlanConfig file (*.json or *.toml)")
+    serve_opts.add_argument("--incremental", action="store_true",
+                            help="background replans re-place only drifted "
+                            "objects (replan_mode='incremental')")
+    serve_opts.add_argument("--tolerance", type=float, default=None,
+                            help="normalized L1 demand-drift threshold "
+                            "below which an object keeps its copies "
+                            "(0: every epoch replans exactly)")
+    serve_opts.add_argument("--checkpoint", default=None, metavar="FILE",
+                            help="warm-state *.npz: written on close/"
+                            "SIGTERM (and resumed from, for 'run', when "
+                            "it already exists)")
+    serve_opts.add_argument("--checkpoint-every", dest="checkpoint_every",
+                            type=int, default=None,
+                            help="also checkpoint every N published epochs")
+
+    ps_run = serve_sub.add_parser(
+        "run", parents=[serve_opts],
+        help="serve a saved instance: spool ingest + stdin/stdout "
+        "request loop",
+    )
+    ps_run.add_argument("--instance", required=True, metavar="FILE",
+                        help="a save_instance() artifact (*.npz or "
+                        "*.json); its metric/prices define the network, "
+                        "demand comes from the spool and stdin")
+    ps_run.add_argument("--spool", default=None, metavar="DIR",
+                        help="ingest every *.jsonl/*.json/*.npz request "
+                        "batch in this directory (sorted) before the "
+                        "command loop")
+    ps_run.add_argument("--epoch-per-file", action="store_true",
+                        help="seal an epoch after each spool file instead "
+                        "of leaving the batches in one pending window")
+
+    ps_rp = serve_sub.add_parser(
+        "replay", parents=[serve_opts],
+        help="drive a daemon from a generated dynamic workload; "
+        "--compare checks tolerance-0 parity with the epoch replanner",
+    )
+    ps_rp.add_argument("--scenario", choices=("drift", "flash"),
+                       default="drift")
+    ps_rp.add_argument("--nodes", type=int, default=200,
+                       help="target network size (transit-stub)")
+    ps_rp.add_argument("--num-objects", type=int, default=24)
+    ps_rp.add_argument("--epochs", type=int, default=4)
+    ps_rp.add_argument("--requests-per-epoch", type=int, default=None,
+                       help="per-epoch request budget (default 100 per "
+                       "object)")
+    ps_rp.add_argument("--drift", type=float, default=0.2,
+                       help="fraction of objects swapping popularity per "
+                       "epoch")
+    ps_rp.add_argument("--write-fraction", type=float, default=0.1)
+    ps_rp.add_argument("--backend", choices=("dense", "lazy"),
+                       default="dense",
+                       help="distance backend the daemon serves from")
+    ps_rp.add_argument("--seed", type=int, default=29)
+    ps_rp.add_argument("--compare", action="store_true",
+                       help="replay the same workload through the "
+                       "EpochReplanner and exit 1 if a tolerance-0 "
+                       "daemon diverges from it")
+    ps_rp.add_argument("--out", dest="out_path", default=None,
+                       help="write the per-epoch records (or the parity "
+                       "verdict) as JSON here")
+
     p_bench = sub.add_parser(
         "bench",
         help="experiment harness: cached resumable sweeps + BENCH gate",
@@ -726,6 +1037,8 @@ def main(argv: Sequence[str] | None = None, out=sys.stdout) -> int:
         return _run_place(args, out=out)
     if args.command == "backend-sweep":
         return _run_backend_sweep(args, out=out)
+    if args.command == "serve":
+        return _run_serve(args, out=out)
     if args.command == "dynamic":
         return _run_dynamic(args, out=out)
     if args.command == "bench":

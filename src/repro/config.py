@@ -43,6 +43,7 @@ __all__ = [
     "BACKEND_CHOICES",
     "COST_POLICIES",
     "REPLAN_MODES",
+    "SERVE_TRIGGERS",
     "KERNEL_MODES",
     "PARTITION_METHODS",
     "load_mapping",
@@ -90,6 +91,13 @@ COST_POLICIES = ("mst", "steiner", "steiner_mst")
 #: the whole catalog every epoch, ``"incremental"`` re-solves only the
 #: objects whose demand drifted beyond ``replan_tolerance``.
 REPLAN_MODES = ("full", "incremental")
+
+#: Replan trigger modes of the serving daemon
+#: (:class:`repro.serve.PlacementDaemon`): ``"drift"`` re-places only
+#: when some object's demand drifted beyond ``replan_tolerance`` since
+#: its last re-place, ``"every-epoch"`` runs the configured re-solve for
+#: every sealed batch window regardless.
+SERVE_TRIGGERS = ("drift", "every-epoch")
 
 
 @dataclass(frozen=True)
@@ -158,6 +166,22 @@ class PlanConfig:
         exactly the objects whose frequency rows changed at all --
         bit-identical to a full re-solve; larger values trade a bounded
         billing error for fewer re-solves.
+    serve_trigger:
+        When the serving daemon (:class:`repro.serve.PlacementDaemon`)
+        schedules a background replan for a sealed batch window
+        (:data:`SERVE_TRIGGERS`): ``"drift"`` (default) only when the
+        accumulated drift since the last re-place crosses
+        ``replan_tolerance``, ``"every-epoch"`` unconditionally.
+    serve_checkpoint_every:
+        Warm-state checkpoint cadence of the daemon, in published
+        epochs: ``k > 0`` writes the checkpoint after every ``k``-th
+        publish (when a checkpoint path is configured); ``0`` (default)
+        checkpoints only on shutdown / SIGTERM.
+    serve_max_lag:
+        Bound on the daemon's background-replan pipeline: at most this
+        many sealed-but-unpublished epochs may be queued before
+        ``end_epoch`` blocks the ingest side (backpressure instead of
+        unbounded queueing).
     """
 
     backend: str = "auto"
@@ -179,6 +203,9 @@ class PlanConfig:
     partition: str = "auto"
     num_shards: int = 1
     portals_per_shard: int = 4
+    serve_trigger: str = "drift"
+    serve_checkpoint_every: int = 0
+    serve_max_lag: int = 4
 
     # ------------------------------------------------------------------
     def __post_init__(self) -> None:
@@ -231,6 +258,21 @@ class PlanConfig:
             raise ValueError(
                 "portals_per_shard must be >= 1 (each shard needs at least "
                 "one boundary portal to route inter-shard distances)"
+            )
+        if self.serve_trigger not in SERVE_TRIGGERS:
+            raise ValueError(
+                f"unknown serve_trigger {self.serve_trigger!r}; "
+                f"choose from {SERVE_TRIGGERS}"
+            )
+        if int(self.serve_checkpoint_every) < 0:
+            raise ValueError(
+                "serve_checkpoint_every must be >= 0 (0 checkpoints only "
+                "on shutdown)"
+            )
+        if int(self.serve_max_lag) < 1:
+            raise ValueError(
+                "serve_max_lag must be >= 1 (at least one sealed epoch "
+                "must be allowed in flight)"
             )
 
     # ------------------------------------------------------------------

@@ -37,6 +37,7 @@ commodity RAM, and strictly necessary at ``n ~ 10^4``.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Iterable, Protocol, Sequence, runtime_checkable
 
@@ -136,6 +137,7 @@ class LazyMetric:
         "_cache",
         "_cache_rows",
         "_pinned",
+        "_lock",
         "rows_computed",
         "cache_hits",
     )
@@ -155,6 +157,12 @@ class LazyMetric:
         self._cache: OrderedDict[int, np.ndarray] = OrderedDict()
         self._cache_rows = int(cache_rows)
         self._pinned: dict[int, np.ndarray] = {}
+        # Guards the LRU / pinned dicts and the counters so concurrent
+        # daemon lookups can't corrupt the OrderedDict mid-reorder.  The
+        # Dijkstra itself runs outside the lock (recomputing a row twice
+        # under a race is idempotent); re-entrant because precompute()
+        # pins through rows() -> _lookup()/_insert().
+        self._lock = threading.RLock()
         self.rows_computed = 0
         self.cache_hits = 0
         if validate and self.n > 1:
@@ -184,28 +192,31 @@ class LazyMetric:
     # ------------------------------------------------------------------
     def _compute_rows(self, idx: np.ndarray) -> np.ndarray:
         """One batched compiled-Dijkstra call for a block of sources."""
-        self.rows_computed += int(idx.size)
+        with self._lock:
+            self.rows_computed += int(idx.size)
         out = dijkstra(self._adj, directed=False, indices=idx)
         return np.atleast_2d(out)
 
     def _lookup(self, v: int) -> np.ndarray | None:
-        pinned = self._pinned.get(v)
-        if pinned is not None:
-            self.cache_hits += 1
-            return pinned
-        cached = self._cache.get(v)
-        if cached is not None:
-            self._cache.move_to_end(v)
-            self.cache_hits += 1
-        return cached
+        with self._lock:
+            pinned = self._pinned.get(v)
+            if pinned is not None:
+                self.cache_hits += 1
+                return pinned
+            cached = self._cache.get(v)
+            if cached is not None:
+                self._cache.move_to_end(v)
+                self.cache_hits += 1
+            return cached
 
     def _insert(self, v: int, row: np.ndarray) -> None:
-        if v in self._pinned:
-            return
-        self._cache[v] = row
-        self._cache.move_to_end(v)
-        while len(self._cache) > self._cache_rows:
-            self._cache.popitem(last=False)
+        with self._lock:
+            if v in self._pinned:
+                return
+            self._cache[v] = row
+            self._cache.move_to_end(v)
+            while len(self._cache) > self._cache_rows:
+                self._cache.popitem(last=False)
 
     def row(self, v: int) -> np.ndarray:
         v = int(v)
@@ -251,18 +262,20 @@ class LazyMetric:
                 raise ValueError(
                     f"rows must have shape ({len(order)}, {self.n}), got {rows.shape}"
                 )
-            for pos, v in enumerate(order):
-                if v not in self._pinned:
-                    self._pinned[v] = rows[pos]
-                    self._cache.pop(v, None)
+            with self._lock:
+                for pos, v in enumerate(order):
+                    if v not in self._pinned:
+                        self._pinned[v] = rows[pos]
+                        self._cache.pop(v, None)
             return
-        fresh = [v for v in order if v not in self._pinned]
-        if not fresh:
-            return
-        block = self.rows(fresh)
-        for v, row in zip(fresh, block):
-            self._pinned[v] = row  # views share the block; no extra copy
-            self._cache.pop(v, None)
+        with self._lock:
+            fresh = [v for v in order if v not in self._pinned]
+            if not fresh:
+                return
+            block = self.rows(fresh)
+            for v, row in zip(fresh, block):
+                self._pinned[v] = row  # views share the block; no extra copy
+                self._cache.pop(v, None)
 
     # ------------------------------------------------------------------
     # queries
@@ -361,6 +374,7 @@ class LazyMetric:
         self._cache = OrderedDict()
         self._cache_rows = int(state["cache_rows"])
         self._pinned = {}
+        self._lock = threading.RLock()
         self.rows_computed = 0
         self.cache_hits = 0
 

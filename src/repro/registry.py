@@ -372,6 +372,48 @@ class EpochReplanStrategy(PlacementStrategy):
 
 
 @register_strategy
+class DaemonStrategy(PlacementStrategy):
+    """The serving daemon, driven offline on one static instance.
+
+    Spins up a metric-only :class:`~repro.serve.PlacementDaemon`, feeds
+    it the instance's demand as a single batch window, seals one epoch
+    and reads the published generation back -- so the live subsystem is
+    comparable against every batch strategy through the same
+    ``plan(instance, config)`` protocol.  The placement equals ``krw``'s
+    (one sealed epoch is one full solve); ``extras`` records the
+    daemon's publish metadata and its migration bill from the
+    zero-knowledge start, which matches ``epoch-replan``'s accounting.
+    """
+
+    name = "daemon"
+
+    def place(self, instance, config):
+        from .serve import PlacementDaemon
+
+        daemon = PlacementDaemon(
+            instance.storage_costs,
+            instance.num_objects,
+            metric=instance.metric,
+            config=config,
+        )
+        try:
+            daemon.ingest_counts(instance.read_freq, instance.write_freq)
+            daemon.end_epoch(wait=True)
+            state = daemon.snapshot()
+            record = daemon.epoch_records[-1]
+        finally:
+            daemon.close()
+        return state.as_placement(), {
+            "generation": state.generation,
+            "migration_cost": record["migration_cost"],
+            "replaced_objects": record["replaced"],
+            "serve_trigger": config.serve_trigger,
+            "replan_mode": config.replan_mode,
+            "replan_tolerance": config.replan_tolerance,
+        }
+
+
+@register_strategy
 class OnlineStrategy(PlacementStrategy):
     """Final copy sets of the count-based online strategy.
 

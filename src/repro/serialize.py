@@ -45,6 +45,10 @@ __all__ = [
     "load_partition",
     "placement_to_arrays",
     "placement_from_arrays",
+    "ragged_to_arrays",
+    "ragged_from_arrays",
+    "save_array_archive",
+    "load_array_archive",
     "canonical_payload",
     "canonical_json_dumps",
 ]
@@ -249,7 +253,13 @@ def partition_from_dict(data: dict) -> Partition:
     )
 
 
-def _ragged_to_arrays(groups) -> tuple[np.ndarray, np.ndarray]:
+def ragged_to_arrays(groups) -> tuple[np.ndarray, np.ndarray]:
+    """Flatten any ragged int-group sequence: ``(concatenated, offsets)``.
+
+    The shared encoding behind :func:`placement_to_arrays`, partition
+    archives and the serving daemon's warm-state checkpoints; group
+    ``i`` is ``nodes[offsets[i]:offsets[i + 1]]``.
+    """
     sizes = [len(g) for g in groups]
     offsets = np.zeros(len(sizes) + 1, dtype=np.int64)
     np.cumsum(sizes, out=offsets[1:])
@@ -259,13 +269,57 @@ def _ragged_to_arrays(groups) -> tuple[np.ndarray, np.ndarray]:
     return nodes, offsets
 
 
-def _ragged_from_arrays(nodes, offsets) -> tuple[tuple[int, ...], ...]:
+def ragged_from_arrays(nodes, offsets) -> tuple[tuple[int, ...], ...]:
+    """Inverse of :func:`ragged_to_arrays` (tuples of plain ints)."""
     nodes = np.asarray(nodes, dtype=np.int64)
     offsets = np.asarray(offsets, dtype=np.int64)
     return tuple(
         tuple(int(v) for v in nodes[offsets[i]:offsets[i + 1]])
         for i in range(offsets.size - 1)
     )
+
+
+def save_array_archive(path, *, fmt: str, meta: dict, arrays: dict) -> None:
+    """Write ``*.npz`` with a canonical-JSON ``meta`` record (the shared
+    archive idiom of partitions, instances, plan reports and the serving
+    daemon's warm-state checkpoints).
+
+    ``fmt`` tags the archive so :func:`load_array_archive` can reject a
+    file of the wrong kind with a named error instead of a KeyError;
+    ``meta`` must be canonical-JSON-able (:func:`canonical_payload`
+    semantics, so a non-JSON value is a hard ``TypeError`` at save time,
+    not a corrupt archive at load time).
+    """
+    path = Path(path)
+    if artifact_suffix(path) != ".npz":
+        raise ValueError(f"array archives are .npz files, got {path.name}")
+    if "meta" in arrays:
+        raise ValueError("'meta' is reserved for the archive header")
+    header = {"format": str(fmt), "version": _FORMAT_VERSION}
+    header.update(canonical_payload(meta))
+    np.savez_compressed(
+        path, meta=np.str_(canonical_json_dumps(header, indent=None)), **arrays
+    )
+
+
+def load_array_archive(path, *, fmt: str) -> tuple[dict, dict]:
+    """Read an archive written by :func:`save_array_archive`; returns
+    ``(meta, arrays)`` with the format/version header checked."""
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as archive:
+        meta = json.loads(str(archive["meta"]))
+        if meta.get("format") != fmt:
+            raise ValueError(
+                f"{path} holds a {meta.get('format')!r} archive, "
+                f"expected {fmt!r}"
+            )
+        if meta.get("version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"{path} has format version {meta.get('version')!r}, "
+                f"this build reads version {_FORMAT_VERSION}"
+            )
+        arrays = {k: np.asarray(archive[k]) for k in archive.files if k != "meta"}
+    return meta, arrays
 
 
 def save_partition(partition: Partition, path) -> None:
@@ -276,8 +330,8 @@ def save_partition(partition: Partition, path) -> None:
     if artifact_suffix(path) == ".json":
         path.write_text(json.dumps(partition_to_dict(partition)) + "\n")
         return
-    shard_nodes, shard_offsets = _ragged_to_arrays(partition.shards)
-    portal_nodes, portal_offsets = _ragged_to_arrays(partition.portals)
+    shard_nodes, shard_offsets = ragged_to_arrays(partition.shards)
+    portal_nodes, portal_offsets = ragged_to_arrays(partition.portals)
     meta = {"format": "repro-partition", "version": _FORMAT_VERSION}
     np.savez_compressed(
         path,
@@ -300,10 +354,10 @@ def load_partition(path) -> Partition:
         if meta.get("format") != "repro-partition":
             raise ValueError(f"{path} is not a serialized partition")
         return Partition(
-            shards=_ragged_from_arrays(
+            shards=ragged_from_arrays(
                 archive["shard_nodes"], archive["shard_offsets"]
             ),
-            portals=_ragged_from_arrays(
+            portals=ragged_from_arrays(
                 archive["portal_nodes"], archive["portal_offsets"]
             ),
             quotient=np.asarray(archive["quotient"], dtype=float),

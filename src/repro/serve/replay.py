@@ -1,0 +1,99 @@
+"""Drive a daemon from a recorded :class:`DynamicWorkload` horizon.
+
+The bridge between the live subsystem and the batch baselines:
+:func:`replay_workload` feeds a workload's epochs through a daemon one
+``ingest_counts`` + ``end_epoch`` pair at a time, and
+:func:`compare_with_replanner` runs the matching
+:class:`~repro.simulate.replanner.EpochReplanner` on the *same* config
+and checks per-epoch placement identity and bill parity -- the
+tolerance-0 bit-identity contract the CI daemon smoke and Experiment
+E19 gate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import PlanConfig
+from ..simulate.replanner import EpochReplanner
+from .daemon import PlacementDaemon
+
+__all__ = ["replay_workload", "compare_with_replanner"]
+
+
+def replay_workload(daemon: PlacementDaemon, workload, *, wait: bool = True) -> list[dict]:
+    """Feed every epoch of ``workload`` through ``daemon`` and return its
+    per-epoch accounting records (one sealed epoch per workload epoch)."""
+    for e in range(workload.num_epochs):
+        daemon.ingest_counts(workload.read_freqs[e], workload.write_freqs[e])
+        daemon.end_epoch(wait=wait)
+    daemon.drain()
+    return daemon.epoch_records
+
+
+def compare_with_replanner(
+    graph,
+    metric,
+    storage_costs,
+    workload,
+    config: PlanConfig | None = None,
+) -> dict:
+    """Replay ``workload`` through a fresh daemon *and* an
+    :class:`~repro.simulate.replanner.EpochReplanner` on the same
+    config; returns the parity verdict.
+
+    The dict carries ``identical`` (every epoch's copy sets match --
+    guaranteed at ``replan_tolerance=0``), ``cost_ratio`` (daemon total
+    over replanner total), both totals, per-epoch records, and the
+    daemon itself is closed before returning.
+    """
+    config = config if config is not None else PlanConfig()
+    daemon = PlacementDaemon(
+        storage_costs,
+        workload.num_objects,
+        metric=metric,
+        graph=graph,
+        config=config,
+        keep_history=True,
+    )
+    try:
+        records = replay_workload(daemon, workload)
+        daemon_total = float(daemon.snapshot().cumulative_cost)
+        daemon_placements = [
+            daemon.generation_placement(r["generation"]) for r in records
+        ]
+    finally:
+        daemon.close()
+
+    replanner = EpochReplanner(graph, metric, storage_costs, config=config)
+    result = replanner.run(workload)
+
+    identical = len(result.epochs) == len(records)
+    per_epoch = []
+    for e, (rep, rec) in enumerate(zip(result.epochs, records)):
+        same_sets = daemon_placements[e] == rep.placement.copy_sets
+        bills_close = np.isclose(
+            rec["total_cost"], rep.total_cost, rtol=1e-9, atol=0.0
+        )
+        identical = identical and same_sets and bool(bills_close)
+        per_epoch.append(
+            {
+                "epoch": e,
+                "daemon_cost": rec["total_cost"],
+                "replanner_cost": rep.total_cost,
+                "placements_match": bool(same_sets),
+                "daemon_replaced": rec["replaced"],
+                "replanner_replaced": rep.replaced_objects,
+            }
+        )
+    replanner_total = float(result.total_cost)
+    return {
+        "identical": bool(identical),
+        "daemon_total": daemon_total,
+        "replanner_total": replanner_total,
+        "cost_ratio": (
+            daemon_total / replanner_total if replanner_total else float("nan")
+        ),
+        "epochs": per_epoch,
+        "records": records,
+    }

@@ -1,0 +1,163 @@
+"""The immutable serving snapshot the daemon answers lookups from.
+
+One :class:`ServingState` is everything a lookup needs -- the copy sets,
+the generation that produced them, that generation's migration bill and
+the cumulative bill so far -- frozen at publish time.  The daemon swaps
+a fresh state in with a single attribute assignment (atomic under the
+GIL), so a reader that grabbed the reference once can never observe a
+half-published placement: every field it touches, including the
+per-object nearest-replica cache, hangs off the one snapshot it holds.
+
+The nearest-replica arrays are *lazy*: computed per object on first
+lookup (one ``nearest_in_set`` backend query, vectorized over all
+nodes), then memoized under a lock inside the snapshot -- concurrent
+readers may race to compute the same arrays, which is idempotent.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.placement import Placement
+
+__all__ = ["ServingState", "LookupResult"]
+
+
+@dataclass(frozen=True)
+class LookupResult:
+    """One answered lookup plus the provenance of the answer.
+
+    ``generation``/``epoch``/``migration_cost`` identify the publish the
+    answer came from -- the response metadata that lets a client (and
+    the consistency test) pin every answer to exactly one publish.
+    """
+
+    obj: int
+    node: int
+    copies: tuple[int, ...]
+    replica: int
+    distance: float
+    generation: int
+    epoch: int
+    migration_cost: float
+
+    def to_dict(self) -> dict:
+        return {
+            "obj": self.obj,
+            "node": self.node,
+            "copies": list(self.copies),
+            "replica": self.replica,
+            "distance": self.distance,
+            "generation": self.generation,
+            "epoch": self.epoch,
+            "migration_cost": self.migration_cost,
+        }
+
+
+class ServingState:
+    """Immutable-by-convention placement snapshot with lookup caches.
+
+    Parameters
+    ----------
+    metric:
+        The distance backend replica lookups route through (shared
+        across generations; its row cache is thread-safe).
+    copy_sets:
+        The published placement, one sorted node tuple per object.
+    generation:
+        Monotonic publish counter (0 = the cold zero-knowledge state).
+    epoch:
+        Number of sealed epochs folded into this state.
+    migration_cost:
+        The migration bill of the publish that produced this state.
+    cumulative_cost:
+        Serving + migration billed across all published epochs so far.
+    """
+
+    __slots__ = (
+        "metric", "copy_sets", "generation", "epoch",
+        "migration_cost", "cumulative_cost", "_nearest", "_nearest_lock",
+    )
+
+    def __init__(
+        self,
+        *,
+        metric,
+        copy_sets: tuple[tuple[int, ...], ...],
+        generation: int,
+        epoch: int,
+        migration_cost: float = 0.0,
+        cumulative_cost: float = 0.0,
+    ) -> None:
+        self.metric = metric
+        self.copy_sets = tuple(tuple(int(v) for v in s) for s in copy_sets)
+        self.generation = int(generation)
+        self.epoch = int(epoch)
+        self.migration_cost = float(migration_cost)
+        self.cumulative_cost = float(cumulative_cost)
+        # obj -> (nearest source per node, distance per node), lazy
+        self._nearest: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        self._nearest_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    @property
+    def num_objects(self) -> int:
+        return len(self.copy_sets)
+
+    def as_placement(self) -> Placement:
+        return Placement(self.copy_sets)
+
+    # ------------------------------------------------------------------
+    def _check_obj(self, obj: int) -> int:
+        obj = int(obj)
+        if not 0 <= obj < len(self.copy_sets):
+            raise ValueError(
+                f"unknown object {obj} (catalog has {len(self.copy_sets)})"
+            )
+        return obj
+
+    def _nearest_arrays(self, obj: int) -> tuple[np.ndarray, np.ndarray]:
+        cached = self._nearest.get(obj)
+        if cached is None:
+            cached = self.metric.nearest_in_set(self.copy_sets[obj])
+            with self._nearest_lock:
+                cached = self._nearest.setdefault(obj, cached)
+        return cached
+
+    # ------------------------------------------------------------------
+    def placement(self, obj: int) -> tuple[int, ...]:
+        """The copy set of one object in this generation."""
+        return self.copy_sets[self._check_obj(obj)]
+
+    def nearest_replica(self, obj: int, node: int) -> tuple[int, float]:
+        """``(replica node, distance)`` for a request from ``node``."""
+        obj = self._check_obj(obj)
+        node = int(node)
+        sources, dists = self._nearest_arrays(obj)
+        if not 0 <= node < dists.shape[0]:
+            raise ValueError(f"unknown node {node} (network has {dists.shape[0]})")
+        return int(sources[node]), float(dists[node])
+
+    def lookup(self, obj: int, node: int) -> LookupResult:
+        """A full lookup answer with publish provenance attached."""
+        obj = self._check_obj(obj)
+        replica, distance = self.nearest_replica(obj, node)
+        return LookupResult(
+            obj=obj,
+            node=int(node),
+            copies=self.copy_sets[obj],
+            replica=replica,
+            distance=distance,
+            generation=self.generation,
+            epoch=self.epoch,
+            migration_cost=self.migration_cost,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ServingState(generation={self.generation}, epoch={self.epoch}, "
+            f"objects={len(self.copy_sets)})"
+        )

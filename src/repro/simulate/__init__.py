@@ -16,7 +16,7 @@
 from .events import READ, WRITE, Request, RequestLog, request_log_from_instance
 from .online import OnlineCountingStrategy
 from .paths import PathCache
-from .replanner import EpochReplanner, EpochReport, ReplanResult
+from .replanner import EpochReplanner, EpochReport, ReplanResult, migration_diff
 from .simulator import NetworkSimulator, SimulationReport
 
 __all__ = [
@@ -30,6 +30,7 @@ __all__ = [
     "SimulationReport",
     "OnlineCountingStrategy",
     "EpochReplanner",
+    "migration_diff",
     "EpochReport",
     "ReplanResult",
 ]

@@ -203,6 +203,24 @@ class RequestLog:
             writes.reshape(num_objects, num_nodes),
         )
 
+    def counts_by_object(self, num_objects: int) -> tuple[np.ndarray, np.ndarray]:
+        """Per-object event totals: ``(reads, writes)`` length-``num_objects``
+        integer vectors, one ``bincount`` per kind.
+
+        The node axis of :meth:`counts` summed out -- what a demand
+        counter (the serving daemon's per-object stats) needs, without
+        materializing the ``(objects, nodes)`` matrices.
+        """
+        if len(self) and (
+            int(self.obj.min()) < 0 or int(self.obj.max()) >= num_objects
+        ):
+            bad = int(self.obj.min()) if int(self.obj.min()) < 0 else int(self.obj.max())
+            raise ValueError(f"request for unknown object {bad}")
+        is_write = self.kind == KIND_WRITE
+        reads = np.bincount(self.obj[~is_write], minlength=num_objects)
+        writes = np.bincount(self.obj[is_write], minlength=num_objects)
+        return reads, writes
+
     def validate_for(self, num_objects: int, num_nodes: int) -> None:
         """Check every event addresses a known object and node."""
         if len(self) == 0:

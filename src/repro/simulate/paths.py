@@ -17,6 +17,7 @@ graph).
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
 import networkx as nx
@@ -56,7 +57,10 @@ class PathCache:
         memory stays bounded beyond that.
     """
 
-    __slots__ = ("n", "_adj", "_max_sources", "_cache", "sources_computed", "cache_hits")
+    __slots__ = (
+        "n", "_adj", "_max_sources", "_cache", "_lock",
+        "sources_computed", "cache_hits",
+    )
 
     def __init__(
         self,
@@ -79,6 +83,11 @@ class PathCache:
             raise ValueError("max_sources must be positive")
         self._max_sources = int(max_sources)
         self._cache: OrderedDict[int, tuple[np.ndarray, np.ndarray]] = OrderedDict()
+        # Guards the LRU and counters: a foreground daemon lookup and a
+        # background replan's simulator may share one cache.  The
+        # Dijkstra runs outside the lock (a racing duplicate compute is
+        # idempotent); the cached arrays themselves are append-only.
+        self._lock = threading.Lock()
         self.sources_computed = 0
         self.cache_hits = 0
 
@@ -86,19 +95,22 @@ class PathCache:
     def _entry(self, u: int) -> tuple[np.ndarray, np.ndarray]:
         """(distances, predecessors) from one source, LRU-cached."""
         u = int(u)
-        entry = self._cache.get(u)
-        if entry is not None:
-            self._cache.move_to_end(u)
-            self.cache_hits += 1
-            return entry
+        with self._lock:
+            entry = self._cache.get(u)
+            if entry is not None:
+                self._cache.move_to_end(u)
+                self.cache_hits += 1
+                return entry
         dist, pred = dijkstra(
             self._adj, directed=False, indices=[u], return_predecessors=True
         )
         entry = (dist[0], pred[0])
-        self._cache[u] = entry
-        while len(self._cache) > self._max_sources:
-            self._cache.popitem(last=False)
-        self.sources_computed += 1
+        with self._lock:
+            self._cache[u] = entry
+            self._cache.move_to_end(u)
+            while len(self._cache) > self._max_sources:
+                self._cache.popitem(last=False)
+            self.sources_computed += 1
         return entry
 
     # ------------------------------------------------------------------

@@ -79,7 +79,45 @@ from ..engine import PlacementEngine
 from .paths import PathCache
 from .simulator import NetworkSimulator, SimulationReport
 
-__all__ = ["EpochReport", "ReplanResult", "EpochReplanner"]
+__all__ = ["EpochReport", "ReplanResult", "EpochReplanner", "migration_diff"]
+
+
+def migration_diff(
+    metric,
+    prev: list[tuple[int, ...]],
+    new: tuple[tuple[int, ...], ...],
+) -> tuple[float, int, int]:
+    """Batched migration bill for a whole placement transition.
+
+    Returns ``(cost, copies added, copies dropped)``.  Gained copies are
+    grouped by their object's previous copy set; each distinct group is
+    billed with one vectorized ``dist_to_set`` query (on a lazy backend:
+    one multi-source Dijkstra) instead of one backend query per object.
+    Objects whose copy sets did not move -- the common case under
+    incremental replanning -- are skipped outright.
+
+    The shared accounting kernel of :class:`EpochReplanner` and the live
+    :class:`~repro.serve.PlacementDaemon`: both bill every epoch
+    transition through this one function, which is what makes their
+    cumulative migration bills comparable (and, at ``tolerance=0``,
+    bit-identical).
+    """
+    gained_by_prev: dict[tuple[int, ...], list[int]] = {}
+    added = dropped = 0
+    for old, nxt in zip(prev, new):
+        if old == nxt:
+            continue
+        old_set = set(old)
+        gained = [v for v in nxt if v not in old_set]
+        dropped += len(old_set.difference(nxt))
+        if gained:
+            added += len(gained)
+            gained_by_prev.setdefault(old, []).extend(gained)
+    cost = 0.0
+    for old, nodes in gained_by_prev.items():
+        dist = metric.dist_to_set(old)
+        cost += float(dist[np.asarray(nodes, dtype=int)].sum())
+    return cost, added, dropped
 
 
 @dataclass(frozen=True)
@@ -208,31 +246,9 @@ class EpochReplanner:
         prev: list[tuple[int, ...]],
         new: tuple[tuple[int, ...], ...],
     ) -> tuple[float, int, int]:
-        """Batched migration bill for a whole epoch transition.
-
-        Gained copies are grouped by their object's previous copy set;
-        each distinct group is billed with one vectorized
-        ``dist_to_set`` query (on a lazy backend: one multi-source
-        Dijkstra) instead of one backend query per object.  Objects
-        whose copy sets did not move -- the common case under
-        incremental replanning -- are skipped outright.
-        """
-        gained_by_prev: dict[tuple[int, ...], list[int]] = {}
-        added = dropped = 0
-        for old, nxt in zip(prev, new):
-            if old == nxt:
-                continue
-            old_set = set(old)
-            gained = [v for v in nxt if v not in old_set]
-            dropped += len(old_set.difference(nxt))
-            if gained:
-                added += len(gained)
-                gained_by_prev.setdefault(old, []).extend(gained)
-        cost = 0.0
-        for old, nodes in gained_by_prev.items():
-            dist = self.metric.dist_to_set(old)
-            cost += float(dist[np.asarray(nodes, dtype=int)].sum())
-        return cost, added, dropped
+        """Batched migration bill for a whole epoch transition -- the
+        module-level :func:`migration_diff` on this replanner's metric."""
+        return migration_diff(self.metric, prev, new)
 
     # ------------------------------------------------------------------
     def run(self, workload, *, log_seed: int | None = None) -> ReplanResult:
@@ -261,7 +277,7 @@ class EpochReplanner:
         matters when comparing against order-sensitive strategies on the
         same stream.
         """
-        from ..workloads.dynamic import drifted_rows
+        from ..workloads.drift import DriftTracker
 
         incremental = self.config.replan_mode == "incremental"
         result = ReplanResult()
@@ -270,8 +286,7 @@ class EpochReplanner:
             (start,) for _ in range(workload.num_objects)
         ]
         # demand rows at each object's last re-place (incremental mode)
-        base_fr: np.ndarray | None = None
-        base_fw: np.ndarray | None = None
+        tracker = DriftTracker(tolerance=self.config.replan_tolerance)
         for e in range(workload.num_epochs):
             inst = workload.epoch_instance(self.metric, self.storage_costs, e)
             # the timer covers re-placement + migration diff only --
@@ -281,10 +296,7 @@ class EpochReplanner:
             if incremental and e > 0:
                 fr_e = workload.read_freqs[e]
                 fw_e = workload.write_freqs[e]
-                dirty = drifted_rows(
-                    base_fr, base_fw, fr_e, fw_e,
-                    tolerance=self.config.replan_tolerance,
-                )
+                dirty = tracker.drifted(fr_e, fw_e)
                 solved = engine.place_subset(dirty)
                 copy_sets = list(prev)
                 for obj, copies in solved.items():
@@ -292,14 +304,12 @@ class EpochReplanner:
                 placement = Placement(tuple(copy_sets))
                 replaced = len(solved)
                 if replaced:
-                    base_fr[dirty] = fr_e[dirty]
-                    base_fw[dirty] = fw_e[dirty]
+                    tracker.rebase(dirty, fr_e, fw_e)
             else:
                 placement = engine.place()
                 replaced = workload.num_objects
                 if incremental:
-                    base_fr = workload.read_freqs[e].copy()
-                    base_fw = workload.write_freqs[e].copy()
+                    tracker.prime(workload.read_freqs[e], workload.write_freqs[e])
 
             migration, added, dropped = self._migration_diff(
                 prev, placement.copy_sets

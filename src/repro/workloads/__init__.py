@@ -1,5 +1,6 @@
 """Workload generators, named scenarios, and time-evolving workloads."""
 
+from .drift import DriftTracker
 from .dynamic import (
     DynamicWorkload,
     drifted_rows,
@@ -46,6 +47,7 @@ __all__ = [
     "distributed_file_system",
     "virtual_shared_memory",
     "tree_network",
+    "DriftTracker",
     "DynamicWorkload",
     "drifted_rows",
     "drifting_zipf_catalog",

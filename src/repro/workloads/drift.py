@@ -1,0 +1,108 @@
+"""Drift-anchor bookkeeping shared by the replanner and the daemon.
+
+Incremental re-placement compares each object's current demand rows to
+the rows it had *at its last re-place* -- not the previous epoch -- so a
+slow drift accumulates against the snapshot the live placement was
+actually solved for and cannot stay under a positive tolerance forever.
+Both consumers of that invariant (the batch
+:class:`~repro.simulate.replanner.EpochReplanner` and the live
+:class:`~repro.serve.PlacementDaemon`) used to carry their own copy of
+the anchor arrays; :class:`DriftTracker` is the one tested home for it.
+
+The lifecycle is three calls:
+
+* :meth:`prime` -- a full solve anchored *every* object at the given
+  demand (the zero-knowledge epoch, or a full re-solve);
+* :meth:`drifted` -- which objects moved past the tolerance since their
+  anchor (the dirty set handed to ``place_subset``);
+* :meth:`rebase` -- after the dirty objects were re-placed, move *their*
+  anchors (and only theirs) to the demand they were just solved for.
+
+>>> import numpy as np
+>>> t = DriftTracker(tolerance=0.0)
+>>> t.prime(np.ones((2, 3)), np.zeros((2, 3)))
+>>> fr = np.ones((2, 3)); fr[1, 0] = 5.0
+>>> dirty = t.drifted(fr, np.zeros((2, 3)))
+>>> dirty.tolist()
+[1]
+>>> t.rebase(dirty, fr, np.zeros((2, 3)))
+>>> t.drifted(fr, np.zeros((2, 3))).tolist()
+[]
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .dynamic import drifted_rows
+
+__all__ = ["DriftTracker"]
+
+
+class DriftTracker:
+    """Last-re-place demand anchors plus the drift test against them.
+
+    ``tolerance`` has :func:`~repro.workloads.dynamic.drifted_rows`
+    semantics: ``0.0`` is an exact bitwise row-change test, a positive
+    value thresholds the normalized accumulated L1 delta.
+    """
+
+    __slots__ = ("tolerance", "_base_fr", "_base_fw")
+
+    def __init__(self, tolerance: float = 0.0) -> None:
+        tolerance = float(tolerance)
+        if not np.isfinite(tolerance) or tolerance < 0:
+            raise ValueError("tolerance must be finite and non-negative")
+        self.tolerance = tolerance
+        self._base_fr: np.ndarray | None = None
+        self._base_fw: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def primed(self) -> bool:
+        """Whether anchors exist yet (``False`` before the first solve)."""
+        return self._base_fr is not None
+
+    @property
+    def anchors(self) -> tuple[np.ndarray, np.ndarray]:
+        """The ``(base_fr, base_fw)`` anchor rows (copies; checkpointing)."""
+        if self._base_fr is None or self._base_fw is None:
+            raise ValueError("tracker has no anchors yet; prime() it first")
+        return self._base_fr.copy(), self._base_fw.copy()
+
+    # ------------------------------------------------------------------
+    def prime(self, fr: np.ndarray, fw: np.ndarray) -> None:
+        """Anchor every object at ``(fr, fw)`` -- a full (re-)solve."""
+        fr = np.asarray(fr, dtype=float)
+        fw = np.asarray(fw, dtype=float)
+        if fr.shape != fw.shape or fr.ndim != 2:
+            raise ValueError(
+                f"anchor stacks must be matching (objects, nodes) matrices; "
+                f"got {fr.shape} and {fw.shape}"
+            )
+        self._base_fr = fr.copy()
+        self._base_fw = fw.copy()
+
+    def drifted(self, fr: np.ndarray, fw: np.ndarray) -> np.ndarray:
+        """Objects whose rows drifted past the tolerance since their anchor."""
+        if self._base_fr is None or self._base_fw is None:
+            raise ValueError("tracker has no anchors yet; prime() it first")
+        return drifted_rows(
+            self._base_fr, self._base_fw, fr, fw, tolerance=self.tolerance
+        )
+
+    def rebase(self, rows, fr: np.ndarray, fw: np.ndarray) -> None:
+        """Move the anchors of ``rows`` (only) to their ``(fr, fw)`` demand.
+
+        Call it after the dirty set came back from ``place_subset``: the
+        re-placed objects are now solved for the new demand, everyone
+        else keeps accumulating against their old anchor.  An empty
+        ``rows`` is a no-op.
+        """
+        if self._base_fr is None or self._base_fw is None:
+            raise ValueError("tracker has no anchors yet; prime() it first")
+        rows = np.asarray(rows, dtype=int)
+        if rows.size == 0:
+            return
+        self._base_fr[rows] = np.asarray(fr, dtype=float)[rows]
+        self._base_fw[rows] = np.asarray(fw, dtype=float)[rows]

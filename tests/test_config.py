@@ -61,6 +61,30 @@ class TestValidation:
         # the replan knobs steer the replanner, never the engine
         assert "replan_mode" not in cfg.engine_kwargs()
 
+    def test_serve_knobs(self):
+        from repro.config import SERVE_TRIGGERS
+
+        assert set(SERVE_TRIGGERS) == {"drift", "every-epoch"}
+        cfg = PlanConfig(serve_trigger="every-epoch",
+                         serve_checkpoint_every=3, serve_max_lag=2)
+        assert cfg.serve_trigger == "every-epoch"
+        assert cfg.serve_checkpoint_every == 3
+        assert cfg.serve_max_lag == 2
+        defaults = PlanConfig()
+        assert defaults.serve_trigger == "drift"
+        assert defaults.serve_checkpoint_every == 0  # shutdown-only
+        assert defaults.serve_max_lag == 4
+        # the serve knobs steer the daemon, never the engine
+        assert "serve_trigger" not in cfg.engine_kwargs()
+        with pytest.raises(ValueError, match="serve_trigger"):
+            PlanConfig(serve_trigger="sometimes")
+        with pytest.raises(ValueError, match="serve_checkpoint_every"):
+            PlanConfig(serve_checkpoint_every=-1)
+        with pytest.raises(ValueError, match="serve_max_lag"):
+            PlanConfig(serve_max_lag=0)
+        # the knobs ride the dict/file round trip like every other field
+        assert PlanConfig.from_dict(cfg.to_dict()) == cfg
+
     def test_transport_and_kernel_knobs(self):
         from repro.config import KERNEL_MODES
         from repro.graphs.backend import DEFAULT_CACHE_ROWS

@@ -1,0 +1,164 @@
+"""Tests for the shared drift-anchor bookkeeping (DriftTracker) and the
+thread-safety of the hot lookup caches it serves alongside (LazyMetric's
+row cache, the simulator's PathCache)."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.graphs.backend import LazyMetric
+from repro.graphs.generators import transit_stub_graph
+from repro.graphs.metric import Metric
+from repro.simulate.paths import PathCache
+from repro.workloads import DriftTracker, drifted_rows
+
+
+def _demand(seed: int, m: int = 4, n: int = 6):
+    rng = np.random.default_rng(seed)
+    return (
+        rng.integers(0, 8, (m, n)).astype(float),
+        rng.integers(0, 3, (m, n)).astype(float),
+    )
+
+
+class TestDriftTracker:
+    def test_unprimed_tracker_refuses_queries(self):
+        t = DriftTracker()
+        assert t.primed is False
+        fr, fw = _demand(0)
+        with pytest.raises(ValueError, match="prime"):
+            t.drifted(fr, fw)
+        with pytest.raises(ValueError, match="prime"):
+            t.rebase([0], fr, fw)
+        with pytest.raises(ValueError, match="prime"):
+            t.anchors
+
+    def test_bad_tolerance_rejected(self):
+        with pytest.raises(ValueError, match="tolerance"):
+            DriftTracker(tolerance=-0.1)
+        with pytest.raises(ValueError, match="tolerance"):
+            DriftTracker(tolerance=float("nan"))
+
+    def test_prime_copies_its_inputs(self):
+        fr, fw = _demand(1)
+        t = DriftTracker()
+        t.prime(fr, fw)
+        fr[0, 0] += 99.0  # caller mutation must not move the anchor
+        assert t.drifted(fr, fw).tolist() == [0]
+        base_fr, _ = t.anchors
+        base_fr[:] = -1.0  # returned anchors are copies too
+        assert t.drifted(fr, fw).tolist() == [0]
+
+    def test_matches_drifted_rows_semantics(self):
+        base_fr, base_fw = _demand(2)
+        fr, fw = _demand(3)
+        for tol in (0.0, 0.3):
+            t = DriftTracker(tolerance=tol)
+            t.prime(base_fr, base_fw)
+            expected = drifted_rows(base_fr, base_fw, fr, fw, tolerance=tol)
+            assert np.array_equal(t.drifted(fr, fw), expected)
+
+    def test_rebase_moves_only_the_given_rows(self):
+        base_fr, base_fw = _demand(4)
+        t = DriftTracker()
+        t.prime(base_fr, base_fw)
+        fr = base_fr.copy()
+        fr[[1, 3]] += 1.0
+        dirty = t.drifted(fr, base_fw)
+        assert dirty.tolist() == [1, 3]
+        t.rebase(dirty, fr, base_fw)
+        assert t.drifted(fr, base_fw).size == 0
+        # the untouched rows still accumulate against the old anchor
+        fr2 = fr.copy()
+        fr2[0] += 1.0
+        assert t.drifted(fr2, base_fw).tolist() == [0]
+
+    def test_rebase_empty_is_a_no_op(self):
+        fr, fw = _demand(5)
+        t = DriftTracker()
+        t.prime(fr, fw)
+        t.rebase(np.array([], dtype=int), fr + 7.0, fw)
+        assert t.drifted(fr, fw).size == 0
+
+    def test_accumulated_drift_crosses_a_positive_tolerance(self):
+        """Anchors sit at the last re-place, not the previous epoch: a
+        slow per-epoch creep must eventually trip the tolerance."""
+        fr = np.full((1, 4), 10.0)
+        fw = np.zeros((1, 4))
+        t = DriftTracker(tolerance=0.25)
+        t.prime(fr, fw)
+        step = fr.copy()
+        tripped_at = None
+        for epoch in range(1, 10):
+            step = step + 1.0  # ~2.5% of the anchor volume per epoch
+            if t.drifted(step, fw).size:
+                tripped_at = epoch
+                break
+        assert tripped_at is not None and tripped_at > 1
+
+    def test_shape_mismatch_rejected(self):
+        t = DriftTracker()
+        with pytest.raises(ValueError, match="matching"):
+            t.prime(np.ones((2, 3)), np.ones((3, 2)))
+
+
+class TestConcurrentCaches:
+    """The daemon answers lookups from arbitrary threads while the
+    background worker solves -- the shared caches must not corrupt."""
+
+    def _graph(self):
+        return transit_stub_graph(2, 2, 3, seed=8)
+
+    def test_lazy_metric_rows_under_contention(self):
+        g = self._graph()
+        lazy = LazyMetric.from_graph(g, cache_rows=4)  # forced eviction
+        dense = Metric.from_graph(g)
+        n = lazy.n
+        failures: list[str] = []
+
+        def hammer(seed: int) -> None:
+            rng = np.random.default_rng(seed)
+            for _ in range(150):
+                idx = rng.choice(n, size=3, replace=False)
+                got = lazy.rows(idx)
+                if not np.allclose(got, dense.rows(idx)):
+                    failures.append(f"rows {idx.tolist()}")
+                    return
+                targets = rng.choice(n, size=2, replace=False)
+                near, dist = lazy.nearest_in_set(targets)
+                ref_near, ref_dist = dense.nearest_in_set(targets)
+                if not np.allclose(dist, ref_dist):
+                    failures.append(f"nearest {targets.tolist()}")
+                    return
+
+        threads = [threading.Thread(target=hammer, args=(s,)) for s in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not failures
+
+    def test_path_cache_under_contention(self):
+        g = self._graph()
+        cache = PathCache(g, max_sources=4)
+        n = g.number_of_nodes()
+        reference = PathCache(g)
+        failures: list[str] = []
+
+        def hammer(seed: int) -> None:
+            rng = np.random.default_rng(seed)
+            for _ in range(200):
+                src = int(rng.integers(0, n))
+                dst = int(rng.integers(0, n))
+                if cache.path(src, dst) != reference.path(src, dst):
+                    failures.append(f"{src}->{dst}")
+                    return
+
+        threads = [threading.Thread(target=hammer, args=(s,)) for s in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not failures
+        assert cache.sources_computed >= 1

@@ -142,3 +142,43 @@ class TestValidation:
             log.validate_for(1, 10)
         with pytest.raises(ValueError, match="unknown node"):
             log.validate_for(5, 2)
+
+
+class TestCountsByObject:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_per_event_loop(self, seed):
+        """counts_by_object against the naive per-event tally, on random
+        logs (including objects that never appear)."""
+        rng = np.random.default_rng(seed)
+        events = int(rng.integers(0, 80))
+        num_objects = int(rng.integers(1, 7))
+        log = RequestLog(
+            kind=rng.integers(0, 2, events),
+            node=rng.integers(0, 5, events),
+            obj=rng.integers(0, num_objects, events),
+        )
+        reads, writes = log.counts_by_object(num_objects)
+        ref_reads = np.zeros(num_objects, dtype=np.int64)
+        ref_writes = np.zeros(num_objects, dtype=np.int64)
+        for req in log:
+            if req.kind == READ:
+                ref_reads[req.obj] += 1
+            else:
+                ref_writes[req.obj] += 1
+        assert np.array_equal(reads, ref_reads)
+        assert np.array_equal(writes, ref_writes)
+        assert reads.sum() + writes.sum() == events
+
+    def test_consistent_with_counts(self):
+        inst = _instance(6)
+        log = request_log_from_instance(inst, seed=3)
+        reads, writes = log.counts_by_object(inst.num_objects)
+        fr, fw = log.counts(inst.num_objects, inst.num_nodes)
+        assert np.array_equal(reads, fr.sum(axis=1).astype(np.int64))
+        assert np.array_equal(writes, fw.sum(axis=1).astype(np.int64))
+
+    def test_out_of_range_object_rejected(self):
+        log = RequestLog(kind=[0], node=[0], obj=[3])
+        with pytest.raises(ValueError):
+            log.counts_by_object(2)

@@ -1,0 +1,469 @@
+"""Tests for the serving subsystem: daemon-vs-replanner parity, lookup
+consistency under live background replans, warm restarts, checkpoints,
+spool files and the CLI/registry surfaces."""
+
+import io
+import json
+import sys
+import threading
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.config import PlanConfig
+from repro.graphs.backend import LazyMetric
+from repro.graphs.generators import transit_stub_graph
+from repro.graphs.metric import Metric
+from repro.registry import get_strategy
+from repro.serve import (
+    DaemonCheckpoint,
+    PlacementDaemon,
+    compare_with_replanner,
+    load_checkpoint,
+    read_spool_file,
+    replay_workload,
+    spool_files,
+    write_spool_file,
+)
+from repro.simulate import EpochReplanner
+from repro.simulate.events import RequestLog
+from repro.workloads import drifting_zipf_catalog, make_instance
+
+
+def _network(seed: int = 3):
+    g = transit_stub_graph(2, 2, 3, seed=seed)
+    return g, Metric.from_graph(g)
+
+
+def _workload(n: int, m: int = 5, epochs: int = 4, seed: int = 11):
+    return drifting_zipf_catalog(
+        n, m, epochs=epochs, seed=seed, drift=0.4,
+        requests_per_epoch=60 * m, redraw="changed",
+    )
+
+
+def _costs(n: int) -> np.ndarray:
+    return np.full(n, 30.0)
+
+
+# ----------------------------------------------------------------------
+# tolerance-0 parity with the epoch replanner (the E19 contract)
+# ----------------------------------------------------------------------
+class TestReplannerParity:
+    @pytest.mark.parametrize("backend", ["dense", "lazy"])
+    @pytest.mark.parametrize("mode", ["full", "incremental"])
+    def test_bit_identical_at_tolerance_zero(self, backend, mode):
+        g, metric = _network()
+        if backend == "lazy":
+            metric = LazyMetric.from_graph(g)
+        wl = _workload(metric.n)
+        config = PlanConfig(replan_mode=mode, replan_tolerance=0.0)
+        verdict = compare_with_replanner(
+            g, metric, _costs(metric.n), wl, config
+        )
+        assert verdict["identical"] is True
+        for epoch in verdict["epochs"]:
+            assert epoch["placements_match"] is True
+        assert verdict["cost_ratio"] == pytest.approx(1.0, rel=1e-12)
+
+    def test_per_epoch_bills_bit_identical(self):
+        """Not just the totals: every epoch's serve + migration bill is
+        the replanner's, bit for bit."""
+        g, metric = _network()
+        wl = _workload(metric.n)
+        config = PlanConfig(replan_mode="incremental", replan_tolerance=0.0)
+        daemon = PlacementDaemon(
+            _costs(metric.n), wl.num_objects, metric=metric, graph=g,
+            config=config, keep_history=True,
+        )
+        try:
+            records = replay_workload(daemon, wl)
+        finally:
+            daemon.close()
+        result = EpochReplanner(g, metric, _costs(metric.n), config=config).run(wl)
+        assert len(records) == wl.num_epochs
+        for rec, rep in zip(records, result.epochs):
+            assert rec["serve_cost"] == rep.report.total_cost
+            assert rec["migration_cost"] == rep.migration_cost
+            assert rec["replaced"] == rep.replaced_objects
+
+    def test_registry_daemon_strategy_matches_krw(self):
+        g, metric = _network()
+        inst = make_instance(metric, seed=5, num_objects=4)
+        config = PlanConfig()
+        report = get_strategy("daemon").plan(inst, config)
+        krw = get_strategy("krw").plan(inst, config)
+        assert report.placement.copy_sets == krw.placement.copy_sets
+        assert report.extras["generation"] == 1
+
+
+# ----------------------------------------------------------------------
+# lookups racing live background replans
+# ----------------------------------------------------------------------
+class TestLookupConsistency:
+    def test_threaded_lookups_never_mix_generations(self):
+        g, metric = _network()
+        wl = _workload(metric.n, epochs=6, seed=17)
+        daemon = PlacementDaemon(
+            _costs(metric.n), wl.num_objects, metric=metric, graph=g,
+            config=PlanConfig(replan_mode="incremental"), keep_history=True,
+        )
+        stop = threading.Event()
+        failures: list[str] = []
+        lookups = [0]
+
+        def reader(seed: int) -> None:
+            rng = np.random.default_rng(seed)
+            while not stop.is_set():
+                obj = int(rng.integers(0, wl.num_objects))
+                r = daemon.lookup(obj, int(rng.integers(0, metric.n)))
+                expected = daemon.generation_placement(r.generation)[obj]
+                if r.copies != expected or r.replica not in r.copies:
+                    failures.append(
+                        f"gen {r.generation}: {r.copies} != {expected}"
+                    )
+                lookups[0] += 1
+
+        threads = [
+            threading.Thread(target=reader, args=(s,)) for s in (1, 2, 3)
+        ]
+        try:
+            for t in threads:
+                t.start()
+            for e in range(wl.num_epochs):
+                daemon.ingest_counts(wl.read_freqs[e], wl.write_freqs[e])
+                daemon.end_epoch(wait=False)
+            daemon.drain()
+        finally:
+            stop.set()
+            for t in threads:
+                t.join()
+            daemon.close()
+        assert not failures
+        assert lookups[0] > 0
+        assert daemon.snapshot().generation == wl.num_epochs
+
+    def test_snapshot_is_internally_consistent(self):
+        g, metric = _network()
+        wl = _workload(metric.n)
+        with PlacementDaemon(
+            _costs(metric.n), wl.num_objects, metric=metric, graph=g
+        ) as daemon:
+            replay_workload(daemon, wl)
+            state = daemon.snapshot()
+            assert state.generation == wl.num_epochs
+            for obj in range(wl.num_objects):
+                node, dist = state.nearest_replica(obj, 0)
+                assert node in state.placement(obj)
+                assert dist == metric.rows([0])[0][node]
+
+
+# ----------------------------------------------------------------------
+# warm restarts: kill, resume, bit-identical continuation
+# ----------------------------------------------------------------------
+class TestWarmRestart:
+    def test_kill_mid_stream_then_resume_bit_identically(self, tmp_path):
+        """A daemon checkpointed after two epochs plus half an ingested
+        window, abandoned without close(), and restored in a fresh
+        process-alike must finish with the uninterrupted run's final
+        placement and cumulative bill, bit for bit."""
+        g, metric = _network(seed=9)
+        wl = _workload(metric.n, epochs=5, seed=23)
+        cs = _costs(metric.n)
+        config = PlanConfig(replan_mode="incremental", replan_tolerance=0.0)
+
+        reference = PlacementDaemon(
+            cs, wl.num_objects, metric=metric, graph=g, config=config
+        )
+        try:
+            replay_workload(reference, wl)
+            ref_state = reference.snapshot()
+        finally:
+            reference.close()
+
+        # epoch 2's demand split into two half-windows: the kill lands
+        # between them
+        fr, fw = wl.read_freqs[2], wl.write_freqs[2]
+        half_fr, half_fw = fr / 2.0, fw / 2.0
+
+        path = tmp_path / "warm.npz"
+        killed = PlacementDaemon(
+            cs, wl.num_objects, metric=metric, graph=g, config=config
+        )
+        for e in range(2):
+            killed.ingest_counts(wl.read_freqs[e], wl.write_freqs[e])
+            killed.end_epoch(wait=True)
+        killed.ingest_counts(half_fr, half_fw)
+        killed.checkpoint_now(path)
+        del killed  # the "kill": no close(), no final checkpoint
+
+        resumed = PlacementDaemon.restore(
+            path, storage_costs=cs, metric=metric, graph=g
+        )
+        try:
+            assert resumed.config.replan_mode == "incremental"
+            resumed.ingest_counts(fr - half_fr, fw - half_fw)
+            resumed.end_epoch(wait=True)
+            for e in range(3, wl.num_epochs):
+                resumed.ingest_counts(wl.read_freqs[e], wl.write_freqs[e])
+                resumed.end_epoch(wait=True)
+            state = resumed.snapshot()
+            assert state.copy_sets == ref_state.copy_sets
+            assert state.cumulative_cost == ref_state.cumulative_cost
+            assert state.generation == ref_state.generation
+        finally:
+            resumed.close()
+
+    def test_close_writes_final_checkpoint(self, tmp_path):
+        g, metric = _network()
+        wl = _workload(metric.n, epochs=2)
+        path = tmp_path / "final.npz"
+        daemon = PlacementDaemon(
+            _costs(metric.n), wl.num_objects, metric=metric, graph=g,
+            checkpoint_path=path,
+        )
+        replay_workload(daemon, wl)
+        expected = daemon.stats()
+        daemon.close()
+        cp = load_checkpoint(path)
+        assert cp.generation == expected["generation"]
+        assert cp.serve_cost == expected["serve_cost"]
+        with pytest.raises(RuntimeError, match="closed"):
+            daemon.end_epoch()
+
+    def test_sigterm_checkpoints_and_exits(self, tmp_path):
+        g, metric = _network()
+        path = tmp_path / "sig.npz"
+        daemon = PlacementDaemon(
+            _costs(metric.n), 3, metric=metric, graph=g,
+            checkpoint_path=path,
+        )
+        assert daemon.install_signal_handlers() is True
+        daemon.ingest_counts(
+            np.ones((3, metric.n)), np.zeros((3, metric.n))
+        )
+        daemon.end_epoch(wait=True)
+        with pytest.raises(SystemExit):
+            daemon._handle_sigterm()
+        assert load_checkpoint(path).generation == 1
+
+
+# ----------------------------------------------------------------------
+# checkpoint files
+# ----------------------------------------------------------------------
+class TestCheckpoint:
+    def test_round_trip_preserves_every_field(self, tmp_path):
+        g, metric = _network()
+        wl = _workload(metric.n, epochs=2)
+        daemon = PlacementDaemon(
+            _costs(metric.n), wl.num_objects, metric=metric, graph=g,
+            config=PlanConfig(replan_mode="incremental"),
+        )
+        try:
+            replay_workload(daemon, wl)
+            daemon.ingest_counts(wl.read_freqs[0], wl.write_freqs[0])
+            cp = daemon.checkpoint_now(tmp_path / "cp.npz")
+        finally:
+            daemon.close()
+        loaded = load_checkpoint(tmp_path / "cp.npz")
+        assert isinstance(loaded, DaemonCheckpoint)
+        assert loaded.copy_sets == cp.copy_sets
+        assert loaded.generation == cp.generation
+        assert loaded.serve_cost == cp.serve_cost
+        assert loaded.migration_cost == cp.migration_cost
+        assert np.array_equal(loaded.base_fr, cp.base_fr)
+        assert np.array_equal(loaded.pending_fr, cp.pending_fr)
+        assert np.array_equal(loaded.totals_read, cp.totals_read)
+        assert loaded.plan_config() == daemon.config
+
+    def test_cadence_checkpoints_between_epochs(self, tmp_path):
+        g, metric = _network()
+        wl = _workload(metric.n, epochs=4)
+        path = tmp_path / "cadence.npz"
+        daemon = PlacementDaemon(
+            _costs(metric.n), wl.num_objects, metric=metric, graph=g,
+            config=PlanConfig(serve_checkpoint_every=2),
+            checkpoint_path=path,
+        )
+        try:
+            for e in range(2):
+                daemon.ingest_counts(wl.read_freqs[e], wl.write_freqs[e])
+                daemon.end_epoch(wait=True)
+            assert load_checkpoint(path).epochs_published == 2
+        finally:
+            daemon.close()
+
+    def test_node_count_mismatch_rejected(self, tmp_path):
+        g, metric = _network()
+        daemon = PlacementDaemon(
+            _costs(metric.n), 2, metric=metric, graph=g
+        )
+        try:
+            cp_path = tmp_path / "cp.npz"
+            daemon.checkpoint_now(cp_path)
+        finally:
+            daemon.close()
+        other = transit_stub_graph(2, 2, 2, seed=4)
+        small = Metric.from_graph(other)
+        with pytest.raises(ValueError, match="node"):
+            PlacementDaemon.restore(
+                cp_path,
+                storage_costs=np.ones(small.n),
+                metric=small,
+            )
+
+
+# ----------------------------------------------------------------------
+# spool files
+# ----------------------------------------------------------------------
+class TestSpool:
+    def _log(self, seed: int = 0, events: int = 40) -> RequestLog:
+        rng = np.random.default_rng(seed)
+        return RequestLog(
+            kind=rng.integers(0, 2, events),
+            node=rng.integers(0, 10, events),
+            obj=rng.integers(0, 4, events),
+        )
+
+    @pytest.mark.parametrize("suffix", [".jsonl", ".npz"])
+    def test_round_trip(self, tmp_path, suffix):
+        log = self._log()
+        path = tmp_path / f"batch{suffix}"
+        write_spool_file(log, path)
+        back = read_spool_file(path)
+        assert np.array_equal(back.kind, log.kind)
+        assert np.array_equal(back.node, log.node)
+        assert np.array_equal(back.obj, log.obj)
+
+    def test_bad_line_reports_position(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            '{"kind": "read", "node": 0, "obj": 1}\n'
+            '{"kind": "steal", "node": 0, "obj": 1}\n'
+        )
+        with pytest.raises(ValueError, match="bad.jsonl:2"):
+            read_spool_file(path)
+
+    def test_unknown_suffix_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="spool files are"):
+            write_spool_file(self._log(), tmp_path / "batch.csv")
+
+    def test_spool_files_sorted(self, tmp_path):
+        for name in ("b.jsonl", "a.npz", "c.jsonl", "notes.txt"):
+            if name.endswith(".txt"):
+                (tmp_path / name).write_text("ignored")
+            else:
+                write_spool_file(self._log(), tmp_path / name)
+        names = [p.name for p in spool_files(tmp_path)]
+        assert names == ["a.npz", "b.jsonl", "c.jsonl"]
+
+    def test_daemon_ingest_from_spool_matches_counts(self, tmp_path):
+        g, metric = _network()
+        log = RequestLog(
+            kind=np.array([0, 0, 1, 0]),
+            node=np.array([1, 2, 3, 1]),
+            obj=np.array([0, 1, 0, 0]),
+        )
+        path = tmp_path / "batch.jsonl"
+        write_spool_file(log, path)
+        with PlacementDaemon(
+            _costs(metric.n), 2, metric=metric, graph=g
+        ) as daemon:
+            receipt = daemon.ingest(read_spool_file(path))
+            assert receipt["events"] == 4
+            stats = daemon.stats()
+            assert stats["reads"] == 3 and stats["writes"] == 1
+
+
+# ----------------------------------------------------------------------
+# ingest validation + failure propagation
+# ----------------------------------------------------------------------
+class TestIngestContract:
+    def test_shape_and_sign_validation(self):
+        g, metric = _network()
+        with PlacementDaemon(
+            _costs(metric.n), 2, metric=metric
+        ) as daemon:
+            with pytest.raises(ValueError, match="shape"):
+                daemon.ingest_counts(np.ones((3, metric.n)), np.ones((3, metric.n)))
+            bad = np.zeros((2, metric.n))
+            bad[0, 0] = -1.0
+            with pytest.raises(ValueError, match="non-negative"):
+                daemon.ingest_counts(bad, np.zeros((2, metric.n)))
+            with pytest.raises(ValueError):
+                daemon.ingest(
+                    RequestLog(kind=[0], node=[0], obj=[5])  # obj out of range
+                )
+
+    def test_background_failure_surfaces_in_drain(self, monkeypatch):
+        g, metric = _network()
+        daemon = PlacementDaemon(_costs(metric.n), 2, metric=metric, graph=g)
+        monkeypatch.setattr(
+            daemon, "_process_epoch",
+            lambda *a: (_ for _ in ()).throw(ValueError("boom")),
+        )
+        daemon.ingest_counts(np.ones((2, metric.n)), np.zeros((2, metric.n)))
+        with pytest.raises(RuntimeError, match="background replan failed"):
+            daemon.end_epoch(wait=True)
+
+
+# ----------------------------------------------------------------------
+# CLI surface
+# ----------------------------------------------------------------------
+class TestServeCli:
+    def test_replay_compare_smoke(self):
+        out = io.StringIO()
+        code = main(
+            ["serve", "replay", "--scenario", "drift", "--nodes", "24",
+             "--num-objects", "4", "--epochs", "2",
+             "--requests-per-epoch", "120", "--drift", "0.5",
+             "--incremental", "--tolerance", "0", "--compare"],
+            out=out,
+        )
+        assert code == 0
+        assert "identical" in out.getvalue()
+
+    def test_replay_writes_checkpoint_and_json(self, tmp_path):
+        out = io.StringIO()
+        ck = tmp_path / "warm.npz"
+        report = tmp_path / "replay.json"
+        code = main(
+            ["serve", "replay", "--nodes", "24", "--num-objects", "4",
+             "--epochs", "2", "--requests-per-epoch", "120",
+             "--checkpoint", str(ck), "--out", str(report)],
+            out=out,
+        )
+        assert code == 0
+        assert load_checkpoint(ck).epochs_published == 2
+        payload = json.loads(report.read_text())
+        assert len(payload["epochs"]) == 2
+        assert payload["stats"]["generation"] == 2
+
+    def test_run_command_loop(self, tmp_path, monkeypatch):
+        from repro.serialize import save_instance
+
+        g, metric = _network()
+        inst = make_instance(metric, seed=2, num_objects=3)
+        inst_path = tmp_path / "inst.npz"
+        save_instance(inst, inst_path)
+        spool = tmp_path / "spool"
+        spool.mkdir()
+        write_spool_file(
+            RequestLog(kind=[0, 0, 1], node=[1, 2, 3], obj=[0, 1, 2]),
+            spool / "b0.jsonl",
+        )
+        monkeypatch.setattr(
+            sys, "stdin", io.StringIO("placement 0\nstats\nquit\n")
+        )
+        out = io.StringIO()
+        code = main(
+            ["serve", "run", "--instance", str(inst_path),
+             "--spool", str(spool), "--epoch-per-file"],
+            out=out,
+        )
+        assert code == 0
+        lines = [json.loads(line) for line in out.getvalue().splitlines()]
+        assert all(line["ok"] for line in lines)
+        assert lines[1]["events_ingested"] == 3
+        assert lines[1]["generation"] == 1
