@@ -46,6 +46,13 @@ Package layout
     (``PlanConfig(replan_mode="incremental")``).
 ``repro.analysis``
     experiment runners, ratio statistics, table formatting.
+``repro.costmodel``
+    the pluggable accounting seam: a ``CostModel`` protocol with a
+    ``@register_cost_model`` registry; ``krw`` (the paper's bill,
+    bit-identical to the pre-seam inline accounting), ``admission``
+    (per-timeslot capacity with accepted/rejected splits) and
+    ``broadcast-write`` (one multicast propagation charge per period),
+    selected via ``PlanConfig.cost_model`` / ``--cost-model``.
 ``repro.config`` / ``repro.registry`` / ``repro.api``
     the front door: the typed :class:`~repro.config.PlanConfig`, the
     ``@register_strategy`` plug-in registry, and the
@@ -67,6 +74,7 @@ from . import (
     baselines,
     config,
     core,
+    costmodel,
     engine,
     facility,
     graphs,
@@ -87,15 +95,23 @@ from .core import (
     optimal_tree_placement,
     placement_cost,
 )
+from .costmodel import (
+    CostModel,
+    MigrationBill,
+    available_cost_models,
+    get_cost_model,
+    register_cost_model,
+)
 from .engine import PlacementEngine, place_catalog
 from .registry import available_strategies, get_strategy, register_strategy
 from .serialize import load_instance, save_instance
 from .serve import PlacementDaemon
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "core",
+    "costmodel",
     "engine",
     "graphs",
     "facility",
@@ -108,6 +124,11 @@ __all__ = [
     "registry",
     "serialize",
     "serve",
+    "CostModel",
+    "MigrationBill",
+    "register_cost_model",
+    "get_cost_model",
+    "available_cost_models",
     "DataManagementInstance",
     "Placement",
     "PlacementDaemon",

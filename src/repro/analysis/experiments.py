@@ -24,7 +24,7 @@ from ..baselines.exhaustive import brute_force_object
 from ..baselines.heuristics import best_single_node
 from ..config import PlanConfig
 from ..core.approx import approximate_object_placement, proper_placement_margins
-from ..core.costs import object_cost
+from ..core.costs import CostBreakdown, object_cost, placement_cost
 from ..core.instance import DataManagementInstance
 from ..core.tree_dp import optimal_tree_placement
 from ..facility import FL_SOLVERS, related_facility_problem, solve_ufl_lp
@@ -57,6 +57,7 @@ __all__ = [
     "run_e17_scaling",
     "run_e18_sharded",
     "run_e19_daemon",
+    "run_e20_costmodels",
     "GRAPH_FAMILIES",
 ]
 
@@ -1790,4 +1791,217 @@ def run_e19_daemon(
             replans, sum(replaced) / len(replaced), "--", "--",
             total, "--", "--", "--",
         ])
+    return result
+
+
+def run_e20_costmodels(
+    *,
+    n: int = 60,
+    num_objects: int = 12,
+    storage_price: float = 4.0,
+    slots: int = 4,
+    capacity_frac: float = 0.4,
+    seed: int = 23,
+    fl_solver: str = "local_search",
+    backends: Sequence[str] = ("dense", "lazy"),
+) -> "ExperimentResult":
+    """The pluggable accounting seam (:mod:`repro.costmodel`), validated.
+
+    Three sections:
+
+    * ``parity`` -- the default ``krw`` model must be invisible: a
+      ``Planner.plan`` bill through the seam equals the legacy
+      :func:`~repro.core.costs.placement_cost` bit-for-bit per backend
+      ("identical" column), the vectorized simulator bill (now routed
+      through ``bill_requests``) matches the hop-by-hop replay within
+      float precision, and the batched ``bill_migration`` matches the
+      per-object reference ``EpochReplanner._migration`` -- including an
+      empty (zero-drift) transition billing exactly zero.
+    * ``admission`` -- the per-timeslot capacity model: uncapped it
+      reproduces the ``krw`` request bill; under capacity pressure it
+      rejects some reads (``rejected > 0``), still serves others, and
+      never bills more than ``krw``; end-to-end through ``Planner.plan``
+      (``cost_model="admission"``) the placement is unchanged and the
+      accepted/rejected split lands in the report's cost detail.
+    * ``broadcast`` -- the multicast propagation model: end-to-end its
+      bill never exceeds ``krw``'s (one MST charge per period instead of
+      per write), and on read-only demand it equals ``krw`` exactly.
+
+    The committed artifact is ``benchmarks/BENCH_e20_costmodels.json``.
+    """
+    from ..api import Planner
+    from ..costmodel import AdmissionCostModel, get_cost_model
+    from ..simulate.events import RequestLog
+    from ..simulate.replanner import EpochReplanner
+    from ..simulate.simulator import NetworkSimulator
+
+    if slots < 1:
+        raise ValueError("slots must be >= 1")
+    if not (0.0 < capacity_frac < 1.0):
+        raise ValueError("capacity_frac must lie in (0, 1) to force rejections")
+    for b in backends:
+        if b not in ("dense", "lazy"):
+            raise ValueError(f"unknown backend {b!r}; use 'dense' and/or 'lazy'")
+
+    g = generators.sized_transit_stub_graph(n, seed=seed)
+    n_real = g.number_of_nodes()
+    cs = uniform_storage_costs(n_real, storage_price)
+
+    def make_metric(backend: str):
+        return (Metric.from_graph(g) if backend == "dense"
+                else LazyMetric.from_graph(g))
+
+    def make_config(model: str) -> PlanConfig:
+        return PlanConfig(fl_solver=fl_solver, cost_model=model)
+
+    def _ratio(a: float, b: float) -> float:
+        return 1.0 if a == b else a / b
+
+    def bill_row(section, label, model, bill, vs, accepted, rejected,
+                 identical):
+        return [section, label, model, bill.total, bill.storage, bill.read,
+                bill.update, vs, accepted, rejected, identical]
+
+    result = ExperimentResult(
+        "E20",
+        f"cost-model seam: krw parity + admission + broadcast "
+        f"(m={num_objects}, slots={slots})",
+        ("section", "label", "model", "total cost", "storage", "read",
+         "update", "vs krw", "accepted", "rejected", "identical"),
+        notes="'parity': the krw model through the seam vs the legacy "
+        "inline accounting -- plan bills bit-identical per backend, "
+        "simulator and migration bills within float precision.  "
+        "'admission': per-timeslot capacity accounting -- uncapped equals "
+        "krw, capped rejects reads and never bills more.  'broadcast': "
+        "one multicast propagation charge per period -- never above krw, "
+        "equal on read-only demand.  'vs krw' is this row's total over "
+        "the matching krw total.",
+    )
+
+    krw = get_cost_model("krw")
+
+    # -- parity: the seam must be invisible under the default model
+    dense_inst = None
+    dense_report = None
+    for backend in backends:
+        metric = make_metric(backend)
+        inst = make_instance(
+            metric, seed=seed + 1, num_objects=num_objects,
+            storage_price=storage_price,
+        )
+        report = Planner(make_config("krw")).plan(inst, "krw")
+        legacy = placement_cost(inst, report.placement, policy="mst")
+        identical = (
+            report.cost.storage == legacy.storage
+            and report.cost.read == legacy.read
+            and report.cost.update == legacy.update
+        )
+        result.rows.append(bill_row(
+            "parity", f"plan {backend}", "krw", report.cost,
+            _ratio(report.cost.total, legacy.total), "--", "--", identical,
+        ))
+        if backend == "dense" or dense_inst is None:
+            dense_inst, dense_report = inst, report
+
+    inst, report = dense_inst, dense_report
+    placement = report.placement
+
+    # seam-billed vectorized replay vs the hop-by-hop routed bill
+    sim = NetworkSimulator(g, inst)
+    log = RequestLog.from_frequencies(inst.read_freq, inst.write_freq)
+    vec = sim.run(placement, log)
+    routed = sim.run(placement, log, track_edge_load=True)
+    vec_bill = CostBreakdown(
+        vec.storage_cost, vec.read_traffic_cost, vec.write_traffic_cost
+    )
+    result.rows.append(bill_row(
+        "parity", "simulate", "krw", vec_bill,
+        _ratio(vec.total_cost, routed.total_cost), "--", "--", "--",
+    ))
+
+    # batched bill_migration vs the per-object reference _migration
+    replanner = EpochReplanner(g, inst.metric, cs, make_config("krw"))
+    start = int(np.argmin(cs))
+    prev = [(start,) for _ in range(num_objects)]
+    batched = krw.bill_migration(inst.metric, prev, placement.copy_sets)
+    ref_cost, ref_added, ref_dropped = 0.0, 0, 0
+    for old, new in zip(prev, placement.copy_sets):
+        c, a, d = replanner._migration(old, new)
+        ref_cost += c
+        ref_added += a
+        ref_dropped += d
+    mig_bill = CostBreakdown(0.0, 0.0, batched.cost)
+    result.rows.append(bill_row(
+        "parity", "migration", "krw", mig_bill,
+        _ratio(batched.cost, ref_cost), "--", "--",
+        batched.added == ref_added and batched.dropped == ref_dropped,
+    ))
+    # empty (zero-drift) transition: exactly zero on both paths
+    empty = krw.bill_migration(inst.metric, list(placement.copy_sets),
+                               placement.copy_sets)
+    result.rows.append(bill_row(
+        "parity", "migration empty", "krw",
+        CostBreakdown(0.0, 0.0, empty.cost), _ratio(empty.cost, 0.0),
+        "--", "--", tuple(empty) == (0.0, 0, 0),
+    ))
+
+    # -- admission: capacity-controlled timeslot accounting
+    fr, fw = inst.read_freq, inst.write_freq
+    krw_req = krw.bill_requests(inst, placement, fr, fw)
+    uncapped = AdmissionCostModel(slots=slots).bill_requests(
+        inst, placement, fr, fw
+    )
+    result.rows.append(bill_row(
+        "admission", "uncapped", "admission", uncapped,
+        _ratio(uncapped.total, krw_req.total),
+        uncapped.detail["accepted"], uncapped.detail["rejected"], "--",
+    ))
+
+    # cap below the busiest object's per-slot per-copy read demand
+    per_copy_demand = max(
+        float(fr[obj].sum()) / slots / len(placement.copies(obj))
+        for obj in range(num_objects)
+    )
+    cap = capacity_frac * per_copy_demand
+    capped = AdmissionCostModel(
+        slots=slots, capacity_per_copy=cap
+    ).bill_requests(inst, placement, fr, fw)
+    result.rows.append(bill_row(
+        "admission", "capped", "admission", capped,
+        _ratio(capped.total, krw_req.total),
+        capped.detail["accepted"], capped.detail["rejected"], "--",
+    ))
+
+    adm_report = Planner(make_config("admission")).plan(inst, "krw")
+    result.rows.append(bill_row(
+        "admission", "plan admission", "admission", adm_report.cost,
+        _ratio(adm_report.cost.total, report.cost.total),
+        adm_report.cost.detail["accepted"],
+        adm_report.cost.detail["rejected"],
+        adm_report.placement.copy_sets == placement.copy_sets,
+    ))
+
+    # -- broadcast: one propagation charge per period
+    bc_report = Planner(make_config("broadcast-write")).plan(inst, "krw")
+    result.rows.append(bill_row(
+        "broadcast", "plan broadcast", "broadcast-write", bc_report.cost,
+        _ratio(bc_report.cost.total, report.cost.total), "--", "--",
+        bc_report.placement.copy_sets == placement.copy_sets,
+    ))
+
+    ro_inst = make_instance(
+        inst.metric, seed=seed + 2, num_objects=num_objects,
+        write_fraction=0.0, storage_price=storage_price,
+    )
+    ro_placement = Planner(make_config("krw")).plan(ro_inst, "krw").placement
+    ro_krw = placement_cost(ro_inst, ro_placement, policy="mst")
+    ro_bc = get_cost_model("broadcast-write").bill_placement(
+        ro_inst, ro_placement
+    )
+    result.rows.append(bill_row(
+        "broadcast", "read-only", "broadcast-write", ro_bc,
+        _ratio(ro_bc.total, ro_krw.total), "--", "--",
+        (ro_bc.storage, ro_bc.read, ro_bc.update)
+        == (ro_krw.storage, ro_krw.read, ro_krw.update),
+    ))
     return result

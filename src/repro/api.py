@@ -104,15 +104,21 @@ class PlanReport:
     # serialization
     # ------------------------------------------------------------------
     def _meta_dict(self) -> dict:
+        cost = {
+            "storage": self.cost.storage,
+            "read": self.cost.read,
+            "update": self.cost.update,
+        }
+        if self.cost.detail is not None:
+            # model-specific decomposition (per-slot splits, message
+            # counts); omitted entirely for detail-free bills so krw
+            # artifacts stay byte-identical to the pre-seam format
+            cost["detail"] = self.cost.detail
         return {
             "format": _REPORT_FORMAT,
             "version": _REPORT_VERSION,
             "strategy": self.strategy,
-            "cost": {
-                "storage": self.cost.storage,
-                "read": self.cost.read,
-                "update": self.cost.update,
-            },
+            "cost": cost,
             "wall_time_s": self.wall_time_s,
             "config": self.config.to_dict(),
             "num_nodes": self.num_nodes,

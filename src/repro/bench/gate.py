@@ -4,7 +4,7 @@ Each committed ``benchmarks/BENCH_*.json`` artifact records one
 experiment's full-scale trajectory (E10b backend sweep, E14 catalog
 throughput, E15 dynamic replay, E16 incremental replan, E17 worker
 transport + kernel dispatch, E18 sharded placement, E19 serving
-daemon).  A
+daemon, E20 cost-model seam).  A
 :class:`GateSpec` turns that prose-adjacent artifact into a machine
 checked contract, in two tiers:
 
@@ -539,6 +539,54 @@ _register(GateSpec(
     smoke_params=dict(n=40, num_objects=6, epochs=3, requests_per_epoch=240,
                       drift=0.34, backends=["dense"],
                       lag_drifts=[0.34, 0.67], lookups=60),
+))
+
+_register(GateSpec(
+    experiment="E20",
+    exp_id="E20",
+    artifact="BENCH_e20_costmodels.json",
+    headers=("section", "label", "model", "total cost", "storage", "read",
+             "update", "vs krw", "accepted", "rejected", "identical"),
+    columns={
+        "section": "str", "label": "str", "model": "str",
+        "total cost": "number", "storage": "number", "read": "number",
+        "update": "number", "vs krw": "number?", "accepted": "number?",
+        "rejected": "number?", "identical": "bool?",
+    },
+    checks=(
+        Check("krw seam bills match the legacy accounting bit-for-bit",
+              "identical", "is_true", where=(("section", "parity"),)),
+        Check("krw seam totals equal legacy totals",
+              "vs krw", "approx", value=1.0, rel_tol=IDENTITY_TOL,
+              where=(("section", "parity"),)),
+        Check("uncapped admission equals the krw request bill",
+              "vs krw", "approx", value=1.0, rel_tol=IDENTITY_TOL,
+              where=(("label", "uncapped"),)),
+        Check("uncapped admission rejects nothing",
+              "rejected", "approx", value=0.0,
+              where=(("label", "uncapped"),)),
+        Check("capacity pressure rejects some reads",
+              "rejected", "gt", value=0.0, where=(("label", "capped"),)),
+        Check("capacity pressure still serves reads",
+              "accepted", "gt", value=0.0, where=(("label", "capped"),)),
+        Check("capped admission never bills more than krw",
+              "vs krw", "le", value=1.0, rel_tol=IDENTITY_TOL,
+              where=(("label", "capped"),)),
+        Check("admission plan keeps the krw placement",
+              "identical", "is_true", where=(("section", "admission"),)),
+        Check("end-to-end admission bill equals krw (uncapped default)",
+              "vs krw", "approx", value=1.0, rel_tol=IDENTITY_TOL,
+              where=(("label", "plan admission"),)),
+        Check("broadcast plan keeps the krw placement",
+              "identical", "is_true", where=(("section", "broadcast"),)),
+        Check("broadcast never bills more than krw",
+              "vs krw", "le", value=1.0, rel_tol=IDENTITY_TOL,
+              where=(("label", "plan broadcast"),)),
+        Check("broadcast equals krw on read-only demand",
+              "vs krw", "approx", value=1.0, rel_tol=IDENTITY_TOL,
+              where=(("label", "read-only"),)),
+    ),
+    smoke_params=dict(n=40, num_objects=6, backends=["dense"], slots=3),
 ))
 
 #: Default artifact location: the committed benchmarks directory.

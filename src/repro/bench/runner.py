@@ -52,6 +52,7 @@ EXPERIMENT_RUNNERS = {
     "E17": analysis.run_e17_scaling,
     "E18": analysis.run_e18_sharded,
     "E19": analysis.run_e19_daemon,
+    "E20": analysis.run_e20_costmodels,
 }
 
 

@@ -75,7 +75,7 @@ from .api import PlanReport, Planner, compare_table
 from .bench import EXPERIMENT_RUNNERS
 from .config import KERNEL_MODES, PARTITION_METHODS, PlanConfig
 from .core.approx import approximate_placement
-from .core.costs import placement_cost
+from .costmodel import available_cost_models, get_cost_model
 from .engine import DEFAULT_CHUNK_SIZE, PlacementEngine
 from .facility import FL_SOLVERS
 from .registry import available_strategies
@@ -142,7 +142,7 @@ def _load_config(args) -> PlanConfig | None:
     overrides = {}
     for knob in ("jobs", "fl_solver", "seed", "kernels", "cache_rows",
                  "shared_memory", "num_shards", "portals_per_shard",
-                 "partition"):
+                 "partition", "cost_model"):
         value = getattr(args, knob, None)
         if value is not None:
             overrides[knob] = value
@@ -317,13 +317,15 @@ def _run_place(args, out=sys.stdout) -> int:
             print("place: engine/loop copy sets differ", file=sys.stderr)
             return 1
     if args.cost:
-        bill = placement_cost(inst, placement, policy="mst")
+        model = get_cost_model(getattr(args, "cost_model", None) or "krw")
+        bill = model.bill_placement(inst, placement, policy="mst")
         summary["cost"] = {
+            "model": model.name,
             "storage": bill.storage, "read": bill.read,
             "update": bill.update, "total": bill.total,
         }
-        print(f"bill (mst policy): storage {bill.storage:.1f} + read "
-              f"{bill.read:.1f} + update {bill.update:.1f} = "
+        print(f"bill ({model.name}, mst policy): storage {bill.storage:.1f} "
+              f"+ read {bill.read:.1f} + update {bill.update:.1f} = "
               f"{bill.total:.1f}", file=out)
     if args.out_path:
         with open(args.out_path, "w") as fh:
@@ -773,6 +775,10 @@ def main(argv: Sequence[str] | None = None, out=sys.stdout) -> int:
                               default=None,
                               help="override the config's partition method "
                               "(auto | transit_stub | bfs | none)")
+    planner_opts.add_argument("--cost-model", dest="cost_model",
+                              choices=available_cost_models(), default=None,
+                              help="override the config's accounting model "
+                              "(krw = the paper's bill; see `repro list`)")
 
     p_plan = sub.add_parser(
         "plan",
@@ -831,6 +837,10 @@ def main(argv: Sequence[str] | None = None, out=sys.stdout) -> int:
                       help="also run the per-object loop and verify parity")
     p_pl.add_argument("--cost", action="store_true",
                       help="bill the placement under the mst policy")
+    p_pl.add_argument("--cost-model", dest="cost_model",
+                      choices=available_cost_models(), default="krw",
+                      help="accounting model for --cost (default: krw, "
+                      "the paper's bill)")
     p_pl.add_argument("--out", dest="out_path", default=None,
                       help="write a JSON summary here")
 
@@ -1052,6 +1062,11 @@ def main(argv: Sequence[str] | None = None, out=sys.stdout) -> int:
               f"{'|'.join(PARTITION_METHODS)}, num_shards (--shards), "
               "portals_per_shard (--portals); num_shards=1 equals krw",
               file=out)
+        print("cost models:      ", ", ".join(available_cost_models()),
+              file=out)
+        print("  accounting seam (--cost-model): krw = the paper's bill "
+              "(default), admission = per-timeslot capacity, "
+              "broadcast-write = one propagation per epoch", file=out)
         return 0
     parser.print_help(out)
     return 1

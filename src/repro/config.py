@@ -32,6 +32,7 @@ from dataclasses import dataclass, fields
 from pathlib import Path
 
 from .core.radii import DEFAULT_RADII_BLOCK
+from .costmodel import available_cost_models
 from .engine import DEFAULT_CHUNK_SIZE
 from .facility import FL_SOLVERS
 from .graphs.backend import DEFAULT_CACHE_ROWS
@@ -139,6 +140,15 @@ class PlanConfig:
     cost_policy:
         Update-billing policy for report costs (``"mst"`` is the paper's
         restricted policy).
+    cost_model:
+        Registered accounting model billing the plan
+        (:func:`repro.costmodel.available_cost_models`): ``"krw"``
+        (default, the paper's bill -- bit-identical to the pre-seam
+        inline accounting), ``"admission"`` (per-timeslot capacity with
+        accepted/rejected splits) or ``"broadcast-write"`` (one
+        multicast propagation charge per period).  Placement search is
+        unchanged; the model decides how the resulting placement is
+        billed.
     seed:
         Event-order seed for order-sensitive strategies (``online``);
         recorded as provenance either way.
@@ -196,6 +206,7 @@ class PlanConfig:
     kernels: str = "auto"
     cache_rows: int = DEFAULT_CACHE_ROWS
     cost_policy: str = "mst"
+    cost_model: str = "krw"
     seed: int | None = None
     replication_threshold: int = 3
     replan_mode: str = "full"
@@ -222,6 +233,16 @@ class PlanConfig:
             raise ValueError(
                 f"unknown cost_policy {self.cost_policy!r}; "
                 f"choose from {COST_POLICIES}"
+            )
+        if self.cost_model not in available_cost_models():
+            raise ValueError(
+                f"unknown cost_model {self.cost_model!r}; "
+                f"choose from {available_cost_models()}"
+            )
+        if self.cost_model != "krw" and self.cost_policy != "mst":
+            raise ValueError(
+                f"cost_model {self.cost_model!r} only bills the 'mst' "
+                f"cost_policy, not {self.cost_policy!r}"
             )
         if self.kernels not in KERNEL_MODES:
             raise ValueError(

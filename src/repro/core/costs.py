@@ -33,6 +33,7 @@ All kernels are numpy-vectorized over nodes.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -59,6 +60,12 @@ _BATCH_UNION_LIMIT = 1024
 _BATCH_OBJECT_CHUNK = 1024
 
 
+#: Relative slack for an explicitly supplied ``total`` against the
+#: component sum: float accumulation noise is tolerated, a genuinely
+#: inconsistent total is a hard error.
+_TOTAL_TOLERANCE = 1e-9
+
+
 @dataclass(frozen=True)
 class CostBreakdown:
     """Storage / read / update decomposition of a placement's cost.
@@ -68,15 +75,49 @@ class CostBreakdown:
     distances (reads and the write attach messages) and ``update`` is
     ``W * mst_cost(S)``.  Under the Steiner policies ``read`` covers reads
     only and ``update`` is the summed per-write Steiner cost.
+
+    ``total`` is normally derived (``storage + read + update``) and needs
+    no argument; an explicitly supplied total must agree with the
+    component sum.  Validation is strict: components must be finite and
+    non-negative, and an inconsistent total is a :class:`ValueError` --
+    a bill that silently disagrees with its own breakdown would poison
+    every downstream comparison.
+
+    ``detail`` carries cost-model-specific decomposition beyond the three
+    shared components (per-timeslot splits, message counts, propagation
+    charges -- see :mod:`repro.costmodel`).  Arithmetic (``+``,
+    :meth:`scaled`) recomputes the total and drops the detail, which only
+    describes the bill it was attached to.
     """
 
     storage: float
     read: float
     update: float
+    total: float | None = None
+    detail: dict | None = None
 
-    @property
-    def total(self) -> float:
-        return self.storage + self.read + self.update
+    def __post_init__(self) -> None:
+        for name in ("storage", "read", "update"):
+            value = float(getattr(self, name))
+            if not (math.isfinite(value) and value >= 0.0):
+                raise ValueError(
+                    f"CostBreakdown.{name} must be finite and non-negative, "
+                    f"got {getattr(self, name)!r}"
+                )
+            object.__setattr__(self, name, value)
+        derived = self.storage + self.read + self.update
+        if self.total is None:
+            object.__setattr__(self, "total", derived)
+            return
+        total = float(self.total)
+        if not math.isclose(
+            total, derived, rel_tol=_TOTAL_TOLERANCE, abs_tol=_TOTAL_TOLERANCE
+        ):
+            raise ValueError(
+                f"CostBreakdown total {total!r} is inconsistent with "
+                f"storage + read + update = {derived!r}"
+            )
+        object.__setattr__(self, "total", total)
 
     def scaled(self, factor: float) -> "CostBreakdown":
         """Uniformly scaled breakdown (non-uniform object sizes)."""

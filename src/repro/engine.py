@@ -377,6 +377,21 @@ class PlacementEngine:
         """Place every object of the catalog; equals the per-object loop."""
         return Placement(tuple(copies for _, copies in self.stream()))
 
+    def bill(self, placement: Placement, *, policy: str = "mst", cost_model=None):
+        """Charge ``placement`` against this engine's instance.
+
+        Accounting goes through the pluggable seam
+        (:mod:`repro.costmodel`): ``cost_model`` is a registered name or
+        model instance, ``None`` meaning the default ``"krw"`` -- whose
+        bill is :func:`repro.core.costs.placement_cost` verbatim.
+        Returns the model's :class:`~repro.core.costs.CostBreakdown`.
+        """
+        from .costmodel import get_cost_model
+
+        if cost_model is None or isinstance(cost_model, str):
+            cost_model = get_cost_model(cost_model or "krw")
+        return cost_model.bill_placement(self.instance, placement, policy=policy)
+
     # ------------------------------------------------------------------
     # sharded dispatch: partition -> portal-summarized shard solves ->
     # stitch.  The second fan-out axis: tasks are (shard, chunk) pairs.

@@ -71,9 +71,9 @@ from .baselines.heuristics import (
     write_blind_placement,
 )
 from .config import PlanConfig
-from .core.costs import placement_cost
 from .core.instance import DataManagementInstance
 from .core.placement import Placement
+from .costmodel import get_cost_model
 from .engine import PlacementEngine
 from .simulate.events import RequestLog
 
@@ -101,8 +101,10 @@ class PlacementStrategy:
     """Base class handling timing, billing and report assembly.
 
     Subclasses implement :meth:`place`; ``plan`` wraps it with a wall
-    clock, bills the placement under ``config.cost_policy`` and returns
-    the full :class:`~repro.api.PlanReport`.
+    clock, bills the placement through ``config.cost_model`` (under
+    ``config.cost_policy``), records the billing model in
+    ``extras["cost_model"]`` and returns the full
+    :class:`~repro.api.PlanReport`.
     """
 
     name: str = ""
@@ -119,7 +121,9 @@ class PlacementStrategy:
         result = self.place(instance, config)
         wall = time.perf_counter() - t0
         placement, extras = result if isinstance(result, tuple) else (result, {})
-        cost = placement_cost(instance, placement, policy=config.cost_policy)
+        model = get_cost_model(config.cost_model)
+        cost = model.bill_placement(instance, placement, policy=config.cost_policy)
+        extras.setdefault("cost_model", model.name)
         return PlanReport(
             strategy=self.name,
             placement=placement,

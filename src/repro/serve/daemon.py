@@ -57,13 +57,12 @@ import time
 import numpy as np
 
 from ..config import PlanConfig
-from ..core.costs import placement_cost
 from ..core.instance import DataManagementInstance
 from ..core.placement import Placement
+from ..costmodel import get_cost_model
 from ..engine import PlacementEngine
 from ..simulate.events import RequestLog
 from ..simulate.paths import PathCache
-from ..simulate.replanner import migration_diff
 from ..simulate.simulator import NetworkSimulator
 from ..workloads.drift import DriftTracker
 from .checkpoint import DaemonCheckpoint, load_checkpoint, save_checkpoint
@@ -93,9 +92,10 @@ class PlacementDaemon:
         bill replays the epoch's request log through a
         :class:`~repro.simulate.simulator.NetworkSimulator` (the
         replanner's accounting).  Without it the daemon is
-        *metric-only* and bills the equivalent static
-        :func:`~repro.core.costs.placement_cost` instead -- enough for
-        the registry's offline ``daemon`` strategy.
+        *metric-only* and bills the configured cost model's closed-form
+        ``bill_placement`` instead (for ``"krw"``:
+        :func:`~repro.core.costs.placement_cost`) -- enough for the
+        registry's offline ``daemon`` strategy.
     config:
         A :class:`~repro.config.PlanConfig`; ``replan_mode`` /
         ``replan_tolerance`` drive the background solve and the
@@ -452,7 +452,10 @@ class PlacementDaemon:
                 placement = PlacementEngine.from_config(inst, config).place()
                 replaced = self.num_objects
                 self._tracker.prime(fr, fw)
-        migration, added, dropped = migration_diff(
+        # the replanner's accounting seam: one cost model bills the
+        # migration and the epoch serve alike
+        model = get_cost_model(config.cost_model)
+        migration, added, dropped = model.bill_migration(
             self.metric, self._prev_sets, placement.copy_sets
         )
         solve_time = time.perf_counter() - t0
@@ -462,12 +465,12 @@ class PlacementDaemon:
             # log against the freshly published placement
             sim = NetworkSimulator(
                 self.graph, inst, update_policy="mst",
-                path_cache=self._path_cache,
+                path_cache=self._path_cache, cost_model=model,
             )
             log = RequestLog.from_frequencies(fr, fw)
             serve_cost = sim.run(placement, log).total_cost
         else:
-            serve_cost = placement_cost(
+            serve_cost = model.bill_placement(
                 inst, placement, policy=config.cost_policy
             ).total
 

@@ -75,6 +75,7 @@ import numpy as np
 
 from ..config import PlanConfig
 from ..core.placement import Placement
+from ..costmodel import MigrationBill, get_cost_model
 from ..engine import PlacementEngine
 from .paths import PathCache
 from .simulator import NetworkSimulator, SimulationReport
@@ -86,38 +87,19 @@ def migration_diff(
     metric,
     prev: list[tuple[int, ...]],
     new: tuple[tuple[int, ...], ...],
-) -> tuple[float, int, int]:
+) -> MigrationBill:
     """Batched migration bill for a whole placement transition.
 
-    Returns ``(cost, copies added, copies dropped)``.  Gained copies are
-    grouped by their object's previous copy set; each distinct group is
-    billed with one vectorized ``dist_to_set`` query (on a lazy backend:
-    one multi-source Dijkstra) instead of one backend query per object.
-    Objects whose copy sets did not move -- the common case under
-    incremental replanning -- are skipped outright.
-
-    The shared accounting kernel of :class:`EpochReplanner` and the live
-    :class:`~repro.serve.PlacementDaemon`: both bill every epoch
-    transition through this one function, which is what makes their
-    cumulative migration bills comparable (and, at ``tolerance=0``,
-    bit-identical).
+    Compatibility wrapper over the single shared accounting entry point,
+    :meth:`CostModel.bill_migration <repro.costmodel.CostModel>` of the
+    default ``"krw"`` model -- the kernel :class:`EpochReplanner` and the
+    live :class:`~repro.serve.PlacementDaemon` both bill through, which
+    is what makes their cumulative migration bills comparable (and, at
+    ``tolerance=0``, bit-identical).  Returns a
+    :class:`~repro.costmodel.MigrationBill`; the legacy
+    ``cost, added, dropped = ...`` unpacking keeps working.
     """
-    gained_by_prev: dict[tuple[int, ...], list[int]] = {}
-    added = dropped = 0
-    for old, nxt in zip(prev, new):
-        if old == nxt:
-            continue
-        old_set = set(old)
-        gained = [v for v in nxt if v not in old_set]
-        dropped += len(old_set.difference(nxt))
-        if gained:
-            added += len(gained)
-            gained_by_prev.setdefault(old, []).extend(gained)
-    cost = 0.0
-    for old, nodes in gained_by_prev.items():
-        dist = metric.dist_to_set(old)
-        cost += float(dist[np.asarray(nodes, dtype=int)].sum())
-    return cost, added, dropped
+    return get_cost_model("krw").bill_migration(metric, prev, new)
 
 
 @dataclass(frozen=True)
@@ -220,6 +202,8 @@ class EpochReplanner:
         self.storage_costs = np.asarray(storage_costs, dtype=float)
         # the legacy kwargs spelling funnels through the same validation
         self.config = config if config is not None else PlanConfig(**engine_kwargs)
+        # all accounting (epoch bills + migration) through one model
+        self._cost_model = get_cost_model(self.config.cost_model)
         # one routing/path state for all per-epoch simulators
         self._path_cache = PathCache(graph)
 
@@ -245,10 +229,11 @@ class EpochReplanner:
         self,
         prev: list[tuple[int, ...]],
         new: tuple[tuple[int, ...], ...],
-    ) -> tuple[float, int, int]:
+    ) -> MigrationBill:
         """Batched migration bill for a whole epoch transition -- the
-        module-level :func:`migration_diff` on this replanner's metric."""
-        return migration_diff(self.metric, prev, new)
+        configured cost model's ``bill_migration`` on this replanner's
+        metric."""
+        return self._cost_model.bill_migration(self.metric, prev, new)
 
     # ------------------------------------------------------------------
     def run(self, workload, *, log_seed: int | None = None) -> ReplanResult:
@@ -318,7 +303,7 @@ class EpochReplanner:
 
             sim = NetworkSimulator(
                 self.graph, inst, update_policy="mst",
-                path_cache=self._path_cache,
+                path_cache=self._path_cache, cost_model=self._cost_model,
             )
             log = workload.epoch_log(
                 e, seed=None if log_seed is None else log_seed + e

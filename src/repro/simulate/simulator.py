@@ -4,7 +4,11 @@ The analytic cost functions in :mod:`repro.core.costs` charge a placement
 in closed form.  This simulator instead *executes* a billing period on the
 actual network: every read is billed to its nearest replica, every write
 ships an attach message plus a multicast along the update tree, and every
-traversed link accrues its per-object fee.
+traversed link accrues its per-object fee.  Accounting itself is
+delegated to a pluggable :class:`~repro.costmodel.CostModel` (default
+``"krw"``, the paper's bill); the vectorized path hands the grouped log
+to ``bill_requests``, while hop-by-hop routing -- which realizes the
+``krw`` bill on actual links -- requires a ``routable`` model.
 
 Two execution modes share one accounting model:
 
@@ -60,7 +64,8 @@ import numpy as np
 
 from ..core.instance import DataManagementInstance
 from ..core.placement import Placement
-from ..graphs.mst import mst_cost, mst_edges
+from ..costmodel import CostModel, get_cost_model
+from ..graphs.mst import mst_edges
 from ..graphs.steiner import steiner_kmb
 from .events import RequestLog
 from .paths import PathCache
@@ -123,6 +128,12 @@ class NetworkSimulator:
         LRU capacity of the internally-built path cache (``None``: sized
         from the :data:`~repro.simulate.paths.DEFAULT_PATH_CACHE_BYTES`
         budget).
+    cost_model:
+        Registered name or :class:`~repro.costmodel.CostModel` instance
+        billing the replay (default ``"krw"``, the paper's accounting).
+        Non-``routable`` models are closed-form only: they cannot be
+        combined with ``"kmb"`` or ``track_edge_load=True``, whose bills
+        are realized hop by hop.
     """
 
     def __init__(
@@ -133,9 +144,18 @@ class NetworkSimulator:
         update_policy: str = "mst",
         path_cache: PathCache | None = None,
         cache_sources: int | None = None,
+        cost_model: str | CostModel = "krw",
     ) -> None:
         if update_policy not in ("mst", "kmb"):
             raise ValueError("update_policy must be 'mst' or 'kmb'")
+        if isinstance(cost_model, str):
+            cost_model = get_cost_model(cost_model)
+        self.cost_model = cost_model
+        if update_policy == "kmb" and not cost_model.routable:
+            raise ValueError(
+                f"cost model {cost_model.name!r} is not routable and cannot "
+                "bill the hop-by-hop 'kmb' policy"
+            )
         n = instance.num_nodes
         if graph.number_of_nodes() != n or set(graph.nodes()) != set(range(n)):
             raise ValueError("graph must have nodes 0..n-1 matching the instance")
@@ -213,50 +233,40 @@ class NetworkSimulator:
         log.validate_for(self.instance.num_objects, self.instance.num_nodes)
         if self.update_policy == "mst" and not track_edge_load:
             return self._run_vectorized(placement, log)
+        if not self.cost_model.routable:
+            raise ValueError(
+                f"cost model {self.cost_model.name!r} is not routable and "
+                "cannot attribute traffic to links (track_edge_load)"
+            )
         return self._run_events(placement, log)
 
     def _storage_bill(self, placement: Placement, report: SimulationReport) -> None:
         """Each copy is bought once for the billing period."""
-        cs = self.instance.storage_costs
-        for obj in range(self.instance.num_objects):
-            for v in placement.copies(obj):
-                report.storage_cost += float(cs[v])
+        report.storage_cost += self.cost_model.bill_storage(self.instance, placement)
 
     # ------------------------------------------------------------------
     def _run_vectorized(
         self, placement: Placement, log: RequestLog
     ) -> SimulationReport:
-        """Columnar fast path: bill the grouped log per object.
+        """Columnar fast path: bill the grouped log through the cost model.
 
-        Reads (and write attach messages) pay the batched nearest-copy
-        distance times their count; each write additionally pays the
-        copy-set MST.  Equal to the hop-by-hop bill because cheapest
-        paths realize metric distances exactly.
+        The log is grouped per (object, kind, node) with one ``bincount``
+        and handed to :meth:`~repro.costmodel.CostModel.bill_requests` as
+        one billing period.  Under the default ``krw`` model this equals
+        the hop-by-hop bill because cheapest paths realize metric
+        distances exactly.
         """
         inst = self.instance
-        metric = inst.metric
-        report = SimulationReport()
-        self._storage_bill(placement, report)
-
         reads, writes = log.counts(inst.num_objects, inst.num_nodes)
-        node_ids = np.arange(inst.num_nodes)
-        for obj in np.unique(log.obj):
-            obj = int(obj)
-            r = reads[obj]
-            w = writes[obj]
-            copies = placement.copies(obj)
-            nearest, dist = metric.nearest_in_set(copies)
-            report.read_traffic_cost += float(r @ dist)
-            report.write_traffic_cost += float(w @ dist)
-            num_writes = int(w.sum())
-            if num_writes and len(copies) > 1:
-                report.write_traffic_cost += num_writes * mst_cost(metric, copies)
-                # each MST edge is one multicast message per write
-                report.messages += num_writes * (len(copies) - 1)
-            # reads/attaches served by a local copy ship no message
-            remote = nearest != node_ids
-            report.messages += int(r[remote].sum() + w[remote].sum())
-        return report
+        bill = self.cost_model.bill_requests(
+            inst, placement, reads, writes, objects=np.unique(log.obj)
+        )
+        return SimulationReport(
+            storage_cost=bill.storage,
+            read_traffic_cost=bill.read,
+            write_traffic_cost=bill.update,
+            messages=int((bill.detail or {}).get("messages", 0)),
+        )
 
     # ------------------------------------------------------------------
     def _run_events(self, placement: Placement, log: RequestLog) -> SimulationReport:

@@ -42,7 +42,7 @@ class TestList:
 
 class TestExperimentCommand:
     def test_registry_covers_all_runners(self):
-        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 20)} | {"E10B"}
+        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 21)} | {"E10B"}
 
     def test_unknown_experiment(self, capsys):
         out = io.StringIO()

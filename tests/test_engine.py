@@ -270,10 +270,10 @@ class TestPlaceCatalogSignature:
         with pytest.raises(ValueError, match="fl_solver"):
             place_catalog(inst, fl_solver="nope")
 
-    def test_version_bumped_for_the_serving_daemon(self):
+    def test_version_bumped_for_the_cost_model_seam(self):
         import repro
 
-        assert repro.__version__ == "1.6.0"
+        assert repro.__version__ == "1.7.0"
 
 
 class TestBatchedRadii:
